@@ -1,0 +1,133 @@
+// Command uexc-bench regenerates the paper's evaluation: every table
+// and figure of "Hardware and Software Support for Efficient Exception
+// Handling" (Thekkath & Levy, ASPLOS 1994), measured on the simulated
+// machine.
+//
+// Usage:
+//
+//	uexc-bench -all            # every exhibit (default)
+//	uexc-bench -table 2        # one table (1..5)
+//	uexc-bench -figure 3       # one figure (3 or 4)
+//	uexc-bench -trace          # Figures 1 and 2 as event traces
+//	uexc-bench -ablations      # the three ablation studies
+//	uexc-bench -validate       # also run object-store crossover validation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"uexc/internal/harness"
+	"uexc/internal/report"
+)
+
+func main() {
+	var (
+		all       = flag.Bool("all", false, "regenerate every table and figure")
+		table     = flag.Int("table", 0, "regenerate one table (1..5)")
+		figure    = flag.Int("figure", 0, "regenerate one figure (3 or 4)")
+		trace     = flag.Bool("trace", false, "render Figures 1 and 2 as event traces")
+		ablations = flag.Bool("ablations", false, "run the ablation studies")
+		validate  = flag.Bool("validate", false, "validate figure curves against the object store")
+		csvDir    = flag.String("csv", "", "also write figure series as CSV files into this directory")
+	)
+	flag.Parse()
+
+	if !*all && *table == 0 && *figure == 0 && !*trace && !*ablations {
+		*all = true
+	}
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "uexc-bench: %v\n", err)
+		os.Exit(1)
+	}
+	printT := func(t *report.Table, err error) {
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(t.Render())
+	}
+	writeCSV := func(name string, s *report.Series) {
+		if *csvDir == "" {
+			return
+		}
+		path := filepath.Join(*csvDir, name)
+		if err := os.WriteFile(path, []byte(s.CSV()), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+	printS := func(name string, s *report.Series, err error) {
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(s.Render())
+		writeCSV(name, s)
+	}
+
+	if *all {
+		out, err := harness.All(*validate)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(out)
+		tr, err := harness.TraceDelivery()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(tr)
+		if *csvDir != "" {
+			s3, err := harness.Figure3(false)
+			if err != nil {
+				fail(err)
+			}
+			writeCSV("figure3.csv", s3)
+			s4, err := harness.Figure4(false)
+			if err != nil {
+				fail(err)
+			}
+			writeCSV("figure4.csv", s4)
+		}
+		return
+	}
+	switch *table {
+	case 0:
+	case 1:
+		printT(harness.Table1())
+	case 2:
+		printT(harness.Table2())
+	case 3:
+		printT(harness.Table3())
+	case 4:
+		printT(harness.Table4())
+	case 5:
+		printT(harness.Table5())
+	default:
+		fail(fmt.Errorf("no table %d (have 1..5)", *table))
+	}
+	switch *figure {
+	case 0:
+	case 3:
+		s, err := harness.Figure3(*validate)
+		printS("figure3.csv", s, err)
+	case 4:
+		s, err := harness.Figure4(*validate)
+		printS("figure4.csv", s, err)
+	default:
+		fail(fmt.Errorf("no figure %d (have 3, 4; 1 and 2 via -trace)", *figure))
+	}
+	if *trace {
+		out, err := harness.TraceDelivery()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(out)
+	}
+	if *ablations {
+		printT(harness.AblationHardware())
+		printT(harness.AblationEager())
+		printT(harness.AblationSubpage())
+	}
+}

@@ -1,0 +1,56 @@
+// dsm: page-based distributed shared virtual memory (Li & Hudak's IVY,
+// which the paper's introduction cites as a motivating use of
+// exceptions). Four nodes share a paged address space under a
+// single-writer/multiple-reader protocol; every coherence action —
+// fetching a copy on a read miss, acquiring ownership and invalidating
+// on a write miss — is triggered by a memory-protection fault, so the
+// operating system's exception path is on the critical path of every
+// miss.
+//
+//	go run ./examples/dsm
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"uexc/internal/apps/dsm"
+	"uexc/internal/core"
+	"uexc/internal/simos"
+)
+
+func main() {
+	ultCosts, err := simos.Measure(core.ModeUltrix)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fastCosts, err := simos.Measure(core.ModeFast)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const nodes, pages, ops = 4, 16, 20_000
+	run := func(costs simos.CostTable, label string) dsm.Result {
+		s := dsm.New(nodes, pages, dsm.DefaultNetwork(costs))
+		r := dsm.Workload(s, ops, 99)
+		if err := s.CheckCoherence(); err != nil {
+			log.Fatalf("%s: %v", label, err)
+		}
+		fmt.Printf("%-28s %7.3f s  (%5.1f%% of time in exception delivery, %d faults)\n",
+			label, r.Stats.TotalSeconds, 100*r.FaultShare,
+			r.Stats.ReadFaults+r.Stats.WriteFaults)
+		return r
+	}
+
+	fmt.Printf("DSM: %d nodes, %d shared pages, %d operations, 10 Mb/s network\n\n", nodes, pages, ops)
+	u := run(ultCosts, "Unix signal delivery")
+	f := run(fastCosts, "Fast user-level delivery")
+
+	if u.Checksum != f.Checksum {
+		log.Fatal("results diverged between mechanisms")
+	}
+	fmt.Printf("\nidentical results (checksum %#x); the protocol is exception-driven either\n", u.Checksum)
+	fmt.Println("way, but fast delivery removes most of the OS share of each miss. On a")
+	fmt.Println("faster network the OS share dominates — which is exactly why the DSM and")
+	fmt.Println("micro-kernel communities pushed for user-level fault handling.")
+}

@@ -1,0 +1,89 @@
+// multiproc: the §2.2 requirement made concrete. Two processes run on
+// one machine, each claiming breakpoints with its OWN user-level
+// handler at the SAME virtual addresses. The tagged TLB keeps their
+// address spaces apart, and the per-process u-area switch routes each
+// fault to its owner — the state the paper says user-level exception
+// delivery needs on a conventional (single-context) processor.
+//
+//	go run ./examples/multiproc
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"uexc/internal/core"
+)
+
+func prog(name, marker string, rounds int) string {
+	return fmt.Sprintf(`
+main:
+	addiu sp, sp, -8
+	sw    ra, 0(sp)
+	la    t0, my_handler
+	la    t1, __fexc_chandler
+	sw    t0, 0(t1)
+	la    a0, __fexc_low
+	li    a1, 1 << 9
+	jal   __uexc_enable
+	nop
+	li    s0, %d
+loop:
+	break                      # delivered to THIS process's handler
+	li    v0, SYS_yield
+	syscall
+	nop
+	addiu s0, s0, -1
+	bnez  s0, loop
+	nop
+	lw    ra, 0(sp)
+	addiu sp, sp, 8
+	li    v0, 0
+	jr    ra
+	nop
+
+my_handler:
+	addiu sp, sp, -16
+	sw    ra, 0(sp)
+	sw    a0, 4(sp)
+	li    a0, 1
+	la    a1, marker
+	li    a2, %d
+	li    v0, SYS_write
+	syscall
+	nop
+	lw    a0, 4(sp)
+	nop
+	lw    t6, 0(a0)
+	nop
+	addiu t6, t6, 4
+	sw    t6, 0(a0)
+	lw    ra, 0(sp)
+	addiu sp, sp, 16
+	jr    ra
+	nop
+marker:	.asciiz "%s"
+`, rounds, len(marker), marker)
+}
+
+func main() {
+	m, err := core.NewMachine()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := m.LoadProgram(prog("alpha", "[alpha handled its trap] ", 3)); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := m.SpawnProgram(prog("beta", "[beta handled its trap] ", 3)); err != nil {
+		log.Fatal(err)
+	}
+	if err := m.Run(20_000_000); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(m.K.Console())
+	fmt.Printf("\ncontext switches: %d; both processes claimed breakpoints at the same\n",
+		m.K.Stats.Switches)
+	fmt.Println("virtual addresses — the ASID-tagged TLB and the per-process u-area keep")
+	fmt.Println("their mappings and their handlers apart (§2.2's tagged-TLB requirement).")
+}

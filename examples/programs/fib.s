@@ -1,0 +1,88 @@
+# fib.s — print the first 12 Fibonacci numbers, one per line, using a
+# recursive function (exercises the stack, jal/jr, and the console).
+#
+#   go run ./cmd/uexc-run examples/programs/fib.s
+
+main:
+	addiu sp, sp, -16
+	sw    ra, 0(sp)
+	sw    s0, 4(sp)
+	li    s0, 1
+loop:
+	move  a0, s0
+	jal   fib
+	nop
+	move  a0, v0
+	jal   print_u32
+	nop
+	addiu s0, s0, 1
+	li    t0, 13
+	bne   s0, t0, loop
+	nop
+	lw    s0, 4(sp)
+	lw    ra, 0(sp)
+	addiu sp, sp, 16
+	li    v0, 0
+	jr    ra
+	nop
+
+# fib(n): classic recursion.
+fib:
+	slti  t0, a0, 2
+	beqz  t0, fib_rec
+	nop
+	move  v0, a0             # fib(0)=0, fib(1)=1
+	jr    ra
+	nop
+fib_rec:
+	addiu sp, sp, -16
+	sw    ra, 0(sp)
+	sw    a0, 4(sp)
+	addiu a0, a0, -1
+	jal   fib
+	nop
+	sw    v0, 8(sp)
+	lw    a0, 4(sp)
+	nop
+	addiu a0, a0, -2
+	jal   fib
+	nop
+	lw    t0, 8(sp)
+	nop
+	addu  v0, v0, t0
+	lw    ra, 0(sp)
+	addiu sp, sp, 16
+	jr    ra
+	nop
+
+# print_u32(a0): decimal + newline to the console.
+print_u32:
+	addiu sp, sp, -8
+	sw    ra, 0(sp)
+	la    t0, numbuf + 11    # build digits backwards
+	li    t1, '\n'
+	sb    t1, 0(t0)
+	li    t3, 10
+pdigit:
+	addiu t0, t0, -1
+	divu  a0, t3
+	mfhi  t1
+	mflo  a0
+	addiu t1, t1, '0'
+	sb    t1, 0(t0)
+	bnez  a0, pdigit
+	nop
+	move  a1, t0
+	la    t2, numbuf + 12
+	subu  a2, t2, t0         # length
+	li    a0, 1
+	li    v0, SYS_write
+	syscall
+	nop
+	lw    ra, 0(sp)
+	addiu sp, sp, 8
+	jr    ra
+	nop
+
+	.align 4
+numbuf:	.space 16

@@ -1,0 +1,20 @@
+# hello.s — smallest possible user program for the simulated machine.
+#
+#   go run ./cmd/uexc-run examples/programs/hello.s
+
+main:
+	addiu sp, sp, -8
+	sw    ra, 0(sp)
+	li    a0, 1              # fd
+	la    a1, msg
+	li    a2, 14
+	li    v0, SYS_write
+	syscall
+	nop
+	lw    ra, 0(sp)
+	addiu sp, sp, 8
+	li    v0, 0
+	jr    ra
+	nop
+
+msg:	.asciiz "hello, world!\n"

@@ -1,0 +1,57 @@
+# trapdemo.s — enable the paper's fast user-level exception delivery and
+# count breakpoints at user level, printing the count.
+#
+#   go run ./cmd/uexc-run examples/programs/trapdemo.s
+
+main:
+	addiu sp, sp, -8
+	sw    ra, 0(sp)
+	la    t0, counter_handler
+	la    t1, __fexc_chandler
+	sw    t0, 0(t1)
+	la    a0, __fexc_low
+	li    a1, 1 << 9           # breakpoints
+	jal   __uexc_enable
+	nop
+	li    s0, 9
+again:
+	break
+	addiu s0, s0, -1
+	bnez  s0, again
+	nop
+	la    t0, hits
+	lw    t1, 0(t0)
+	nop
+	addiu t1, t1, '0'
+	la    t0, msg_digit
+	sb    t1, 0(t0)
+	li    a0, 1
+	la    a1, msg
+	li    a2, 30
+	li    v0, SYS_write
+	syscall
+	nop
+	lw    ra, 0(sp)
+	addiu sp, sp, 8
+	li    v0, 0
+	jr    ra
+	nop
+
+counter_handler:
+	la    t6, hits
+	lw    t7, 0(t6)
+	nop
+	addiu t7, t7, 1
+	sw    t7, 0(t6)
+	lw    t6, 0(a0)
+	nop
+	addiu t6, t6, 4
+	sw    t6, 0(a0)
+	jr    ra
+	nop
+
+	.align 4
+hits:	.word 0
+msg:	.ascii "handled "
+msg_digit:
+	.asciiz "? traps at user level\n"

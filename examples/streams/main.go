@@ -1,0 +1,35 @@
+// streams: the paper's §4.2.1 unbounded-data-structure example, live on
+// the simulated machine. A conceptually infinite Fibonacci list is
+// materialized on demand: its unevaluated tail is an unaligned (odd)
+// pointer, and walking onto it takes an unaligned-access fault whose
+// user-level handler builds the next cell and resumes the traversal.
+// The consumer contains no "force the next element" calls at all.
+//
+//	go run ./examples/streams
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"uexc/internal/apps/stream"
+	"uexc/internal/core"
+)
+
+func main() {
+	const n = 40
+	r, err := stream.Run(n)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("summed the first %d Fibonacci numbers from a lazy stream\n", n)
+	fmt.Printf("  sum                = %d (expected %d)\n", r.Sum, stream.FibSum(n))
+	fmt.Printf("  unaligned faults   = %d (one per cell materialized beyond the head)\n", r.Faults)
+	fmt.Printf("  second traversal   = %d, with zero additional faults\n", r.SecondSum)
+	fmt.Printf("  total machine time = %.1f µs simulated\n\n", core.Micros(r.Cycles))
+
+	fmt.Println("each fault is delivered to a user-level handler in ~5 µs; under Unix")
+	fmt.Println("signals the same trick would cost ~80 µs per element, an order of")
+	fmt.Println("magnitude — which is why such structures were considered impractical.")
+}

@@ -1,0 +1,101 @@
+// subpage: the paper's §3.2.4 mechanism live on the simulated machine.
+// The kernel provides 1 KB logical-page protection on 4 KB hardware
+// pages: a store into a protected subpage is delivered to the user
+// handler, while a store into an unprotected subpage of the same
+// (hardware-protected) page is transparently emulated by the kernel —
+// including the branch when the store sits in a delay slot.
+//
+//	go run ./examples/subpage
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"uexc/internal/core"
+)
+
+const program = `
+main:
+	addiu sp, sp, -8
+	sw    ra, 0(sp)
+	la    t0, __null_handler
+	la    t1, __fexc_chandler
+	sw    t0, 0(t1)
+	la    a0, __fexc_low
+	li    a1, (1<<1)|(1<<2)|(1<<3)
+	jal   __uexc_enable
+	nop
+
+	li    a0, 8192            # a heap page
+	li    v0, SYS_sbrk
+	syscall
+	nop
+	move  s1, v0
+	sw    zero, 0(s1)
+
+	move  a0, s1              # protect the first 1 KB logical page
+	li    a1, 1024
+	li    a2, 0
+	li    v0, SYS_subpage
+	syscall
+	nop
+
+	li    t8, 0x22
+	sw    t8, 2000(s1)        # unprotected subpage: kernel emulates
+	li    t8, 0x33
+	li    t9, 1
+	bnez  t9, over
+	sw    t8, 3000(s1)        # emulated from a branch delay slot
+over:
+	li    t8, 0x11
+	sw    t8, 256(s1)         # protected subpage: delivered to handler
+	                          # (the kernel then amplifies the page)
+	lw    t5, 256(s1)
+	lw    t6, 2000(s1)
+	lw    t7, 3000(s1)
+	la    t9, out
+	sw    t5, 0(t9)
+	sw    t6, 4(t9)
+	sw    t7, 8(t9)
+	lw    ra, 0(sp)
+	addiu sp, sp, 8
+	li    v0, 0
+	jr    ra
+	nop
+	.align 4
+out:	.space 12
+`
+
+func main() {
+	m, err := core.NewMachine()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := m.LoadProgram(program); err != nil {
+		log.Fatal(err)
+	}
+	if err := m.Run(10_000_000); err != nil {
+		log.Fatal(err)
+	}
+
+	base := m.Sym("out")
+	vals := make([]uint32, 3)
+	for i := range vals {
+		vals[i], _ = m.K.ReadUserWord(base + uint32(4*i))
+	}
+	fmt.Printf("store to protected subpage   : value %#x, delivered to user handler\n", vals[0])
+	fmt.Printf("store to unprotected subpage : value %#x, emulated by the kernel\n", vals[1])
+	fmt.Printf("store in branch delay slot   : value %#x, store AND branch emulated\n", vals[2])
+	fmt.Printf("\nkernel stats: %d deliveries, %d emulations\n",
+		m.K.Stats.ProtFaultsToUser, m.K.Stats.SubpageEmuls)
+
+	sp, err := core.MeasureSubpage(30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("costs: delivery %.1f µs (paper: 19), transparent emulation %.1f µs per store\n",
+		sp.Delivered.DeliverMicros(), core.Micros(uint64(sp.EmulRT)))
+	fmt.Println("\nspace cost: one bit per 1 KB subpage — two pages of overhead for a")
+	fmt.Println("64 MB data segment, exactly as §3.2.4 computes.")
+}

@@ -1,0 +1,55 @@
+// swizzling: the paper's §4.2.2 persistent-store study as a runnable
+// example. A small object database is traversed with pointers that must
+// be swizzled from on-disk to in-memory form; we compare software
+// residency checks against unaligned-pointer faults (Figure 3) and
+// eager against lazy swizzling (Figure 4), locating the empirical
+// crossovers and checking them against the analytic break-even model.
+//
+//	go run ./examples/swizzling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"uexc/internal/analytic"
+	"uexc/internal/apps/swizzle"
+	"uexc/internal/core"
+)
+
+func main() {
+	fast, err := core.MeasureUnalignedMin(30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ult, err := core.MeasureSimpleException(core.ModeUltrix, 30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fastUS, ultUS := fast.RoundTripMicros(), ult.RoundTripMicros()
+	fmt.Printf("measured per-fault cost: specialized fast handler %.1f µs, Unix signals %.1f µs\n\n",
+		fastUS, ultUS)
+
+	fmt.Println("Figure 3 — residency checks vs exceptions (break-even uses per pointer):")
+	for _, c := range []float64{3, 5, 10} {
+		empF := swizzle.Fig3Crossover(c, fastUS, 900)
+		empU := swizzle.Fig3Crossover(c, ultUS, 3000)
+		anaF := analytic.SwizzleBreakEvenUses(c, fastUS, 25)
+		anaU := analytic.SwizzleBreakEvenUses(c, ultUS, 25)
+		fmt.Printf("  checks of %2.0f cycles: exceptions win from %4d uses (fast; model %.0f)"+
+			" vs %4d uses (Unix; model %.0f)\n", c, empF, anaF, empU, anaU)
+	}
+
+	fmt.Println("\nFigure 4 — eager vs lazy swizzling (pages of 50 pointers):")
+	const pn = 50
+	for _, s := range []float64{1, 2, 4} {
+		empF := swizzle.Fig4Crossover(fastUS, s, pn)
+		empU := swizzle.Fig4Crossover(ultUS, s, pn)
+		fmt.Printf("  swizzle cost %.0f µs: eager wins once %2d of %d pointers are used (fast)"+
+			" vs %2d of %d (Unix)\n", s, empF, pn, empU, pn)
+	}
+
+	fmt.Println("\nfast faults shift both balances: exception-based detection becomes viable")
+	fmt.Println("after tens (not hundreds) of uses, and lazy swizzling stays preferable")
+	fmt.Println("across a much broader range of workloads — the paper's Figures 3 and 4.")
+}

@@ -1,0 +1,37 @@
+// watchpoint: conditional data watchpoints — one of the paper's
+// motivating uses of exceptions — live on the simulated machine. The
+// watched variable sits in its own protected 1 KB subpage; the kernel
+// emulates each store to it (keeping the watchpoint armed), records the
+// old and new values in the exception frame, and notifies a user-level
+// handler, which applies the condition in a few microseconds. All other
+// stores — including ones to the same hardware page — run transparently.
+//
+//	go run ./examples/watchpoint
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"uexc/internal/apps/watchpoint"
+	"uexc/internal/core"
+)
+
+func main() {
+	const n, threshold = 50, 100
+	r, err := watchpoint.Run(n, threshold)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("watched variable written %d times (values 3, 6, ..., %d)\n", n, 3*n)
+	fmt.Printf("  notifications delivered : %d\n", r.Hits)
+	fmt.Printf("  condition (new > %d)   : %d matches\n", threshold, r.CondMatches)
+	fmt.Printf("  last observed transition: %d -> %d\n", r.LastOld, r.LastNew)
+	fmt.Printf("  final value             : %d (every store landed)\n", r.Final)
+	fmt.Printf("  total simulated time    : %.1f µs\n\n", core.Micros(r.Cycles))
+
+	fmt.Println("no re-arming syscalls, no single-stepping: the kernel's subpage")
+	fmt.Println("emulation machinery (§3.2.4) does the store with protection intact and")
+	fmt.Println("the fast path (§3.2) delivers the notification at user level.")
+}

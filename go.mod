@@ -1,0 +1,3 @@
+module uexc
+
+go 1.22

@@ -1,0 +1,141 @@
+// Package analytic implements the paper's break-even models:
+//
+//   - Table 5 (§4.1): page-protection exceptions beat inline software
+//     write-barrier checks when the per-exception cost y (µs) satisfies
+//     y < c·x / (f·t), with c checks of x cycles each, t exceptions,
+//     and clock f MHz.
+//   - Figure 3 (§4.2.2): exception-based residency detection beats
+//     per-dereference software checks when a pointer is used u times
+//     with checks of c cycles: u·c > f·y, i.e. the break-even curve
+//     u(c) = f·y / c.
+//   - Figure 4 (§4.2.2): eager swizzling beats lazy swizzling when
+//     t + pn·s < pu·(t + s), with t the per-exception time, s the
+//     per-pointer swizzle time, pn pointers per page and pu pointers
+//     actually used; the break-even fraction is
+//     pu*(s) = (t + pn·s) / (t + s) / pn.
+//
+// All functions are pure; the benchmark harness feeds them measured
+// exception costs and workload-counted c and t values.
+package analytic
+
+import "uexc/internal/cpu"
+
+// BreakEvenTrapMicros returns Table 5's break-even exception cost
+// y = c·x/(f·t) in µs: exceptions win if the real per-exception cost is
+// below this.
+//
+//	checks  — number of software checks the application executes (c)
+//	perCk   — cycles per check (x; the paper uses 5)
+//	traps   — number of exceptions the protection scheme takes (t)
+//	clockMHz— f
+func BreakEvenTrapMicros(checks uint64, perCk float64, traps uint64, clockMHz float64) float64 {
+	if traps == 0 {
+		return 0
+	}
+	return float64(checks) * perCk / (clockMHz * float64(traps))
+}
+
+// Table5Row is one application's break-even entry.
+type Table5Row struct {
+	App            string
+	Checks         uint64  // c
+	Traps          uint64  // t
+	BreakEvenMicro float64 // y
+	// ExceptionsWin reports whether the measured fast exception cost is
+	// under the break-even (filled by the harness).
+	FastCostMicro float64
+	ExceptionsWin bool
+}
+
+// MakeTable5Row computes a row from counted inputs and a measured
+// exception cost, at the paper's parameters (x = 5 cycles, f = 25 MHz).
+func MakeTable5Row(app string, checks, traps uint64, fastCostMicro float64) Table5Row {
+	y := BreakEvenTrapMicros(checks, 5, traps, cpu.ClockMHz)
+	return Table5Row{
+		App: app, Checks: checks, Traps: traps,
+		BreakEvenMicro: y, FastCostMicro: fastCostMicro,
+		ExceptionsWin: fastCostMicro < y,
+	}
+}
+
+// SwizzleBreakEvenUses returns Figure 3's break-even number of uses per
+// pointer: with checks of c cycles and an exception cost of y µs at
+// f MHz, exceptions win once a pointer is dereferenced more than
+// u = f·y/c times.
+func SwizzleBreakEvenUses(checkCycles float64, trapMicros float64, clockMHz float64) float64 {
+	if checkCycles <= 0 {
+		return 0
+	}
+	return clockMHz * trapMicros / checkCycles
+}
+
+// Figure3Point is one sample of the Figure 3 curves.
+type Figure3Point struct {
+	CheckCycles float64
+	UsesUltrix  float64 // break-even uses under Ultrix delivery
+	UsesFast    float64 // break-even uses under fast delivery
+}
+
+// Figure3Series samples the two break-even curves of Figure 3 over
+// check costs [1, maxCheck] cycles, given measured per-exception costs.
+func Figure3Series(maxCheck int, ultrixMicros, fastMicros float64) []Figure3Point {
+	pts := make([]Figure3Point, 0, maxCheck)
+	for c := 1; c <= maxCheck; c++ {
+		pts = append(pts, Figure3Point{
+			CheckCycles: float64(c),
+			UsesUltrix:  SwizzleBreakEvenUses(float64(c), ultrixMicros, cpu.ClockMHz),
+			UsesFast:    SwizzleBreakEvenUses(float64(c), fastMicros, cpu.ClockMHz),
+		})
+	}
+	return pts
+}
+
+// EagerWins reports Figure 4's comparison for concrete parameters:
+// eager swizzling is preferable when t + pn·s < pu·(t+s), everything in
+// consistent units (µs).
+func EagerWins(trapMicros, swizzleMicros float64, ptrsPerPage int, ptrsUsed float64) bool {
+	return trapMicros+float64(ptrsPerPage)*swizzleMicros < ptrsUsed*(trapMicros+swizzleMicros)
+}
+
+// LazyCostMicros and EagerCostMicros give the two policies' per-page
+// costs for Figure 4's model.
+func LazyCostMicros(trapMicros, swizzleMicros, ptrsUsed float64) float64 {
+	return ptrsUsed * (trapMicros + swizzleMicros)
+}
+
+// EagerCostMicros is the eager policy's per-page cost: one page-access
+// trap plus swizzling every pointer up front.
+func EagerCostMicros(trapMicros, swizzleMicros float64, ptrsPerPage int) float64 {
+	return trapMicros + float64(ptrsPerPage)*swizzleMicros
+}
+
+// BreakEvenUsedFraction returns the fraction of a page's pn pointers
+// that must be used before eager swizzling wins: pu*/pn with
+// pu* = (t + pn·s)/(t + s). Values above 1 mean eager never wins for
+// these parameters; below 0 cannot occur.
+func BreakEvenUsedFraction(trapMicros, swizzleMicros float64, ptrsPerPage int) float64 {
+	puStar := (trapMicros + float64(ptrsPerPage)*swizzleMicros) / (trapMicros + swizzleMicros)
+	return puStar / float64(ptrsPerPage)
+}
+
+// Figure4Point is one sample of the Figure 4 curves.
+type Figure4Point struct {
+	SwizzleMicros float64
+	FracUltrix    float64 // break-even used-fraction under Ultrix
+	FracFast      float64 // break-even used-fraction under fast delivery
+}
+
+// Figure4Series samples the break-even used-pointer fraction over
+// swizzle costs [step, maxS] µs, at pn pointers per page (the paper
+// plots pn = 50).
+func Figure4Series(maxS, step float64, ptrsPerPage int, ultrixMicros, fastMicros float64) []Figure4Point {
+	var pts []Figure4Point
+	for s := step; s <= maxS+1e-9; s += step {
+		pts = append(pts, Figure4Point{
+			SwizzleMicros: s,
+			FracUltrix:    BreakEvenUsedFraction(ultrixMicros, s, ptrsPerPage),
+			FracFast:      BreakEvenUsedFraction(fastMicros, s, ptrsPerPage),
+		})
+	}
+	return pts
+}

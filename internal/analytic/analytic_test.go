@@ -1,0 +1,152 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBreakEvenTrapMicros(t *testing.T) {
+	// Worked example from §4.1's formula: c = 1,000,000 checks of 5
+	// cycles, t = 1,000 traps at 25 MHz → y = 200 µs.
+	got := BreakEvenTrapMicros(1_000_000, 5, 1_000, 25)
+	if math.Abs(got-200) > 1e-9 {
+		t.Errorf("y = %v, want 200", got)
+	}
+	if BreakEvenTrapMicros(100, 5, 0, 25) != 0 {
+		t.Error("zero traps must yield 0")
+	}
+}
+
+func TestBreakEvenMonotonicity(t *testing.T) {
+	f := func(cRaw, tRaw uint32) bool {
+		c := uint64(cRaw%1_000_000) + 1
+		tr := uint64(tRaw%10_000) + 1
+		y := BreakEvenTrapMicros(c, 5, tr, 25)
+		// More checks → higher break-even; more traps → lower.
+		return BreakEvenTrapMicros(2*c, 5, tr, 25) > y &&
+			BreakEvenTrapMicros(c, 5, 2*tr, 25) < y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMakeTable5RowDecision(t *testing.T) {
+	r := MakeTable5Row("app", 250_000, 1_000, 18)
+	// y = 250000*5/(25*1000) = 50 µs > 18 → exceptions win.
+	if math.Abs(r.BreakEvenMicro-50) > 1e-9 || !r.ExceptionsWin {
+		t.Errorf("row = %+v", r)
+	}
+	r = MakeTable5Row("app", 50_000, 1_000, 18)
+	// y = 10 µs < 18 → checks win.
+	if r.ExceptionsWin {
+		t.Errorf("row = %+v, want checks to win", r)
+	}
+}
+
+func TestSwizzleBreakEvenUses(t *testing.T) {
+	// §4.2.2's worked example: cost 6 µs at 25 MHz with checks of c
+	// cycles → breakeven when c·u > 150 cycles.
+	u := SwizzleBreakEvenUses(5, 6, 25)
+	if math.Abs(u-30) > 1e-9 {
+		t.Errorf("u = %v, want 30", u)
+	}
+	// Ultrix (~80 µs): break-even hundreds of uses for cheap checks,
+	// as the paper's Figure 3 shows.
+	u = SwizzleBreakEvenUses(5, 80, 25)
+	if u < 300 {
+		t.Errorf("ultrix u = %v, want >= 300", u)
+	}
+	if SwizzleBreakEvenUses(0, 6, 25) != 0 {
+		t.Error("zero check cost must yield 0")
+	}
+}
+
+func TestFigure3SeriesShape(t *testing.T) {
+	pts := Figure3Series(20, 80, 6)
+	if len(pts) != 20 {
+		t.Fatalf("%d points", len(pts))
+	}
+	for i, p := range pts {
+		if p.UsesFast >= p.UsesUltrix {
+			t.Errorf("point %d: fast curve (%.1f) not below ultrix (%.1f)", i, p.UsesFast, p.UsesUltrix)
+		}
+		if i > 0 && (p.UsesFast >= pts[i-1].UsesFast || p.UsesUltrix >= pts[i-1].UsesUltrix) {
+			t.Errorf("point %d: curves not decreasing in check cost", i)
+		}
+	}
+	// The paper's headline shift: the fast mechanism moves the
+	// break-even point down by roughly the cost ratio (~13x).
+	ratio := pts[4].UsesUltrix / pts[4].UsesFast
+	if ratio < 10 || ratio > 16 {
+		t.Errorf("curve ratio = %.1f, want ~13", ratio)
+	}
+}
+
+func TestEagerLazyModel(t *testing.T) {
+	// With the trap very cheap and most pointers unused, lazy wins.
+	if EagerWins(6, 2, 50, 5) {
+		t.Error("eager should lose: 6+100 > 5*8")
+	}
+	// With traps expensive (Ultrix) and many pointers used, eager wins.
+	if !EagerWins(80, 2, 50, 40) {
+		t.Error("eager should win: 80+100 < 40*82")
+	}
+	// Costs are consistent with the decision.
+	if EagerCostMicros(80, 2, 50) >= LazyCostMicros(80, 2, 40) {
+		t.Error("cost functions disagree with EagerWins")
+	}
+}
+
+func TestBreakEvenUsedFraction(t *testing.T) {
+	// pu* = (t + pn·s)/(t + s); fraction = pu*/pn.
+	frac := BreakEvenUsedFraction(80, 2, 50)
+	want := (80 + 100.0) / (80 + 2) / 50
+	if math.Abs(frac-want) > 1e-12 {
+		t.Errorf("frac = %v, want %v", frac, want)
+	}
+	// Fast delivery lowers the trap cost, RAISING the break-even
+	// fraction: lazy swizzling becomes attractive over a wider range —
+	// the Figure 4 shift.
+	if BreakEvenUsedFraction(6, 2, 50) <= BreakEvenUsedFraction(80, 2, 50) {
+		t.Error("fast curve must lie to the right of (above) the ultrix curve")
+	}
+}
+
+func TestFigure4SeriesShape(t *testing.T) {
+	pts := Figure4Series(10, 0.5, 50, 80, 6)
+	if len(pts) != 20 {
+		t.Fatalf("%d points", len(pts))
+	}
+	for i, p := range pts {
+		if p.FracFast <= p.FracUltrix {
+			t.Errorf("point %d: fast frac %.3f not above ultrix %.3f", i, p.FracFast, p.FracUltrix)
+		}
+		if p.FracUltrix <= 0 || p.FracFast > 1.5 {
+			t.Errorf("point %d out of plausible range: %+v", i, p)
+		}
+	}
+	// As the swizzle cost grows, both break-even fractions approach 1
+	// (eager swizzling only pays if almost everything is used).
+	last := pts[len(pts)-1]
+	if last.FracUltrix < pts[0].FracUltrix {
+		t.Error("ultrix fraction should grow with swizzle cost")
+	}
+}
+
+func TestFigure4ConsistentWithEagerWins(t *testing.T) {
+	f := func(tRaw, sRaw, puRaw uint8) bool {
+		trap := float64(tRaw%100) + 1
+		s := float64(sRaw%20)/2 + 0.5
+		pn := 50
+		frac := BreakEvenUsedFraction(trap, s, pn)
+		pu := float64(puRaw % uint8(pn+1))
+		wins := EagerWins(trap, s, pn, pu)
+		// EagerWins iff pu/pn > break-even fraction.
+		return wins == (pu/float64(pn) > frac)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,239 @@
+// Package dsm implements page-based distributed shared virtual memory
+// in the style of Li & Hudak's IVY — one of the exception-driven
+// systems the paper's introduction cites as motivation. Nodes share a
+// paged address space under a single-writer/multiple-reader protocol;
+// all coherence actions are driven by memory-protection faults:
+//
+//   - a read of an invalid page faults; the handler fetches a copy from
+//     the current owner and maps it read-only;
+//   - a write to a read-only or invalid page faults; the handler
+//     acquires ownership, invalidates other copies, and maps the page
+//     writable.
+//
+// Every fault pays the configured exception-delivery cost (measured on
+// the simulator via simos) plus modeled network and copy costs, so the
+// study isolates exactly what the paper argues: how much of DSM's
+// software overhead is the operating system's exception path.
+//
+// The protocol is real: page tables, copysets, owners, and data
+// contents are maintained per node, and the final memory image is
+// checked for coherence independent of the cost configuration.
+package dsm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"uexc/internal/simos"
+)
+
+// Access rights a node holds on a page.
+type access uint8
+
+const (
+	accNone access = iota
+	accRead
+	accWrite
+)
+
+// Config sets the cost model.
+type Config struct {
+	Costs simos.CostTable
+
+	// NetworkMicros is the one-way message latency between nodes;
+	// PageCopyMicros the cost of moving one 4 KB page.
+	NetworkMicros  float64
+	PageCopyMicros float64
+}
+
+// DefaultNetwork returns 1994-era 10 Mb/s Ethernet-ish costs.
+func DefaultNetwork(costs simos.CostTable) Config {
+	return Config{
+		Costs:          costs,
+		NetworkMicros:  400,  // request/response latency per message
+		PageCopyMicros: 3300, // 4 KB at ~10 Mb/s
+	}
+}
+
+// Stats tallies one run.
+type Stats struct {
+	ReadFaults   uint64
+	WriteFaults  uint64
+	Invalidates  uint64
+	PageMoves    uint64
+	FaultCycles  float64 // cycles spent in exception delivery alone
+	TotalSeconds float64
+}
+
+// System is a DSM instance.
+type System struct {
+	cfg   Config
+	clock simos.Clock
+
+	nodes int
+	pages int
+
+	owner   []int      // per page: current owner node
+	copyset [][]bool   // per page: which nodes hold a read copy
+	rights  [][]access // [node][page]
+	data    [][]uint32 // per page: one word per page models contents
+	version []uint32   // per page: write counter (coherence check)
+
+	stats Stats
+}
+
+// New creates a DSM system of nodes sharing pages, all initially owned
+// by node 0 with zeroed contents.
+func New(nodes, pages int, cfg Config) *System {
+	s := &System{cfg: cfg, nodes: nodes, pages: pages}
+	s.owner = make([]int, pages)
+	s.copyset = make([][]bool, pages)
+	s.version = make([]uint32, pages)
+	s.data = make([][]uint32, pages)
+	for p := range s.copyset {
+		s.copyset[p] = make([]bool, nodes)
+		s.copyset[p][0] = true
+		s.data[p] = []uint32{0}
+	}
+	s.rights = make([][]access, nodes)
+	for n := range s.rights {
+		s.rights[n] = make([]access, pages)
+	}
+	for p := range s.owner {
+		s.rights[0][p] = accWrite
+	}
+	return s
+}
+
+// Stats returns statistics; TotalSeconds is filled from the clock.
+func (s *System) Stats() Stats {
+	st := s.stats
+	st.TotalSeconds = s.clock.Seconds()
+	return st
+}
+
+func (s *System) chargeMicros(us float64) { s.clock.Charge(us * 25) }
+
+// chargeFault charges one protection-fault delivery at the configured
+// exception mechanism's measured cost.
+func (s *System) chargeFault() {
+	s.clock.Charge(s.cfg.Costs.ProtFaultRT)
+	s.stats.FaultCycles += s.cfg.Costs.ProtFaultRT
+}
+
+// Read performs a shared-memory read of page p on node n.
+func (s *System) Read(n, p int) uint32 {
+	s.clock.Charge(2)
+	if s.rights[n][p] == accNone {
+		// Read fault: fetch a copy from the owner.
+		s.stats.ReadFaults++
+		s.chargeFault()
+		s.chargeMicros(2 * s.cfg.NetworkMicros) // request + reply
+		s.chargeMicros(s.cfg.PageCopyMicros)
+		s.stats.PageMoves++
+		s.copyset[p][n] = true
+		s.rights[n][p] = accRead
+		// The owner drops to read-only (single-writer protocol).
+		if o := s.owner[p]; s.rights[o][p] == accWrite {
+			s.rights[o][p] = accRead
+		}
+	}
+	return s.data[p][0]
+}
+
+// Write performs a shared-memory write of page p on node n.
+func (s *System) Write(n, p int, v uint32) {
+	s.clock.Charge(2)
+	if s.rights[n][p] != accWrite {
+		// Write fault: acquire ownership, invalidate other copies.
+		s.stats.WriteFaults++
+		s.chargeFault()
+		s.chargeMicros(2 * s.cfg.NetworkMicros)
+		if s.owner[p] != n {
+			s.chargeMicros(s.cfg.PageCopyMicros)
+			s.stats.PageMoves++
+		}
+		for other := 0; other < s.nodes; other++ {
+			if other != n && s.copyset[p][other] {
+				s.copyset[p][other] = false
+				s.rights[other][p] = accNone
+				s.chargeMicros(s.cfg.NetworkMicros) // invalidation
+				s.stats.Invalidates++
+			}
+		}
+		s.owner[p] = n
+		s.copyset[p] = make([]bool, s.nodes)
+		s.copyset[p][n] = true
+		s.rights[n][p] = accWrite
+	}
+	s.data[p][0] = v
+	s.version[p]++
+}
+
+// CheckCoherence verifies protocol invariants: one writer xor readers,
+// owner holds a copy, rights match copysets.
+func (s *System) CheckCoherence() error {
+	for p := 0; p < s.pages; p++ {
+		writers, readers := 0, 0
+		for n := 0; n < s.nodes; n++ {
+			switch s.rights[n][p] {
+			case accWrite:
+				writers++
+			case accRead:
+				readers++
+			}
+			if s.rights[n][p] != accNone && !s.copyset[p][n] {
+				return fmt.Errorf("dsm: node %d has rights on page %d without a copy", n, p)
+			}
+		}
+		if writers > 1 {
+			return fmt.Errorf("dsm: page %d has %d writers", p, writers)
+		}
+		if writers == 1 && readers > 0 {
+			return fmt.Errorf("dsm: page %d has a writer and %d readers", p, readers)
+		}
+		if !s.copyset[p][s.owner[p]] {
+			return fmt.Errorf("dsm: owner %d of page %d lacks a copy", s.owner[p], p)
+		}
+	}
+	return nil
+}
+
+// Result summarizes a workload run.
+type Result struct {
+	Stats    Stats
+	Checksum uint32
+	// FaultShare is the fraction of total time spent in exception
+	// delivery (the OS component the paper's mechanism shrinks).
+	FaultShare float64
+}
+
+// Workload runs a sharing pattern: each of ops operations picks a node
+// and page; reads outnumber writes 3:1, with pageLocality controlling
+// how often a node revisits its last page. Deterministic per seed.
+func Workload(s *System, ops int, seed int64) Result {
+	rng := rand.New(rand.NewSource(seed))
+	last := make([]int, s.nodes)
+	var checksum uint32
+	for i := 0; i < ops; i++ {
+		n := rng.Intn(s.nodes)
+		p := last[n]
+		if rng.Intn(100) < 35 { // 65% locality
+			p = rng.Intn(s.pages)
+			last[n] = p
+		}
+		if rng.Intn(4) == 0 {
+			s.Write(n, p, uint32(i))
+			checksum = checksum*31 + uint32(i)
+		} else {
+			checksum = checksum*31 + s.Read(n, p)
+		}
+	}
+	st := s.Stats()
+	total := s.clock.Cycles
+	share := 0.0
+	if total > 0 {
+		share = st.FaultCycles / total
+	}
+	return Result{Stats: st, Checksum: checksum, FaultShare: share}
+}

@@ -1,0 +1,116 @@
+package dsm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"uexc/internal/core"
+	"uexc/internal/simos"
+)
+
+func testConfig(t *testing.T, mode core.Mode) Config {
+	t.Helper()
+	ct, err := simos.Measure(mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return DefaultNetwork(ct)
+}
+
+func TestBasicProtocol(t *testing.T) {
+	s := New(3, 4, Config{})
+	// Node 1 reads page 0: read fault, copy fetched.
+	if v := s.Read(1, 0); v != 0 {
+		t.Errorf("initial read = %d", v)
+	}
+	if s.Stats().ReadFaults != 1 {
+		t.Errorf("read faults = %d", s.Stats().ReadFaults)
+	}
+	// Second read: no fault.
+	s.Read(1, 0)
+	if s.Stats().ReadFaults != 1 {
+		t.Errorf("read faults after cached read = %d", s.Stats().ReadFaults)
+	}
+	// Node 2 writes page 0: write fault, invalidations of 0 and 1.
+	s.Write(2, 0, 42)
+	if s.Stats().WriteFaults != 1 {
+		t.Errorf("write faults = %d", s.Stats().WriteFaults)
+	}
+	if s.Stats().Invalidates != 2 {
+		t.Errorf("invalidates = %d, want 2", s.Stats().Invalidates)
+	}
+	// Node 1 must re-fault to read the new value.
+	if v := s.Read(1, 0); v != 42 {
+		t.Errorf("read after remote write = %d, want 42", v)
+	}
+	if s.Stats().ReadFaults != 2 {
+		t.Errorf("read faults = %d, want 2", s.Stats().ReadFaults)
+	}
+	if err := s.CheckCoherence(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriterReadsOwnPageFree(t *testing.T) {
+	s := New(2, 1, Config{})
+	s.Write(0, 0, 7) // node 0 already owns it writable
+	if s.Stats().WriteFaults != 0 {
+		t.Errorf("write faults = %d, want 0", s.Stats().WriteFaults)
+	}
+	if v := s.Read(0, 0); v != 7 {
+		t.Errorf("own read = %d", v)
+	}
+	if s.Stats().ReadFaults != 0 {
+		t.Errorf("read faults = %d, want 0", s.Stats().ReadFaults)
+	}
+}
+
+func TestCoherenceInvariantUnderRandomWorkloads(t *testing.T) {
+	f := func(seed int64, nodesRaw, pagesRaw uint8) bool {
+		nodes := int(nodesRaw%6) + 2
+		pages := int(pagesRaw%12) + 1
+		s := New(nodes, pages, Config{})
+		Workload(s, 2000, seed)
+		return s.CheckCoherence() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResultsIndependentOfCostModel(t *testing.T) {
+	// The mechanism changes cost, never values: identical checksums and
+	// fault counts under Ultrix and fast exception costs.
+	a := Workload(New(4, 16, testConfig(t, core.ModeUltrix)), 20_000, 99)
+	b := Workload(New(4, 16, testConfig(t, core.ModeFast)), 20_000, 99)
+	if a.Checksum != b.Checksum {
+		t.Errorf("checksums differ: %#x vs %#x", a.Checksum, b.Checksum)
+	}
+	if a.Stats.ReadFaults != b.Stats.ReadFaults || a.Stats.WriteFaults != b.Stats.WriteFaults {
+		t.Errorf("fault counts differ: %+v vs %+v", a.Stats, b.Stats)
+	}
+}
+
+func TestFastExceptionsShrinkOSOverhead(t *testing.T) {
+	ult := Workload(New(4, 16, testConfig(t, core.ModeUltrix)), 20_000, 99)
+	fast := Workload(New(4, 16, testConfig(t, core.ModeFast)), 20_000, 99)
+
+	if fast.Stats.TotalSeconds >= ult.Stats.TotalSeconds {
+		t.Errorf("fast DSM (%.3fs) not below ultrix (%.3fs)",
+			fast.Stats.TotalSeconds, ult.Stats.TotalSeconds)
+	}
+	if fast.FaultShare >= ult.FaultShare {
+		t.Errorf("fault share did not shrink: %.3f vs %.3f", fast.FaultShare, ult.FaultShare)
+	}
+	t.Logf("dsm (4 nodes, 20k ops): ultrix %.3fs (%.1f%% in exception delivery) "+
+		"vs fast %.3fs (%.1f%%); faults=%d",
+		ult.Stats.TotalSeconds, 100*ult.FaultShare,
+		fast.Stats.TotalSeconds, 100*fast.FaultShare,
+		ult.Stats.ReadFaults+ult.Stats.WriteFaults)
+	// On a 10 Mb/s network the page transfer dominates (Li & Hudak's
+	// regime): the exception path is a minority share either way, but
+	// the Ultrix share should be noticeably larger.
+	if ult.FaultShare < 1.5*fast.FaultShare {
+		t.Errorf("ultrix fault share %.3f not well above fast %.3f", ult.FaultShare, fast.FaultShare)
+	}
+}

@@ -1,0 +1,49 @@
+package fullempty
+
+import "testing"
+
+func TestProduceConsumeRounds(t *testing.T) {
+	const n = 25
+	r, err := Run(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Sum != Expected(n) {
+		t.Errorf("sum = %d, want %d", r.Sum, Expected(n))
+	}
+	// Every consumption empties the cell, so every read faults exactly
+	// once: read-on-empty blocking semantics.
+	if r.Faults != n {
+		t.Errorf("faults = %d, want %d", r.Faults, n)
+	}
+}
+
+func TestSingleRound(t *testing.T) {
+	r, err := Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Sum != 10 || r.Faults != 1 {
+		t.Errorf("sum=%d faults=%d, want 10/1", r.Sum, r.Faults)
+	}
+}
+
+func TestManyRounds(t *testing.T) {
+	const n = 1000
+	r, err := Run(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Sum != Expected(n) {
+		t.Errorf("sum = %d, want %d", r.Sum, Expected(n))
+	}
+	if r.Faults != n {
+		t.Errorf("faults = %d, want %d", r.Faults, n)
+	}
+}
+
+func TestBounds(t *testing.T) {
+	if _, err := Run(0); err == nil {
+		t.Error("Run(0) succeeded")
+	}
+}

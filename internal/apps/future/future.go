@@ -1,0 +1,177 @@
+// Package future implements §4.2.1's futures: "an unresolved future is
+// represented as an unaligned pointer. When the value of the future is
+// available, the pointer is updated and aligned" — the APRIL/Alewife
+// technique, here on a conventional (simulated) processor with fast
+// user-level exception delivery.
+//
+// A future cell holds either an aligned pointer to its resolved value
+// or an unaligned (odd) token identifying the deferred computation.
+// Touching an unresolved future faults; the user-level handler runs the
+// deferred computation (here: iterative Fibonacci of the token's
+// argument), stores the value, aligns the pointer, and resumes — the
+// consumer never distinguishes resolved from unresolved futures, and a
+// future resolves exactly once no matter how often it is touched.
+package future
+
+import (
+	"fmt"
+
+	"uexc/internal/core"
+)
+
+// Result reports one run.
+type Result struct {
+	Sum      uint32 // sum over all touches of all futures
+	Faults   uint64 // resolution faults (one per future, not per touch)
+	Resolved uint32 // futures resolved
+	Cycles   uint64
+}
+
+// program creates n futures (future i computes fib(i+1)), touches each
+// of them touches times, and sums the values. Cursor convention: t4
+// holds the pointer being dereferenced so the handler can repair it.
+func program(n, touches int) string {
+	return fmt.Sprintf(`
+	.equ NFUT, %d
+	.equ TOUCHES, %d
+main:
+	addiu sp, sp, -8
+	sw    ra, 0(sp)
+	la    t0, resolver
+	la    t1, __fexc_chandler
+	sw    t0, 0(t1)
+	la    a0, __fexc_low
+	li    a1, (1<<4)|(1<<5)
+	jal   __uexc_enable
+	nop
+
+	# Create futures: cell i holds (value_slot_addr | 1) with the
+	# argument stored in the value slot (the deferred computation's
+	# operand lives where its result will go).
+	la    t0, cells
+	la    t1, slots
+	li    t2, 0                # i
+mkfut:
+	ori   t3, t1, 1            # unresolved token: odd slot address
+	sw    t3, 0(t0)
+	addiu t4, t2, 1
+	sw    t4, 0(t1)            # argument: fib(i+1)
+	addiu t0, t0, 4
+	addiu t1, t1, 4
+	addiu t2, t2, 1
+	li    t5, NFUT
+	bne   t2, t5, mkfut
+	nop
+
+	li    s0, TOUCHES
+	li    s2, 0                # sum
+touchround:
+	la    s3, cells
+	li    s4, 0
+touchloop:
+	lw    t4, 0(s3)            # the future (maybe odd)
+	nop
+	lw    t5, 0(t4)            # touch: faults if unresolved
+	nop
+	addu  s2, s2, t5
+	addiu s3, s3, 4
+	addiu s4, s4, 1
+	li    t6, NFUT
+	bne   s4, t6, touchloop
+	nop
+	addiu s0, s0, -1
+	bnez  s0, touchround
+	nop
+
+	la    t0, sum_out
+	sw    s2, 0(t0)
+	lw    ra, 0(sp)
+	addiu sp, sp, 8
+	li    v0, 0
+	jr    ra
+	nop
+
+# The resolver: badva is the odd slot address; the slot holds the
+# argument k. Compute fib(k) iteratively, store it in the slot, align
+# the future cell's pointer, repair the cursor, resume.
+resolver:
+	lw    t6, 8(a0)            # FrBadVAddr
+	nop
+	addiu t6, t6, -1           # slot address
+	lw    t7, 0(t6)            # argument k
+	nop
+	li    t8, 0                # fib(0)
+	li    t9, 1                # fib(1)
+fibloop:
+	addu  t5, t8, t9
+	move  t8, t9
+	move  t9, t5
+	addiu t7, t7, -1
+	bnez  t7, fibloop
+	nop
+	sw    t8, 0(t6)            # resolve: value into the slot
+	# Align the cell: find it by scanning (cells are few); a real
+	# system would keep a back pointer — the slot's index gives it.
+	la    t7, slots
+	subu  t7, t6, t7           # byte offset = index*4
+	la    t5, cells
+	addu  t5, t5, t7
+	sw    t6, 0(t5)            # cell now holds the aligned slot address
+	sw    t6, 0x3c(a0)         # repair cursor (frame t4)
+	la    t7, resolved_count
+	lw    t5, 0(t7)
+	nop
+	addiu t5, t5, 1
+	sw    t5, 0(t7)
+	jr    ra
+	nop
+
+	.align 8
+cells:
+	.space NFUT * 4
+slots:
+	.space NFUT * 4
+resolved_count:
+	.word 0
+sum_out:
+	.word 0
+`, n, touches)
+}
+
+// Run creates n futures and touches each one touches times.
+func Run(n, touches int) (Result, error) {
+	if n < 1 || n > 40 || touches < 1 || touches > 1000 {
+		return Result{}, fmt.Errorf("future: parameters out of range")
+	}
+	m, err := core.NewMachine()
+	if err != nil {
+		return Result{}, err
+	}
+	if err := m.LoadProgram(program(n, touches)); err != nil {
+		return Result{}, err
+	}
+	if err := m.Run(100_000_000); err != nil {
+		return Result{}, err
+	}
+	r := Result{Cycles: m.CPU().Cycles, Faults: m.CPU().ExcCounts[4]}
+	var ok bool
+	if r.Sum, ok = m.K.ReadUserWord(m.Sym("sum_out")); !ok {
+		return r, fmt.Errorf("future: sum unreadable")
+	}
+	if r.Resolved, ok = m.K.ReadUserWord(m.Sym("resolved_count")); !ok {
+		return r, fmt.Errorf("future: resolved count unreadable")
+	}
+	return r, nil
+}
+
+// Expected computes the expected sum: touches * sum(fib(1..n)) with
+// fib(1)=1, fib(2)=1.
+func Expected(n, touches int) uint32 {
+	a, b := uint32(0), uint32(1)
+	var sum uint32
+	for i := 1; i <= n; i++ {
+		a, b = b, a+b
+		sum += a
+	}
+	return sum * uint32(touches)
+}

@@ -1,0 +1,54 @@
+package future
+
+import "testing"
+
+func TestFuturesResolveOnFirstTouch(t *testing.T) {
+	const n, touches = 10, 5
+	r, err := Run(n, touches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Sum != Expected(n, touches) {
+		t.Errorf("sum = %d, want %d", r.Sum, Expected(n, touches))
+	}
+	// Exactly one fault per future, regardless of touch count: the
+	// defining property vs software checks (§4.2.2's tradeoff).
+	if r.Faults != n {
+		t.Errorf("faults = %d, want %d (resolve once)", r.Faults, n)
+	}
+	if r.Resolved != n {
+		t.Errorf("resolved = %d, want %d", r.Resolved, n)
+	}
+}
+
+func TestSingleFutureManyTouches(t *testing.T) {
+	r, err := Run(1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Faults != 1 {
+		t.Errorf("faults = %d, want 1", r.Faults)
+	}
+	if r.Sum != 100 { // fib(1) = 1, touched 100 times
+		t.Errorf("sum = %d, want 100", r.Sum)
+	}
+}
+
+func TestExpected(t *testing.T) {
+	// fib 1..5 = 1,1,2,3,5; sum 12.
+	if got := Expected(5, 1); got != 12 {
+		t.Errorf("Expected(5,1) = %d", got)
+	}
+	if got := Expected(5, 3); got != 36 {
+		t.Errorf("Expected(5,3) = %d", got)
+	}
+}
+
+func TestBounds(t *testing.T) {
+	if _, err := Run(0, 1); err == nil {
+		t.Error("Run(0,1) succeeded")
+	}
+	if _, err := Run(1, 0); err == nil {
+		t.Error("Run(1,0) succeeded")
+	}
+}

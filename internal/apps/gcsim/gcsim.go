@@ -1,0 +1,527 @@
+// Package gcsim implements the paper's §4.1 application study: a
+// generational, incremental garbage collector in the style of the
+// Xerox/Boehm collector, whose write barrier — the mechanism that
+// detects stores creating old→young pointers — can be implemented
+// three ways:
+//
+//   - BarrierSigsegv: write-protect old-generation pages; detect
+//     barrier stores via SIGSEGV + mprotect (the Ultrix baseline);
+//   - BarrierFastEager: the same page protection, but faults are
+//     delivered by the paper's fast mechanism with eager amplification
+//     (no unprotect syscall in the handler);
+//   - BarrierSoftware: explicit inline checks before every pointer
+//     store (the Hosking & Moss comparison of Table 5).
+//
+// The collector itself is real: it allocates objects, traces
+// reachability from roots plus dirty-page remembered sets, promotes
+// survivors, and reclaims garbage. The three barrier configurations
+// must produce identical heap results — only the cost differs. Costs
+// charge a virtual clock from the measured simos.CostTable.
+package gcsim
+
+import (
+	"math/rand"
+
+	"uexc/internal/simos"
+)
+
+// Barrier selects the write-barrier mechanism.
+type Barrier int
+
+const (
+	BarrierSigsegv Barrier = iota
+	BarrierFastEager
+	BarrierSoftware
+)
+
+// String names the barrier for reports.
+func (b Barrier) String() string {
+	switch b {
+	case BarrierSigsegv:
+		return "Ultrix SIGSEGV + mprotect"
+	case BarrierFastEager:
+		return "Fast exceptions + eager amplification"
+	case BarrierSoftware:
+		return "Software checks"
+	}
+	return "unknown"
+}
+
+// Mutator/collector cost model (cycles), representing the compiled
+// application and collector code the paper's benchmarks executed.
+// These charges are identical across barrier configurations; only the
+// barrier costs differ.
+const (
+	allocCycles    = 18  // cons: bump allocate + initialize
+	storeCycles    = 2   // the pointer store itself
+	computeCycles  = 24  // mutator work per operation (car/cdr/arith)
+	traceObjCycles = 40  // per object traced during collection
+	scanPageCycles = 700 // per dirty old page scanned for old→young refs
+	promoteCycles  = 60  // copy an object to the old generation
+	reclaimCycles  = 4   // per reclaimed young object
+	checkCyclesStd = 5   // software barrier check (Hosking & Moss: 5 instructions)
+	objsPerPage    = 128 // 32-byte cons cells per 4 KB page
+)
+
+// Stats tallies one run.
+type Stats struct {
+	Collections     int
+	FullCollections int
+	Allocated       int
+	Promoted        int
+	Reclaimed       int
+	OldReclaimed    int    // old-generation objects freed by full collections
+	Faults          int    // protection faults taken (page barriers)
+	Checks          uint64 // software checks executed
+	OldPages        int
+	BarrierCyc      float64
+}
+
+// Object is a heap cell: a datum and up to two references (a cons).
+type Object struct {
+	data   uint32
+	refs   [2]*Object
+	gen    uint8 // 0 young, 1 old
+	page   int32 // old-generation page index
+	marked bool
+}
+
+// Data returns the object's payload.
+func (o *Object) Data() uint32 { return o.data }
+
+// Ref returns reference slot i.
+func (o *Object) Ref(i int) *Object { return o.refs[i] }
+
+// Heap is the collected heap.
+type Heap struct {
+	barrier Barrier
+	costs   simos.CostTable
+	clock   simos.Clock
+	checkCy float64
+
+	nursery     []*Object
+	nurseryCap  int
+	oldByPage   map[int32][]*Object
+	oldPageUsed int // objects on the current old page
+	oldPages    int
+
+	protected map[int32]bool // old page is write-protected
+	dirty     map[int32]bool // old page stored-into since last collection
+
+	roots []*Object
+
+	stats Stats
+}
+
+// New creates a heap with the given barrier and measured cost table.
+// nurseryCap is the young-generation size in objects.
+func New(b Barrier, costs simos.CostTable, nurseryCap int) *Heap {
+	return &Heap{
+		barrier:    b,
+		costs:      costs,
+		checkCy:    checkCyclesStd,
+		nurseryCap: nurseryCap,
+		oldByPage:  make(map[int32][]*Object),
+		protected:  make(map[int32]bool),
+		dirty:      make(map[int32]bool),
+	}
+}
+
+// Stats returns run statistics.
+func (h *Heap) Stats() Stats {
+	s := h.stats
+	s.OldPages = h.oldPages
+	return s
+}
+
+// Clock returns the virtual clock.
+func (h *Heap) Clock() *simos.Clock { return &h.clock }
+
+// AddRoot registers a root slot.
+func (h *Heap) AddRoot(o *Object) int {
+	h.roots = append(h.roots, o)
+	return len(h.roots) - 1
+}
+
+// SetRoot replaces a root.
+func (h *Heap) SetRoot(i int, o *Object) { h.roots[i] = o }
+
+// Root returns root i.
+func (h *Heap) Root(i int) *Object { return h.roots[i] }
+
+// Work charges mutator computation.
+func (h *Heap) Work(ops int) { h.clock.Charge(float64(ops) * computeCycles) }
+
+// Alloc allocates a young object, collecting first if the nursery is
+// full.
+func (h *Heap) Alloc(data uint32, left, right *Object) *Object {
+	if len(h.nursery) >= h.nurseryCap {
+		h.Collect()
+	}
+	h.clock.Charge(allocCycles)
+	h.stats.Allocated++
+	o := &Object{data: data, refs: [2]*Object{left, right}}
+	h.nursery = append(h.nursery, o)
+	return o
+}
+
+// WriteRef performs a pointer store src.refs[slot] = dst through the
+// configured write barrier.
+func (h *Heap) WriteRef(src *Object, slot int, dst *Object) {
+	h.clock.Charge(storeCycles)
+	switch h.barrier {
+	case BarrierSoftware:
+		// Inline check before every pointer store.
+		h.clock.Charge(h.checkCy)
+		h.stats.Checks++
+		if src.gen == 1 {
+			h.dirty[src.page] = true
+		}
+	case BarrierSigsegv, BarrierFastEager:
+		if src.gen == 1 && h.protected[src.page] {
+			// The store traps; the handler records the page in the
+			// dirty set and unprotects it (eagerly amplified under
+			// BarrierFastEager; by in-handler mprotect under
+			// BarrierSigsegv — both are inside the measured
+			// ProtFaultRT for their mode).
+			h.stats.Faults++
+			h.clock.Charge(h.costs.ProtFaultRT)
+			h.stats.BarrierCyc += h.costs.ProtFaultRT
+			h.dirty[src.page] = true
+			h.protected[src.page] = false
+		}
+	}
+	src.refs[slot] = dst
+}
+
+// ReadRef performs a pointer load (no barrier; charged as compute).
+func (h *Heap) ReadRef(src *Object, slot int) *Object {
+	h.clock.Charge(storeCycles)
+	return src.refs[slot]
+}
+
+// Collect runs a young-generation collection: trace from roots and
+// from dirty old pages, promote survivors, reclaim the rest, then
+// re-protect the old generation pages that were opened.
+func (h *Heap) Collect() {
+	h.stats.Collections++
+
+	// Mark phase: roots first.
+	var mark func(o *Object)
+	marked := make([]*Object, 0, len(h.nursery))
+	mark = func(o *Object) {
+		if o == nil || o.marked || o.gen != 0 {
+			return
+		}
+		o.marked = true
+		h.clock.Charge(traceObjCycles)
+		marked = append(marked, o)
+		mark(o.refs[0])
+		mark(o.refs[1])
+	}
+	for _, r := range h.roots {
+		if r != nil && r.gen == 0 {
+			mark(r)
+		} else if r != nil {
+			// Old roots: their young referents are found via the
+			// dirty-set scan below, but the root object itself is
+			// always scanned (registered roots are few).
+			mark(r.refs[0])
+			mark(r.refs[1])
+		}
+	}
+	// Remembered set: scan dirty old pages for old→young pointers.
+	for page := range h.dirty {
+		h.clock.Charge(scanPageCycles)
+		for _, o := range h.oldByPage[page] {
+			mark(o.refs[0])
+			mark(o.refs[1])
+		}
+	}
+
+	// Promote survivors to the old generation.
+	for _, o := range marked {
+		h.clock.Charge(promoteCycles)
+		o.gen = 1
+		if h.oldPageUsed == 0 || h.oldPageUsed >= objsPerPage {
+			h.oldPages++
+			h.oldPageUsed = 0
+		}
+		o.page = int32(h.oldPages - 1)
+		h.oldPageUsed++
+		o.marked = false
+		h.oldByPage[o.page] = append(h.oldByPage[o.page], o)
+		h.stats.Promoted++
+	}
+	h.stats.Reclaimed += len(h.nursery) - len(marked)
+	h.clock.Charge(float64(len(h.nursery)-len(marked)) * reclaimCycles)
+	h.nursery = h.nursery[:0]
+
+	// Re-protect the old generation under page barriers: one batched
+	// mprotect covering the opened (dirty) and newly created pages.
+	if h.barrier != BarrierSoftware {
+		pages := len(h.dirty)
+		for p := int32(0); p < int32(h.oldPages); p++ {
+			if !h.protected[p] {
+				h.protected[p] = true
+			}
+		}
+		if pages > 0 || h.oldPages > 0 {
+			h.clock.Charge(h.costs.MprotectPage + float64(pages)*h.costs.MprotectExtraPage)
+		}
+	}
+	for page := range h.dirty {
+		delete(h.dirty, page)
+	}
+}
+
+// CollectFull runs a major collection: the whole heap (both
+// generations) is traced from the roots, unreachable old objects are
+// reclaimed, and survivors are compacted onto fresh old pages. The
+// entire old generation is re-protected afterwards under page barriers
+// (the Xerox collector's occasional full collection).
+func (h *Heap) CollectFull() {
+	// A full collection subsumes a young collection: run it first so
+	// the nursery is empty and all survivors live in the old
+	// generation.
+	h.Collect()
+	h.stats.FullCollections++
+
+	// Mark reachable old objects.
+	marked := make(map[*Object]bool)
+	var mark func(o *Object)
+	mark = func(o *Object) {
+		if o == nil || marked[o] {
+			return
+		}
+		marked[o] = true
+		h.clock.Charge(traceObjCycles)
+		mark(o.refs[0])
+		mark(o.refs[1])
+	}
+	for _, r := range h.roots {
+		mark(r)
+	}
+
+	// Sweep and compact: survivors move to a fresh page sequence.
+	// Iterate pages in index order — map order would make page
+	// assignment (and thus barrier fault counts) nondeterministic.
+	oldByPage := h.oldByPage
+	prevPages := int32(h.oldPages)
+	h.oldByPage = make(map[int32][]*Object)
+	h.oldPages, h.oldPageUsed = 0, 0
+	live := 0
+	for page := int32(0); page < prevPages; page++ {
+		for _, o := range oldByPage[page] {
+			if !marked[o] {
+				h.stats.OldReclaimed++
+				h.clock.Charge(reclaimCycles)
+				continue
+			}
+			h.clock.Charge(promoteCycles) // compaction copy
+			if h.oldPageUsed == 0 || h.oldPageUsed >= objsPerPage {
+				h.oldPages++
+				h.oldPageUsed = 0
+			}
+			o.page = int32(h.oldPages - 1)
+			h.oldPageUsed++
+			h.oldByPage[o.page] = append(h.oldByPage[o.page], o)
+			live++
+		}
+	}
+
+	// Reset protection state for the compacted generation.
+	if h.barrier != BarrierSoftware {
+		h.protected = make(map[int32]bool)
+		for p := int32(0); p < int32(h.oldPages); p++ {
+			h.protected[p] = true
+		}
+		h.clock.Charge(h.costs.MprotectPage + float64(h.oldPages)*h.costs.MprotectExtraPage)
+	} else {
+		h.protected = make(map[int32]bool)
+	}
+	h.dirty = make(map[int32]bool)
+}
+
+// OldLive returns the number of live old-generation objects (post
+// compaction bookkeeping; O(pages)).
+func (h *Heap) OldLive() int {
+	n := 0
+	for _, objs := range h.oldByPage {
+		n += len(objs)
+	}
+	return n
+}
+
+// Checksum folds the reachable heap into a value; used to prove that
+// barrier mechanisms do not change collector results.
+func (h *Heap) Checksum() uint32 {
+	seen := make(map[*Object]bool)
+	var sum uint32
+	var walk func(o *Object, depth uint32)
+	walk = func(o *Object, depth uint32) {
+		if o == nil || seen[o] {
+			return
+		}
+		seen[o] = true
+		sum = sum*1000003 + o.data + depth
+		walk(o.refs[0], depth+1)
+		walk(o.refs[1], depth+1)
+	}
+	for _, r := range h.roots {
+		walk(r, 1)
+	}
+	return sum
+}
+
+// --- Workloads -------------------------------------------------------
+
+// Result summarizes a workload run.
+type Result struct {
+	Barrier  Barrier
+	Seconds  float64
+	Stats    Stats
+	Checksum uint32
+}
+
+// LispOps is the paper's first benchmark: simulated Lisp operators
+// (cons/car/cdr) repeatedly building large list structures without
+// explicit deallocation, running the collector ~80 times and taking a
+// few thousand protection faults (§4.1).
+func LispOps(b Barrier, costs simos.CostTable) Result {
+	h := New(b, costs, 8200)
+	rng := rand.New(rand.NewSource(42))
+
+	// Long-lived skeleton: a vector of list heads that survive
+	// collections (they promote to the old generation, spanning ~32
+	// pages), into which the mutator keeps splicing fresh young lists
+	// (old→young stores).
+	const skeletonSize = 4000
+	skeleton := make([]*Object, skeletonSize)
+	for i := range skeleton {
+		skeleton[i] = h.Alloc(uint32(i), nil, nil)
+		h.AddRoot(skeleton[i])
+	}
+	h.Collect() // promote the skeleton
+
+	const iters = 120_000
+	for i := 0; i < iters; i++ {
+		// cons up a small fresh list (young garbage mostly).
+		n := 3 + rng.Intn(6)
+		var list *Object
+		for j := 0; j < n; j++ {
+			list = h.Alloc(uint32(i+j), list, nil)
+			h.Work(6)
+		}
+		// Splice into the long-lived skeleton: an old→young store that
+		// exercises the barrier.
+		slot := rng.Intn(skeletonSize)
+		h.WriteRef(skeleton[slot], 1, list)
+		// car/cdr walking and arithmetic on the fresh list.
+		for p, steps := list, 0; p != nil && steps < n; steps++ {
+			p = h.ReadRef(p, 0)
+			h.Work(5)
+		}
+		h.Work(120) // the rest of the Lisp operator mix per iteration
+		if (i+1)%30_000 == 0 {
+			h.CollectFull() // occasional major collection, as in Xerox's
+		}
+	}
+	return Result{Barrier: b, Seconds: h.Clock().Seconds(), Stats: h.Stats(), Checksum: h.Checksum()}
+}
+
+// ArrayTest is the paper's second benchmark: a large (1 MB) array whose
+// elements are randomly replaced with fresh objects; each replacement
+// creates garbage and many replacements store old→young pointers,
+// giving a much higher fault density relative to run time (§4.1).
+func ArrayTest(b Barrier, costs simos.CostTable) Result {
+	h := New(b, costs, 4000)
+	rng := rand.New(rand.NewSource(43))
+
+	// The 1 MB array: 8192 slot-objects spanning 64 pages of 32-byte
+	// cells, long-lived.
+	const slots = 8192
+	array := make([]*Object, slots)
+	for i := range array {
+		array[i] = h.Alloc(uint32(i), nil, nil)
+		h.AddRoot(array[i])
+	}
+	h.Collect() // promote the array
+
+	const replacements = 120_000
+	for i := 0; i < replacements; i++ {
+		idx := rng.Intn(slots)
+		fresh := h.Alloc(uint32(i), nil, nil)
+		h.WriteRef(array[idx], 0, fresh) // old→young: barrier
+		h.Work(7)
+	}
+	return Result{Barrier: b, Seconds: h.Clock().Seconds(), Stats: h.Stats(), Checksum: h.Checksum()}
+}
+
+// TreeWorkload and InteractiveWorkload are the Hosking & Moss-style
+// applications of Table 5: they report the software-check count c and
+// the trap count t for the break-even computation y = c·x/(f·t).
+//
+// Tree builds and destroys binary trees with occasional long-lived
+// splices (few traps per many stores); Interactive mixes operations
+// with a higher proportion of distinct old pages touched per
+// collection cycle (more traps per store).
+func TreeWorkload(b Barrier, costs simos.CostTable) Result {
+	h := New(b, costs, 6000)
+	rng := rand.New(rand.NewSource(44))
+
+	// A forest of long-lived tree nodes (~50 old pages) subjected to
+	// destructive updates: fresh subtrees are built (many young→young
+	// checked stores) and spliced into random old nodes (occasional
+	// trapping stores).
+	const poolSize = 6400
+	pool := make([]*Object, poolSize)
+	for i := range pool {
+		pool[i] = h.Alloc(uint32(i), nil, nil)
+		h.AddRoot(pool[i])
+	}
+	h.Collect()
+
+	var build func(depth int) *Object
+	build = func(depth int) *Object {
+		if depth == 0 {
+			return h.Alloc(1, nil, nil)
+		}
+		l := build(depth - 1)
+		r := build(depth - 1)
+		n := h.Alloc(uint32(depth), nil, nil)
+		h.WriteRef(n, 0, l)
+		h.WriteRef(n, 1, r)
+		return n
+	}
+	for i := 0; i < 5000; i++ {
+		t := build(5) // 31 nodes, 62 checked stores
+		h.WriteRef(pool[rng.Intn(poolSize)], rng.Intn(2), t)
+		h.Work(40)
+	}
+	return Result{Barrier: b, Seconds: h.Clock().Seconds(), Stats: h.Stats(), Checksum: h.Checksum()}
+}
+
+// InteractiveWorkload models the Smalltalk macro-benchmark mix: widely
+// scattered updates to long-lived state, so page protection traps are
+// comparatively frequent per store.
+func InteractiveWorkload(b Barrier, costs simos.CostTable) Result {
+	h := New(b, costs, 2500)
+	rng := rand.New(rand.NewSource(45))
+
+	const state = 3000
+	objs := make([]*Object, state)
+	for i := range objs {
+		objs[i] = h.Alloc(uint32(i), nil, nil)
+		h.AddRoot(objs[i])
+	}
+	h.Collect()
+
+	for i := 0; i < 30_000; i++ {
+		idx := rng.Intn(state)
+		fresh := h.Alloc(uint32(i), nil, nil)
+		h.WriteRef(objs[idx], rng.Intn(2), fresh)
+		h.Work(6)
+	}
+	return Result{Barrier: b, Seconds: h.Clock().Seconds(), Stats: h.Stats(), Checksum: h.Checksum()}
+}

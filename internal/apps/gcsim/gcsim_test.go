@@ -1,0 +1,257 @@
+package gcsim
+
+import (
+	"testing"
+
+	"uexc/internal/core"
+	"uexc/internal/simos"
+)
+
+func costs(t *testing.T, mode core.Mode) simos.CostTable {
+	t.Helper()
+	ct, err := simos.Measure(mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ct
+}
+
+func TestBarriersProduceIdenticalHeaps(t *testing.T) {
+	// The barrier mechanism changes cost, never collector results.
+	ult := costs(t, core.ModeUltrix)
+	fast := costs(t, core.ModeFast)
+	for _, wl := range []struct {
+		name string
+		run  func(Barrier, simos.CostTable) Result
+	}{
+		{"lisp", LispOps}, {"array", ArrayTest},
+		{"tree", TreeWorkload}, {"interactive", InteractiveWorkload},
+	} {
+		a := wl.run(BarrierSigsegv, ult)
+		b := wl.run(BarrierFastEager, fast)
+		c := wl.run(BarrierSoftware, fast)
+		if a.Checksum != b.Checksum || b.Checksum != c.Checksum {
+			t.Errorf("%s: checksums differ: sigsegv %#x fast %#x software %#x",
+				wl.name, a.Checksum, b.Checksum, c.Checksum)
+		}
+		if a.Stats.Collections != b.Stats.Collections || b.Stats.Collections != c.Stats.Collections {
+			t.Errorf("%s: collection counts differ: %d/%d/%d", wl.name,
+				a.Stats.Collections, b.Stats.Collections, c.Stats.Collections)
+		}
+		if a.Stats.Faults != b.Stats.Faults {
+			t.Errorf("%s: fault counts differ between page barriers: %d vs %d",
+				wl.name, a.Stats.Faults, b.Stats.Faults)
+		}
+		if c.Stats.Faults != 0 || c.Stats.Checks == 0 {
+			t.Errorf("%s: software barrier faults=%d checks=%d", wl.name,
+				c.Stats.Faults, c.Stats.Checks)
+		}
+	}
+}
+
+func TestLispOpsShape(t *testing.T) {
+	// Paper §4.1: the Lisp-operations benchmark runs the collector
+	// about 80 times and takes over 2000 protection faults; Ultrix CPU
+	// time ~24 s, fast version faster.
+	ult := LispOps(BarrierSigsegv, costs(t, core.ModeUltrix))
+	fast := LispOps(BarrierFastEager, costs(t, core.ModeFast))
+
+	if c := ult.Stats.Collections; c < 40 || c > 200 {
+		t.Errorf("collections = %d, want ~80", c)
+	}
+	if f := ult.Stats.Faults; f < 2000 || f > 8000 {
+		t.Errorf("faults = %d, want 2000-8000", f)
+	}
+	if ult.Seconds < 15 || ult.Seconds > 35 {
+		t.Errorf("ultrix time = %.1fs, want ~24s", ult.Seconds)
+	}
+	if fast.Seconds >= ult.Seconds {
+		t.Errorf("fast (%.2fs) not faster than ultrix (%.2fs)", fast.Seconds, ult.Seconds)
+	}
+	imp := 100 * (ult.Seconds - fast.Seconds) / ult.Seconds
+	t.Logf("lisp: ultrix %.2fs fast %.2fs improvement %.1f%% (paper: 24 vs 23, 4%%); faults=%d collections=%d",
+		ult.Seconds, fast.Seconds, imp, ult.Stats.Faults, ult.Stats.Collections)
+	if imp <= 0 || imp > 15 {
+		t.Errorf("improvement = %.1f%%, want (0, 15]", imp)
+	}
+}
+
+func TestArrayTestShape(t *testing.T) {
+	// Paper §4.1: 1 MB array with random replacement; ~2000 faults,
+	// Ultrix ~2 s, fast ~1.8 s (10% improvement).
+	ult := ArrayTest(BarrierSigsegv, costs(t, core.ModeUltrix))
+	fast := ArrayTest(BarrierFastEager, costs(t, core.ModeFast))
+
+	if f := ult.Stats.Faults; f < 1000 || f > 6000 {
+		t.Errorf("faults = %d, want ~2000", f)
+	}
+	if ult.Seconds < 1.0 || ult.Seconds > 4.0 {
+		t.Errorf("ultrix time = %.2fs, want ~2s", ult.Seconds)
+	}
+	imp := 100 * (ult.Seconds - fast.Seconds) / ult.Seconds
+	t.Logf("array: ultrix %.2fs fast %.2fs improvement %.1f%% (paper: 2 vs 1.8, 10%%); faults=%d",
+		ult.Seconds, fast.Seconds, imp, ult.Stats.Faults)
+	if imp < 3 || imp > 20 {
+		t.Errorf("improvement = %.1f%%, want [3, 20] (paper: 10%%)", imp)
+	}
+}
+
+func TestArrayBenefitsMoreThanLisp(t *testing.T) {
+	// Table 4's conclusion: performance impact is highly application-
+	// dependent; the array test's fault density makes it benefit more.
+	ultL := LispOps(BarrierSigsegv, costs(t, core.ModeUltrix))
+	fastL := LispOps(BarrierFastEager, costs(t, core.ModeFast))
+	ultA := ArrayTest(BarrierSigsegv, costs(t, core.ModeUltrix))
+	fastA := ArrayTest(BarrierFastEager, costs(t, core.ModeFast))
+	impL := (ultL.Seconds - fastL.Seconds) / ultL.Seconds
+	impA := (ultA.Seconds - fastA.Seconds) / ultA.Seconds
+	if impA <= impL {
+		t.Errorf("array improvement %.2f%% not above lisp %.2f%%", 100*impA, 100*impL)
+	}
+}
+
+func TestCheckAndTrapCounts(t *testing.T) {
+	// Table 5 inputs: c (checks) from the software run, t (traps) from
+	// the page-protection run, for each application.
+	fast := costs(t, core.ModeFast)
+	for _, wl := range []struct {
+		name string
+		run  func(Barrier, simos.CostTable) Result
+	}{{"tree", TreeWorkload}, {"interactive", InteractiveWorkload}} {
+		sw := wl.run(BarrierSoftware, fast)
+		pp := wl.run(BarrierFastEager, fast)
+		if sw.Stats.Checks == 0 || pp.Stats.Faults == 0 {
+			t.Fatalf("%s: c=%d t=%d", wl.name, sw.Stats.Checks, pp.Stats.Faults)
+		}
+		ratio := float64(sw.Stats.Checks) / float64(pp.Stats.Faults)
+		t.Logf("%s: c=%d t=%d c/t=%.0f", wl.name, sw.Stats.Checks, pp.Stats.Faults, ratio)
+		if ratio < 10 {
+			t.Errorf("%s: c/t = %.1f, implausibly low", wl.name, ratio)
+		}
+	}
+}
+
+func TestCollectReclaimsGarbage(t *testing.T) {
+	h := New(BarrierSoftware, simos.CostTable{}, 100)
+	root := h.Alloc(1, nil, nil)
+	h.AddRoot(root)
+	for i := 0; i < 99; i++ {
+		h.Alloc(uint32(i), nil, nil) // garbage
+	}
+	h.Collect()
+	s := h.Stats()
+	if s.Promoted != 1 {
+		t.Errorf("promoted = %d, want 1 (the root)", s.Promoted)
+	}
+	if s.Reclaimed != 99 {
+		t.Errorf("reclaimed = %d, want 99", s.Reclaimed)
+	}
+}
+
+func TestPromotionKeepsReachableStructure(t *testing.T) {
+	h := New(BarrierSoftware, simos.CostTable{}, 1000)
+	// Build a small tree, keep it, collect, verify the structure.
+	leaf1 := h.Alloc(10, nil, nil)
+	leaf2 := h.Alloc(20, nil, nil)
+	node := h.Alloc(30, leaf1, leaf2)
+	h.AddRoot(node)
+	before := h.Checksum()
+	h.Collect()
+	if got := h.Checksum(); got != before {
+		t.Errorf("checksum changed across collection: %#x -> %#x", before, got)
+	}
+	if node.gen != 1 || leaf1.gen != 1 || leaf2.gen != 1 {
+		t.Error("reachable objects not promoted")
+	}
+}
+
+func TestWriteBarrierFaultOncePerPagePerCycle(t *testing.T) {
+	ct := simos.CostTable{ProtFaultRT: 100, MprotectPage: 50, MprotectExtraPage: 5}
+	h := New(BarrierFastEager, ct, 1_000_000)
+	// Build some old objects on one page.
+	objs := make([]*Object, 10)
+	for i := range objs {
+		objs[i] = h.Alloc(uint32(i), nil, nil)
+		h.AddRoot(objs[i])
+	}
+	h.Collect()
+	// Repeated stores to the same old page: exactly one fault.
+	for i := 0; i < 5; i++ {
+		h.WriteRef(objs[i%len(objs)], 0, h.Alloc(99, nil, nil))
+	}
+	if got := h.Stats().Faults; got != 1 {
+		t.Errorf("faults = %d, want 1 (page amplified after first)", got)
+	}
+	// After a collection the page is re-protected: next store faults.
+	h.Collect()
+	h.WriteRef(objs[0], 0, h.Alloc(100, nil, nil))
+	if got := h.Stats().Faults; got != 2 {
+		t.Errorf("faults = %d, want 2 after re-protection", got)
+	}
+}
+
+func TestFullCollectionReclaimsOldGarbage(t *testing.T) {
+	h := New(BarrierSoftware, simos.CostTable{}, 500)
+	root := h.Alloc(1, nil, nil)
+	h.AddRoot(root)
+	// Promote waves of garbage into the old generation: objects kept
+	// alive through a root slot only until the next wave replaces them.
+	for wave := 0; wave < 5; wave++ {
+		chain := h.Alloc(uint32(wave), nil, nil)
+		for i := 0; i < 400; i++ {
+			chain = h.Alloc(uint32(i), chain, nil)
+		}
+		h.WriteRef(root, 0, chain) // previous wave becomes garbage
+		h.Collect()                // promotes the live wave
+	}
+	before := h.OldLive()
+	checksum := h.Checksum()
+	h.CollectFull()
+	after := h.OldLive()
+	if after >= before {
+		t.Errorf("full collection freed nothing: %d -> %d", before, after)
+	}
+	if h.Stats().OldReclaimed == 0 {
+		t.Error("OldReclaimed = 0")
+	}
+	if got := h.Checksum(); got != checksum {
+		t.Errorf("full collection changed reachable data: %#x -> %#x", checksum, got)
+	}
+	// The compacted generation must be fully re-protected... software
+	// barrier: no protection. Check dirty set cleared.
+	if len(h.dirty) != 0 {
+		t.Error("dirty set survived full collection")
+	}
+}
+
+func TestFullCollectionReprotectsUnderPageBarrier(t *testing.T) {
+	ct := simos.CostTable{ProtFaultRT: 100, MprotectPage: 50, MprotectExtraPage: 5}
+	h := New(BarrierFastEager, ct, 1000)
+	objs := make([]*Object, 20)
+	for i := range objs {
+		objs[i] = h.Alloc(uint32(i), nil, nil)
+		h.AddRoot(objs[i])
+	}
+	h.Collect()
+	// Open a page via a fault, then run a full collection: the page
+	// must be protected again.
+	h.WriteRef(objs[0], 0, h.Alloc(1, nil, nil))
+	if h.Stats().Faults != 1 {
+		t.Fatalf("faults = %d", h.Stats().Faults)
+	}
+	h.CollectFull()
+	h.WriteRef(objs[0], 1, h.Alloc(2, nil, nil))
+	if h.Stats().Faults != 2 {
+		t.Errorf("faults = %d, want 2 (page re-protected by full collection)", h.Stats().Faults)
+	}
+}
+
+func TestLispOpsRunsFullCollections(t *testing.T) {
+	r := LispOps(BarrierSoftware, simos.CostTable{})
+	if r.Stats.FullCollections < 3 {
+		t.Errorf("full collections = %d, want >= 3", r.Stats.FullCollections)
+	}
+	if r.Stats.OldReclaimed == 0 {
+		t.Error("no old-generation garbage reclaimed")
+	}
+}

@@ -1,0 +1,63 @@
+package stream
+
+import "testing"
+
+func TestLazyStreamMaterializesOnDemand(t *testing.T) {
+	const n = 30
+	r, err := Run(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FibSum(n)
+	if r.Sum != want {
+		t.Errorf("sum = %d, want %d", r.Sum, want)
+	}
+	if r.SecondSum != want {
+		t.Errorf("second traversal sum = %d, want %d", r.SecondSum, want)
+	}
+	// One materialization fault per element beyond the statically
+	// evaluated head; the second traversal takes none.
+	if r.Faults != n-1 {
+		t.Errorf("faults = %d, want %d (head pre-evaluated, no re-faults)", r.Faults, n-1)
+	}
+}
+
+func TestStreamSingleElement(t *testing.T) {
+	r, err := Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Sum != 1 || r.Faults != 0 {
+		t.Errorf("sum=%d faults=%d, want 1/0", r.Sum, r.Faults)
+	}
+}
+
+func TestStreamLong(t *testing.T) {
+	const n = 500
+	r, err := Run(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Sum != FibSum(n) {
+		t.Errorf("sum = %d, want %d (wraparound arithmetic)", r.Sum, FibSum(n))
+	}
+	if r.Faults != n-1 {
+		t.Errorf("faults = %d, want %d", r.Faults, n-1)
+	}
+}
+
+func TestRunBounds(t *testing.T) {
+	if _, err := Run(0); err == nil {
+		t.Error("Run(0) succeeded")
+	}
+	if _, err := Run(10_000); err == nil {
+		t.Error("Run(10000) succeeded (arena overflow)")
+	}
+}
+
+func TestFibSum(t *testing.T) {
+	// 1+1+2+3+5 = 12
+	if got := FibSum(5); got != 12 {
+		t.Errorf("FibSum(5) = %d, want 12", got)
+	}
+}

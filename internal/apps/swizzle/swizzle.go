@@ -1,0 +1,322 @@
+// Package swizzle implements the paper's §4.2.2 application study: a
+// persistent object store whose on-disk pointers (object identifiers)
+// must be converted — "swizzled" — to in-memory addresses when used.
+//
+// Two detection mechanisms find unswizzled pointers:
+//
+//   - DetectChecks: the compiler inserts a residency check before every
+//     pointer dereference (c cycles each, used or not);
+//   - DetectFaults: unswizzled pointers are represented as unaligned
+//     addresses; the first dereference faults, the handler loads the
+//     object and repairs the pointer, and subsequent uses are free.
+//
+// Two swizzling policies decide when pointers inside a newly loaded
+// page are converted:
+//
+//   - Lazy: each pointer swizzles on first use (one fault per pointer);
+//   - Eager: all pointers in the page swizzle at load time (one fault
+//     per page, pn swizzles up front).
+//
+// Traversals produce identical results under every configuration; only
+// the virtual-cycle cost differs. Figures 3 and 4 are validated by
+// sweeping the relevant parameter and locating the empirical crossover.
+package swizzle
+
+import (
+	"fmt"
+	"math/rand"
+
+	"uexc/internal/simos"
+)
+
+// Detect selects the residency-detection mechanism.
+type Detect int
+
+const (
+	DetectChecks Detect = iota
+	DetectFaults
+)
+
+// Policy selects when pointers are swizzled.
+type Policy int
+
+const (
+	Lazy Policy = iota
+	Eager
+)
+
+// OID names an object on disk: page and index within the page.
+type OID struct {
+	Page int32
+	Idx  int32
+}
+
+// DiskObject is an object in the persistent store.
+type DiskObject struct {
+	Data uint32
+	Ptrs []OID
+}
+
+// Disk is the persistent store: pages of objects.
+type Disk struct {
+	Pages [][]DiskObject
+}
+
+// NewGraphDisk builds a store of nPages pages with objsPerPage objects,
+// each carrying ptrsPerObj pointers to uniformly random objects.
+func NewGraphDisk(nPages, objsPerPage, ptrsPerObj int, seed int64) *Disk {
+	rng := rand.New(rand.NewSource(seed))
+	d := &Disk{Pages: make([][]DiskObject, nPages)}
+	for p := range d.Pages {
+		objs := make([]DiskObject, objsPerPage)
+		for i := range objs {
+			objs[i].Data = uint32(p*objsPerPage + i)
+			objs[i].Ptrs = make([]OID, ptrsPerObj)
+			for j := range objs[i].Ptrs {
+				objs[i].Ptrs[j] = OID{
+					Page: int32(rng.Intn(nPages)),
+					Idx:  int32(rng.Intn(objsPerPage)),
+				}
+			}
+		}
+		d.Pages[p] = objs
+	}
+	return d
+}
+
+// Config parameterizes a session.
+type Config struct {
+	Detect Detect
+	Policy Policy
+
+	// TrapMicros is the cost of one detection fault (the measured
+	// specialized-handler unaligned fault, §4.2.2: 6 µs fast, ~80 µs
+	// Ultrix). SwizzleMicros is the per-pointer swizzle work s;
+	// CheckCycles is the per-dereference residency check c.
+	TrapMicros    float64
+	SwizzleMicros float64
+	CheckCycles   float64
+}
+
+// ptrSite names a pointer field instance.
+type ptrSite struct {
+	page int32
+	idx  int32
+	slot int32
+}
+
+// Stats tallies a session.
+type Stats struct {
+	Derefs      uint64
+	Checks      uint64
+	Faults      uint64
+	Swizzles    uint64
+	PagesLoaded uint64
+}
+
+// Session is an open store with in-memory residency state.
+type Session struct {
+	cfg   Config
+	disk  *Disk
+	clock simos.Clock
+
+	resident map[int32]bool
+	swizzled map[ptrSite]bool
+	stats    Stats
+}
+
+// Open starts a session against a disk image.
+func Open(d *Disk, cfg Config) *Session {
+	return &Session{
+		cfg:      cfg,
+		disk:     d,
+		resident: make(map[int32]bool),
+		swizzled: make(map[ptrSite]bool),
+	}
+}
+
+// Stats returns session statistics.
+func (s *Session) Stats() Stats { return s.stats }
+
+// Clock returns the virtual clock.
+func (s *Session) Clock() *simos.Clock { return &s.clock }
+
+func (s *Session) chargeMicros(us float64) { s.clock.Charge(us * 25) }
+
+// loadPage makes a page resident, applying the eager policy if
+// configured.
+func (s *Session) loadPage(page int32) {
+	if s.resident[page] {
+		return
+	}
+	s.resident[page] = true
+	s.stats.PagesLoaded++
+	if s.cfg.Policy == Eager {
+		// Figure 4's eager model: the page is brought in by a single
+		// access fault (t), then every pointer in it is swizzled up
+		// front (pn·s). Under lazy, the load is a side effect of a
+		// pointer fault that was already charged.
+		if s.cfg.Detect == DetectFaults {
+			s.stats.Faults++
+			s.chargeMicros(s.cfg.TrapMicros)
+		}
+		// Swizzle every pointer in the page now.
+		for i := range s.disk.Pages[page] {
+			for j := range s.disk.Pages[page][i].Ptrs {
+				site := ptrSite{page, int32(i), int32(j)}
+				if !s.swizzled[site] {
+					s.swizzled[site] = true
+					s.stats.Swizzles++
+					s.chargeMicros(s.cfg.SwizzleMicros)
+				}
+			}
+		}
+	}
+}
+
+// Deref follows the pointer in the given object slot and returns the
+// target OID, charging per the configured mechanism. The containing
+// page must be resident.
+func (s *Session) Deref(obj OID, slot int) (OID, error) {
+	if !s.resident[obj.Page] {
+		return OID{}, fmt.Errorf("swizzle: deref in non-resident page %d", obj.Page)
+	}
+	s.stats.Derefs++
+	target := s.disk.Pages[obj.Page][obj.Idx].Ptrs[slot]
+	site := ptrSite{obj.Page, obj.Idx, int32(slot)}
+
+	switch s.cfg.Detect {
+	case DetectChecks:
+		// A check precedes every dereference, swizzled or not.
+		s.stats.Checks++
+		s.clock.Charge(s.cfg.CheckCycles)
+		if !s.swizzled[site] {
+			s.loadPage(target.Page)
+			s.swizzled[site] = true
+			s.stats.Swizzles++
+			s.chargeMicros(s.cfg.SwizzleMicros)
+		}
+	case DetectFaults:
+		if !s.swizzled[site] {
+			// Unaligned dereference: fault, load, repair the pointer.
+			s.stats.Faults++
+			s.chargeMicros(s.cfg.TrapMicros)
+			s.loadPage(target.Page)
+			if !s.swizzled[site] { // eager load may have repaired it
+				s.swizzled[site] = true
+				s.stats.Swizzles++
+				s.chargeMicros(s.cfg.SwizzleMicros)
+			}
+		}
+		// Swizzled: a direct dereference, no overhead.
+	}
+	return target, nil
+}
+
+// Object returns the object's data (the page must be resident).
+func (s *Session) Object(obj OID) uint32 {
+	return s.disk.Pages[obj.Page][obj.Idx].Data
+}
+
+// --- Figure 3: checks vs exceptions, u uses per pointer --------------
+
+// Fig3Workload dereferences nPtrs distinct pointers u times each and
+// returns the total cost in µs plus a traversal checksum.
+func Fig3Workload(d *Disk, cfg Config, nPtrs, uses int) (micros float64, checksum uint32) {
+	s := Open(d, cfg)
+	s.loadPage(0)
+	objs := len(d.Pages[0])
+	slots := len(d.Pages[0][0].Ptrs)
+	for p := 0; p < nPtrs; p++ {
+		obj := OID{Page: 0, Idx: int32(p % objs)}
+		slot := (p / objs) % slots
+		for u := 0; u < uses; u++ {
+			target, err := s.Deref(obj, slot)
+			if err != nil {
+				panic(err)
+			}
+			checksum = checksum*31 + s.Object(obj) + uint32(target.Idx)
+		}
+	}
+	return s.clock.MicrosTotal(), checksum
+}
+
+// Fig3Crossover sweeps u to find the smallest number of uses at which
+// fault-based detection beats checking, for the given check cost and
+// trap cost. Returns 0 if no crossover within maxUses.
+func Fig3Crossover(checkCycles, trapMicros float64, maxUses int) int {
+	d := NewGraphDisk(6, 32, 4, 7)
+	const nPtrs = 100
+	for u := 1; u <= maxUses; u++ {
+		chk, cs1 := Fig3Workload(d, Config{
+			Detect: DetectChecks, Policy: Lazy,
+			CheckCycles: checkCycles, SwizzleMicros: 0.5, TrapMicros: trapMicros,
+		}, nPtrs, u)
+		flt, cs2 := Fig3Workload(d, Config{
+			Detect: DetectFaults, Policy: Lazy,
+			CheckCycles: checkCycles, SwizzleMicros: 0.5, TrapMicros: trapMicros,
+		}, nPtrs, u)
+		if cs1 != cs2 {
+			panic("swizzle: traversal results diverged")
+		}
+		if flt < chk {
+			return u
+		}
+	}
+	return 0
+}
+
+// --- Figure 4: eager vs lazy swizzling -------------------------------
+
+// Fig4Workload loads pages and uses a fraction of each page's pointers,
+// returning total µs and a checksum. ptrsPerPage is fixed by the disk
+// layout; usedPerPage selects how many distinct pointers per page are
+// dereferenced (each once — Figure 4's model counts first uses).
+func Fig4Workload(d *Disk, cfg Config, pages int, usedPerPage int) (micros float64, checksum uint32) {
+	s := Open(d, cfg)
+	objs := len(d.Pages[0])
+	slots := len(d.Pages[0][0].Ptrs)
+	total := objs * slots
+	if usedPerPage > total {
+		usedPerPage = total
+	}
+	for p := 0; p < pages; p++ {
+		s.loadPage(int32(p))
+		for k := 0; k < usedPerPage; k++ {
+			obj := OID{Page: int32(p), Idx: int32(k % objs)}
+			slot := (k / objs) % slots
+			target, err := s.Deref(obj, slot)
+			if err != nil {
+				panic(err)
+			}
+			checksum = checksum*33 + uint32(target.Page) + s.Object(obj)
+		}
+	}
+	return s.clock.MicrosTotal(), checksum
+}
+
+// Fig4Crossover sweeps the per-page used-pointer count to find the
+// smallest count at which eager swizzling beats lazy, for the given
+// trap and swizzle costs. Returns 0 if eager never wins up to the page
+// pointer count.
+func Fig4Crossover(trapMicros, swizzleMicros float64, ptrsPerPage int) int {
+	// One object per "pointer slot": pages of ptrsPerPage pointers.
+	d := NewGraphDisk(8, ptrsPerPage, 1, 11)
+	for used := 1; used <= ptrsPerPage; used++ {
+		lazyC, cs1 := Fig4Workload(d, Config{
+			Detect: DetectFaults, Policy: Lazy,
+			TrapMicros: trapMicros, SwizzleMicros: swizzleMicros,
+		}, len(d.Pages), used)
+		eagerC, cs2 := Fig4Workload(d, Config{
+			Detect: DetectFaults, Policy: Eager,
+			TrapMicros: trapMicros, SwizzleMicros: swizzleMicros,
+		}, len(d.Pages), used)
+		if cs1 != cs2 {
+			panic("swizzle: policies diverged")
+		}
+		if eagerC < lazyC {
+			return used
+		}
+	}
+	return 0
+}

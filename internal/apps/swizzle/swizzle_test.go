@@ -1,0 +1,173 @@
+package swizzle
+
+import (
+	"math"
+	"testing"
+
+	"uexc/internal/analytic"
+)
+
+func TestGraphDiskShape(t *testing.T) {
+	d := NewGraphDisk(4, 16, 3, 1)
+	if len(d.Pages) != 4 {
+		t.Fatalf("pages = %d", len(d.Pages))
+	}
+	for p, objs := range d.Pages {
+		if len(objs) != 16 {
+			t.Fatalf("page %d has %d objects", p, len(objs))
+		}
+		for _, o := range objs {
+			if len(o.Ptrs) != 3 {
+				t.Fatalf("object has %d ptrs", len(o.Ptrs))
+			}
+			for _, q := range o.Ptrs {
+				if q.Page < 0 || q.Page >= 4 || q.Idx < 0 || q.Idx >= 16 {
+					t.Fatalf("dangling OID %+v", q)
+				}
+			}
+		}
+	}
+}
+
+func TestDerefRequiresResidentPage(t *testing.T) {
+	d := NewGraphDisk(2, 4, 1, 2)
+	s := Open(d, Config{Detect: DetectChecks})
+	if _, err := s.Deref(OID{Page: 1, Idx: 0}, 0); err == nil {
+		t.Error("deref in non-resident page succeeded")
+	}
+}
+
+func TestChecksChargePerDeref(t *testing.T) {
+	d := NewGraphDisk(3, 8, 2, 3)
+	s := Open(d, Config{Detect: DetectChecks, CheckCycles: 5, SwizzleMicros: 0})
+	s.loadPage(0)
+	for u := 0; u < 10; u++ {
+		if _, err := s.Deref(OID{}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Stats().Checks != 10 {
+		t.Errorf("checks = %d, want 10", s.Stats().Checks)
+	}
+	if got := s.Clock().Cycles; got != 50 {
+		t.Errorf("cycles = %v, want 50 (10 checks x 5)", got)
+	}
+	if s.Stats().Faults != 0 {
+		t.Error("checks mode took faults")
+	}
+}
+
+func TestFaultsChargeOncePerPointer(t *testing.T) {
+	d := NewGraphDisk(3, 8, 2, 3)
+	s := Open(d, Config{Detect: DetectFaults, TrapMicros: 6, SwizzleMicros: 0})
+	s.loadPage(0)
+	for u := 0; u < 10; u++ {
+		if _, err := s.Deref(OID{}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Stats().Faults != 1 {
+		t.Errorf("faults = %d, want 1 (first use only)", s.Stats().Faults)
+	}
+	if got := s.Clock().MicrosTotal(); math.Abs(got-6) > 1e-9 {
+		t.Errorf("cost = %vµs, want 6", got)
+	}
+}
+
+func TestMechanismsProduceIdenticalTraversals(t *testing.T) {
+	d := NewGraphDisk(6, 32, 4, 7)
+	_, cs1 := Fig3Workload(d, Config{Detect: DetectChecks, CheckCycles: 5, SwizzleMicros: 1, TrapMicros: 6}, 80, 3)
+	_, cs2 := Fig3Workload(d, Config{Detect: DetectFaults, CheckCycles: 5, SwizzleMicros: 1, TrapMicros: 6}, 80, 3)
+	if cs1 != cs2 {
+		t.Errorf("checksums differ: %#x vs %#x", cs1, cs2)
+	}
+}
+
+// TestFig3CrossoverMatchesAnalyticModel: the empirical crossover from
+// running the store must land on the analytic curve u = f·t/c.
+func TestFig3CrossoverMatchesAnalyticModel(t *testing.T) {
+	cases := []struct {
+		check float64
+		trap  float64
+	}{
+		{5, 6}, {10, 6}, {15, 6}, {5, 80}, {20, 80},
+	}
+	for _, c := range cases {
+		want := analytic.SwizzleBreakEvenUses(c.check, c.trap, 25)
+		got := Fig3Crossover(c.check, c.trap, 600)
+		if got == 0 {
+			t.Errorf("c=%v t=%v: no crossover found (analytic %v)", c.check, c.trap, want)
+			continue
+		}
+		// Empirical crossover = ceil of analytic (first integer u where
+		// faults strictly win); allow one step of slack for the
+		// swizzle-cost term present in both configurations.
+		if math.Abs(float64(got)-want) > want*0.25+2 {
+			t.Errorf("c=%v t=%v: empirical crossover %d vs analytic %.1f", c.check, c.trap, got, want)
+		} else {
+			t.Logf("c=%v cycles, t=%vµs: crossover at u=%d (analytic %.1f)", c.check, c.trap, got, want)
+		}
+	}
+}
+
+// TestFig3FastShiftsBalance is Figure 3's headline: the fast mechanism
+// moves the break-even point to far fewer uses per pointer.
+func TestFig3FastShiftsBalance(t *testing.T) {
+	fast := Fig3Crossover(5, 6, 800)
+	ultrix := Fig3Crossover(5, 80, 800)
+	if fast == 0 || ultrix == 0 {
+		t.Fatalf("crossovers: fast=%d ultrix=%d", fast, ultrix)
+	}
+	t.Logf("break-even uses/pointer: fast=%d ultrix=%d", fast, ultrix)
+	if ultrix < 8*fast {
+		t.Errorf("ultrix crossover %d not ~13x fast %d", ultrix, fast)
+	}
+}
+
+// TestFig4CrossoverMatchesAnalyticModel: the empirical eager/lazy
+// crossover must match pu* = (t + pn·s)/(t + s).
+func TestFig4CrossoverMatchesAnalyticModel(t *testing.T) {
+	const pn = 50
+	cases := []struct {
+		trap float64
+		s    float64
+	}{
+		{6, 2}, {80, 2}, {6, 0.5}, {80, 8},
+	}
+	for _, c := range cases {
+		wantFrac := analytic.BreakEvenUsedFraction(c.trap, c.s, pn)
+		want := wantFrac * pn
+		got := Fig4Crossover(c.trap, c.s, pn)
+		if want >= pn {
+			if got != 0 {
+				t.Errorf("t=%v s=%v: eager won at %d but analytic says never (pu*=%.1f)", c.trap, c.s, got, want)
+			}
+			continue
+		}
+		if got == 0 {
+			t.Errorf("t=%v s=%v: no crossover (analytic %.1f)", c.trap, c.s, want)
+			continue
+		}
+		if math.Abs(float64(got)-want) > 2.5 {
+			t.Errorf("t=%v s=%v: empirical %d vs analytic %.1f", c.trap, c.s, got, want)
+		} else {
+			t.Logf("t=%vµs s=%vµs: eager wins from %d used pointers (analytic %.1f)", c.trap, c.s, got, want)
+		}
+	}
+}
+
+// TestFig4FastFavorsLazy is Figure 4's headline: cheap faults make lazy
+// swizzling attractive over a broader range (the break-even moves to a
+// higher used fraction).
+func TestFig4FastFavorsLazy(t *testing.T) {
+	const pn = 50
+	fast := Fig4Crossover(6, 2, pn)
+	ultrix := Fig4Crossover(80, 2, pn)
+	if fast == 0 || ultrix == 0 {
+		t.Fatalf("crossovers: fast=%d ultrix=%d", fast, ultrix)
+	}
+	t.Logf("eager wins from: fast=%d ultrix=%d used pointers (of %d)", fast, ultrix, pn)
+	if fast <= ultrix {
+		t.Errorf("fast crossover %d should exceed ultrix %d (lazy favored)", fast, ultrix)
+	}
+}

@@ -1,0 +1,180 @@
+package txn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"uexc/internal/core"
+	"uexc/internal/simos"
+)
+
+func cfg(t *testing.T, mode core.Mode) Config {
+	t.Helper()
+	ct, err := simos.Measure(mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return DefaultConfig(ct)
+}
+
+func TestCommitPersists(t *testing.T) {
+	r := New(4, Config{})
+	if err := r.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	r.Write(1, 10, 0xaa)
+	r.Write(1, 11, 0xbb)
+	r.Write(3, 0, 0xcc)
+	if err := r.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Read(1, 10) != 0xaa || r.Read(1, 11) != 0xbb || r.Read(3, 0) != 0xcc {
+		t.Error("committed writes lost")
+	}
+	// Two distinct pages were touched: exactly two faults.
+	if r.Stats().WriteFaults != 2 || r.Stats().PagesLogged != 2 {
+		t.Errorf("faults=%d logged=%d, want 2/2", r.Stats().WriteFaults, r.Stats().PagesLogged)
+	}
+}
+
+func TestAbortRestoresExactly(t *testing.T) {
+	r := New(4, Config{})
+	r.Write(0, 5, 111)
+	r.Write(2, 7, 222)
+	before := r.Checksum()
+	if err := r.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	r.Write(0, 5, 999)
+	r.Write(2, 7, 888)
+	r.Write(3, 1, 777)
+	if err := r.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Checksum(); got != before {
+		t.Errorf("abort did not restore: %#x vs %#x", got, before)
+	}
+	if r.Read(0, 5) != 111 || r.Read(2, 7) != 222 || r.Read(3, 1) != 0 {
+		t.Error("restored values wrong")
+	}
+}
+
+func TestOnlyTouchedPagesPay(t *testing.T) {
+	r := New(64, Config{})
+	if err := r.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		r.Write(5, i, uint32(i)) // one page, many writes
+	}
+	if err := r.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats().WriteFaults != 1 {
+		t.Errorf("faults = %d, want 1 (copy-on-first-write)", r.Stats().WriteFaults)
+	}
+}
+
+func TestTxnStateErrors(t *testing.T) {
+	r := New(1, Config{})
+	if err := r.Commit(); err == nil {
+		t.Error("commit outside txn succeeded")
+	}
+	if err := r.Abort(); err == nil {
+		t.Error("abort outside txn succeeded")
+	}
+	if err := r.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Begin(); err == nil {
+		t.Error("nested begin succeeded")
+	}
+}
+
+// TestRandomTransactionsEquivalentToReference: random commit/abort
+// sequences against a plain-map reference model.
+func TestRandomTransactionsEquivalentToReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const pages = 8
+		r := New(pages, Config{})
+		ref := make([]uint32, pages*PageWords)
+
+		for txn := 0; txn < 20; txn++ {
+			if err := r.Begin(); err != nil {
+				return false
+			}
+			var writes []struct {
+				p, w int
+				v    uint32
+			}
+			for i := 0; i < rng.Intn(30); i++ {
+				p, w, v := rng.Intn(pages), rng.Intn(PageWords), rng.Uint32()
+				r.Write(p, w, v)
+				writes = append(writes, struct {
+					p, w int
+					v    uint32
+				}{p, w, v})
+			}
+			if rng.Intn(2) == 0 {
+				if err := r.Commit(); err != nil {
+					return false
+				}
+				for _, wr := range writes {
+					ref[wr.p*PageWords+wr.w] = wr.v
+				}
+			} else {
+				if err := r.Abort(); err != nil {
+					return false
+				}
+			}
+		}
+		for p := 0; p < pages; p++ {
+			for w := 0; w < PageWords; w++ {
+				if r.Read(p, w) != ref[p*PageWords+w] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFastExceptionsCutTransactionOverhead compares per-transaction
+// cost under the two delivery mechanisms.
+func TestFastExceptionsCutTransactionOverhead(t *testing.T) {
+	run := func(c Config) (float64, uint32) {
+		r := New(32, c)
+		rng := rand.New(rand.NewSource(7))
+		for txn := 0; txn < 200; txn++ {
+			if err := r.Begin(); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 40; i++ {
+				r.Write(rng.Intn(32), rng.Intn(PageWords), rng.Uint32())
+			}
+			if err := r.Commit(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return r.Clock().Seconds(), r.Checksum()
+	}
+	ultS, ultCS := run(cfg(t, core.ModeUltrix))
+	fastS, fastCS := run(cfg(t, core.ModeFast))
+	if ultCS != fastCS {
+		t.Fatalf("contents diverged across cost models")
+	}
+	if fastS >= ultS {
+		t.Errorf("fast (%.4fs) not below ultrix (%.4fs)", fastS, ultS)
+	}
+	imp := 100 * (ultS - fastS) / ultS
+	t.Logf("200 transactions: ultrix %.1fms, fast %.1fms (%.0f%% less)",
+		ultS*1000, fastS*1000, imp)
+	if imp < 10 {
+		t.Errorf("improvement = %.1f%%, want substantial (fault-dominated workload)", imp)
+	}
+}

@@ -1,0 +1,166 @@
+// Package watchpoint implements conditional data watchpoints — one of
+// the exception uses motivating the paper (its introduction cites
+// Wahbe's VM-based watchpoint work) — live on the simulated machine.
+//
+// The watched variable is placed in its own 1 KB logical subpage
+// (§3.2.4); the kernel's watch mode emulates each store to the watched
+// subpage with protection left intact, records the overwritten and
+// stored values in the exception frame, advances the saved PC past the
+// store, and delivers a notification to the user-level handler. The
+// handler applies an arbitrary condition (here: "new value crosses a
+// threshold") at user level, in a few microseconds per hit — the
+// workload's other stores run at full speed, and stores to *other*
+// subpages of the same hardware page are transparently emulated.
+package watchpoint
+
+import (
+	"fmt"
+
+	"uexc/internal/core"
+)
+
+// Result reports a run.
+type Result struct {
+	Hits        uint32 // stores observed on the watched variable
+	CondMatches uint32 // hits whose new value satisfied the condition
+	LastOld     uint32
+	LastNew     uint32
+	Final       uint32 // final value of the watched variable
+	Cycles      uint64
+}
+
+// program: watch one word; the workload stores i*3 into it n times
+// (plus decoy stores to a neighboring subpage and an unrelated page).
+// The condition counts new values above threshold.
+func program(n int, threshold uint32) string {
+	return fmt.Sprintf(`
+	.equ N, %d
+	.equ THRESH, %d
+main:
+	addiu sp, sp, -8
+	sw    ra, 0(sp)
+	la    t0, watch_handler
+	la    t1, __fexc_chandler
+	sw    t0, 0(t1)
+	la    a0, __fexc_low
+	li    a1, (1<<1)|(1<<2)|(1<<3)
+	jal   __uexc_enable
+	nop
+	li    a0, 1                # enable watch mode
+	li    v0, SYS_uexc_watch
+	syscall
+	nop
+	li    a0, 8192
+	li    v0, SYS_sbrk
+	syscall
+	nop
+	move  s1, v0               # watched variable lives at s1
+	sw    zero, 0(s1)
+	la    t0, watched_at
+	sw    s1, 0(t0)
+	move  a0, s1               # arm: protect the watched subpage
+	li    a1, 1024
+	li    a2, 0
+	li    v0, SYS_subpage
+	syscall
+	nop
+
+	li    s0, N
+	li    s2, 0
+loop:
+	# workload: a store to the watched variable...
+	addiu s2, s2, 3
+	sw    s2, 0(s1)            # watched: emulated + notified
+	# ...plus decoys that must not notify:
+	sw    s2, 2048(s1)         # same hardware page, unwatched subpage
+	la    t0, scratch
+	sw    s2, 0(t0)            # unrelated page
+	addiu s0, s0, -1
+	bnez  s0, loop
+	nop
+
+	lw    t0, 0(s1)            # read back the watched variable
+	la    t1, final_val
+	sw    t0, 0(t1)
+	lw    ra, 0(sp)
+	addiu sp, sp, 8
+	li    v0, 0
+	jr    ra
+	nop
+
+# The watchpoint handler: a0 = frame. Old value at 0x48, new at 0x4c,
+# watched address in FrBadVAddr (0x08). The kernel already advanced the
+# frame PC past the store; just observe and return.
+watch_handler:
+	la    t6, hit_count
+	lw    t7, 0(t6)
+	nop
+	addiu t7, t7, 1
+	sw    t7, 0(t6)
+	lw    t7, 0x48(a0)         # old value
+	la    t6, last_old
+	sw    t7, 0(t6)
+	lw    t7, 0x4c(a0)         # new value
+	la    t6, last_new
+	sw    t7, 0(t6)
+	# conditional part: count new values above THRESH
+	li    t6, THRESH
+	sltu  t6, t6, t7
+	beqz  t6, done
+	nop
+	la    t6, cond_count
+	lw    t7, 0(t6)
+	nop
+	addiu t7, t7, 1
+	sw    t7, 0(t6)
+done:
+	jr    ra
+	nop
+
+	.align 4
+watched_at:
+	.word 0
+hit_count:
+	.word 0
+cond_count:
+	.word 0
+last_old:
+	.word 0
+last_new:
+	.word 0
+final_val:
+	.word 0
+scratch:
+	.word 0
+`, n, threshold)
+}
+
+// Run executes n watched stores (values 3, 6, ..., 3n) with the given
+// condition threshold.
+func Run(n int, threshold uint32) (Result, error) {
+	if n < 1 || n > 50_000 {
+		return Result{}, fmt.Errorf("watchpoint: n %d out of range", n)
+	}
+	m, err := core.NewMachine()
+	if err != nil {
+		return Result{}, err
+	}
+	if err := m.LoadProgram(program(n, threshold)); err != nil {
+		return Result{}, err
+	}
+	if err := m.Run(500_000_000); err != nil {
+		return Result{}, err
+	}
+	read := func(sym string) uint32 {
+		v, _ := m.K.ReadUserWord(m.Sym(sym))
+		return v
+	}
+	return Result{
+		Hits:        read("hit_count"),
+		CondMatches: read("cond_count"),
+		LastOld:     read("last_old"),
+		LastNew:     read("last_new"),
+		Final:       read("final_val"),
+		Cycles:      m.CPU().Cycles,
+	}, nil
+}

@@ -1,0 +1,57 @@
+package watchpoint
+
+import "testing"
+
+func TestWatchpointObservesEveryStore(t *testing.T) {
+	const n = 20
+	r, err := Run(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Hits != n {
+		t.Errorf("hits = %d, want %d (every watched store notified)", r.Hits, n)
+	}
+	if r.Final != 3*n {
+		t.Errorf("final = %d, want %d (emulated stores landed)", r.Final, 3*n)
+	}
+	if r.LastOld != 3*(n-1) || r.LastNew != 3*n {
+		t.Errorf("last transition = %d -> %d, want %d -> %d",
+			r.LastOld, r.LastNew, 3*(n-1), 3*n)
+	}
+	// Threshold 0: every stored value (3, 6, ...) is above it.
+	if r.CondMatches != n {
+		t.Errorf("cond matches = %d, want %d", r.CondMatches, n)
+	}
+}
+
+func TestConditionalCounting(t *testing.T) {
+	// Values 3..30; condition new > 15 matches 18, 21, 24, 27, 30.
+	r, err := Run(10, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Hits != 10 {
+		t.Errorf("hits = %d, want 10", r.Hits)
+	}
+	if r.CondMatches != 5 {
+		t.Errorf("cond matches = %d, want 5", r.CondMatches)
+	}
+}
+
+func TestWatchpointStaysArmed(t *testing.T) {
+	// The defining property vs plain subpage delivery: no re-arming
+	// syscalls anywhere, yet every store is seen.
+	r, err := Run(100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Hits != 100 {
+		t.Errorf("hits = %d, want 100 (watchpoint must stay armed)", r.Hits)
+	}
+}
+
+func TestBounds(t *testing.T) {
+	if _, err := Run(0, 0); err == nil {
+		t.Error("Run(0) succeeded")
+	}
+}

@@ -1,0 +1,294 @@
+// Package arch defines the instruction-set architecture of the simulated
+// machine: an R3000-like 32-bit RISC with branch delay slots, a
+// coprocessor-0 system-control interface, and a small SPECIAL2 extension
+// space carrying the paper's proposed hardware support (exception-target
+// register access, user TLB-protection modification) plus a simulator
+// kernel-call escape.
+//
+// The package is pure data and arithmetic: instruction word layouts,
+// register names, encode/decode between 32-bit words and a structured
+// Inst form, and a disassembler. Execution semantics live in
+// package cpu.
+package arch
+
+import "fmt"
+
+// Reg names a general-purpose register r0..r31.
+type Reg uint8
+
+// Conventional MIPS register assignments, used by the assembler and the
+// simulated kernel/user runtime.
+const (
+	RegZero Reg = 0 // hardwired zero
+	RegAT   Reg = 1 // assembler temporary
+	RegV0   Reg = 2 // results
+	RegV1   Reg = 3
+	RegA0   Reg = 4 // arguments
+	RegA1   Reg = 5
+	RegA2   Reg = 6
+	RegA3   Reg = 7
+	RegT0   Reg = 8 // caller-saved temporaries
+	RegT1   Reg = 9
+	RegT2   Reg = 10
+	RegT3   Reg = 11
+	RegT4   Reg = 12
+	RegT5   Reg = 13
+	RegT6   Reg = 14
+	RegT7   Reg = 15
+	RegS0   Reg = 16 // callee-saved
+	RegS1   Reg = 17
+	RegS2   Reg = 18
+	RegS3   Reg = 19
+	RegS4   Reg = 20
+	RegS5   Reg = 21
+	RegS6   Reg = 22
+	RegS7   Reg = 23
+	RegT8   Reg = 24
+	RegT9   Reg = 25
+	RegK0   Reg = 26 // kernel scratch (trashed on exception entry)
+	RegK1   Reg = 27
+	RegGP   Reg = 28
+	RegSP   Reg = 29
+	RegFP   Reg = 30 // also s8
+	RegRA   Reg = 31
+)
+
+// RegNames maps register number to canonical ABI name.
+var RegNames = [32]string{
+	"zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+	"t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+	"s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+	"t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+}
+
+// String returns the ABI name of the register ("v0", "sp", ...).
+func (r Reg) String() string {
+	if r < 32 {
+		return RegNames[r]
+	}
+	return fmt.Sprintf("r%d?", uint8(r))
+}
+
+// Top-level opcode field values (bits 31:26).
+const (
+	OpSpecial  uint32 = 0
+	OpRegimm   uint32 = 1
+	OpJ        uint32 = 2
+	OpJAL      uint32 = 3
+	OpBEQ      uint32 = 4
+	OpBNE      uint32 = 5
+	OpBLEZ     uint32 = 6
+	OpBGTZ     uint32 = 7
+	OpADDI     uint32 = 8
+	OpADDIU    uint32 = 9
+	OpSLTI     uint32 = 10
+	OpSLTIU    uint32 = 11
+	OpANDI     uint32 = 12
+	OpORI      uint32 = 13
+	OpXORI     uint32 = 14
+	OpLUI      uint32 = 15
+	OpCOP0     uint32 = 16
+	OpSpecial2 uint32 = 28
+	OpLB       uint32 = 32
+	OpLH       uint32 = 33
+	OpLWL      uint32 = 34
+	OpLW       uint32 = 35
+	OpLBU      uint32 = 36
+	OpLHU      uint32 = 37
+	OpLWR      uint32 = 38
+	OpSB       uint32 = 40
+	OpSH       uint32 = 41
+	OpSWL      uint32 = 42
+	OpSW       uint32 = 43
+	OpSWR      uint32 = 46
+)
+
+// SPECIAL function field values (bits 5:0 when op == OpSpecial).
+const (
+	FnSLL     uint32 = 0
+	FnSRL     uint32 = 2
+	FnSRA     uint32 = 3
+	FnSLLV    uint32 = 4
+	FnSRLV    uint32 = 6
+	FnSRAV    uint32 = 7
+	FnJR      uint32 = 8
+	FnJALR    uint32 = 9
+	FnSYSCALL uint32 = 12
+	FnBREAK   uint32 = 13
+	FnMFHI    uint32 = 16
+	FnMTHI    uint32 = 17
+	FnMFLO    uint32 = 18
+	FnMTLO    uint32 = 19
+	FnMULT    uint32 = 24
+	FnMULTU   uint32 = 25
+	FnDIV     uint32 = 26
+	FnDIVU    uint32 = 27
+	FnADD     uint32 = 32
+	FnADDU    uint32 = 33
+	FnSUB     uint32 = 34
+	FnSUBU    uint32 = 35
+	FnAND     uint32 = 36
+	FnOR      uint32 = 37
+	FnXOR     uint32 = 38
+	FnNOR     uint32 = 39
+	FnSLT     uint32 = 42
+	FnSLTU    uint32 = 43
+)
+
+// REGIMM rt-field values (bits 20:16 when op == OpRegimm).
+const (
+	RtBLTZ   uint32 = 0
+	RtBGEZ   uint32 = 1
+	RtBLTZAL uint32 = 16
+	RtBGEZAL uint32 = 17
+)
+
+// COP0 rs-field values and CO-space function values.
+const (
+	Cop0MF uint32 = 0  // mfc0
+	Cop0MT uint32 = 4  // mtc0
+	Cop0CO uint32 = 16 // bit 25 set: co-processor operation, funct selects
+
+	CoTLBR  uint32 = 1
+	CoTLBWI uint32 = 2
+	CoTLBWR uint32 = 6
+	CoTLBP  uint32 = 8
+	CoRFE   uint32 = 16
+)
+
+// SPECIAL2 function field values: the extension space. HCALL is a
+// simulator escape valid only in kernel mode; MFXT/MTXT/XRET and UTLBMOD
+// implement the paper's proposed hardware support (Section 2).
+const (
+	FnHCALL   uint32 = 0 // hcall code      : kernel call into host model
+	FnMFXT    uint32 = 1 // mfxt rd         : read exception-target register
+	FnMTXT    uint32 = 2 // mtxt rs         : write exception-target register
+	FnUTLBMOD uint32 = 3 // utlbmod rs, rt  : user protection update of TLB entry
+	FnXRET    uint32 = 4 // xret            : exchange PC and exception-target
+	FnMFXC    uint32 = 5 // mfxc rd         : read exception-condition register
+	FnMFXB    uint32 = 6 // mfxb rd         : read second condition register (bad address)
+)
+
+// CP0 register numbers.
+const (
+	C0Index    = 0
+	C0Random   = 1
+	C0EntryLo  = 2
+	C0Context  = 4
+	C0BadVAddr = 8
+	C0EntryHi  = 10
+	C0Status   = 12
+	C0Cause    = 13
+	C0EPC      = 14
+	C0PRId     = 15
+)
+
+// C0Names maps CP0 register numbers to names for the assembler and
+// disassembler. Unlisted numbers render numerically.
+var C0Names = map[uint8]string{
+	C0Index:    "c0_index",
+	C0Random:   "c0_random",
+	C0EntryLo:  "c0_entrylo",
+	C0Context:  "c0_context",
+	C0BadVAddr: "c0_badvaddr",
+	C0EntryHi:  "c0_entryhi",
+	C0Status:   "c0_status",
+	C0Cause:    "c0_cause",
+	C0EPC:      "c0_epc",
+	C0PRId:     "c0_prid",
+}
+
+// ExcCode values stored in Cause bits 6:2 (R3000 numbering).
+const (
+	ExcInt  uint32 = 0  // interrupt (unused by this simulator)
+	ExcMod  uint32 = 1  // TLB modification (store to clean page)
+	ExcTLBL uint32 = 2  // TLB miss / invalid on load or fetch
+	ExcTLBS uint32 = 3  // TLB miss / invalid on store
+	ExcAdEL uint32 = 4  // address error on load or fetch (unaligned, kseg from user)
+	ExcAdES uint32 = 5  // address error on store
+	ExcIBE  uint32 = 6  // bus error on fetch
+	ExcDBE  uint32 = 7  // bus error on data access
+	ExcSys  uint32 = 8  // syscall
+	ExcBp   uint32 = 9  // breakpoint
+	ExcRI   uint32 = 10 // reserved instruction
+	ExcCpU  uint32 = 11 // coprocessor unusable
+	ExcOv   uint32 = 12 // arithmetic overflow
+)
+
+// ExcName returns the conventional name of an exception code.
+func ExcName(code uint32) string {
+	names := [...]string{
+		"Int", "Mod", "TLBL", "TLBS", "AdEL", "AdES", "IBE", "DBE",
+		"Sys", "Bp", "RI", "CpU", "Ov",
+	}
+	if int(code) < len(names) {
+		return names[code]
+	}
+	return fmt.Sprintf("Exc%d", code)
+}
+
+// Status register bit assignments (R3000 KU/IE stack plus the paper's
+// proposed UEX bit marking "user-mode exception in progress").
+const (
+	SrIEc uint32 = 1 << 0 // current interrupt enable
+	SrKUc uint32 = 1 << 1 // current mode: 1 = user
+	SrIEp uint32 = 1 << 2 // previous
+	SrKUp uint32 = 1 << 3
+	SrIEo uint32 = 1 << 4 // old
+	SrKUo uint32 = 1 << 5
+	SrUEX uint32 = 1 << 16 // user-level exception in progress (proposed hw)
+	SrBEV uint32 = 1 << 22 // boot exception vectors (unused, reset default off)
+)
+
+// Cause register fields.
+const (
+	CauseExcShift = 2
+	CauseExcMask  = 0x1f << CauseExcShift
+	CauseBD       = 1 << 31 // exception occurred in a branch delay slot
+)
+
+// Memory segmentation (R3000 virtual map).
+const (
+	KUSegBase uint32 = 0x00000000 // user, TLB-mapped
+	KUSegTop  uint32 = 0x7fffffff
+	KSeg0Base uint32 = 0x80000000 // kernel, unmapped, cached
+	KSeg0Top  uint32 = 0x9fffffff
+	KSeg1Base uint32 = 0xa0000000 // kernel, unmapped, uncached
+	KSeg1Top  uint32 = 0xbfffffff
+	KSeg2Base uint32 = 0xc0000000 // kernel, TLB-mapped
+)
+
+// Exception vector addresses (R3000, BEV=0).
+const (
+	VecUTLBMiss uint32 = 0x80000000 // user TLB refill fast vector
+	VecGeneral  uint32 = 0x80000080 // everything else
+	VecReset    uint32 = 0xbfc00000
+)
+
+// PageSize is the hardware page size (and protection granularity), 4 KB
+// as on the MIPS R3000. SubpageSize is the paper's 1 KB logical page.
+const (
+	PageSize    = 4096
+	PageShift   = 12
+	SubpageSize = 1024
+	SubpageLog  = 10
+	SubPerPage  = PageSize / SubpageSize
+)
+
+// InKUSeg reports whether va lies in the user-mapped segment.
+func InKUSeg(va uint32) bool { return va <= KUSegTop }
+
+// InKSeg0 reports whether va lies in the unmapped cached kernel segment.
+func InKSeg0(va uint32) bool { return va >= KSeg0Base && va <= KSeg0Top }
+
+// InKSeg1 reports whether va lies in the unmapped uncached kernel segment.
+func InKSeg1(va uint32) bool { return va >= KSeg1Base && va <= KSeg1Top }
+
+// KSegPhys translates a kseg0/kseg1 virtual address to its fixed
+// physical address.
+func KSegPhys(va uint32) uint32 {
+	if InKSeg0(va) {
+		return va - KSeg0Base
+	}
+	return va - KSeg1Base
+}

@@ -1,0 +1,472 @@
+package arch
+
+import "fmt"
+
+// Mn identifies an instruction mnemonic.
+type Mn uint8
+
+// All mnemonics understood by the machine. The zero value MnInvalid
+// marks undecodable words (reserved-instruction exceptions).
+const (
+	MnInvalid Mn = iota
+
+	// SPECIAL
+	MnSLL
+	MnSRL
+	MnSRA
+	MnSLLV
+	MnSRLV
+	MnSRAV
+	MnJR
+	MnJALR
+	MnSYSCALL
+	MnBREAK
+	MnMFHI
+	MnMTHI
+	MnMFLO
+	MnMTLO
+	MnMULT
+	MnMULTU
+	MnDIV
+	MnDIVU
+	MnADD
+	MnADDU
+	MnSUB
+	MnSUBU
+	MnAND
+	MnOR
+	MnXOR
+	MnNOR
+	MnSLT
+	MnSLTU
+
+	// REGIMM
+	MnBLTZ
+	MnBGEZ
+	MnBLTZAL
+	MnBGEZAL
+
+	// immediates / jumps / branches
+	MnJ
+	MnJAL
+	MnBEQ
+	MnBNE
+	MnBLEZ
+	MnBGTZ
+	MnADDI
+	MnADDIU
+	MnSLTI
+	MnSLTIU
+	MnANDI
+	MnORI
+	MnXORI
+	MnLUI
+
+	// COP0
+	MnMFC0
+	MnMTC0
+	MnTLBR
+	MnTLBWI
+	MnTLBWR
+	MnTLBP
+	MnRFE
+
+	// loads/stores
+	MnLB
+	MnLH
+	MnLWL
+	MnLW
+	MnLBU
+	MnLHU
+	MnLWR
+	MnSB
+	MnSH
+	MnSWL
+	MnSW
+	MnSWR
+
+	// SPECIAL2 extensions
+	MnHCALL
+	MnMFXT
+	MnMTXT
+	MnUTLBMOD
+	MnXRET
+	MnMFXC
+	MnMFXB
+
+	mnCount
+)
+
+// Format describes the operand shape of a mnemonic, shared by the
+// assembler, encoder, decoder, and disassembler.
+type Format uint8
+
+const (
+	FmtNone      Format = iota // syscall/break without code, rfe, tlb ops, xret
+	FmtRdRsRt                  // add rd, rs, rt
+	FmtRdRtSa                  // sll rd, rt, shamt
+	FmtRdRtRs                  // sllv rd, rt, rs
+	FmtRs                      // jr rs / mthi rs / mtxt rs
+	FmtRdRs                    // jalr rd, rs
+	FmtRd                      // mfhi rd / mfxt rd / mfxc rd
+	FmtRsRt                    // mult rs, rt / utlbmod rs, rt
+	FmtRtRsImm                 // addi rt, rs, imm
+	FmtRtImm                   // lui rt, imm
+	FmtRsRtOff                 // beq rs, rt, off
+	FmtRsOff                   // bltz rs, off / blez rs, off
+	FmtRtOffBase               // lw rt, off(rs)
+	FmtTarget                  // j target
+	FmtCode                    // syscall code / break code / hcall code
+	FmtRtC0                    // mfc0 rt, c0reg / mtc0 rt, c0reg
+)
+
+// spec records how a mnemonic maps to bits.
+type spec struct {
+	name string
+	fmt  Format
+	// class discriminates the encoding family.
+	class class
+	op    uint32 // top-level opcode
+	fn    uint32 // funct (SPECIAL/SPECIAL2/COP0-CO) or rt (REGIMM) or rs (COP0 MF/MT)
+}
+
+type class uint8
+
+const (
+	clSpecial class = iota
+	clRegimm
+	clImm    // op carries everything; rs/rt/imm fields
+	clJump   // 26-bit target
+	clCop0Mv // mfc0/mtc0: rs field selects, rd field is the c0 register
+	clCop0Co // CO bit set, funct selects
+	clSp2
+)
+
+var specs = [mnCount]spec{
+	MnSLL:     {"sll", FmtRdRtSa, clSpecial, OpSpecial, FnSLL},
+	MnSRL:     {"srl", FmtRdRtSa, clSpecial, OpSpecial, FnSRL},
+	MnSRA:     {"sra", FmtRdRtSa, clSpecial, OpSpecial, FnSRA},
+	MnSLLV:    {"sllv", FmtRdRtRs, clSpecial, OpSpecial, FnSLLV},
+	MnSRLV:    {"srlv", FmtRdRtRs, clSpecial, OpSpecial, FnSRLV},
+	MnSRAV:    {"srav", FmtRdRtRs, clSpecial, OpSpecial, FnSRAV},
+	MnJR:      {"jr", FmtRs, clSpecial, OpSpecial, FnJR},
+	MnJALR:    {"jalr", FmtRdRs, clSpecial, OpSpecial, FnJALR},
+	MnSYSCALL: {"syscall", FmtCode, clSpecial, OpSpecial, FnSYSCALL},
+	MnBREAK:   {"break", FmtCode, clSpecial, OpSpecial, FnBREAK},
+	MnMFHI:    {"mfhi", FmtRd, clSpecial, OpSpecial, FnMFHI},
+	MnMTHI:    {"mthi", FmtRs, clSpecial, OpSpecial, FnMTHI},
+	MnMFLO:    {"mflo", FmtRd, clSpecial, OpSpecial, FnMFLO},
+	MnMTLO:    {"mtlo", FmtRs, clSpecial, OpSpecial, FnMTLO},
+	MnMULT:    {"mult", FmtRsRt, clSpecial, OpSpecial, FnMULT},
+	MnMULTU:   {"multu", FmtRsRt, clSpecial, OpSpecial, FnMULTU},
+	MnDIV:     {"div", FmtRsRt, clSpecial, OpSpecial, FnDIV},
+	MnDIVU:    {"divu", FmtRsRt, clSpecial, OpSpecial, FnDIVU},
+	MnADD:     {"add", FmtRdRsRt, clSpecial, OpSpecial, FnADD},
+	MnADDU:    {"addu", FmtRdRsRt, clSpecial, OpSpecial, FnADDU},
+	MnSUB:     {"sub", FmtRdRsRt, clSpecial, OpSpecial, FnSUB},
+	MnSUBU:    {"subu", FmtRdRsRt, clSpecial, OpSpecial, FnSUBU},
+	MnAND:     {"and", FmtRdRsRt, clSpecial, OpSpecial, FnAND},
+	MnOR:      {"or", FmtRdRsRt, clSpecial, OpSpecial, FnOR},
+	MnXOR:     {"xor", FmtRdRsRt, clSpecial, OpSpecial, FnXOR},
+	MnNOR:     {"nor", FmtRdRsRt, clSpecial, OpSpecial, FnNOR},
+	MnSLT:     {"slt", FmtRdRsRt, clSpecial, OpSpecial, FnSLT},
+	MnSLTU:    {"sltu", FmtRdRsRt, clSpecial, OpSpecial, FnSLTU},
+
+	MnBLTZ:   {"bltz", FmtRsOff, clRegimm, OpRegimm, RtBLTZ},
+	MnBGEZ:   {"bgez", FmtRsOff, clRegimm, OpRegimm, RtBGEZ},
+	MnBLTZAL: {"bltzal", FmtRsOff, clRegimm, OpRegimm, RtBLTZAL},
+	MnBGEZAL: {"bgezal", FmtRsOff, clRegimm, OpRegimm, RtBGEZAL},
+
+	MnJ:     {"j", FmtTarget, clJump, OpJ, 0},
+	MnJAL:   {"jal", FmtTarget, clJump, OpJAL, 0},
+	MnBEQ:   {"beq", FmtRsRtOff, clImm, OpBEQ, 0},
+	MnBNE:   {"bne", FmtRsRtOff, clImm, OpBNE, 0},
+	MnBLEZ:  {"blez", FmtRsOff, clImm, OpBLEZ, 0},
+	MnBGTZ:  {"bgtz", FmtRsOff, clImm, OpBGTZ, 0},
+	MnADDI:  {"addi", FmtRtRsImm, clImm, OpADDI, 0},
+	MnADDIU: {"addiu", FmtRtRsImm, clImm, OpADDIU, 0},
+	MnSLTI:  {"slti", FmtRtRsImm, clImm, OpSLTI, 0},
+	MnSLTIU: {"sltiu", FmtRtRsImm, clImm, OpSLTIU, 0},
+	MnANDI:  {"andi", FmtRtRsImm, clImm, OpANDI, 0},
+	MnORI:   {"ori", FmtRtRsImm, clImm, OpORI, 0},
+	MnXORI:  {"xori", FmtRtRsImm, clImm, OpXORI, 0},
+	MnLUI:   {"lui", FmtRtImm, clImm, OpLUI, 0},
+
+	MnMFC0:  {"mfc0", FmtRtC0, clCop0Mv, OpCOP0, Cop0MF},
+	MnMTC0:  {"mtc0", FmtRtC0, clCop0Mv, OpCOP0, Cop0MT},
+	MnTLBR:  {"tlbr", FmtNone, clCop0Co, OpCOP0, CoTLBR},
+	MnTLBWI: {"tlbwi", FmtNone, clCop0Co, OpCOP0, CoTLBWI},
+	MnTLBWR: {"tlbwr", FmtNone, clCop0Co, OpCOP0, CoTLBWR},
+	MnTLBP:  {"tlbp", FmtNone, clCop0Co, OpCOP0, CoTLBP},
+	MnRFE:   {"rfe", FmtNone, clCop0Co, OpCOP0, CoRFE},
+
+	MnLB:  {"lb", FmtRtOffBase, clImm, OpLB, 0},
+	MnLH:  {"lh", FmtRtOffBase, clImm, OpLH, 0},
+	MnLWL: {"lwl", FmtRtOffBase, clImm, OpLWL, 0},
+	MnLW:  {"lw", FmtRtOffBase, clImm, OpLW, 0},
+	MnLBU: {"lbu", FmtRtOffBase, clImm, OpLBU, 0},
+	MnLHU: {"lhu", FmtRtOffBase, clImm, OpLHU, 0},
+	MnLWR: {"lwr", FmtRtOffBase, clImm, OpLWR, 0},
+	MnSB:  {"sb", FmtRtOffBase, clImm, OpSB, 0},
+	MnSH:  {"sh", FmtRtOffBase, clImm, OpSH, 0},
+	MnSWL: {"swl", FmtRtOffBase, clImm, OpSWL, 0},
+	MnSW:  {"sw", FmtRtOffBase, clImm, OpSW, 0},
+	MnSWR: {"swr", FmtRtOffBase, clImm, OpSWR, 0},
+
+	MnHCALL:   {"hcall", FmtCode, clSp2, OpSpecial2, FnHCALL},
+	MnMFXT:    {"mfxt", FmtRd, clSp2, OpSpecial2, FnMFXT},
+	MnMTXT:    {"mtxt", FmtRs, clSp2, OpSpecial2, FnMTXT},
+	MnUTLBMOD: {"utlbmod", FmtRsRt, clSp2, OpSpecial2, FnUTLBMOD},
+	MnXRET:    {"xret", FmtNone, clSp2, OpSpecial2, FnXRET},
+	MnMFXC:    {"mfxc", FmtRd, clSp2, OpSpecial2, FnMFXC},
+	MnMFXB:    {"mfxb", FmtRd, clSp2, OpSpecial2, FnMFXB},
+}
+
+// Name returns the assembler mnemonic ("addu", "tlbwi", ...).
+func (m Mn) Name() string {
+	if m < mnCount {
+		return specs[m].name
+	}
+	return fmt.Sprintf("mn%d?", uint8(m))
+}
+
+// FormatOf returns the operand format of m.
+func FormatOf(m Mn) Format { return specs[m].fmt }
+
+// ByName maps mnemonic text to Mn. Built once at init.
+var ByName = func() map[string]Mn {
+	t := make(map[string]Mn, mnCount)
+	for m := Mn(1); m < mnCount; m++ {
+		t[specs[m].name] = m
+	}
+	return t
+}()
+
+// Inst is a decoded instruction. Fields not used by the instruction's
+// format are zero.
+type Inst struct {
+	Mn     Mn
+	Rs     Reg
+	Rt     Reg
+	Rd     Reg
+	Shamt  uint8
+	Imm    uint16 // raw 16-bit immediate (sign/zero extension is per-op)
+	Target uint32 // 26-bit jump target (word index within 256 MB region)
+	Code   uint32 // 20-bit code for syscall/break/hcall
+	C0Reg  uint8  // CP0 register number for mfc0/mtc0
+}
+
+// SImm returns the sign-extended immediate.
+func (i Inst) SImm() int32 { return int32(int16(i.Imm)) }
+
+// IsBranch reports whether the instruction has a delay slot (branches
+// and jumps).
+func (i Inst) IsBranch() bool {
+	switch i.Mn {
+	case MnJ, MnJAL, MnJR, MnJALR, MnBEQ, MnBNE, MnBLEZ, MnBGTZ,
+		MnBLTZ, MnBGEZ, MnBLTZAL, MnBGEZAL:
+		return true
+	}
+	return false
+}
+
+// IsLoad reports whether the instruction reads memory.
+func (i Inst) IsLoad() bool {
+	switch i.Mn {
+	case MnLB, MnLH, MnLWL, MnLW, MnLBU, MnLHU, MnLWR:
+		return true
+	}
+	return false
+}
+
+// IsStore reports whether the instruction writes memory.
+func (i Inst) IsStore() bool {
+	switch i.Mn {
+	case MnSB, MnSH, MnSWL, MnSW, MnSWR:
+		return true
+	}
+	return false
+}
+
+// Normalize zeroes the fields of i that its mnemonic's format does not
+// use, so that instructions compare equal independent of junk in unused
+// fields. Encode normalizes implicitly.
+func Normalize(i Inst) Inst {
+	out := Inst{Mn: i.Mn}
+	switch specs[i.Mn].fmt {
+	case FmtNone:
+	case FmtRdRsRt:
+		out.Rd, out.Rs, out.Rt = i.Rd, i.Rs, i.Rt
+	case FmtRdRtSa:
+		out.Rd, out.Rt, out.Shamt = i.Rd, i.Rt, i.Shamt&31
+	case FmtRdRtRs:
+		out.Rd, out.Rt, out.Rs = i.Rd, i.Rt, i.Rs
+	case FmtRs:
+		out.Rs = i.Rs
+	case FmtRdRs:
+		out.Rd, out.Rs = i.Rd, i.Rs
+	case FmtRd:
+		out.Rd = i.Rd
+	case FmtRsRt:
+		out.Rs, out.Rt = i.Rs, i.Rt
+	case FmtRtRsImm, FmtRsRtOff:
+		out.Rs, out.Rt, out.Imm = i.Rs, i.Rt, i.Imm
+	case FmtRtImm:
+		out.Rt, out.Imm = i.Rt, i.Imm
+	case FmtRsOff:
+		out.Rs, out.Imm = i.Rs, i.Imm
+	case FmtRtOffBase:
+		out.Rt, out.Rs, out.Imm = i.Rt, i.Rs, i.Imm
+	case FmtTarget:
+		out.Target = i.Target & 0x3ffffff
+	case FmtCode:
+		out.Code = i.Code & 0xfffff
+	case FmtRtC0:
+		out.Rt, out.C0Reg = i.Rt, i.C0Reg&31
+	}
+	return out
+}
+
+// Encode packs the instruction into its 32-bit word. Fields the
+// mnemonic's format does not use are ignored.
+func Encode(i Inst) uint32 {
+	i = Normalize(i)
+	s := specs[i.Mn]
+	switch s.class {
+	case clSpecial:
+		w := s.op<<26 | uint32(i.Rs)<<21 | uint32(i.Rt)<<16 |
+			uint32(i.Rd)<<11 | uint32(i.Shamt)<<6 | s.fn
+		if s.fmt == FmtCode {
+			// syscall/break: 20-bit code in bits 25:6
+			w = s.op<<26 | (i.Code&0xfffff)<<6 | s.fn
+		}
+		return w
+	case clRegimm:
+		return s.op<<26 | uint32(i.Rs)<<21 | s.fn<<16 | uint32(i.Imm)
+	case clImm:
+		return s.op<<26 | uint32(i.Rs)<<21 | uint32(i.Rt)<<16 | uint32(i.Imm)
+	case clJump:
+		return s.op<<26 | (i.Target & 0x3ffffff)
+	case clCop0Mv:
+		return s.op<<26 | s.fn<<21 | uint32(i.Rt)<<16 | uint32(i.C0Reg)<<11
+	case clCop0Co:
+		return s.op<<26 | 1<<25 | s.fn
+	case clSp2:
+		if s.fmt == FmtCode {
+			return s.op<<26 | (i.Code&0xfffff)<<6 | s.fn
+		}
+		return s.op<<26 | uint32(i.Rs)<<21 | uint32(i.Rt)<<16 |
+			uint32(i.Rd)<<11 | s.fn
+	}
+	panic("arch: unreachable encode class")
+}
+
+// Decode unpacks a 32-bit instruction word. Undecodable words return an
+// Inst with Mn == MnInvalid; the CPU raises a reserved-instruction
+// exception for those.
+func Decode(w uint32) Inst {
+	op := w >> 26
+	rs := Reg(w >> 21 & 31)
+	rt := Reg(w >> 16 & 31)
+	rd := Reg(w >> 11 & 31)
+	sh := uint8(w >> 6 & 31)
+	imm := uint16(w)
+	fn := w & 63
+
+	switch op {
+	case OpSpecial:
+		m := specialByFn[fn]
+		if m == MnInvalid {
+			return Inst{}
+		}
+		if m == MnSYSCALL || m == MnBREAK {
+			return Inst{Mn: m, Code: w >> 6 & 0xfffff}
+		}
+		return Inst{Mn: m, Rs: rs, Rt: rt, Rd: rd, Shamt: sh}
+	case OpRegimm:
+		switch uint32(rt) {
+		case RtBLTZ:
+			return Inst{Mn: MnBLTZ, Rs: rs, Imm: imm}
+		case RtBGEZ:
+			return Inst{Mn: MnBGEZ, Rs: rs, Imm: imm}
+		case RtBLTZAL:
+			return Inst{Mn: MnBLTZAL, Rs: rs, Imm: imm}
+		case RtBGEZAL:
+			return Inst{Mn: MnBGEZAL, Rs: rs, Imm: imm}
+		}
+		return Inst{}
+	case OpJ, OpJAL:
+		m := MnJ
+		if op == OpJAL {
+			m = MnJAL
+		}
+		return Inst{Mn: m, Target: w & 0x3ffffff}
+	case OpCOP0:
+		if w&(1<<25) != 0 {
+			switch fn {
+			case CoTLBR:
+				return Inst{Mn: MnTLBR}
+			case CoTLBWI:
+				return Inst{Mn: MnTLBWI}
+			case CoTLBWR:
+				return Inst{Mn: MnTLBWR}
+			case CoTLBP:
+				return Inst{Mn: MnTLBP}
+			case CoRFE:
+				return Inst{Mn: MnRFE}
+			}
+			return Inst{}
+		}
+		switch uint32(rs) {
+		case Cop0MF:
+			return Inst{Mn: MnMFC0, Rt: rt, C0Reg: uint8(rd)}
+		case Cop0MT:
+			return Inst{Mn: MnMTC0, Rt: rt, C0Reg: uint8(rd)}
+		}
+		return Inst{}
+	case OpSpecial2:
+		switch fn {
+		case FnHCALL:
+			return Inst{Mn: MnHCALL, Code: w >> 6 & 0xfffff}
+		case FnMFXT:
+			return Inst{Mn: MnMFXT, Rd: rd}
+		case FnMTXT:
+			return Inst{Mn: MnMTXT, Rs: rs}
+		case FnUTLBMOD:
+			return Inst{Mn: MnUTLBMOD, Rs: rs, Rt: rt}
+		case FnXRET:
+			return Inst{Mn: MnXRET}
+		case FnMFXC:
+			return Inst{Mn: MnMFXC, Rd: rd}
+		case FnMFXB:
+			return Inst{Mn: MnMFXB, Rd: rd}
+		}
+		return Inst{}
+	default:
+		m := immByOp[op]
+		if m == MnInvalid {
+			return Inst{}
+		}
+		return Inst{Mn: m, Rs: rs, Rt: rt, Imm: imm}
+	}
+}
+
+var specialByFn = func() [64]Mn {
+	var t [64]Mn
+	for m := Mn(1); m < mnCount; m++ {
+		if specs[m].class == clSpecial {
+			t[specs[m].fn] = m
+		}
+	}
+	return t
+}()
+
+var immByOp = func() [64]Mn {
+	var t [64]Mn
+	for m := Mn(1); m < mnCount; m++ {
+		if specs[m].class == clImm {
+			t[specs[m].op] = m
+		}
+	}
+	return t
+}()

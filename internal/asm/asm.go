@@ -1,0 +1,509 @@
+// Package asm implements a two-pass assembler for the simulated
+// machine's ISA (internal/arch). It supports labels, constant
+// expressions, the usual data directives, and a small set of
+// pseudo-instructions, producing a relocated memory image plus a symbol
+// table.
+//
+// The simulated kernel, the user-mode runtime, and every microbenchmark
+// program in this repository are written in this assembly language, so
+// that the costs the benchmarks report are measured by executing real
+// instruction sequences rather than asserted as constants.
+//
+// Syntax summary:
+//
+//	# comment, // comment, ; comment
+//	label:                      ; labels may share a line with a statement
+//	        .org  0x80000080    ; set location counter
+//	        .word expr, expr    ; 32-bit data (also .half, .byte)
+//	        .asciiz "text"      ; NUL-terminated string (also .ascii)
+//	        .align 4            ; pad to 2^n... no: pad to n-byte boundary
+//	        .space 64           ; reserve zeroed bytes
+//	        .equ  name, expr    ; define a constant
+//	        addu  v0, a0, a1    ; registers with or without '$'
+//	        lw    t0, 8(sp)     ; loads/stores
+//	        beq   a0, zero, lab ; branch targets are labels/expressions
+//	        li    t0, 0x12345678; pseudo: lui+ori (always 8 bytes)
+//	        la    t0, buffer    ; pseudo: lui+ori (always 8 bytes)
+//	        mfc0  k0, c0_cause  ; CP0 registers by name or $number
+package asm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"uexc/internal/arch"
+)
+
+// Chunk is a contiguous span of assembled bytes.
+type Chunk struct {
+	Addr uint32
+	Data []byte
+}
+
+// Program is the result of assembling one source unit.
+type Program struct {
+	Chunks  []Chunk
+	Symbols map[string]uint32
+}
+
+// Symbol returns the value of a defined symbol.
+func (p *Program) Symbol(name string) (uint32, bool) {
+	v, ok := p.Symbols[name]
+	return v, ok
+}
+
+// MustSymbol returns the value of a symbol that must exist; it panics
+// otherwise (used by the kernel builder for its own labels).
+func (p *Program) MustSymbol(name string) uint32 {
+	v, ok := p.Symbols[name]
+	if !ok {
+		panic(fmt.Sprintf("asm: undefined symbol %q", name))
+	}
+	return v
+}
+
+// Extent returns the lowest address and the total end address of the
+// image (end of the highest chunk).
+func (p *Program) Extent() (lo, end uint32) {
+	if len(p.Chunks) == 0 {
+		return 0, 0
+	}
+	lo = p.Chunks[0].Addr
+	for _, c := range p.Chunks {
+		if c.Addr < lo {
+			lo = c.Addr
+		}
+		if e := c.Addr + uint32(len(c.Data)); e > end {
+			end = e
+		}
+	}
+	return lo, end
+}
+
+// Error is an assembly diagnostic carrying the source line number.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+// stmt is one parsed statement awaiting encoding.
+type stmt struct {
+	line     int
+	addr     uint32
+	size     uint32
+	mnemonic string   // instruction or directive (with '.')
+	ops      []string // raw operand texts
+}
+
+// Assemble assembles source text with the location counter initially at
+// origin (overridable by .org).
+func Assemble(src string, origin uint32) (*Program, error) {
+	p, _, err := AssembleWithListing(src, origin)
+	return p, err
+}
+
+// ListEntry describes one assembled statement for listings.
+type ListEntry struct {
+	Line int    // 1-based source line
+	Addr uint32 // location-counter value
+	Size uint32 // bytes emitted
+	Text string // canonical statement text
+}
+
+// AssembleWithListing assembles and additionally returns a per-statement
+// listing (address, size, and canonical text, in source order).
+func AssembleWithListing(src string, origin uint32) (*Program, []ListEntry, error) {
+	a := &assembler{
+		syms:   make(map[string]uint32),
+		origin: origin,
+	}
+	if err := a.pass1(src); err != nil {
+		return nil, nil, err
+	}
+	if err := a.pass2(); err != nil {
+		return nil, nil, err
+	}
+	listing := make([]ListEntry, 0, len(a.stmts))
+	for _, st := range a.stmts {
+		text := st.mnemonic
+		if len(st.ops) > 0 {
+			text += " " + strings.Join(st.ops, ", ")
+		}
+		listing = append(listing, ListEntry{Line: st.line, Addr: st.addr, Size: st.size, Text: text})
+	}
+	return &Program{Chunks: a.finishChunks(), Symbols: a.syms}, listing, nil
+}
+
+type assembler struct {
+	syms   map[string]uint32
+	origin uint32
+	stmts  []stmt
+
+	// pass-2 output: per-address bytes, merged into chunks at the end.
+	bytes map[uint32]byte
+}
+
+func errf(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// pass1 splits lines, defines labels and .equ constants, and assigns
+// addresses using fixed statement sizes.
+func (a *assembler) pass1(src string) error {
+	pc := a.origin
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := stripComment(raw)
+		// Peel labels (there may be several on one line).
+		for {
+			trimmed := strings.TrimSpace(line)
+			idx := labelSplit(trimmed)
+			if idx < 0 {
+				line = trimmed
+				break
+			}
+			name := strings.TrimSpace(trimmed[:idx])
+			if !validSymbol(name) {
+				return errf(lineNo+1, "bad label %q", name)
+			}
+			if _, dup := a.syms[name]; dup {
+				return errf(lineNo+1, "duplicate symbol %q", name)
+			}
+			a.syms[name] = pc
+			line = trimmed[idx+1:]
+		}
+		if line == "" {
+			continue
+		}
+		mn, ops := splitStmt(line)
+		s := stmt{line: lineNo + 1, addr: pc, mnemonic: mn, ops: ops}
+
+		size, err := a.stmtSize(&s, &pc)
+		if err != nil {
+			return err
+		}
+		s.size = size
+		if size > 0 || mn == ".space" || mn == ".align" {
+			a.stmts = append(a.stmts, s)
+		}
+		pc += size
+	}
+	return nil
+}
+
+// stmtSize returns the byte size of a statement; .org mutates pc
+// directly and .equ defines a symbol.
+func (a *assembler) stmtSize(s *stmt, pc *uint32) (uint32, error) {
+	switch s.mnemonic {
+	case ".org":
+		if len(s.ops) != 1 {
+			return 0, errf(s.line, ".org takes one operand")
+		}
+		v, err := evalExpr(s.ops[0], a.lookup)
+		if err != nil {
+			return 0, errf(s.line, "%v", err)
+		}
+		*pc = v
+		return 0, nil
+	case ".equ":
+		if len(s.ops) != 2 {
+			return 0, errf(s.line, ".equ takes name, value")
+		}
+		name := strings.TrimSpace(s.ops[0])
+		if !validSymbol(name) {
+			return 0, errf(s.line, "bad .equ name %q", name)
+		}
+		if _, dup := a.syms[name]; dup {
+			return 0, errf(s.line, "duplicate symbol %q", name)
+		}
+		v, err := evalExpr(s.ops[1], a.lookup)
+		if err != nil {
+			return 0, errf(s.line, "%v", err)
+		}
+		a.syms[name] = v
+		return 0, nil
+	case ".word":
+		return 4 * uint32(len(s.ops)), nil
+	case ".half":
+		return 2 * uint32(len(s.ops)), nil
+	case ".byte":
+		return uint32(len(s.ops)), nil
+	case ".ascii", ".asciiz":
+		if len(s.ops) != 1 {
+			return 0, errf(s.line, "%s takes one string", s.mnemonic)
+		}
+		str, err := parseString(s.ops[0])
+		if err != nil {
+			return 0, errf(s.line, "%v", err)
+		}
+		n := uint32(len(str))
+		if s.mnemonic == ".asciiz" {
+			n++
+		}
+		return n, nil
+	case ".align":
+		if len(s.ops) != 1 {
+			return 0, errf(s.line, ".align takes one operand")
+		}
+		n, err := evalExpr(s.ops[0], a.lookup)
+		if err != nil {
+			return 0, errf(s.line, "%v", err)
+		}
+		if n == 0 || n&(n-1) != 0 {
+			return 0, errf(s.line, ".align operand must be a power of two")
+		}
+		pad := (n - *pc%n) % n
+		return pad, nil
+	case ".space":
+		if len(s.ops) != 1 {
+			return 0, errf(s.line, ".space takes one operand")
+		}
+		n, err := evalExpr(s.ops[0], a.lookup)
+		if err != nil {
+			return 0, errf(s.line, "%v", err)
+		}
+		return n, nil
+	case ".globl", ".global", ".text", ".data", ".set":
+		return 0, nil // accepted and ignored
+	}
+	if strings.HasPrefix(s.mnemonic, ".") {
+		return 0, errf(s.line, "unknown directive %s", s.mnemonic)
+	}
+	// Instructions: fixed sizes; li/la always expand to two words so
+	// pass-1 addresses are stable.
+	switch s.mnemonic {
+	case "li", "la":
+		return 8, nil
+	}
+	if _, ok := arch.ByName[s.mnemonic]; !ok {
+		if _, pseudo := pseudoSizes[s.mnemonic]; !pseudo {
+			return 0, errf(s.line, "unknown mnemonic %q", s.mnemonic)
+		}
+	}
+	return 4, nil
+}
+
+var pseudoSizes = map[string]uint32{
+	"nop": 4, "move": 4, "b": 4, "beqz": 4, "bnez": 4, "not": 4, "neg": 4,
+}
+
+func (a *assembler) lookup(name string) (uint32, bool) {
+	v, ok := a.syms[name]
+	return v, ok
+}
+
+func (a *assembler) emitWord(addr, w uint32) {
+	a.bytes[addr] = byte(w)
+	a.bytes[addr+1] = byte(w >> 8)
+	a.bytes[addr+2] = byte(w >> 16)
+	a.bytes[addr+3] = byte(w >> 24)
+}
+
+// pass2 encodes all statements now that every symbol is known.
+func (a *assembler) pass2() error {
+	a.bytes = make(map[uint32]byte)
+	for i := range a.stmts {
+		if err := a.encodeStmt(&a.stmts[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (a *assembler) encodeStmt(s *stmt) error {
+	switch s.mnemonic {
+	case ".word":
+		for i, op := range s.ops {
+			v, err := evalExpr(op, a.lookup)
+			if err != nil {
+				return errf(s.line, "%v", err)
+			}
+			a.emitWord(s.addr+4*uint32(i), v)
+		}
+		return nil
+	case ".half":
+		for i, op := range s.ops {
+			v, err := evalExpr(op, a.lookup)
+			if err != nil {
+				return errf(s.line, "%v", err)
+			}
+			if v > 0xffff {
+				return errf(s.line, ".half value %#x too large", v)
+			}
+			addr := s.addr + 2*uint32(i)
+			a.bytes[addr] = byte(v)
+			a.bytes[addr+1] = byte(v >> 8)
+		}
+		return nil
+	case ".byte":
+		for i, op := range s.ops {
+			v, err := evalExpr(op, a.lookup)
+			if err != nil {
+				return errf(s.line, "%v", err)
+			}
+			if v > 0xff {
+				return errf(s.line, ".byte value %#x too large", v)
+			}
+			a.bytes[s.addr+uint32(i)] = byte(v)
+		}
+		return nil
+	case ".ascii", ".asciiz":
+		str, err := parseString(s.ops[0])
+		if err != nil {
+			return errf(s.line, "%v", err)
+		}
+		for i := 0; i < len(str); i++ {
+			a.bytes[s.addr+uint32(i)] = str[i]
+		}
+		if s.mnemonic == ".asciiz" {
+			a.bytes[s.addr+uint32(len(str))] = 0
+		}
+		return nil
+	case ".align", ".space":
+		// Zero fill was implicit (unwritten bytes read as zero), but
+		// materialize the span so chunk extents cover it.
+		size, err := evalExpr(s.ops[0], a.lookup)
+		if err != nil {
+			return errf(s.line, "%v", err)
+		}
+		if s.mnemonic == ".align" {
+			size = (size - s.addr%size) % size
+		}
+		for i := uint32(0); i < size; i++ {
+			a.bytes[s.addr+i] = 0
+		}
+		return nil
+	}
+	return a.encodeInst(s)
+}
+
+// finishChunks merges the byte map into sorted contiguous chunks.
+func (a *assembler) finishChunks() []Chunk {
+	addrs := make([]uint32, 0, len(a.bytes))
+	for addr := range a.bytes {
+		addrs = append(addrs, addr)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	var chunks []Chunk
+	for _, addr := range addrs {
+		n := len(chunks)
+		if n > 0 && chunks[n-1].Addr+uint32(len(chunks[n-1].Data)) == addr {
+			chunks[n-1].Data = append(chunks[n-1].Data, a.bytes[addr])
+		} else {
+			chunks = append(chunks, Chunk{Addr: addr, Data: []byte{a.bytes[addr]}})
+		}
+	}
+	return chunks
+}
+
+// --- line scanning helpers ---
+
+func stripComment(line string) string {
+	// Strings can contain comment characters; scan outside quotes.
+	inStr := false
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		if inStr {
+			if c == '\\' {
+				i++
+			} else if c == '"' {
+				inStr = false
+			}
+			continue
+		}
+		switch {
+		case c == '"':
+			inStr = true
+		case c == '#' || c == ';':
+			return line[:i]
+		case c == '/' && i+1 < len(line) && line[i+1] == '/':
+			return line[:i]
+		}
+	}
+	return line
+}
+
+// labelSplit finds the colon ending a leading label, or -1.
+func labelSplit(line string) int {
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		if c == ':' {
+			return i
+		}
+		if !isSymChar(c) {
+			return -1
+		}
+	}
+	return -1
+}
+
+// splitStmt separates mnemonic from comma-separated operands.
+func splitStmt(line string) (string, []string) {
+	line = strings.TrimSpace(line)
+	sp := strings.IndexAny(line, " \t")
+	if sp < 0 {
+		return strings.ToLower(line), nil
+	}
+	mn := strings.ToLower(line[:sp])
+	rest := strings.TrimSpace(line[sp+1:])
+	if rest == "" {
+		return mn, nil
+	}
+	if mn == ".ascii" || mn == ".asciiz" {
+		return mn, []string{rest}
+	}
+	parts := strings.Split(rest, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return mn, parts
+}
+
+func parseString(op string) ([]byte, error) {
+	op = strings.TrimSpace(op)
+	if len(op) < 2 || op[0] != '"' || op[len(op)-1] != '"' {
+		return nil, fmt.Errorf("bad string literal %s", op)
+	}
+	body := op[1 : len(op)-1]
+	out := make([]byte, 0, len(body))
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		if c != '\\' {
+			out = append(out, c)
+			continue
+		}
+		i++
+		if i >= len(body) {
+			return nil, fmt.Errorf("dangling escape in %s", op)
+		}
+		switch body[i] {
+		case 'n':
+			out = append(out, '\n')
+		case 't':
+			out = append(out, '\t')
+		case '0':
+			out = append(out, 0)
+		case '\\':
+			out = append(out, '\\')
+		case '"':
+			out = append(out, '"')
+		default:
+			return nil, fmt.Errorf("unknown escape \\%c", body[i])
+		}
+	}
+	return out, nil
+}
+
+func validSymbol(name string) bool {
+	if name == "" || !isSymStart(name[0]) {
+		return false
+	}
+	for i := 1; i < len(name); i++ {
+		if !isSymChar(name[i]) {
+			return false
+		}
+	}
+	return true
+}

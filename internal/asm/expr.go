@@ -1,0 +1,227 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// exprParser evaluates constant expressions over the symbol table:
+// numbers (decimal, 0x hex, 0b binary, 'c' chars), symbols, unary - and
+// ~, binary + - * / % << >> & | ^, and parentheses, with conventional
+// precedence.
+type exprParser struct {
+	src  string
+	pos  int
+	syms func(string) (uint32, bool)
+}
+
+// evalExpr evaluates the expression in src. syms resolves symbols; it
+// may be nil if the expression must be symbol-free.
+func evalExpr(src string, syms func(string) (uint32, bool)) (uint32, error) {
+	p := &exprParser{src: src, syms: syms}
+	v, err := p.parseBinary(0)
+	if err != nil {
+		return 0, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return 0, fmt.Errorf("trailing %q in expression %q", p.src[p.pos:], src)
+	}
+	return v, nil
+}
+
+var binaryLevels = [][]string{
+	{"|"},
+	{"^"},
+	{"&"},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *exprParser) parseBinary(level int) (uint32, error) {
+	if level == len(binaryLevels) {
+		return p.parseUnary()
+	}
+	left, err := p.parseBinary(level + 1)
+	if err != nil {
+		return 0, err
+	}
+	for {
+		op := p.peekOp(binaryLevels[level])
+		if op == "" {
+			return left, nil
+		}
+		p.pos += len(op)
+		right, err := p.parseBinary(level + 1)
+		if err != nil {
+			return 0, err
+		}
+		switch op {
+		case "|":
+			left |= right
+		case "^":
+			left ^= right
+		case "&":
+			left &= right
+		case "<<":
+			left <<= right & 31
+		case ">>":
+			left >>= right & 31
+		case "+":
+			left += right
+		case "-":
+			left -= right
+		case "*":
+			left *= right
+		case "/":
+			if right == 0 {
+				return 0, fmt.Errorf("division by zero in %q", p.src)
+			}
+			left /= right
+		case "%":
+			if right == 0 {
+				return 0, fmt.Errorf("modulo by zero in %q", p.src)
+			}
+			left %= right
+		}
+	}
+}
+
+// peekOp returns which of ops appears next, preferring longer matches so
+// "<<" is not read as "<".
+func (p *exprParser) peekOp(ops []string) string {
+	p.skipSpace()
+	rest := p.src[p.pos:]
+	best := ""
+	for _, op := range ops {
+		if strings.HasPrefix(rest, op) && len(op) > len(best) {
+			best = op
+		}
+	}
+	// Don't mistake "<<"/">>" prefixes when scanning single-char levels.
+	if best == "" {
+		return ""
+	}
+	if (best == "<" || best == ">") && len(rest) >= 2 && rest[1] == rest[0] {
+		return ""
+	}
+	return best
+}
+
+func (p *exprParser) parseUnary() (uint32, error) {
+	p.skipSpace()
+	if p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case '-':
+			p.pos++
+			v, err := p.parseUnary()
+			return -v, err
+		case '~':
+			p.pos++
+			v, err := p.parseUnary()
+			return ^v, err
+		case '+':
+			p.pos++
+			return p.parseUnary()
+		}
+	}
+	return p.parsePrimary()
+}
+
+func (p *exprParser) parsePrimary() (uint32, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return 0, fmt.Errorf("unexpected end of expression %q", p.src)
+	}
+	ch := p.src[p.pos]
+	switch {
+	case ch == '(':
+		p.pos++
+		v, err := p.parseBinary(0)
+		if err != nil {
+			return 0, err
+		}
+		p.skipSpace()
+		if p.pos >= len(p.src) || p.src[p.pos] != ')' {
+			return 0, fmt.Errorf("missing ')' in %q", p.src)
+		}
+		p.pos++
+		return v, nil
+	case ch == '\'':
+		return p.parseChar()
+	case ch >= '0' && ch <= '9':
+		return p.parseNumber()
+	case isSymStart(ch):
+		start := p.pos
+		for p.pos < len(p.src) && isSymChar(p.src[p.pos]) {
+			p.pos++
+		}
+		name := p.src[start:p.pos]
+		if p.syms == nil {
+			return 0, fmt.Errorf("symbol %q in constant-only expression", name)
+		}
+		v, ok := p.syms(name)
+		if !ok {
+			return 0, fmt.Errorf("undefined symbol %q", name)
+		}
+		return v, nil
+	}
+	return 0, fmt.Errorf("unexpected %q in expression %q", string(ch), p.src)
+}
+
+func (p *exprParser) parseNumber() (uint32, error) {
+	start := p.pos
+	for p.pos < len(p.src) && (isSymChar(p.src[p.pos])) {
+		p.pos++
+	}
+	text := p.src[start:p.pos]
+	v, err := strconv.ParseUint(text, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", text)
+	}
+	if v > 0xffffffff {
+		return 0, fmt.Errorf("number %q exceeds 32 bits", text)
+	}
+	return uint32(v), nil
+}
+
+func (p *exprParser) parseChar() (uint32, error) {
+	// 'c' or '\n' style.
+	rest := p.src[p.pos:]
+	if len(rest) >= 3 && rest[1] != '\\' && rest[2] == '\'' {
+		p.pos += 3
+		return uint32(rest[1]), nil
+	}
+	if len(rest) >= 4 && rest[1] == '\\' && rest[3] == '\'' {
+		p.pos += 4
+		switch rest[2] {
+		case 'n':
+			return '\n', nil
+		case 't':
+			return '\t', nil
+		case '0':
+			return 0, nil
+		case '\\':
+			return '\\', nil
+		case '\'':
+			return '\'', nil
+		}
+	}
+	return 0, fmt.Errorf("bad character literal in %q", p.src)
+}
+
+func (p *exprParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func isSymStart(c byte) bool {
+	return c == '_' || c == '.' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isSymChar(c byte) bool {
+	return isSymStart(c) || c >= '0' && c <= '9' || c == 'x' || c == 'X'
+}

@@ -1,0 +1,58 @@
+package asm
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestAssemblerNeverPanics: arbitrary garbage must produce an error or
+// a program, never a panic.
+func TestAssemblerNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pieces := []string{
+		"addu", "lw", "sw", "beq", ".word", ".org", ".equ", ".asciiz",
+		"t0", "zero", "sp", ",", "(", ")", ":", "0x", "123", "-", "+",
+		"<<", "label", "\"str", "'", "\n", "\t", " ", "#c", "%", "$",
+		".align", ".space", "li", "la", "nop", "jr", "mfc0", "c0_epc",
+	}
+	for trial := 0; trial < 3000; trial++ {
+		var b strings.Builder
+		n := rng.Intn(30)
+		for i := 0; i < n; i++ {
+			b.WriteString(pieces[rng.Intn(len(pieces))])
+			if rng.Intn(3) == 0 {
+				b.WriteByte(' ')
+			}
+		}
+		src := b.String()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", src, r)
+				}
+			}()
+			_, _ = Assemble(src, 0x1000)
+		}()
+	}
+}
+
+// TestAssemblerRandomBytes: raw random byte soup likewise.
+func TestAssemblerRandomBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 1000; trial++ {
+		buf := make([]byte, rng.Intn(200))
+		for i := range buf {
+			buf[i] = byte(rng.Intn(128))
+		}
+		src := string(buf)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", src, r)
+				}
+			}()
+			_, _ = Assemble(src, 0)
+		}()
+	}
+}

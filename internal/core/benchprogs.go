@@ -1,0 +1,408 @@
+package core
+
+import "fmt"
+
+// Microbenchmark user programs (assembled against the userrt prelude).
+// Each defines main, a bench_fault label at the faulting instruction,
+// and a bench_resume label where control lands after the exception is
+// fully processed; the measurement harness watches those addresses.
+
+const progTail = `
+	lw    ra, 0(sp)
+	addiu sp, sp, 8
+	li    v0, 0
+	jr    ra
+	nop
+`
+
+// simpleFastProg: breakpoint exceptions via the fast path, general
+// low-level handler, skip-C-handler (Table 2 rows 1, 4, 5).
+func simpleFastProg(n int) string {
+	return fmt.Sprintf(`
+main:
+	addiu sp, sp, -8
+	sw    ra, 0(sp)
+	la    t0, __skip_handler
+	la    t1, __fexc_chandler
+	sw    t0, 0(t1)
+	la    a0, __fexc_low
+	li    a1, 1 << 9          # breakpoint
+	jal   __uexc_enable
+	nop
+	break                     # warmup: touch handler paths, TLB
+	li    s0, %d
+loop:
+bench_fault:
+	break
+bench_resume:
+	addiu s0, s0, -1
+	bnez  s0, loop
+	nop
+`+progTail, n)
+}
+
+// simpleUltrixProg: the same breakpoint loop via SIGTRAP.
+func simpleUltrixProg(n int) string {
+	return fmt.Sprintf(`
+main:
+	addiu sp, sp, -8
+	sw    ra, 0(sp)
+	li    a0, 5               # SIGTRAP
+	la    a1, __skip_sig_handler
+	la    a2, __sig_trampoline
+	li    v0, SYS_sigaction
+	syscall
+	nop
+	break                     # warmup
+	li    s0, %d
+loop:
+bench_fault:
+	break
+bench_resume:
+	addiu s0, s0, -1
+	bnez  s0, loop
+	nop
+`+progTail, n)
+}
+
+// simpleTeraProg: breakpoints delivered directly to user mode by the
+// proposed hardware. The handler saves the same register set the kernel
+// fast path's save phase stores (the exception frame), so the ablation
+// isolates what hardware vectoring removes: the kernel decode /
+// compatibility / fp / tlb phases, the mode switches, and the
+// duplicated Ultrix-equivalent saves the software low-level handler
+// adds for fairness (ablation A; the paper estimates 2-3x, §3).
+func simpleTeraProg(n int) string {
+	return fmt.Sprintf(`
+main:
+	addiu sp, sp, -8
+	sw    ra, 0(sp)
+	la    t0, __skip_handler
+	la    t1, __fexc_chandler
+	sw    t0, 0(t1)
+	la    t0, tera_handler
+	mtxt  t0
+	break                     # warmup
+	li    s0, %d
+loop:
+bench_fault:
+	break
+bench_resume:
+	addiu s0, s0, -1
+	bnez  s0, loop
+	nop
+`+progTail+`
+
+# Return-exchange immediately before the handler entry: executing the
+# xret reloads XT with the handler address for the next exception.
+tera_ret:
+	xret
+tera_handler:
+	la    k1, tera_frame
+	mfxt  k0                  # faulting PC
+	sw    k0, 0x00(k1)
+	mfxc  k0                  # condition register: the cause
+	sw    k0, 0x04(k1)
+	sw    zero, 0x08(k1)
+	sw    at, 0x0c(k1)
+	sw    v0, 0x10(k1)
+	sw    v1, 0x14(k1)
+	sw    a0, 0x18(k1)
+	sw    a1, 0x1c(k1)
+	sw    a2, 0x20(k1)
+	sw    a3, 0x24(k1)
+	sw    t0, 0x28(k1)
+	sw    t1, 0x2c(k1)
+	sw    t2, 0x30(k1)
+	sw    t3, 0x34(k1)
+	sw    t4, 0x3c(k1)
+	sw    t5, 0x40(k1)
+	sw    ra, 0x44(k1)
+	move  t0, k1
+	move  a0, t0
+	la    t3, __fexc_chandler
+	lw    t3, 0(t3)
+	jalr  t3
+	nop
+tera_handler_ret:
+	lw    k0, 0x00(t0)        # resume PC (C handler may have advanced)
+	mtxt  k0
+	lw    at, 0x0c(t0)
+	lw    v0, 0x10(t0)
+	lw    v1, 0x14(t0)
+	lw    a0, 0x18(t0)
+	lw    a1, 0x1c(t0)
+	lw    a2, 0x20(t0)
+	lw    a3, 0x24(t0)
+	lw    t1, 0x2c(t0)
+	lw    t2, 0x30(t0)
+	lw    t3, 0x34(t0)
+	lw    t4, 0x3c(t0)
+	lw    t5, 0x40(t0)
+	lw    ra, 0x44(t0)
+	lw    t0, 0x28(t0)
+	b     tera_ret
+	nop
+	.align 8
+tera_frame:
+	.space 128
+`, n)
+}
+
+// writeProtFastProg: write-protection faults via the fast path with
+// optional eager amplification (Table 2 row 2).
+func writeProtFastProg(n int, eager bool) string {
+	eagerVal := 0
+	if eager {
+		eagerVal = 1
+	}
+	// Without eager amplification the handler itself must unprotect the
+	// page (a syscall from the handler) before resuming, or the store
+	// faults forever; with it, the kernel already amplified.
+	handler := "__null_handler"
+	if !eager {
+		handler = "wp_chandler"
+	}
+	return fmt.Sprintf(`
+main:
+	addiu sp, sp, -8
+	sw    ra, 0(sp)
+	la    t0, %s
+	la    t1, __fexc_chandler
+	sw    t0, 0(t1)
+	la    a0, __fexc_low
+	li    a1, (1<<1)|(1<<2)|(1<<3)   # Mod|TLBL|TLBS
+	jal   __uexc_enable
+	nop
+	li    a0, %d
+	li    v0, SYS_uexc_eager
+	syscall
+	nop
+	li    a0, 8192
+	li    v0, SYS_sbrk
+	syscall
+	nop
+	move  s1, v0
+	la    t0, page_addr
+	sw    s1, 0(t0)
+	sw    zero, 0(s1)          # touch: demand-map the page
+	move  a0, s1               # write-protect it
+	li    a1, 4096
+	li    a2, 1
+	li    v0, SYS_mprotect
+	syscall
+	nop
+	li    s0, %d
+loop:
+bench_fault:
+	sw    s0, 0(s1)            # Mod fault -> deliver -> retry succeeds
+bench_resume:
+	move  a0, s1               # re-protect for the next iteration
+	li    a1, 4096
+	li    a2, 1
+	li    v0, SYS_mprotect
+	syscall
+	nop
+	addiu s0, s0, -1
+	bnez  s0, loop
+	nop
+`+progTail+`
+
+# Non-eager C handler: unprotect the page, then return (resume retries).
+wp_chandler:
+	addiu sp, sp, -8
+	sw    ra, 0(sp)
+	la    a0, page_addr
+	lw    a0, 0(a0)
+	li    a1, 4096
+	li    a2, 3
+	li    v0, SYS_mprotect
+	syscall
+	nop
+	lw    ra, 0(sp)
+	addiu sp, sp, 8
+	jr    ra
+	nop
+	.align 4
+page_addr:
+	.word 0
+`, handler, eagerVal, n)
+}
+
+// writeProtUltrixProg: write-protection faults via SIGSEGV; the signal
+// handler unprotects the page so the retry succeeds, the loop
+// re-protects.
+func writeProtUltrixProg(n int) string {
+	return fmt.Sprintf(`
+main:
+	addiu sp, sp, -8
+	sw    ra, 0(sp)
+	li    a0, 11               # SIGSEGV
+	la    a1, wp_sig_handler
+	la    a2, __sig_trampoline
+	li    v0, SYS_sigaction
+	syscall
+	nop
+	li    a0, 8192
+	li    v0, SYS_sbrk
+	syscall
+	nop
+	move  s1, v0
+	la    t0, page_addr
+	sw    s1, 0(t0)
+	sw    zero, 0(s1)
+	move  a0, s1
+	li    a1, 4096
+	li    a2, 1
+	li    v0, SYS_mprotect
+	syscall
+	nop
+	li    s0, %d
+loop:
+bench_fault:
+	sw    s0, 0(s1)
+bench_resume:
+	move  a0, s1
+	li    a1, 4096
+	li    a2, 1
+	li    v0, SYS_mprotect
+	syscall
+	nop
+	addiu s0, s0, -1
+	bnez  s0, loop
+	nop
+`+progTail+`
+
+wp_sig_handler:
+	addiu sp, sp, -8
+	sw    ra, 0(sp)
+	la    a0, page_addr
+	lw    a0, 0(a0)
+	li    a1, 4096
+	li    a2, 3
+	li    v0, SYS_mprotect
+	syscall
+	nop
+	lw    ra, 0(sp)
+	addiu sp, sp, 8
+	jr    ra
+	nop
+	.align 4
+page_addr:
+	.word 0
+`, n)
+}
+
+// subpageProg: 1 KB logical-page protection (Table 2 row 3 and the
+// §3.2.4 emulation path). Phase A stores to the protected subpage
+// (delivery measured); phase B stores to an unprotected subpage of the
+// same hardware page (kernel emulation measured).
+func subpageProg(n int) string {
+	return fmt.Sprintf(`
+main:
+	addiu sp, sp, -8
+	sw    ra, 0(sp)
+	la    t0, __null_handler
+	la    t1, __fexc_chandler
+	sw    t0, 0(t1)
+	la    a0, __fexc_low
+	li    a1, (1<<1)|(1<<2)|(1<<3)
+	jal   __uexc_enable
+	nop
+	li    a0, 8192
+	li    v0, SYS_sbrk
+	syscall
+	nop
+	move  s1, v0
+	sw    zero, 0(s1)          # touch
+	move  a0, s1               # protect logical page [s1, s1+1K)
+	li    a1, 1024
+	li    a2, 0
+	li    v0, SYS_subpage
+	syscall
+	nop
+	li    s0, %d
+loopa:
+bench_fault:
+	sw    s0, 0(s1)            # protected subpage: delivered
+bench_resume:
+	move  a0, s1               # re-protect (page was amplified)
+	li    a1, 1024
+	li    a2, 0
+	li    v0, SYS_subpage
+	syscall
+	nop
+	addiu s0, s0, -1
+	bnez  s0, loopa
+	nop
+
+	li    s0, %d
+loopb:
+bench_fault2:
+	sw    s0, 2048(s1)         # unprotected subpage: kernel emulates
+bench_resume2:
+	addiu s0, s0, -1
+	bnez  s0, loopb
+	nop
+	lw    t2, 2048(s1)         # verify the emulated store landed
+	la    t3, emul_check
+	sw    t2, 0(t3)
+`+progTail+`
+	.align 4
+emul_check:
+	.word 0
+`, n, n)
+}
+
+// unalignedMinProg: unaligned loads with the specialized minimal
+// handler (the §4.2.2 pointer-swizzling configuration, 6 µs).
+func unalignedMinProg(n int) string {
+	return fmt.Sprintf(`
+main:
+	addiu sp, sp, -8
+	sw    ra, 0(sp)
+	la    t0, __skip_handler
+	la    t1, __fexc_chandler
+	sw    t0, 0(t1)
+	la    a0, __fexc_min
+	li    a1, (1<<4)|(1<<5)    # AdEL|AdES
+	jal   __uexc_enable
+	nop
+	la    s1, word_area
+	lw    t7, 1(s1)            # warmup unaligned fault
+	li    s0, %d
+loop:
+bench_fault:
+	lw    t7, 1(s1)            # odd address: AdEL, skipped by handler
+bench_resume:
+	addiu s0, s0, -1
+	bnez  s0, loop
+	nop
+`+progTail+`
+	.align 8
+word_area:
+	.word 0x01020304, 0x05060708
+`, n)
+}
+
+// nullSyscallProg: the getpid comparison point (12 µs on Ultrix).
+func nullSyscallProg(n int) string {
+	return fmt.Sprintf(`
+main:
+	addiu sp, sp, -8
+	sw    ra, 0(sp)
+	li    v0, SYS_getpid
+	syscall
+	nop
+	li    s0, %d
+loop:
+bench_fault:
+	li    v0, SYS_getpid
+	syscall
+	nop
+bench_resume:
+	addiu s0, s0, -1
+	bnez  s0, loop
+	nop
+`+progTail, n)
+}

@@ -1,0 +1,43 @@
+package core
+
+import "testing"
+
+// TestMachineIsDeterministic: the documentation promises deterministic
+// measurements — two fresh machines running the same program must agree
+// cycle for cycle.
+func TestMachineIsDeterministic(t *testing.T) {
+	run := func() (uint64, uint64, string) {
+		m, err := NewMachine()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.LoadProgram(simpleFastProg(20)); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Run(10_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return m.CPU().Cycles, m.CPU().Insts, m.K.Console()
+	}
+	c1, i1, o1 := run()
+	c2, i2, o2 := run()
+	if c1 != c2 || i1 != i2 || o1 != o2 {
+		t.Errorf("runs diverged: cycles %d/%d insts %d/%d", c1, c2, i1, i2)
+	}
+}
+
+// TestMeasurementsAreDeterministic: the microbenchmark harness itself
+// must return identical numbers across invocations.
+func TestMeasurementsAreDeterministic(t *testing.T) {
+	a, err := MeasureSimpleException(ModeFast, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MeasureSimpleException(ModeFast, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("measurements diverged: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFastFallbackToUnixTermination: a process with fast delivery
+// enabled stores to an address outside its address space; the fast path
+// must recognize the genuine violation and fall back to the Unix
+// machinery, terminating with SIGSEGV.
+func TestFastFallbackToUnixTermination(t *testing.T) {
+	m, err := NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = m.LoadProgram(`
+main:
+	addiu sp, sp, -8
+	sw    ra, 0(sp)
+	la    t0, __null_handler
+	la    t1, __fexc_chandler
+	sw    t0, 0(t1)
+	la    a0, __fexc_low
+	li    a1, (1<<1)|(1<<2)|(1<<3)
+	jal   __uexc_enable
+	nop
+	li    t0, 0x06000000     # a hole: no region there
+	sw    zero, 0(t0)
+	li    v0, 0
+	jr    ra
+	nop
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = m.Run(5_000_000)
+	if err == nil {
+		t.Fatal("store to hole succeeded")
+	}
+	if !strings.Contains(err.Error(), "139") { // 128 + SIGSEGV(11)
+		t.Errorf("err = %v, want SIGSEGV status 139", err)
+	}
+	// The fast user handler must NOT have been given the error.
+	if m.K.Stats.ProtFaultsToUser != 0 {
+		t.Errorf("genuine violation delivered to fast handler %d times", m.K.Stats.ProtFaultsToUser)
+	}
+	if m.K.Stats.Terminations != 1 {
+		t.Errorf("terminations = %d", m.K.Stats.Terminations)
+	}
+}
+
+// TestFastFallbackToUnixHandler: the same genuine violation, but the
+// process installed a SIGSEGV handler — the kernel must route the fast
+// path's fallback through sendsig and the trampoline ("the kernel can
+// still send such exceptions up to user level", §2.2).
+func TestFastFallbackToUnixHandler(t *testing.T) {
+	m, err := NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = m.LoadProgram(`
+main:
+	addiu sp, sp, -8
+	sw    ra, 0(sp)
+	la    t0, __null_handler
+	la    t1, __fexc_chandler
+	sw    t0, 0(t1)
+	la    a0, __fexc_low
+	li    a1, (1<<1)|(1<<2)|(1<<3)
+	jal   __uexc_enable
+	nop
+	li    a0, 11               # SIGSEGV via the Unix interface too
+	la    a1, segv_handler
+	la    a2, __sig_trampoline
+	li    v0, SYS_sigaction
+	syscall
+	nop
+	li    t0, 0x06000000
+	sw    zero, 0(t0)          # genuine violation
+resume_point:
+	lw    ra, 0(sp)
+	addiu sp, sp, 8
+	li    v0, 0
+	jr    ra
+	nop
+
+segv_handler:
+	la    t6, caught
+	li    t7, 1
+	sw    t7, 0(t6)
+	la    t7, resume_point     # skip the bad store entirely
+	sw    t7, 124(a2)          # sigcontext EPC
+	jr    ra
+	nop
+	.align 4
+caught:
+	.word 0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(5_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.userWord("caught"); got != 1 {
+		t.Errorf("caught = %d, want 1 (Unix handler ran)", got)
+	}
+	if m.K.Stats.UnixDeliveries != 1 {
+		t.Errorf("unix deliveries = %d, want 1", m.K.Stats.UnixDeliveries)
+	}
+	if m.K.Stats.ProtFaultsToUser != 0 {
+		t.Errorf("fast deliveries = %d, want 0", m.K.Stats.ProtFaultsToUser)
+	}
+}
+
+// TestMixedFastAndUnixSignals: a process can use the fast mechanism for
+// one exception class while receiving conventional signals for another
+// ("applications that use our mechanisms can receive conventional Unix
+// signals if desired", §3).
+func TestMixedFastAndUnixSignals(t *testing.T) {
+	m, err := NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = m.LoadProgram(`
+main:
+	addiu sp, sp, -8
+	sw    ra, 0(sp)
+	la    t0, __skip_handler
+	la    t1, __fexc_chandler
+	sw    t0, 0(t1)
+	la    a0, __fexc_low
+	li    a1, 1 << 9           # fast: breakpoints only
+	jal   __uexc_enable
+	nop
+	li    a0, 8                # Unix: SIGFPE for overflow
+	la    a1, fpe_handler
+	la    a2, __sig_trampoline
+	li    v0, SYS_sigaction
+	syscall
+	nop
+	break                      # fast path
+	li    t8, 0x7fffffff
+	li    t9, 1
+	add   t8, t8, t9           # overflow: Unix path
+	break                      # fast path again
+	lw    ra, 0(sp)
+	addiu sp, sp, 8
+	li    v0, 0
+	jr    ra
+	nop
+
+fpe_handler:
+	la    t6, fpe_count
+	lw    t7, 0(t6)
+	nop
+	addiu t7, t7, 1
+	sw    t7, 0(t6)
+	lw    t7, 124(a2)
+	nop
+	addiu t7, t7, 4
+	sw    t7, 124(a2)
+	jr    ra
+	nop
+	.align 4
+fpe_count:
+	.word 0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(5_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.userWord("fpe_count"); got != 1 {
+		t.Errorf("fpe_count = %d, want 1", got)
+	}
+	if m.K.Stats.UnixDeliveries != 1 {
+		t.Errorf("unix deliveries = %d, want 1", m.K.Stats.UnixDeliveries)
+	}
+	if m.CPU().ExcCounts[9] != 2 {
+		t.Errorf("breakpoints = %d, want 2", m.CPU().ExcCounts[9])
+	}
+}

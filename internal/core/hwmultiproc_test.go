@@ -1,0 +1,79 @@
+package core
+
+import "testing"
+
+// TestHardwareDeliveryAcrossProcesses: both processes use the proposed
+// Tera-style direct delivery with their own exception-target registers;
+// the scheduler must save and restore XT/XC per process so each fault
+// lands in its owner's handler.
+func TestHardwareDeliveryAcrossProcesses(t *testing.T) {
+	prog := func(marker string) string {
+		return `
+main:
+	addiu sp, sp, -8
+	sw    ra, 0(sp)
+	la    t0, handler
+	mtxt  t0
+	li    s0, 3
+loop:
+	break                     # direct user delivery via XT
+	li    v0, SYS_yield
+	syscall
+	nop
+	addiu s0, s0, -1
+	bnez  s0, loop
+	nop
+	lw    ra, 0(sp)
+	addiu sp, sp, 8
+	li    v0, 0
+	jr    ra
+	nop
+
+ret:	xret
+handler:
+	addiu sp, sp, -16
+	sw    ra, 0(sp)
+	sw    a0, 4(sp)
+	sw    a1, 8(sp)
+	sw    a2, 12(sp)
+	li    a0, 1
+	la    a1, marker
+	li    a2, 1
+	li    v0, SYS_write
+	syscall
+	nop
+	lw    a2, 12(sp)
+	lw    a1, 8(sp)
+	lw    a0, 4(sp)
+	lw    ra, 0(sp)
+	addiu sp, sp, 16
+	mfxt  t6
+	addiu t6, t6, 4           # skip the break
+	mtxt  t6
+	b     ret
+	nop
+marker:	.asciiz "` + marker + `"
+`
+	}
+	m, err := NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.EnableHardwareDelivery(ExcMaskBp)
+	if err := m.LoadProgram(prog("p")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.SpawnProgram(prog("q")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(20_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.K.Console(); got != "pqpqpq" {
+		t.Errorf("console = %q, want \"pqpqpq\" (per-process XT state)", got)
+	}
+	// The kernel must never have seen the breakpoints.
+	if m.K.Stats.UnixDeliveries != 0 || m.K.Stats.Terminations != 0 {
+		t.Errorf("kernel involvement: %+v", m.K.Stats)
+	}
+}

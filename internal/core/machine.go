@@ -1,0 +1,149 @@
+// Package core is the public face of the reproduction: a Machine that
+// boots the simulated kernel, loads user programs written against the
+// user runtime, and measures exception-handling behaviour under three
+// delivery mechanisms:
+//
+//   - ModeUltrix: the conventional Unix signal path (§3.1),
+//   - ModeFast: the paper's software fast path (§3.2),
+//   - ModeHardware: the proposed Tera-style direct user vectoring (§2).
+//
+// The microbenchmark runners in measure.go reproduce the paper's
+// Table 2 quantities; the phase counters reproduce Table 3.
+package core
+
+import (
+	"fmt"
+
+	"uexc/internal/arch"
+	"uexc/internal/asm"
+	"uexc/internal/cpu"
+	"uexc/internal/kernel"
+	"uexc/internal/userrt"
+)
+
+// Mode selects the exception delivery mechanism a benchmark exercises.
+type Mode int
+
+const (
+	ModeUltrix Mode = iota
+	ModeFast
+	ModeHardware
+)
+
+// String names the mode as used in tables.
+func (m Mode) String() string {
+	switch m {
+	case ModeUltrix:
+		return "Ultrix"
+	case ModeFast:
+		return "FastExc"
+	case ModeHardware:
+		return "Hardware"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Machine is a booted simulated computer: kernel image in memory, CPU
+// at the launch stub, one user process.
+type Machine struct {
+	K    *kernel.Kernel
+	Prog *asm.Program // assembled user program (runtime + user text)
+}
+
+// NewMachine boots fresh hardware and kernel.
+func NewMachine() (*Machine, error) {
+	k, err := kernel.New()
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{K: k}, nil
+}
+
+// LoadProgram assembles the user runtime plus the given program text
+// (which must define "main"), loads it, and points the CPU at process
+// startup.
+func (m *Machine) LoadProgram(src string) error {
+	p, err := asm.Assemble(userrt.Prelude()+src, kernel.UserTextBase)
+	if err != nil {
+		return fmt.Errorf("core: assembling user program: %w", err)
+	}
+	if err := m.K.LoadUserProgram(p); err != nil {
+		return err
+	}
+	m.Prog = p
+	m.K.LaunchUser(p.MustSymbol(userrt.SymStart), kernel.UserStackTop-16)
+	return nil
+}
+
+// SpawnProgram loads an additional user program (its own "main") as a
+// new cooperatively scheduled process with its own ASID-tagged address
+// space. Processes hand off with the yield system call; the machine
+// halts when every process has exited.
+func (m *Machine) SpawnProgram(src string) (*kernel.Proc, error) {
+	p, err := asm.Assemble(userrt.Prelude()+src, kernel.UserTextBase)
+	if err != nil {
+		return nil, fmt.Errorf("core: assembling spawned program: %w", err)
+	}
+	return m.K.SpawnUser(p, p.MustSymbol(userrt.SymStart), kernel.UserStackTop-16)
+}
+
+// Sym resolves a user-program symbol.
+func (m *Machine) Sym(name string) uint32 { return m.Prog.MustSymbol(name) }
+
+// KernelSym resolves a kernel-image symbol.
+func (m *Machine) KernelSym(name string) uint32 { return m.K.Symbol(name) }
+
+// CPU exposes the processor for statistics.
+func (m *Machine) CPU() *cpu.CPU { return m.K.CPU }
+
+// EnableHardwareDelivery turns on the proposed Tera-style hardware:
+// exceptions whose codes are set in mask vector directly to user mode
+// via the exception-target register, without entering the kernel.
+func (m *Machine) EnableHardwareDelivery(mask uint32) {
+	m.K.CPU.TeraMode = true
+	m.K.CPU.UserVector = mask
+}
+
+// Run executes until process exit (or the instruction budget runs out).
+func (m *Machine) Run(maxInsts uint64) error {
+	if err := m.K.Run(maxInsts); err != nil {
+		return err
+	}
+	if done, status := m.K.Exited(); done && status != 0 {
+		return fmt.Errorf("core: process exited with status %d (console: %q)", status, m.K.Console())
+	}
+	return nil
+}
+
+// RunWithWatches single-steps the machine, invoking each watch callback
+// whenever the CPU is about to execute the watched address, until exit.
+func (m *Machine) RunWithWatches(maxInsts uint64, watches map[uint32]func(c *cpu.CPU)) error {
+	c := m.K.CPU
+	start := c.Insts
+	for !c.Halted && c.Insts-start < maxInsts {
+		if f, ok := watches[c.PC]; ok {
+			f(c)
+		}
+		if err := c.Step(); err != nil {
+			return err
+		}
+	}
+	if !c.Halted {
+		return fmt.Errorf("core: instruction budget exhausted at pc %#x", c.PC)
+	}
+	if done, status := m.K.Exited(); done && status != 0 {
+		return fmt.Errorf("core: process exited with status %d (console: %q)", status, m.K.Console())
+	}
+	return nil
+}
+
+// Micros converts cycles to microseconds at the simulated clock rate.
+func Micros(cycles uint64) float64 { return cpu.CyclesToMicros(cycles) }
+
+// ExcMaskBp and friends name commonly-claimed exception sets.
+const (
+	ExcMaskBp        = 1 << arch.ExcBp
+	ExcMaskUnaligned = 1<<arch.ExcAdEL | 1<<arch.ExcAdES
+	ExcMaskProt      = 1<<arch.ExcMod | 1<<arch.ExcTLBL | 1<<arch.ExcTLBS
+	ExcMaskOverflow  = 1 << arch.ExcOv
+)

@@ -1,0 +1,341 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHelloWorldSyscall(t *testing.T) {
+	m, err := NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = m.LoadProgram(`
+main:
+	addiu sp, sp, -8
+	sw    ra, 0(sp)
+	li    a0, 1
+	la    a1, msg
+	li    a2, 6
+	li    v0, SYS_write
+	syscall
+	nop
+	lw    ra, 0(sp)
+	addiu sp, sp, 8
+	li    v0, 0
+	jr    ra
+	nop
+msg:	.asciiz "hello\n"
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.K.Console(); got != "hello\n" {
+		t.Errorf("console = %q", got)
+	}
+	if done, status := m.K.Exited(); !done || status != 0 {
+		t.Errorf("exit = %v/%d", done, status)
+	}
+}
+
+func TestHeapDemandPaging(t *testing.T) {
+	m, err := NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Touch 16 fresh heap pages; each first store demand-faults.
+	err = m.LoadProgram(`
+main:
+	li    a0, 0x10000        # sbrk 64K
+	li    v0, SYS_sbrk
+	syscall
+	nop
+	move  t0, v0
+	li    t1, 16
+loop:
+	sw    t1, 0(t0)
+	lw    t2, 0(t0)
+	bne   t2, t1, bad
+	nop
+	addiu t0, t0, 4096
+	addiu t1, t1, -1
+	bnez  t1, loop
+	nop
+	li    v0, 0
+	jr    ra
+	nop
+bad:
+	li    v0, 1
+	jr    ra
+	nop
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if m.K.Stats.PageFaults < 16 {
+		t.Errorf("page faults = %d, want >= 16", m.K.Stats.PageFaults)
+	}
+}
+
+func TestUnhandledFaultTerminates(t *testing.T) {
+	m, err := NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = m.LoadProgram(`
+main:
+	break            # no SIGTRAP handler installed
+	li    v0, 0
+	jr    ra
+	nop
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = m.Run(1_000_000)
+	if err == nil {
+		t.Fatal("expected termination error")
+	}
+	if !strings.Contains(err.Error(), "133") { // 128 + SIGTRAP(5)
+		t.Errorf("err = %v, want status 133", err)
+	}
+	if m.K.Stats.Terminations != 1 {
+		t.Errorf("terminations = %d", m.K.Stats.Terminations)
+	}
+}
+
+func TestUnixSignalDeliveryAndSigreturn(t *testing.T) {
+	m, err := NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Handler increments a counter and advances the sigcontext EPC;
+	// main takes 3 breakpoints.
+	err = m.LoadProgram(`
+main:
+	addiu sp, sp, -8
+	sw    ra, 0(sp)
+	li    a0, 5
+	la    a1, counter_handler
+	la    a2, __sig_trampoline
+	li    v0, SYS_sigaction
+	syscall
+	nop
+	break
+	break
+	break
+	lw    ra, 0(sp)
+	addiu sp, sp, 8
+	li    v0, 0
+	jr    ra
+	nop
+
+counter_handler:
+	la    t6, counter
+	lw    t7, 0(t6)
+	nop
+	addiu t7, t7, 1
+	sw    t7, 0(t6)
+	lw    t7, 124(a2)     # sigcontext EPC
+	nop
+	addiu t7, t7, 4
+	sw    t7, 124(a2)
+	jr    ra
+	nop
+	.align 4
+counter:
+	.word 0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(5_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.userWord("counter"); got != 3 {
+		t.Errorf("counter = %d, want 3", got)
+	}
+	if m.K.Stats.UnixDeliveries != 3 {
+		t.Errorf("unix deliveries = %d, want 3", m.K.Stats.UnixDeliveries)
+	}
+}
+
+func TestFastExceptionDelivery(t *testing.T) {
+	m, err := NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = m.LoadProgram(`
+main:
+	addiu sp, sp, -8
+	sw    ra, 0(sp)
+	la    t0, count_handler
+	la    t1, __fexc_chandler
+	sw    t0, 0(t1)
+	la    a0, __fexc_low
+	li    a1, 1 << 9
+	jal   __uexc_enable
+	nop
+	li    s0, 5
+loop:
+	break
+	addiu s0, s0, -1
+	bnez  s0, loop
+	nop
+	lw    ra, 0(sp)
+	addiu sp, sp, 8
+	li    v0, 0
+	jr    ra
+	nop
+
+# C-level handler: count, advance frame EPC past the break.
+count_handler:
+	la    t6, counter
+	lw    t7, 0(t6)
+	nop
+	addiu t7, t7, 1
+	sw    t7, 0(t6)
+	lw    t6, 0(a0)
+	nop
+	addiu t6, t6, 4
+	sw    t6, 0(a0)
+	jr    ra
+	nop
+	.align 4
+counter:
+	.word 0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(5_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.userWord("counter"); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if m.K.Stats.FastDeliveries != 0 {
+		// Simple (non-TLB) exceptions do not pass through tlbProt, so
+		// FastDeliveries only counts protection faults; breakpoints are
+		// delivered entirely in assembly. Verify via exception counts.
+		t.Logf("fast deliveries (prot) = %d", m.K.Stats.FastDeliveries)
+	}
+	if m.CPU().ExcCounts[9] < 5 {
+		t.Errorf("breakpoint exceptions = %d, want >= 5", m.CPU().ExcCounts[9])
+	}
+	// The Unix machinery must not have been involved.
+	if m.K.Stats.UnixDeliveries != 0 {
+		t.Errorf("unix deliveries = %d, want 0", m.K.Stats.UnixDeliveries)
+	}
+}
+
+// TestFastPathPreservesRegisters is the paper's correctness core: after
+// a fast-delivered exception and return, every register the application
+// relies on is intact.
+func TestFastPathPreservesRegisters(t *testing.T) {
+	m, err := NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = m.LoadProgram(`
+main:
+	addiu sp, sp, -8
+	sw    ra, 0(sp)
+	la    t0, __skip_handler
+	la    t1, __fexc_chandler
+	sw    t0, 0(t1)
+	la    a0, __fexc_low
+	li    a1, 1 << 9
+	jal   __uexc_enable
+	nop
+	# Load distinctive values into every preservable register.
+	li    at, 0x10101
+	li    v0, 0x20202
+	li    v1, 0x30303
+	li    a0, 0x40404
+	li    a1, 0x50505
+	li    a2, 0x60606
+	li    a3, 0x70707
+	li    t0, 0x80808
+	li    t1, 0x90909
+	li    t2, 0xa0a0a
+	li    t3, 0xb0b0b
+	li    t4, 0xc0c0c
+	li    t5, 0xd0d0d
+	li    t6, 0xe0e0e
+	li    t7, 0xf0f0f
+	li    s0, 0x11111
+	li    s1, 0x22222
+	li    s2, 0x33333
+	li    s3, 0x44444
+	li    s4, 0x55555
+	li    s5, 0x66666
+	li    s6, 0x77777
+	li    s7, 0x88888
+	li    t8, 0x99999
+	li    t9, 0xaaaaa
+	break
+	# Accumulate a checksum of all registers.
+	la    gp, sum            # gp free for addressing
+	sw    at, 0(gp)
+	sw    v0, 4(gp)
+	sw    v1, 8(gp)
+	sw    a0, 12(gp)
+	sw    a1, 16(gp)
+	sw    a2, 20(gp)
+	sw    a3, 24(gp)
+	sw    t0, 28(gp)
+	sw    t1, 32(gp)
+	sw    t2, 36(gp)
+	sw    t3, 40(gp)
+	sw    t4, 44(gp)
+	sw    t5, 48(gp)
+	sw    t6, 52(gp)
+	sw    t7, 56(gp)
+	sw    s0, 60(gp)
+	sw    s1, 64(gp)
+	sw    s2, 68(gp)
+	sw    s3, 72(gp)
+	sw    s4, 76(gp)
+	sw    s5, 80(gp)
+	sw    s6, 84(gp)
+	sw    s7, 88(gp)
+	sw    t8, 92(gp)
+	sw    t9, 96(gp)
+	lw    ra, 0(sp)
+	addiu sp, sp, 8
+	li    v0, 0
+	jr    ra
+	nop
+	.align 4
+sum:	.space 100
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(5_000_000); err != nil {
+		t.Fatal(err)
+	}
+	want := []uint32{
+		0x10101, 0x20202, 0x30303, 0x40404, 0x50505, 0x60606, 0x70707,
+		0x80808, 0x90909, 0xa0a0a, 0xb0b0b, 0xc0c0c, 0xd0d0d, 0xe0e0e,
+		0xf0f0f, 0x11111, 0x22222, 0x33333, 0x44444, 0x55555, 0x66666,
+		0x77777, 0x88888, 0x99999, 0xaaaaa,
+	}
+	base := m.Sym("sum")
+	names := []string{"at", "v0", "v1", "a0", "a1", "a2", "a3",
+		"t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+		"s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "t8", "t9"}
+	for i, w := range want {
+		got, ok := m.K.ReadUserWord(base + uint32(4*i))
+		if !ok || got != w {
+			t.Errorf("register %s = %#x after fast exception, want %#x", names[i], got, w)
+		}
+	}
+}

@@ -1,0 +1,403 @@
+package core
+
+import (
+	"fmt"
+
+	"uexc/internal/arch"
+	"uexc/internal/cpu"
+	"uexc/internal/userrt"
+)
+
+// Timing holds the measured costs of one exception configuration, in
+// cycles (convert with Micros). Deliver is fault to the first
+// instruction of the C-level handler; Return is from the handler's
+// return to the resumed application instruction; RoundTrip is fault to
+// resumption (Table 2's row structure).
+type Timing struct {
+	N         int
+	Deliver   float64
+	Return    float64
+	RoundTrip float64
+}
+
+// DeliverMicros etc. convert to the paper's units.
+func (t Timing) DeliverMicros() float64   { return t.Deliver / cpu.ClockMHz }
+func (t Timing) ReturnMicros() float64    { return t.Return / cpu.ClockMHz }
+func (t Timing) RoundTripMicros() float64 { return t.RoundTrip / cpu.ClockMHz }
+
+func (t Timing) String() string {
+	return fmt.Sprintf("deliver %.1fµs return %.1fµs rt %.1fµs (n=%d)",
+		t.DeliverMicros(), t.ReturnMicros(), t.RoundTripMicros(), t.N)
+}
+
+func mean(xs []uint64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s uint64
+	for _, x := range xs {
+		s += x
+	}
+	return float64(s) / float64(len(xs))
+}
+
+// timedLoopSpec describes one microbenchmark to the generic harness.
+type timedLoopSpec struct {
+	prog         string
+	handlerEntry string // user symbol of the C-level handler
+	handlerExit  string // user symbol reached right after it returns
+	faultLabel   string // defaults to bench_fault
+	resumeLabel  string // defaults to bench_resume
+	hwMask       uint32 // non-zero: enable Tera-style hardware delivery
+	codeMask     uint32 // exception codes that count as the benched fault (0 = all)
+	budget       uint64
+	tweak        func(*Machine) // optional machine configuration hook
+}
+
+// runTimedLoop executes a microbenchmark and extracts per-exception
+// timings via address watches plus the CPU's exception trace.
+func runTimedLoop(spec timedLoopSpec) (Timing, *Machine, error) {
+	m, err := NewMachine()
+	if err != nil {
+		return Timing{}, nil, err
+	}
+	if err := m.LoadProgram(spec.prog); err != nil {
+		return Timing{}, nil, err
+	}
+	if spec.hwMask != 0 {
+		m.EnableHardwareDelivery(spec.hwMask)
+	}
+	if spec.tweak != nil {
+		spec.tweak(m)
+	}
+	if spec.faultLabel == "" {
+		spec.faultLabel = "bench_fault"
+	}
+	if spec.resumeLabel == "" {
+		spec.resumeLabel = "bench_resume"
+	}
+	if spec.budget == 0 {
+		spec.budget = 30_000_000
+	}
+
+	c := m.CPU()
+	faultPC := m.Sym(spec.faultLabel)
+
+	var (
+		raiseC, entryC, exitC  uint64
+		havePending            bool
+		delivers, returns, rts []uint64
+	)
+	c.Trace = func(e cpu.Exception) {
+		// TLB refills at the same PC (after protection changes flush
+		// the TLB) must not reset the timestamp; filter by code.
+		if e.PC == faultPC && e.User &&
+			(spec.codeMask == 0 || spec.codeMask&(1<<e.Code) != 0) {
+			raiseC = c.Cycles
+			havePending = true
+		}
+	}
+
+	watches := map[uint32]func(*cpu.CPU){
+		m.Sym(spec.resumeLabel): func(c *cpu.CPU) {
+			if !havePending {
+				return
+			}
+			rts = append(rts, c.Cycles-raiseC)
+			if exitC >= raiseC {
+				returns = append(returns, c.Cycles-exitC)
+			}
+			havePending = false
+		},
+	}
+	if spec.handlerEntry != "" {
+		watches[m.Sym(spec.handlerEntry)] = func(c *cpu.CPU) {
+			if havePending {
+				entryC = c.Cycles
+				delivers = append(delivers, entryC-raiseC)
+			}
+		}
+	}
+	if spec.handlerExit != "" {
+		watches[m.Sym(spec.handlerExit)] = func(c *cpu.CPU) {
+			if havePending {
+				exitC = c.Cycles
+			}
+		}
+	}
+
+	if err := m.RunWithWatches(spec.budget, watches); err != nil {
+		return Timing{}, m, err
+	}
+	if len(rts) == 0 {
+		return Timing{}, m, fmt.Errorf("core: benchmark recorded no exceptions")
+	}
+	return Timing{
+		N:         len(rts),
+		Deliver:   mean(delivers),
+		Return:    mean(returns),
+		RoundTrip: mean(rts),
+	}, m, nil
+}
+
+// MeasureSimpleException measures breakpoint delivery under the given
+// mode (Table 2 rows 1, 4, 5; Table 1's Ultrix column; ablation A).
+func MeasureSimpleException(mode Mode, n int) (Timing, error) {
+	var spec timedLoopSpec
+	switch mode {
+	case ModeFast:
+		spec = timedLoopSpec{
+			prog:         simpleFastProg(n),
+			handlerEntry: userrt.SymSkipHandler,
+			handlerExit:  userrt.SymFexcLowRet,
+			codeMask:     1 << arch.ExcBp,
+		}
+	case ModeUltrix:
+		spec = timedLoopSpec{
+			prog:         simpleUltrixProg(n),
+			handlerEntry: userrt.SymSkipSigHandler,
+			handlerExit:  userrt.SymSigHandlerRet,
+			codeMask:     1 << arch.ExcBp,
+		}
+	case ModeHardware:
+		spec = timedLoopSpec{
+			prog:         simpleTeraProg(n),
+			handlerEntry: userrt.SymSkipHandler,
+			handlerExit:  "tera_handler_ret",
+			hwMask:       ExcMaskBp,
+			codeMask:     1 << arch.ExcBp,
+		}
+	}
+	t, _, err := runTimedLoop(spec)
+	return t, err
+}
+
+// MeasureWriteProt measures write-protection fault delivery (Table 2
+// row 2; ablation B covers eager on/off).
+func MeasureWriteProt(mode Mode, eager bool, n int) (Timing, error) {
+	var spec timedLoopSpec
+	switch mode {
+	case ModeFast:
+		entry := userrt.SymNullHandler
+		if !eager {
+			entry = "wp_chandler"
+		}
+		spec = timedLoopSpec{
+			prog:         writeProtFastProg(n, eager),
+			handlerEntry: entry,
+			handlerExit:  userrt.SymFexcLowRet,
+			codeMask:     1 << arch.ExcMod,
+		}
+	case ModeUltrix:
+		spec = timedLoopSpec{
+			prog:         writeProtUltrixProg(n),
+			handlerEntry: "wp_sig_handler",
+			handlerExit:  userrt.SymSigHandlerRet,
+			codeMask:     1 << arch.ExcMod,
+		}
+	default:
+		return Timing{}, fmt.Errorf("core: write-prot benchmark supports Ultrix and Fast modes")
+	}
+	t, _, err := runTimedLoop(spec)
+	return t, err
+}
+
+// SubpageTiming extends Timing with the cost of the transparent kernel
+// emulation for stores to unprotected subpages (§3.2.4's indirect
+// cost).
+type SubpageTiming struct {
+	Delivered Timing  // store to a protected 1 KB subpage
+	EmulRT    float64 // cycles, store to an unprotected subpage (fault+emulate+resume)
+	EmulN     int
+}
+
+// MeasureSubpage measures both subpage cases (Table 2 row 3).
+func MeasureSubpage(n int) (SubpageTiming, error) {
+	spec := timedLoopSpec{
+		prog:         subpageProg(n),
+		handlerEntry: userrt.SymNullHandler,
+		handlerExit:  userrt.SymFexcLowRet,
+	}
+
+	m, err := NewMachine()
+	if err != nil {
+		return SubpageTiming{}, err
+	}
+	if err := m.LoadProgram(spec.prog); err != nil {
+		return SubpageTiming{}, err
+	}
+	c := m.CPU()
+	faultPC := m.Sym("bench_fault")
+	fault2PC := m.Sym("bench_fault2")
+
+	var (
+		raiseC                 uint64
+		pendA, pendB           bool
+		delivers, rts, emulRTs []uint64
+		exitC                  uint64
+		returns                []uint64
+	)
+	c.Trace = func(e cpu.Exception) {
+		if !e.User || e.Code != arch.ExcMod {
+			return
+		}
+		switch e.PC {
+		case faultPC:
+			raiseC, pendA = c.Cycles, true
+		case fault2PC:
+			raiseC, pendB = c.Cycles, true
+		}
+	}
+	watches := map[uint32]func(*cpu.CPU){
+		m.Sym(userrt.SymNullHandler): func(c *cpu.CPU) {
+			if pendA {
+				delivers = append(delivers, c.Cycles-raiseC)
+			}
+		},
+		m.Sym(userrt.SymFexcLowRet): func(c *cpu.CPU) {
+			if pendA {
+				exitC = c.Cycles
+			}
+		},
+		m.Sym("bench_resume"): func(c *cpu.CPU) {
+			if pendA {
+				rts = append(rts, c.Cycles-raiseC)
+				returns = append(returns, c.Cycles-exitC)
+				pendA = false
+			}
+		},
+		m.Sym("bench_resume2"): func(c *cpu.CPU) {
+			if pendB {
+				emulRTs = append(emulRTs, c.Cycles-raiseC)
+				pendB = false
+			}
+		},
+	}
+	if err := m.RunWithWatches(30_000_000, watches); err != nil {
+		return SubpageTiming{}, err
+	}
+	if len(rts) == 0 || len(emulRTs) == 0 {
+		return SubpageTiming{}, fmt.Errorf("core: subpage benchmark recorded %d/%d events", len(rts), len(emulRTs))
+	}
+	// Verify the emulated stores actually landed.
+	if got := m.userWord("emul_check"); got != 1 {
+		return SubpageTiming{}, fmt.Errorf("core: emulated store verification failed: %#x", got)
+	}
+	return SubpageTiming{
+		Delivered: Timing{N: len(rts), Deliver: mean(delivers), Return: mean(returns), RoundTrip: mean(rts)},
+		EmulRT:    mean(emulRTs),
+		EmulN:     len(emulRTs),
+	}, nil
+}
+
+// MeasureUnalignedMin measures the specialized minimal handler on
+// unaligned loads: the §4.2.2 configuration whose fault + null C call
+// + return costs 6 µs.
+func MeasureUnalignedMin(n int) (Timing, error) {
+	t, _, err := runTimedLoop(timedLoopSpec{
+		prog:         unalignedMinProg(n),
+		handlerEntry: userrt.SymSkipHandler,
+		handlerExit:  userrt.SymFexcMinRet,
+		codeMask:     1 << arch.ExcAdEL,
+	})
+	return t, err
+}
+
+// MeasureNullSyscall measures the getpid round trip in cycles (the
+// paper's 12 µs comparison point).
+func MeasureNullSyscall(n int) (float64, error) {
+	m, err := NewMachine()
+	if err != nil {
+		return 0, err
+	}
+	if err := m.LoadProgram(nullSyscallProg(n)); err != nil {
+		return 0, err
+	}
+	var startC uint64
+	var rts []uint64
+	watches := map[uint32]func(*cpu.CPU){
+		m.Sym("bench_fault"):  func(c *cpu.CPU) { startC = c.Cycles },
+		m.Sym("bench_resume"): func(c *cpu.CPU) { rts = append(rts, c.Cycles-startC) },
+	}
+	if err := m.RunWithWatches(30_000_000, watches); err != nil {
+		return 0, err
+	}
+	if len(rts) == 0 {
+		return 0, fmt.Errorf("core: syscall benchmark recorded nothing")
+	}
+	return mean(rts), nil
+}
+
+// userWord reads a word-sized user global by symbol (for result
+// verification).
+func (m *Machine) userWord(sym string) uint32 {
+	va := m.Sym(sym)
+	v, ok := m.K.ReadUserWord(va)
+	if !ok {
+		return 0xdeadbeef
+	}
+	return v
+}
+
+// PhaseCounts reproduces Table 3: dynamic instruction counts of the
+// kernel fast path's six phases, measured by executing one simple
+// exception with per-PC counting enabled.
+type PhaseCounts struct {
+	Decode   int
+	Compat   int
+	Save     int
+	FPCheck  int
+	TLBCheck int
+	Vector   int
+}
+
+// Total sums all phases.
+func (p PhaseCounts) Total() int {
+	return p.Decode + p.Compat + p.Save + p.FPCheck + p.TLBCheck + p.Vector
+}
+
+// MeasureKernelPhases runs one fast-path breakpoint and counts executed
+// kernel instructions per phase label range.
+func MeasureKernelPhases() (PhaseCounts, error) {
+	m, err := NewMachine()
+	if err != nil {
+		return PhaseCounts{}, err
+	}
+	if err := m.LoadProgram(simpleFastProg(1)); err != nil {
+		return PhaseCounts{}, err
+	}
+	c := m.CPU()
+	watches := map[uint32]func(*cpu.CPU){
+		// Start counting at the benched fault; stop at resumption so
+		// later kernel activity (exit syscall) is excluded.
+		m.Sym("bench_fault"): func(c *cpu.CPU) {
+			c.PCCounts = make(map[uint32]uint64)
+			c.CountPCs = true
+		},
+		m.Sym("bench_resume"): func(c *cpu.CPU) {
+			c.CountPCs = false
+		},
+	}
+	if err := m.RunWithWatches(10_000_000, watches); err != nil {
+		return PhaseCounts{}, err
+	}
+
+	sumRange := func(lo, hi uint32) int {
+		total := 0
+		for pc, n := range c.PCCounts {
+			if pc >= lo && pc < hi {
+				total += int(n)
+			}
+		}
+		return total
+	}
+	ks := m.KernelSym
+	return PhaseCounts{
+		Decode:   sumRange(ks("ph_decode"), ks("ph_compat")),
+		Compat:   sumRange(ks("ph_compat"), ks("ph_save")),
+		Save:     sumRange(ks("ph_save"), ks("ph_fpcheck")),
+		FPCheck:  sumRange(ks("ph_fpcheck"), ks("ph_tlbcheck")),
+		TLBCheck: sumRange(ks("ph_tlbcheck"), ks("ph_vector")),
+		Vector:   sumRange(ks("ph_vector"), ks("ph_end")),
+	}, nil
+}

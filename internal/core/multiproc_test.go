@@ -1,0 +1,427 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// writerProg emits its label n times, yielding between writes.
+func writerProg(label string, n int) string {
+	return `
+main:
+	addiu sp, sp, -8
+	sw    ra, 0(sp)
+	li    s0, ` + itoa(n) + `
+loop:
+	li    a0, 1
+	la    a1, tag
+	li    a2, 2
+	li    v0, SYS_write
+	syscall
+	nop
+	li    v0, SYS_yield
+	syscall
+	nop
+	addiu s0, s0, -1
+	bnez  s0, loop
+	nop
+	lw    ra, 0(sp)
+	addiu sp, sp, 8
+	li    v0, 0
+	jr    ra
+	nop
+tag:	.ascii "` + label + `"
+	.byte 0
+`
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// TestTwoProcessesInterleave: cooperative round robin with interleaved
+// console output and clean machine shutdown when both exit.
+func TestTwoProcessesInterleave(t *testing.T) {
+	m, err := NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadProgram(writerProg("A.", 4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.SpawnProgram(writerProg("B.", 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	got := m.K.Console()
+	if got != "A.B.A.B.A.B.A.B." {
+		t.Errorf("console = %q, want strict interleaving", got)
+	}
+	if m.K.Stats.Switches < 8 {
+		t.Errorf("switches = %d, want >= 8", m.K.Stats.Switches)
+	}
+}
+
+// TestAddressSpaceIsolation: both processes use the SAME virtual
+// addresses for different data; the tagged TLB and per-ASID page
+// tables must keep them apart.
+func TestAddressSpaceIsolation(t *testing.T) {
+	// Each process writes its own value at a fixed heap VA, yields so
+	// the other does the same, then reads back and prints pass/fail.
+	prog := func(val string) string {
+		return `
+main:
+	addiu sp, sp, -8
+	sw    ra, 0(sp)
+	li    a0, 4096
+	li    v0, SYS_sbrk
+	syscall
+	nop
+	move  s1, v0              # same VA in both processes (0x01000000)
+	li    s2, ` + val + `
+	sw    s2, 0(s1)
+	li    v0, SYS_yield       # let the other process write ITS value
+	syscall
+	nop
+	li    v0, SYS_yield
+	syscall
+	nop
+	lw    t0, 0(s1)           # must still be OUR value
+	bne   t0, s2, bad
+	nop
+	li    a0, 1
+	la    a1, okmsg
+	li    a2, 3
+	li    v0, SYS_write
+	syscall
+	nop
+	b     out
+	nop
+bad:
+	li    a0, 1
+	la    a1, badmsg
+	li    a2, 4
+	li    v0, SYS_write
+	syscall
+	nop
+out:
+	lw    ra, 0(sp)
+	addiu sp, sp, 8
+	li    v0, 0
+	jr    ra
+	nop
+okmsg:	.asciiz "ok,"
+badmsg:	.asciiz "BAD,"
+`
+	}
+	m, err := NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadProgram(prog("0x1111")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.SpawnProgram(prog("0x2222")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.SpawnProgram(prog("0x3333")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	got := m.K.Console()
+	if strings.Contains(got, "BAD") || strings.Count(got, "ok,") != 3 {
+		t.Errorf("console = %q, want three ok", got)
+	}
+}
+
+// TestPerProcessFastHandlers: each process claims breakpoints with its
+// own handler; the u-area switch must route each fault to its owner.
+func TestPerProcessFastHandlers(t *testing.T) {
+	prog := func(marker string) string {
+		return `
+main:
+	addiu sp, sp, -8
+	sw    ra, 0(sp)
+	la    t0, my_handler
+	la    t1, __fexc_chandler
+	sw    t0, 0(t1)
+	la    a0, __fexc_low
+	li    a1, 1 << 9
+	jal   __uexc_enable
+	nop
+	li    s0, 3
+loop:
+	break
+	li    v0, SYS_yield
+	syscall
+	nop
+	addiu s0, s0, -1
+	bnez  s0, loop
+	nop
+	lw    ra, 0(sp)
+	addiu sp, sp, 8
+	li    v0, 0
+	jr    ra
+	nop
+
+# handler: print our marker (via syscall!) and skip the break.
+my_handler:
+	addiu sp, sp, -16
+	sw    ra, 0(sp)
+	sw    a0, 4(sp)
+	li    a0, 1
+	la    a1, marker
+	li    a2, 1
+	li    v0, SYS_write
+	syscall
+	nop
+	lw    a0, 4(sp)
+	nop
+	lw    t6, 0(a0)
+	nop
+	addiu t6, t6, 4
+	sw    t6, 0(a0)
+	lw    ra, 0(sp)
+	addiu sp, sp, 16
+	jr    ra
+	nop
+marker:	.ascii "` + marker + `"
+	.byte 0
+`
+	}
+	m, err := NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadProgram(prog("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.SpawnProgram(prog("y")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(20_000_000); err != nil {
+		t.Fatal(err)
+	}
+	got := m.K.Console()
+	if got != "xyxyxy" {
+		t.Errorf("console = %q, want \"xyxyxy\" (per-process handlers)", got)
+	}
+}
+
+// TestGetAsidDiffers: the diagnostic syscall reports distinct ASIDs.
+func TestGetAsidDiffers(t *testing.T) {
+	prog := `
+main:
+	li    v0, SYS_getasid
+	syscall
+	nop
+	addiu a0, v0, '0'
+	la    t0, buf
+	sb    a0, 0(t0)
+	li    a0, 1
+	move  a1, t0
+	li    a2, 1
+	li    v0, SYS_write
+	syscall
+	nop
+	li    v0, SYS_yield
+	syscall
+	nop
+	li    v0, 0
+	jr    ra
+	nop
+buf:	.byte 0
+`
+	m, err := NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.SpawnProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.SpawnProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.K.Console(); got != "012" {
+		t.Errorf("console = %q, want \"012\"", got)
+	}
+}
+
+// TestUTLBModIsolatedByASID is §2.2's closing requirement: "this
+// mechanism requires a tagged TLB, so that only TLB entries for the
+// executing process can be modified". Process A holds a U-bit page at a
+// VA; process B, with the same VA mapped WITHOUT the U bit, must not be
+// able to modify protection — even while A's (U-bit) TLB entry for that
+// VA is resident.
+func TestUTLBModIsolatedByASID(t *testing.T) {
+	// A: grant U bit, load the TLB entry, yield; later verify its page
+	// is still protected the way A left it.
+	progA := `
+main:
+	addiu sp, sp, -8
+	sw    ra, 0(sp)
+	li    a0, 4096
+	li    v0, SYS_sbrk
+	syscall
+	nop
+	move  s1, v0
+	sw    zero, 0(s1)
+	move  a0, s1
+	li    a1, 1
+	li    v0, SYS_setubit
+	syscall
+	nop
+	lw    t0, 0(s1)            # pull the U-bit entry into the TLB
+	li    t1, 2                # A restricts its own page to read-only
+	utlbmod s1, t1
+	li    v0, SYS_yield        # B runs and tries to interfere
+	syscall
+	nop
+	lw    t0, 0(s1)            # A can still read
+	li    a0, 1
+	la    a1, amsg
+	li    a2, 2
+	li    v0, SYS_write
+	syscall
+	nop
+	lw    ra, 0(sp)
+	addiu sp, sp, 8
+	li    v0, 0
+	jr    ra
+	nop
+amsg:	.asciiz "A+"
+`
+	// B: map the same VA (its own page, no U bit) and attempt utlbmod;
+	// the attempt must be refused (RI -> SIGILL termination).
+	progB := `
+main:
+	li    a0, 4096
+	li    v0, SYS_sbrk
+	syscall
+	nop
+	move  s1, v0               # same VA as A's page
+	sw    zero, 0(s1)          # B's own mapping in the TLB
+	li    t1, 3
+	utlbmod s1, t1             # no U bit for B: refused
+	li    a0, 1
+	la    a1, bmsg
+	li    a2, 2
+	li    v0, SYS_write
+	syscall
+	nop
+	li    v0, 0
+	jr    ra
+	nop
+bmsg:	.asciiz "B!"
+`
+	m, err := NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadProgram(progA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.SpawnProgram(progB); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	got := m.K.Console()
+	if got != "A+" {
+		t.Errorf("console = %q: B's utlbmod must be refused (no B! output), A must finish", got)
+	}
+	procs := m.K.Procs()
+	if done, status := procs[1].Exited(); !done || status != 128+4 { // SIGILL
+		t.Errorf("B exit = %v/%d, want SIGILL termination", done, status)
+	}
+}
+
+// TestProcessTableFull: MaxProcs is enforced.
+func TestProcessTableFull(t *testing.T) {
+	m, err := NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadProgram("main:\n\tjr ra\n\tnop\n"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.SpawnProgram("main:\n\tjr ra\n\tnop\n"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.SpawnProgram("main:\n\tjr ra\n\tnop\n"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.SpawnProgram("main:\n\tjr ra\n\tnop\n"); err == nil {
+		t.Error("fourth process accepted")
+	}
+}
+
+// TestSurvivorContinuesAfterSiblingCrash: one process dies on an
+// unhandled fault; the other must keep running to completion.
+func TestSurvivorContinuesAfterSiblingCrash(t *testing.T) {
+	m, err := NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = m.LoadProgram(`
+main:
+	li    v0, SYS_yield
+	syscall
+	nop
+	li    a0, 1
+	la    a1, msg
+	li    a2, 9
+	li    v0, SYS_write
+	syscall
+	nop
+	li    v0, 0
+	jr    ra
+	nop
+msg:	.asciiz "survivor\n"
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.SpawnProgram(`
+main:
+	break            # no handler: SIGTRAP termination
+	jr    ra
+	nop
+`); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.K.Console(); got != "survivor\n" {
+		t.Errorf("console = %q", got)
+	}
+	procs := m.K.Procs()
+	if done, status := procs[1].Exited(); !done || status != 133 {
+		t.Errorf("crasher exit = %v/%d, want true/133", done, status)
+	}
+	if done, status := procs[0].Exited(); !done || status != 0 {
+		t.Errorf("survivor exit = %v/%d", done, status)
+	}
+}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestShippedExamplePrograms runs every .s program under
+// examples/programs (the uexc-run samples) and checks their output.
+func TestShippedExamplePrograms(t *testing.T) {
+	cases := []struct {
+		file string
+		want string
+	}{
+		{"hello.s", "hello, world!\n"},
+		{"fib.s", "1\n1\n2\n3\n5\n8\n13\n21\n34\n55\n89\n144\n"},
+		{"trapdemo.s", "handled 9 traps at user level\n"},
+	}
+	dir := filepath.Join("..", "..", "examples", "programs")
+	for _, c := range cases {
+		t.Run(c.file, func(t *testing.T) {
+			src, err := os.ReadFile(filepath.Join(dir, c.file))
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := NewMachine()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.LoadProgram(string(src)); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Run(50_000_000); err != nil {
+				t.Fatal(err)
+			}
+			got := m.K.Console()
+			if !strings.HasPrefix(got, c.want) && got != c.want {
+				t.Errorf("console = %q, want %q", got, c.want)
+			}
+		})
+	}
+}

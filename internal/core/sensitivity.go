@@ -1,0 +1,76 @@
+package core
+
+import "uexc/internal/userrt"
+
+// ScaleKernelCosts multiplies every modeled "C-phase" cycle charge in
+// the kernel's cost table by f. The assembly-measured parts of the
+// system are untouched — they are executed, not modeled — so scaling
+// probes exactly the calibrated portion of the reproduction.
+func ScaleKernelCosts(m *Machine, f float64) {
+	c := &m.K.Costs
+	scale := func(v *uint64) { *v = uint64(float64(*v) * f) }
+	scale(&c.TrapEntry)
+	scale(&c.Post)
+	scale(&c.Recognize)
+	scale(&c.Sendsig)
+	scale(&c.CopyWord)
+	scale(&c.Sigreturn)
+	scale(&c.SyscallBase)
+	scale(&c.SyscallBody)
+	scale(&c.MprotectPage)
+	scale(&c.DemandPage)
+	scale(&c.ProtLookup)
+	scale(&c.ProtAmplify)
+	scale(&c.SubpageCheck)
+	scale(&c.EmulLoad)
+	scale(&c.EmulBranch)
+	scale(&c.ResumeRegs)
+}
+
+// SensitivityPoint reports the headline comparison at one scaling of
+// the calibrated cost constants.
+type SensitivityPoint struct {
+	Scale       float64
+	FastRTMicro float64
+	UltRTMicro  float64
+	Speedup     float64
+}
+
+// MeasureSensitivity re-measures the simple-exception comparison with
+// the kernel's calibrated C-phase charges scaled by each factor. The
+// headline order-of-magnitude claim should survive any plausible
+// calibration error: the fast path's cost is dominated by *executed*
+// instructions, the Ultrix path's by the scaled C phases.
+func MeasureSensitivity(scales []float64, n int) ([]SensitivityPoint, error) {
+	var out []SensitivityPoint
+	for _, f := range scales {
+		f := f
+		fast, _, err := runTimedLoop(timedLoopSpec{
+			prog:         simpleFastProg(n),
+			handlerEntry: userrt.SymSkipHandler,
+			handlerExit:  userrt.SymFexcLowRet,
+			codeMask:     1 << 9,
+			tweak:        func(m *Machine) { ScaleKernelCosts(m, f) },
+		})
+		if err != nil {
+			return nil, err
+		}
+		ult, _, err := runTimedLoop(timedLoopSpec{
+			prog:         simpleUltrixProg(n),
+			handlerEntry: userrt.SymSkipSigHandler,
+			handlerExit:  userrt.SymSigHandlerRet,
+			codeMask:     1 << 9,
+			tweak:        func(m *Machine) { ScaleKernelCosts(m, f) },
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SensitivityPoint{
+			Scale:       f,
+			FastRTMicro: fast.RoundTripMicros(),
+			UltRTMicro:  ult.RoundTripMicros(),
+			Speedup:     ult.RoundTrip / fast.RoundTrip,
+		})
+	}
+	return out, nil
+}

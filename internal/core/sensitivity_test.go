@@ -1,0 +1,29 @@
+package core
+
+import "testing"
+
+// TestSensitivityOfHeadlineClaim: the order-of-magnitude speedup must
+// survive substantial miscalibration of the modeled C-phase charges —
+// the one part of this reproduction that is calibrated rather than
+// executed.
+func TestSensitivityOfHeadlineClaim(t *testing.T) {
+	pts, err := MeasureSensitivity([]float64{0.7, 1.0, 1.3}, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		t.Logf("scale %.1f: fast %.1fµs ultrix %.1fµs speedup %.1fx",
+			p.Scale, p.FastRTMicro, p.UltRTMicro, p.Speedup)
+		if p.Speedup < 6 {
+			t.Errorf("scale %.1f: speedup %.1fx below 6x — claim not robust", p.Scale, p.Speedup)
+		}
+	}
+	// The fast path barely moves (it is executed, not modeled); the
+	// Ultrix path scales with the model.
+	if spread := pts[2].FastRTMicro - pts[0].FastRTMicro; spread > 2.0 {
+		t.Errorf("fast path moved %.1fµs across scales; should be nearly model-free", spread)
+	}
+	if pts[2].UltRTMicro <= pts[0].UltRTMicro {
+		t.Error("ultrix path did not scale with the model")
+	}
+}

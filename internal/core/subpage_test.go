@@ -1,0 +1,282 @@
+package core
+
+import "testing"
+
+// TestSubpageDelaySlotEmulation exercises the trickiest path of §3.2.4:
+// the faulting store sits in a branch delay slot, so the kernel must
+// emulate the branch in addition to the store, for both taken and
+// not-taken branches.
+func TestSubpageDelaySlotEmulation(t *testing.T) {
+	m, err := NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = m.LoadProgram(`
+main:
+	addiu sp, sp, -8
+	sw    ra, 0(sp)
+	la    t0, __null_handler
+	la    t1, __fexc_chandler
+	sw    t0, 0(t1)
+	la    a0, __fexc_low
+	li    a1, (1<<1)|(1<<2)|(1<<3)
+	jal   __uexc_enable
+	nop
+	li    a0, 8192
+	li    v0, SYS_sbrk
+	syscall
+	nop
+	move  s1, v0
+	sw    zero, 0(s1)
+	move  a0, s1              # protect subpage [0,1K) only
+	li    a1, 1024
+	li    a2, 0
+	li    v0, SYS_subpage
+	syscall
+	nop
+
+	# Case 1: taken branch with faulting store in the delay slot.
+	li    s2, 1
+	li    t8, 0x111
+	bnez  s2, taken1
+	sw    t8, 2048(s1)        # unprotected subpage: emulated
+	# (skipped on the taken path)
+	la    t9, results
+	sw    zero, 0(t9)
+	b     case2
+	nop
+taken1:
+	la    t9, results
+	li    t8, 1
+	sw    t8, 0(t9)           # results[0] = 1: branch was honored
+
+case2:
+	# Case 2: not-taken branch with faulting store in the delay slot.
+	li    s2, 0
+	li    t8, 0x222
+	bnez  s2, taken2
+	sw    t8, 2052(s1)        # emulated; fall-through must continue
+	la    t9, results
+	li    t8, 2
+	sw    t8, 4(t9)           # results[1] = 2: fall-through honored
+	b     case3
+	nop
+taken2:
+	la    t9, results
+	sw    zero, 4(t9)
+
+case3:
+	# Case 3: jal with faulting store in the delay slot.
+	li    t8, 0x333
+	jal   subfn
+	sw    t8, 2056(s1)        # emulated; call must proceed & return
+
+	# Verify the emulated stores' values via loads (page now has D
+	# cleared but V set, loads are fine).
+	lw    t8, 2048(s1)
+	la    t9, results
+	sw    t8, 12(t9)
+	lw    t8, 2052(s1)
+	sw    t8, 16(t9)
+	lw    t8, 2056(s1)
+	sw    t8, 20(t9)
+	lw    ra, 0(sp)
+	addiu sp, sp, 8
+	li    v0, 0
+	jr    ra
+	nop
+
+subfn:
+	la    t9, results
+	li    t8, 3
+	sw    t8, 8(t9)           # results[2] = 3: call happened
+	jr    ra
+	nop
+
+	.align 4
+results:
+	.space 24
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	base := m.Sym("results")
+	want := []uint32{1, 2, 3, 0x111, 0x222, 0x333}
+	names := []string{"taken-branch path", "fall-through path", "jal call",
+		"store under taken branch", "store under not-taken branch", "store under jal"}
+	for i, w := range want {
+		got, ok := m.K.ReadUserWord(base + uint32(4*i))
+		if !ok || got != w {
+			t.Errorf("%s: results[%d] = %#x, want %#x", names[i], i, got, w)
+		}
+	}
+	if m.K.Stats.SubpageEmuls != 3 {
+		t.Errorf("subpage emulations = %d, want 3", m.K.Stats.SubpageEmuls)
+	}
+	// No delivery happened for unprotected-subpage stores.
+	if m.K.Stats.ProtFaultsToUser != 0 {
+		t.Errorf("deliveries = %d, want 0", m.K.Stats.ProtFaultsToUser)
+	}
+}
+
+// TestSubpageProtectedDelivers checks the complementary case: a store
+// into the protected subpage is delivered, and the kernel amplified the
+// page so the handler's return retries successfully.
+func TestSubpageProtectedDelivers(t *testing.T) {
+	m, err := NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = m.LoadProgram(`
+main:
+	addiu sp, sp, -8
+	sw    ra, 0(sp)
+	la    t0, __null_handler
+	la    t1, __fexc_chandler
+	sw    t0, 0(t1)
+	la    a0, __fexc_low
+	li    a1, (1<<1)|(1<<2)|(1<<3)
+	jal   __uexc_enable
+	nop
+	li    a0, 8192
+	li    v0, SYS_sbrk
+	syscall
+	nop
+	move  s1, v0
+	sw    zero, 0(s1)
+	move  a0, s1
+	li    a1, 1024
+	li    a2, 0
+	li    v0, SYS_subpage
+	syscall
+	nop
+	li    t8, 0x777
+	sw    t8, 512(s1)         # protected subpage: delivered, amplified, retried
+	lw    t9, 512(s1)
+	la    t0, result
+	sw    t9, 0(t0)
+	lw    ra, 0(sp)
+	addiu sp, sp, 8
+	li    v0, 0
+	jr    ra
+	nop
+	.align 4
+result:
+	.word 0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.userWord("result"); got != 0x777 {
+		t.Errorf("result = %#x, want 0x777", got)
+	}
+	if m.K.Stats.ProtFaultsToUser != 1 {
+		t.Errorf("deliveries = %d, want 1", m.K.Stats.ProtFaultsToUser)
+	}
+	if m.K.Stats.SubpageEmuls != 0 {
+		t.Errorf("emulations = %d, want 0", m.K.Stats.SubpageEmuls)
+	}
+}
+
+// TestWatchModeDelaySlot: the watched store sits in a branch delay
+// slot; the kernel must emulate the store, honor the branch decision,
+// and still deliver the notification with correct old/new values.
+func TestWatchModeDelaySlot(t *testing.T) {
+	m, err := NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = m.LoadProgram(`
+main:
+	addiu sp, sp, -8
+	sw    ra, 0(sp)
+	la    t0, obs_handler
+	la    t1, __fexc_chandler
+	sw    t0, 0(t1)
+	la    a0, __fexc_low
+	li    a1, (1<<1)|(1<<2)|(1<<3)
+	jal   __uexc_enable
+	nop
+	li    a0, 1
+	li    v0, SYS_uexc_watch
+	syscall
+	nop
+	li    a0, 8192
+	li    v0, SYS_sbrk
+	syscall
+	nop
+	move  s1, v0
+	li    t8, 7
+	sw    t8, 0(s1)            # pre-existing value (old)
+	move  a0, s1
+	li    a1, 1024
+	li    a2, 0
+	li    v0, SYS_subpage
+	syscall
+	nop
+
+	li    t8, 99
+	li    t9, 1
+	bnez  t9, taken            # taken branch...
+	sw    t8, 0(s1)            # ...with the watched store in its delay slot
+	la    t0, path
+	sw    zero, 0(t0)          # must be skipped
+	b     done
+	nop
+taken:
+	la    t0, path
+	li    t1, 1
+	sw    t1, 0(t0)
+done:
+	lw    t2, 0(s1)
+	la    t0, final
+	sw    t2, 0(t0)
+	lw    ra, 0(sp)
+	addiu sp, sp, 8
+	li    v0, 0
+	jr    ra
+	nop
+
+obs_handler:
+	lw    t6, 0x48(a0)         # old
+	la    t7, oldv
+	sw    t6, 0(t7)
+	lw    t6, 0x4c(a0)         # new
+	la    t7, newv
+	sw    t6, 0(t7)
+	jr    ra
+	nop
+	.align 4
+path:	.word 0xff
+oldv:	.word 0
+newv:	.word 0
+final:	.word 0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.userWord("path"); got != 1 {
+		t.Errorf("path = %d, want 1 (branch honored)", got)
+	}
+	if got := m.userWord("oldv"); got != 7 {
+		t.Errorf("old = %d, want 7", got)
+	}
+	if got := m.userWord("newv"); got != 99 {
+		t.Errorf("new = %d, want 99", got)
+	}
+	if got := m.userWord("final"); got != 99 {
+		t.Errorf("final = %d, want 99 (store landed)", got)
+	}
+	if m.K.Stats.WatchHits != 1 {
+		t.Errorf("watch hits = %d, want 1", m.K.Stats.WatchHits)
+	}
+}

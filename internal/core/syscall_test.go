@@ -1,0 +1,225 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// runProg is a helper for small syscall-exercising programs.
+func runProg(t *testing.T, prog string) *Machine {
+	t.Helper()
+	m, err := NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(5_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestUnknownSyscallReturnsENOSYS(t *testing.T) {
+	m := runProg(t, `
+main:
+	li    v0, 9999
+	syscall
+	nop
+	la    t0, result
+	sw    v0, 0(t0)
+	li    v0, 0
+	jr    ra
+	nop
+	.align 4
+result:	.word 0
+`)
+	// ENOSYS = -38.
+	if got := int32(m.userWord("result")); got != -38 {
+		t.Errorf("unknown syscall = %d, want -38", got)
+	}
+}
+
+func TestWriteBadBufferReturnsEFAULT(t *testing.T) {
+	m := runProg(t, `
+main:
+	li    a0, 1
+	li    a1, 0x06000000      # unmapped
+	li    a2, 4
+	li    v0, SYS_write
+	syscall
+	nop
+	la    t0, result
+	sw    v0, 0(t0)
+	li    v0, 0
+	jr    ra
+	nop
+	.align 4
+result:	.word 0
+`)
+	if got := int32(m.userWord("result")); got != -14 { // EFAULT
+		t.Errorf("write to bad buffer = %d, want -14", got)
+	}
+}
+
+func TestMprotectUnmappedReturnsEINVAL(t *testing.T) {
+	m := runProg(t, `
+main:
+	li    a0, 0x06000000
+	li    a1, 4096
+	li    a2, 1
+	li    v0, SYS_mprotect
+	syscall
+	nop
+	la    t0, result
+	sw    v0, 0(t0)
+	li    v0, 0
+	jr    ra
+	nop
+	.align 4
+result:	.word 0
+`)
+	if got := int32(m.userWord("result")); got != -22 { // EINVAL
+		t.Errorf("mprotect unmapped = %d, want -22", got)
+	}
+}
+
+func TestHugeSbrkReturnsENOMEM(t *testing.T) {
+	m := runProg(t, `
+main:
+	li    a0, 0x70000000
+	li    v0, SYS_sbrk
+	syscall
+	nop
+	la    t0, result
+	sw    v0, 0(t0)
+	li    v0, 0
+	jr    ra
+	nop
+	.align 4
+result:	.word 0
+`)
+	if got := int32(m.userWord("result")); got != -12 { // ENOMEM
+		t.Errorf("huge sbrk = %d, want -12", got)
+	}
+}
+
+func TestUexcEnableClaimingSyscallFails(t *testing.T) {
+	m := runProg(t, `
+main:
+	la    a0, main
+	li    a1, 1 << 8          # ExcSys: unclaimable
+	li    a2, FRAMEPAGE
+	li    v0, SYS_uexc_enable
+	syscall
+	nop
+	la    t0, result
+	sw    v0, 0(t0)
+	li    v0, 0
+	jr    ra
+	nop
+	.align 4
+result:	.word 0
+`)
+	if got := int32(m.userWord("result")); got != -22 {
+		t.Errorf("claiming ExcSys = %d, want -22", got)
+	}
+}
+
+func TestSigactionBadSignalFails(t *testing.T) {
+	m := runProg(t, `
+main:
+	li    a0, 99
+	la    a1, main
+	la    a2, __sig_trampoline
+	li    v0, SYS_sigaction
+	syscall
+	nop
+	la    t0, result
+	sw    v0, 0(t0)
+	li    v0, 0
+	jr    ra
+	nop
+	.align 4
+result:	.word 0
+`)
+	if got := int32(m.userWord("result")); got != -22 {
+		t.Errorf("sigaction(99) = %d, want -22", got)
+	}
+}
+
+func TestSyscallResultsDoNotClobberOtherRegisters(t *testing.T) {
+	// Unix convention: syscalls preserve everything but v0 (and the
+	// kernel-reserved registers). The light syscall path must restore
+	// a0-a3 and leave s-registers untouched.
+	m := runProg(t, `
+main:
+	addiu sp, sp, -8
+	sw    ra, 0(sp)
+	li    s0, 0x1111
+	li    s1, 0x2222
+	li    a0, 0x3333
+	li    a1, 0x4444
+	li    a2, 0x5555
+	li    a3, 0x6666
+	li    t7, 0x7777
+	li    v0, SYS_getpid
+	syscall
+	nop
+	la    t0, out
+	sw    s0, 0(t0)
+	sw    s1, 4(t0)
+	sw    a0, 8(t0)
+	sw    a1, 12(t0)
+	sw    a2, 16(t0)
+	sw    a3, 20(t0)
+	sw    t7, 24(t0)
+	sw    v0, 28(t0)
+	lw    ra, 0(sp)
+	addiu sp, sp, 8
+	li    v0, 0
+	jr    ra
+	nop
+	.align 4
+out:	.space 32
+`)
+	want := []uint32{0x1111, 0x2222, 0x3333, 0x4444, 0x5555, 0x6666, 0x7777, 1}
+	base := m.Sym("out")
+	names := []string{"s0", "s1", "a0", "a1", "a2", "a3", "t7", "v0(getpid)"}
+	for i, w := range want {
+		got, _ := m.K.ReadUserWord(base + uint32(4*i))
+		if got != w {
+			t.Errorf("%s = %#x after syscall, want %#x", names[i], got, w)
+		}
+	}
+}
+
+func TestTerminationWithoutTrampoline(t *testing.T) {
+	// A handler installed without a trampoline cannot be called; the
+	// kernel must terminate rather than vector user code to 0.
+	m, err := NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = m.LoadProgram(`
+main:
+	li    a0, 5
+	la    a1, main            # "handler" but no trampoline (a2 = 0)
+	li    a2, 0
+	li    v0, SYS_sigaction
+	syscall
+	nop
+	break
+	li    v0, 0
+	jr    ra
+	nop
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = m.Run(5_000_000)
+	if err == nil || !strings.Contains(err.Error(), "133") {
+		t.Errorf("err = %v, want SIGTRAP termination", err)
+	}
+}

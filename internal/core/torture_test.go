@@ -1,0 +1,231 @@
+package core
+
+import (
+	"testing"
+
+	"uexc/internal/arch"
+)
+
+// TestTortureAllMechanismsTogether runs one process that exercises, in
+// a single run: fast breakpoint delivery, fast unaligned delivery,
+// demand paging, subpage protection with kernel emulation, eager
+// amplification of a write-protection fault, a conventional Unix signal
+// (overflow), syscalls, and console output — then checks every result.
+func TestTortureAllMechanismsTogether(t *testing.T) {
+	m, err := NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = m.LoadProgram(`
+main:
+	addiu sp, sp, -16
+	sw    ra, 0(sp)
+	sw    s0, 4(sp)
+	sw    s1, 8(sp)
+
+	# fast delivery for breakpoints, unaligned, and protection faults
+	la    t0, fast_handler
+	la    t1, __fexc_chandler
+	sw    t0, 0(t1)
+	la    a0, __fexc_low
+	li    a1, (1<<1)|(1<<2)|(1<<3)|(1<<4)|(1<<5)|(1<<9)
+	jal   __uexc_enable
+	nop
+	li    a0, 1
+	li    v0, SYS_uexc_eager
+	syscall
+	nop
+
+	# a Unix handler for arithmetic overflow
+	li    a0, 8
+	la    a1, fpe_handler
+	la    a2, __sig_trampoline
+	li    v0, SYS_sigaction
+	syscall
+	nop
+
+	# --- phase 1: breakpoints through the fast path
+	break
+	break
+
+	# --- phase 2: unaligned load through the fast path
+	la    t0, data_words
+	lw    t9, 1(t0)            # AdEL, skipped by handler
+	nop
+
+	# --- phase 3: demand paging on a fresh heap region
+	li    a0, 0x4000
+	li    v0, SYS_sbrk
+	syscall
+	nop
+	move  s1, v0
+	li    t1, 0xaa
+	sw    t1, 0(s1)            # demand-zero fault, transparent
+	sw    t1, 4096(s1)
+	sw    t1, 8192(s1)
+
+	# --- phase 4: subpage protection + kernel emulation
+	move  a0, s1
+	li    a1, 1024
+	li    a2, 0
+	li    v0, SYS_subpage
+	syscall
+	nop
+	li    t1, 0xbb
+	sw    t1, 2048(s1)         # unprotected subpage: emulated
+	li    t1, 0xcc
+	sw    t1, 512(s1)          # protected subpage: delivered + amplified
+
+	# --- phase 5: write protection with eager amplification
+	addiu t0, s1, 4096
+	move  a0, t0
+	li    a1, 4096
+	li    a2, 1
+	li    v0, SYS_mprotect
+	syscall
+	nop
+	li    t1, 0xdd
+	sw    t1, 4096(s1)         # Mod fault, amplified, retried
+
+	# --- phase 6: a Unix signal in the middle of it all
+	li    t8, 0x7fffffff
+	li    t9, 1
+	add   t8, t8, t9           # overflow -> SIGFPE via trampoline
+
+	# --- phase 7: console write
+	li    a0, 1
+	la    a1, done_msg
+	li    a2, 5
+	li    v0, SYS_write
+	syscall
+	nop
+
+	# gather results
+	la    t0, out
+	la    t1, fast_hits
+	lw    t2, 0(t1)
+	sw    t2, 0(t0)            # out[0] = fast handler invocations
+	la    t1, fpe_hits
+	lw    t2, 0(t1)
+	sw    t2, 4(t0)            # out[1] = unix handler invocations
+	lw    t2, 512(s1)
+	sw    t2, 8(t0)            # out[2] = 0xcc
+	lw    t2, 2048(s1)
+	sw    t2, 12(t0)           # out[3] = 0xbb
+	lw    t2, 4096(s1)
+	sw    t2, 16(t0)           # out[4] = 0xdd
+	lw    t2, 8192(s1)
+	sw    t2, 20(t0)           # out[5] = 0xaa
+
+	lw    s1, 8(sp)
+	lw    s0, 4(sp)
+	lw    ra, 0(sp)
+	addiu sp, sp, 16
+	li    v0, 0
+	jr    ra
+	nop
+
+# Fast C-level handler: count; advance the PC only for breakpoints and
+# unaligned faults (protection faults retry after amplification).
+fast_handler:
+	la    t6, fast_hits
+	lw    t7, 0(t6)
+	nop
+	addiu t7, t7, 1
+	sw    t7, 0(t6)
+	lw    t6, 4(a0)            # FrCause
+	nop
+	andi  t6, t6, 0x7c
+	srl   t6, t6, 2
+	addiu t7, t6, -9           # Bp?
+	beqz  t7, skip
+	nop
+	addiu t7, t6, -4           # AdEL?
+	beqz  t7, skip
+	nop
+	jr    ra                   # protection fault: plain return (retry)
+	nop
+skip:
+	lw    t6, 0(a0)
+	nop
+	addiu t6, t6, 4
+	sw    t6, 0(a0)
+	jr    ra
+	nop
+
+fpe_handler:
+	la    t6, fpe_hits
+	lw    t7, 0(t6)
+	nop
+	addiu t7, t7, 1
+	sw    t7, 0(t6)
+	lw    t7, 124(a2)
+	nop
+	addiu t7, t7, 4
+	sw    t7, 124(a2)
+	jr    ra
+	nop
+
+	.align 8
+data_words:
+	.word 0x01020304, 0x05060708
+fast_hits:
+	.word 0
+fpe_hits:
+	.word 0
+done_msg:
+	.asciiz "done\n"
+	.align 4
+out:
+	.space 24
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(20_000_000); err != nil {
+		t.Fatal(err)
+	}
+
+	base := m.Sym("out")
+	get := func(i int) uint32 {
+		v, _ := m.K.ReadUserWord(base + uint32(4*i))
+		return v
+	}
+	// Fast handler: 2 breaks + 1 unaligned + 1 subpage delivery + 1
+	// write-prot delivery = 5.
+	if got := get(0); got != 5 {
+		t.Errorf("fast handler invocations = %d, want 5", got)
+	}
+	if got := get(1); got != 1 {
+		t.Errorf("unix handler invocations = %d, want 1", got)
+	}
+	wants := []uint32{0xcc, 0xbb, 0xdd, 0xaa}
+	for i, w := range wants {
+		if got := get(2 + i); got != w {
+			t.Errorf("out[%d] = %#x, want %#x", 2+i, got, w)
+		}
+	}
+	if got := m.K.Console(); got != "done\n" {
+		t.Errorf("console = %q", got)
+	}
+
+	s := m.K.Stats
+	if s.SubpageEmuls != 1 {
+		t.Errorf("subpage emulations = %d, want 1", s.SubpageEmuls)
+	}
+	if s.ProtFaultsToUser != 2 {
+		t.Errorf("prot deliveries = %d, want 2 (subpage + write-prot)", s.ProtFaultsToUser)
+	}
+	if s.UnixDeliveries != 1 {
+		t.Errorf("unix deliveries = %d, want 1", s.UnixDeliveries)
+	}
+	if s.PageFaults < 3 {
+		t.Errorf("demand-zero fills = %d, want >= 3", s.PageFaults)
+	}
+	if s.EagerAmplifies < 1 {
+		t.Errorf("eager amplifications = %d, want >= 1", s.EagerAmplifies)
+	}
+	if got := m.CPU().ExcCounts[arch.ExcBp]; got != 2 {
+		t.Errorf("breakpoints = %d, want 2", got)
+	}
+}

@@ -1,0 +1,279 @@
+package cpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"uexc/internal/arch"
+)
+
+// aluMachine executes single instructions against a Go reference model.
+type aluMachine struct {
+	tm *testMachine
+}
+
+func newALUMachine(t *testing.T) *aluMachine {
+	tm := newTestMachine(t)
+	// A code page in kseg0 we rewrite per instruction.
+	return &aluMachine{tm: tm}
+}
+
+// exec1 runs one R-type/I-type instruction with the given source
+// register values and returns the destination value.
+func (a *aluMachine) exec1(t *testing.T, inst arch.Inst, rsVal, rtVal uint32) (uint32, bool) {
+	t.Helper()
+	c := a.tm.c
+	c.Reset()
+	const codePA = 0x3000
+	if err := a.tm.m.StoreWord(codePA, arch.Encode(inst)); err != nil {
+		t.Fatal(err)
+	}
+	c.PC = arch.KSeg0Base + codePA
+	c.NPC = c.PC + 4
+	c.GPR[inst.Rs] = rsVal
+	c.GPR[inst.Rt] = rtVal
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	// Exception (e.g. overflow) redirects PC to a vector.
+	if c.PC != arch.KSeg0Base+codePA+4 && c.PC != arch.KSeg0Base+codePA+8 {
+		return 0, false
+	}
+	return c.GPR[inst.Rd], true
+}
+
+func TestALUAgainstReference(t *testing.T) {
+	a := newALUMachine(t)
+	type refFn func(x, y uint32) (uint32, bool) // result, no-exception
+	cases := []struct {
+		mn  arch.Mn
+		ref refFn
+	}{
+		{arch.MnADDU, func(x, y uint32) (uint32, bool) { return x + y, true }},
+		{arch.MnSUBU, func(x, y uint32) (uint32, bool) { return x - y, true }},
+		{arch.MnAND, func(x, y uint32) (uint32, bool) { return x & y, true }},
+		{arch.MnOR, func(x, y uint32) (uint32, bool) { return x | y, true }},
+		{arch.MnXOR, func(x, y uint32) (uint32, bool) { return x ^ y, true }},
+		{arch.MnNOR, func(x, y uint32) (uint32, bool) { return ^(x | y), true }},
+		{arch.MnSLT, func(x, y uint32) (uint32, bool) {
+			if int32(x) < int32(y) {
+				return 1, true
+			}
+			return 0, true
+		}},
+		{arch.MnSLTU, func(x, y uint32) (uint32, bool) {
+			if x < y {
+				return 1, true
+			}
+			return 0, true
+		}},
+		{arch.MnADD, func(x, y uint32) (uint32, bool) {
+			s := int64(int32(x)) + int64(int32(y))
+			if s > 0x7fffffff || s < -0x80000000 {
+				return 0, false
+			}
+			return uint32(s), true
+		}},
+		{arch.MnSUB, func(x, y uint32) (uint32, bool) {
+			s := int64(int32(x)) - int64(int32(y))
+			if s > 0x7fffffff || s < -0x80000000 {
+				return 0, false
+			}
+			return uint32(s), true
+		}},
+		{arch.MnSLLV, func(x, y uint32) (uint32, bool) { return y << (x & 31), true }},
+		{arch.MnSRLV, func(x, y uint32) (uint32, bool) { return y >> (x & 31), true }},
+		{arch.MnSRAV, func(x, y uint32) (uint32, bool) { return uint32(int32(y) >> (x & 31)), true }},
+	}
+	for _, c := range cases {
+		c := c
+		f := func(x, y uint32) bool {
+			inst := arch.Inst{Mn: c.mn, Rd: arch.RegV0, Rs: arch.RegA0, Rt: arch.RegA1}
+			got, okGot := a.exec1(t, inst, x, y)
+			want, okWant := c.ref(x, y)
+			if okGot != okWant {
+				t.Logf("%s(%#x, %#x): exception mismatch got ok=%v want ok=%v", c.mn.Name(), x, y, okGot, okWant)
+				return false
+			}
+			return !okGot || got == want
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("%s: %v", c.mn.Name(), err)
+		}
+	}
+}
+
+func TestShiftImmediates(t *testing.T) {
+	a := newALUMachine(t)
+	f := func(v uint32, sa uint8) bool {
+		sa &= 31
+		sll, ok1 := a.exec1(t, arch.Inst{Mn: arch.MnSLL, Rd: arch.RegV0, Rt: arch.RegA1, Shamt: sa}, 0, v)
+		srl, ok2 := a.exec1(t, arch.Inst{Mn: arch.MnSRL, Rd: arch.RegV0, Rt: arch.RegA1, Shamt: sa}, 0, v)
+		sra, ok3 := a.exec1(t, arch.Inst{Mn: arch.MnSRA, Rd: arch.RegV0, Rt: arch.RegA1, Shamt: sa}, 0, v)
+		return ok1 && ok2 && ok3 &&
+			sll == v<<sa && srl == v>>sa && sra == uint32(int32(v)>>sa)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImmediateOpsAgainstReference(t *testing.T) {
+	a := newALUMachine(t)
+	f := func(x uint32, imm uint16) bool {
+		se := uint32(int32(int16(imm)))
+		checks := []struct {
+			mn   arch.Mn
+			want uint32
+		}{
+			{arch.MnADDIU, x + se},
+			{arch.MnANDI, x & uint32(imm)},
+			{arch.MnORI, x | uint32(imm)},
+			{arch.MnXORI, x ^ uint32(imm)},
+			{arch.MnSLTIU, b2u(x < se)},
+			{arch.MnSLTI, b2u(int32(x) < int32(se))},
+		}
+		for _, c := range checks {
+			inst := arch.Inst{Mn: c.mn, Rt: arch.RegV0, Rs: arch.RegA0, Imm: imm}
+			// I-format writes Rt; exec1 reads Rd, so read v0 directly.
+			cpu := a.tm.c
+			cpu.Reset()
+			const codePA = 0x3000
+			if err := a.tm.m.StoreWord(codePA, arch.Encode(inst)); err != nil {
+				return false
+			}
+			cpu.PC = arch.KSeg0Base + codePA
+			cpu.NPC = cpu.PC + 4
+			cpu.GPR[arch.RegA0] = x
+			if err := cpu.Step(); err != nil {
+				return false
+			}
+			if cpu.GPR[arch.RegV0] != c.want {
+				t.Logf("%s(%#x, %#x) = %#x, want %#x", c.mn.Name(), x, imm, cpu.GPR[arch.RegV0], c.want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultDivAgainstReference(t *testing.T) {
+	tmach := newTestMachine(t)
+	c := tmach.c
+	run2 := func(mn arch.Mn, x, y uint32) (uint32, uint32) {
+		c.Reset()
+		const codePA = 0x3000
+		if err := tmach.m.StoreWord(codePA, arch.Encode(arch.Inst{Mn: mn, Rs: arch.RegA0, Rt: arch.RegA1})); err != nil {
+			t.Fatal(err)
+		}
+		c.PC = arch.KSeg0Base + codePA
+		c.NPC = c.PC + 4
+		c.GPR[arch.RegA0] = x
+		c.GPR[arch.RegA1] = y
+		if err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+		return c.LO, c.HI
+	}
+	f := func(x, y uint32) bool {
+		lo, hi := run2(arch.MnMULT, x, y)
+		p := int64(int32(x)) * int64(int32(y))
+		if lo != uint32(p) || hi != uint32(p>>32) {
+			return false
+		}
+		lo, hi = run2(arch.MnMULTU, x, y)
+		q := uint64(x) * uint64(y)
+		if lo != uint32(q) || hi != uint32(q>>32) {
+			return false
+		}
+		if y != 0 {
+			lo, hi = run2(arch.MnDIVU, x, y)
+			if lo != x/y || hi != x%y {
+				return false
+			}
+			if !(int32(x) == -0x80000000 && int32(y) == -1) { // overflowing quotient: unpredictable
+				lo, hi = run2(arch.MnDIV, x, y)
+				if int32(lo) != int32(x)/int32(y) || int32(hi) != int32(x)%int32(y) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJumpToUnalignedAddressFaultsOnFetch(t *testing.T) {
+	tm := newTestMachine(t)
+	p := tm.load(`
+		.org 0x80000080
+		mfc0 v0, c0_cause
+		hcall 1
+		mfc0 v0, c0_badvaddr
+		hcall 2
+		hcall 0
+		.org 0x80002000
+start:
+		li   t0, 0x80002102   # unaligned target
+		jr   t0
+		nop
+	`)
+	tm.run(p, 100)
+	if r := tm.record(1); r.v0>>arch.CauseExcShift&31 != arch.ExcAdEL {
+		t.Errorf("cause = %#x, want AdEL", r.v0)
+	}
+}
+
+func TestBLTZALLinksEvenWhenNotTaken(t *testing.T) {
+	tm := newTestMachine(t)
+	p := tm.load(`
+		.org 0x80002000
+start:
+		li   t0, 5
+linkpc:
+		bltzal t0, target     # not taken (5 >= 0), but ra is written
+		nop
+		move v0, ra
+		hcall 1
+		hcall 0
+target:
+		hcall 2
+		hcall 0
+	`)
+	tm.run(p, 100)
+	if r := tm.record(1); r.v0 != p.MustSymbol("linkpc")+8 {
+		t.Errorf("ra = %#x, want %#x", r.v0, p.MustSymbol("linkpc")+8)
+	}
+	for _, r := range tm.hcalls {
+		if r.code == 2 {
+			t.Error("not-taken bltzal branched")
+		}
+	}
+}
+
+func TestDivideByZeroDoesNotTrap(t *testing.T) {
+	// MIPS div by zero is UNPREDICTABLE but must not trap; we define 0.
+	tm := newTestMachine(t)
+	p := tm.load(`
+		.org 0x80002000
+start:
+		li   t0, 42
+		li   t1, 0
+		divu t0, t1
+		mflo v0
+		hcall 1
+		hcall 0
+	`)
+	tm.run(p, 100)
+	if r := tm.record(1); r.v0 != 0 {
+		t.Errorf("div-by-zero lo = %d", r.v0)
+	}
+	if tm.c.ExcCounts[arch.ExcOv] != 0 {
+		t.Error("div by zero trapped")
+	}
+}

@@ -1,0 +1,508 @@
+// Package cpu implements the execution core of the simulated machine:
+// an in-order interpreter for the R3000-like ISA defined in
+// internal/arch, with branch delay slots, precise synchronous
+// exceptions, a software-managed TLB, the CP0 system-control registers,
+// and cycle accounting at a configurable cost model.
+//
+// Two features model the paper's proposed hardware support (Section 2):
+//
+//   - Tera-style direct user-level exception delivery: when enabled, a
+//     synchronous exception whose class the process has claimed is
+//     delivered by loading the exception-condition register and
+//     exchanging the PC with the exception-target register, without
+//     entering the kernel. The XRET instruction exchanges back.
+//   - A per-TLB-entry U bit allowing user code to amplify or restrict
+//     protection (never translation) on its own entries via UTLBMOD.
+//
+// The CPU itself knows nothing about processes or Unix; the simulated
+// kernel in internal/kernel builds those on top.
+package cpu
+
+import (
+	"fmt"
+
+	"uexc/internal/arch"
+	"uexc/internal/mem"
+	"uexc/internal/tlb"
+)
+
+// CostModel assigns cycle costs to dynamic events. The defaults model a
+// 25 MHz R3000 with warm caches: single-cycle issue, an extra cycle for
+// cache access on loads/stores, a short pipeline drain on exception
+// entry, and R3000 multiply/divide latencies.
+type CostModel struct {
+	Inst           uint64 // base cost of every instruction
+	LoadStoreExtra uint64 // additional cost of a memory access
+	ExceptionEntry uint64 // pipeline flush + vector fetch on exception
+	MultExtra      uint64 // additional cycles for mult/multu
+	DivExtra       uint64 // additional cycles for div/divu
+}
+
+// DefaultCost is the calibrated warm-cache model.
+func DefaultCost() CostModel {
+	return CostModel{
+		Inst:           1,
+		LoadStoreExtra: 1,
+		ExceptionEntry: 5,
+		MultExtra:      11,
+		DivExtra:       34,
+	}
+}
+
+// ClockMHz is the simulated clock rate: the paper's 25 MHz DECstation
+// 5000/200.
+const ClockMHz = 25
+
+// CyclesToMicros converts a cycle count to microseconds at ClockMHz.
+func CyclesToMicros(cycles uint64) float64 { return float64(cycles) / ClockMHz }
+
+// HCallFn is the kernel-call hook: the simulated kernel's "compiled C"
+// layer. It runs host-side with full machine access and may charge
+// cycles via CPU.Charge. Returning an error halts simulation (a kernel
+// panic).
+type HCallFn func(c *CPU, code uint32) error
+
+// Exception describes a raised exception for tracing and statistics.
+type Exception struct {
+	Code     uint32 // arch.Exc*
+	PC       uint32 // address of the faulting instruction
+	BadVAddr uint32 // for address/TLB errors
+	InDelay  bool
+	User     bool // taken from user mode
+}
+
+// CPU is the machine state. Construct with New.
+type CPU struct {
+	GPR [32]uint32
+	HI  uint32
+	LO  uint32
+
+	// PC is the address of the next instruction to execute; NPC the one
+	// after it (branches redirect NPC so the delay slot at PC still
+	// runs).
+	PC  uint32
+	NPC uint32
+
+	// CP0 registers, indexed by arch.C0*.
+	CP0 [32]uint32
+
+	// XT, XC, and XB are the proposed exception-target register and the
+	// two condition registers (cause and bad address), all
+	// user-accessible — the Tera carries exactly this per-thread state.
+	XT uint32
+	XC uint32
+	XB uint32
+
+	// TeraMode enables direct user-level delivery for exception classes
+	// in UserVector (a bit per arch.Exc* code).
+	TeraMode   bool
+	UserVector uint32
+
+	// FixedVector, when non-zero in TeraMode, selects §2.2's alternative
+	// delivery specification: instead of exchanging PC with XT, the
+	// hardware vectors to this fixed, architecturally-defined address in
+	// the user address space (XT still receives the faulting PC so XRET
+	// returns the same way).
+	FixedVector uint32
+
+	// HWUTLBMod selects whether the user-level TLB protection update
+	// instruction is implemented in hardware. When false, a user-mode
+	// UTLBMOD raises a reserved-instruction exception regardless of the
+	// U bit, and the kernel may emulate the opcode — the software
+	// variant of §3.2.3. New machines have the hardware (true).
+	HWUTLBMod bool
+
+	Mem *mem.Memory
+	TLB *tlb.TLB
+
+	Cost   CostModel
+	Cycles uint64
+	Insts  uint64
+
+	// HCall is invoked by the kernel-mode HCALL instruction.
+	HCall HCallFn
+
+	// Halted stops Run; set by the kernel's exit path.
+	Halted bool
+
+	// CountPCs enables per-PC dynamic instruction counting (used to
+	// reproduce Table 3's per-phase kernel instruction counts).
+	CountPCs bool
+	PCCounts map[uint32]uint64
+
+	// ExcCounts tallies raised exceptions by code; Trace, when non-nil,
+	// receives every exception.
+	ExcCounts [32]uint64
+	Trace     func(Exception)
+
+	prevWasBranch bool // previous executed instruction was a branch/jump
+
+	// redirect marks that execute() replaced PC/NPC itself (XRET, RFE
+	// return paths that must bypass the fall-through update).
+	redirect bool
+	// pendingHookErr carries an HCALL hook failure out of execute().
+	pendingHookErr error
+}
+
+// New creates a CPU attached to the given memory and TLB, with PC at the
+// reset vector and kernel mode active.
+func New(m *mem.Memory, t *tlb.TLB) *CPU {
+	c := &CPU{Mem: m, TLB: t, Cost: DefaultCost(), HWUTLBMod: true}
+	c.Reset()
+	return c
+}
+
+// Reset re-initializes architectural state (memory and TLB contents are
+// left alone; callers reset those separately if desired).
+func (c *CPU) Reset() {
+	c.GPR = [32]uint32{}
+	c.HI, c.LO = 0, 0
+	c.CP0 = [32]uint32{}
+	c.CP0[arch.C0PRId] = 0x0230 // R3000-ish revision id
+	c.PC = arch.VecReset
+	c.NPC = c.PC + 4
+	c.XT, c.XC, c.XB = 0, 0, 0
+	c.Halted = false
+	c.prevWasBranch = false
+}
+
+// Charge adds cycles outside normal instruction accounting; used by the
+// kernel's modeled C phases.
+func (c *CPU) Charge(cycles uint64) { c.Cycles += cycles }
+
+// KernelMode reports whether the CPU is currently privileged
+// (Status.KUc == 0).
+func (c *CPU) KernelMode() bool { return c.CP0[arch.C0Status]&arch.SrKUc == 0 }
+
+// ASID returns the current address-space identifier from EntryHi.
+func (c *CPU) ASID() uint8 {
+	return uint8(c.CP0[arch.C0EntryHi] & tlb.HiASIDMask >> tlb.HiASIDShft)
+}
+
+// excSignal carries a pending exception out of instruction execution.
+type excSignal struct {
+	code  uint32
+	badva uint32
+	hasBV bool
+	// refill marks a TLB miss (no matching entry) on a kuseg address,
+	// which vectors through the special UTLB-miss vector.
+	refill bool
+}
+
+func (e *excSignal) Error() string {
+	return fmt.Sprintf("exception %s badva=%#x", arch.ExcName(e.code), e.badva)
+}
+
+func exc(code uint32) *excSignal { return &excSignal{code: code} }
+
+func excAddr(code, badva uint32, refill bool) *excSignal {
+	return &excSignal{code: code, badva: badva, hasBV: true, refill: refill}
+}
+
+// AccessKind distinguishes translation purposes.
+type AccessKind uint8
+
+const (
+	AccFetch AccessKind = iota
+	AccLoad
+	AccStore
+)
+
+// translate maps a virtual address to physical for the given access
+// kind, raising the architectural exception on failure.
+func (c *CPU) translate(va uint32, kind AccessKind) (uint32, *excSignal) {
+	user := !c.KernelMode()
+	loadCode, storeCode := arch.ExcAdEL, arch.ExcAdES
+	switch {
+	case arch.InKUSeg(va):
+		e, _, ok := c.TLB.Lookup(va, c.ASID())
+		if !ok {
+			code := arch.ExcTLBL
+			if kind == AccStore {
+				code = arch.ExcTLBS
+			}
+			return 0, excAddr(code, va, true)
+		}
+		if !e.Valid() {
+			code := arch.ExcTLBL
+			if kind == AccStore {
+				code = arch.ExcTLBS
+			}
+			return 0, excAddr(code, va, false)
+		}
+		if kind == AccStore && !e.Writable() {
+			return 0, excAddr(arch.ExcMod, va, false)
+		}
+		return e.PFN()<<arch.PageShift | va&(arch.PageSize-1), nil
+	case arch.InKSeg0(va), arch.InKSeg1(va):
+		if user {
+			code := loadCode
+			if kind == AccStore {
+				code = storeCode
+			}
+			return 0, excAddr(code, va, false)
+		}
+		return arch.KSegPhys(va), nil
+	default: // kseg2: kernel, mapped
+		if user {
+			code := loadCode
+			if kind == AccStore {
+				code = storeCode
+			}
+			return 0, excAddr(code, va, false)
+		}
+		e, _, ok := c.TLB.Lookup(va, c.ASID())
+		if !ok || !e.Valid() {
+			code := arch.ExcTLBL
+			if kind == AccStore {
+				code = arch.ExcTLBS
+			}
+			return 0, excAddr(code, va, false)
+		}
+		if kind == AccStore && !e.Writable() {
+			return 0, excAddr(arch.ExcMod, va, false)
+		}
+		return e.PFN()<<arch.PageShift | va&(arch.PageSize-1), nil
+	}
+}
+
+func (c *CPU) loadWord(va uint32) (uint32, *excSignal) {
+	if va&3 != 0 {
+		return 0, excAddr(arch.ExcAdEL, va, false)
+	}
+	pa, sig := c.translate(va, AccLoad)
+	if sig != nil {
+		return 0, sig
+	}
+	v, err := c.Mem.LoadWord(pa)
+	if err != nil {
+		return 0, excAddr(arch.ExcDBE, va, false)
+	}
+	return v, nil
+}
+
+func (c *CPU) loadHalf(va uint32) (uint16, *excSignal) {
+	if va&1 != 0 {
+		return 0, excAddr(arch.ExcAdEL, va, false)
+	}
+	pa, sig := c.translate(va, AccLoad)
+	if sig != nil {
+		return 0, sig
+	}
+	v, err := c.Mem.LoadHalf(pa)
+	if err != nil {
+		return 0, excAddr(arch.ExcDBE, va, false)
+	}
+	return v, nil
+}
+
+func (c *CPU) loadByte(va uint32) (uint8, *excSignal) {
+	pa, sig := c.translate(va, AccLoad)
+	if sig != nil {
+		return 0, sig
+	}
+	v, err := c.Mem.LoadByte(pa)
+	if err != nil {
+		return 0, excAddr(arch.ExcDBE, va, false)
+	}
+	return v, nil
+}
+
+func (c *CPU) storeWord(va, v uint32) *excSignal {
+	if va&3 != 0 {
+		return excAddr(arch.ExcAdES, va, false)
+	}
+	pa, sig := c.translate(va, AccStore)
+	if sig != nil {
+		return sig
+	}
+	if err := c.Mem.StoreWord(pa, v); err != nil {
+		return excAddr(arch.ExcDBE, va, false)
+	}
+	return nil
+}
+
+func (c *CPU) storeHalf(va uint32, v uint16) *excSignal {
+	if va&1 != 0 {
+		return excAddr(arch.ExcAdES, va, false)
+	}
+	pa, sig := c.translate(va, AccStore)
+	if sig != nil {
+		return sig
+	}
+	if err := c.Mem.StoreHalf(pa, v); err != nil {
+		return excAddr(arch.ExcDBE, va, false)
+	}
+	return nil
+}
+
+func (c *CPU) storeByte(va uint32, v uint8) *excSignal {
+	pa, sig := c.translate(va, AccStore)
+	if sig != nil {
+		return sig
+	}
+	if err := c.Mem.StoreByte(pa, v); err != nil {
+		return excAddr(arch.ExcDBE, va, false)
+	}
+	return nil
+}
+
+// raise delivers a pending exception: either the architectural kernel
+// path (save to EPC/Cause/Status, vector) or, in TeraMode for claimed
+// user-mode exceptions, the direct user-level exchange.
+func (c *CPU) raise(sig *excSignal, instPC uint32, inDelay bool) {
+	user := !c.KernelMode()
+	c.ExcCounts[sig.code&31]++
+	if c.Trace != nil {
+		c.Trace(Exception{Code: sig.code, PC: instPC, BadVAddr: sig.badva, InDelay: inDelay, User: user})
+	}
+
+	epc := instPC
+	if inDelay {
+		epc = instPC - 4
+	}
+
+	sr := c.CP0[arch.C0Status]
+	if c.TeraMode && user && sr&arch.SrUEX == 0 && c.UserVector&(1<<sig.code) != 0 {
+		// Direct user-level delivery (Tera-style): load condition
+		// register, exchange PC and XT, mark UEX. No privilege change,
+		// no kernel entry.
+		c.XC = sig.code << arch.CauseExcShift
+		if inDelay {
+			c.XC |= arch.CauseBD
+		}
+		if sig.hasBV {
+			c.CP0[arch.C0BadVAddr] = sig.badva
+			c.XB = sig.badva
+		}
+		c.CP0[arch.C0Status] = sr | arch.SrUEX
+		if c.FixedVector != 0 {
+			c.XT, c.PC = epc, c.FixedVector
+		} else {
+			c.XT, c.PC = epc, c.XT
+		}
+		c.NPC = c.PC + 4
+		c.prevWasBranch = false
+		c.Cycles += c.Cost.ExceptionEntry
+		return
+	}
+
+	// Architectural kernel delivery.
+	c.CP0[arch.C0EPC] = epc
+	cause := sig.code << arch.CauseExcShift
+	if inDelay {
+		cause |= arch.CauseBD
+	}
+	c.CP0[arch.C0Cause] = cause
+	if sig.hasBV {
+		c.CP0[arch.C0BadVAddr] = sig.badva
+		c.CP0[arch.C0EntryHi] = sig.badva&tlb.HiVPNMask |
+			c.CP0[arch.C0EntryHi]&tlb.HiASIDMask
+		c.CP0[arch.C0Context] = c.CP0[arch.C0Context]&0xffe00000 |
+			sig.badva>>arch.PageShift&0x7ffff<<2
+	}
+	// Push the KU/IE stack and enter kernel mode with interrupts off.
+	c.CP0[arch.C0Status] = sr&^0x3f | sr&0xf<<2
+
+	vec := arch.VecGeneral
+	if sig.refill && user {
+		vec = arch.VecUTLBMiss
+	}
+	c.PC = vec
+	c.NPC = vec + 4
+	c.prevWasBranch = false
+	c.Cycles += c.Cost.ExceptionEntry
+}
+
+// RaiseExternal lets the simulated kernel's host-side code re-raise an
+// exception through the architectural path (used by the subpage
+// emulation to re-deliver a fault as if it had just occurred at pc).
+func (c *CPU) RaiseExternal(code, badva, pc uint32, inDelay bool) {
+	sig := &excSignal{code: code, badva: badva, hasBV: true}
+	if inDelay {
+		pc += 4 // raise() will subtract it back
+	}
+	c.raise(sig, pc, inDelay)
+}
+
+// Step executes one instruction (or takes one exception). It returns an
+// error only for simulator-level failures (kernel hook errors), never
+// for architectural exceptions.
+func (c *CPU) Step() error {
+	instPC := c.PC
+	inDelay := c.prevWasBranch
+
+	if instPC&3 != 0 || (!c.KernelMode() && !arch.InKUSeg(instPC)) {
+		c.raise(excAddr(arch.ExcAdEL, instPC, false), instPC, inDelay)
+		return nil
+	}
+	pa, sig := c.translate(instPC, AccFetch)
+	if sig != nil {
+		c.raise(sig, instPC, inDelay)
+		return nil
+	}
+	w, err := c.Mem.LoadWord(pa)
+	if err != nil {
+		c.raise(excAddr(arch.ExcIBE, instPC, false), instPC, inDelay)
+		return nil
+	}
+
+	inst := arch.Decode(w)
+	c.Insts++
+	c.Cycles += c.Cost.Inst
+	if c.CountPCs {
+		if c.PCCounts == nil {
+			c.PCCounts = make(map[uint32]uint64)
+		}
+		c.PCCounts[instPC]++
+	}
+
+	// Default control flow: fall through to NPC.
+	nextPC, nextNPC := c.NPC, c.NPC+4
+	wasBranch := false
+	branchTo := func(target uint32) {
+		nextNPC = target
+		wasBranch = true
+	}
+
+	sig = c.execute(inst, instPC, branchTo)
+	if sig != nil {
+		// Faulting instruction has no architectural effect; deliver.
+		c.raise(sig, instPC, inDelay)
+		return nil
+	}
+
+	// XRET and RFE-to-user redirections adjust PC directly in execute
+	// via the redirect fields below.
+	if c.redirect {
+		c.redirect = false
+		c.prevWasBranch = false
+		return c.hookErr()
+	}
+
+	c.PC, c.NPC = nextPC, nextNPC
+	c.prevWasBranch = wasBranch
+	c.GPR[0] = 0
+	return c.hookErr()
+}
+
+func (c *CPU) hookErr() error {
+	err := c.pendingHookErr
+	c.pendingHookErr = nil
+	return err
+}
+
+// Run executes until the CPU halts or maxInsts instructions have
+// retired. It returns the number of instructions executed.
+func (c *CPU) Run(maxInsts uint64) (uint64, error) {
+	start := c.Insts
+	for !c.Halted && c.Insts-start < maxInsts {
+		if err := c.Step(); err != nil {
+			return c.Insts - start, err
+		}
+	}
+	if !c.Halted {
+		return c.Insts - start, fmt.Errorf("cpu: instruction budget %d exhausted at pc %#x", maxInsts, c.PC)
+	}
+	return c.Insts - start, nil
+}

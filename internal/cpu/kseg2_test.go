@@ -1,0 +1,131 @@
+package cpu
+
+import (
+	"testing"
+
+	"uexc/internal/arch"
+	"uexc/internal/tlb"
+)
+
+// TestKSeg2MappedKernelAccess: the mapped kernel segment translates
+// through the TLB in kernel mode and is inaccessible from user mode.
+func TestKSeg2MappedKernelAccess(t *testing.T) {
+	tm := newTestMachine(t)
+	// Map kseg2 page 0xc0000xxx -> pfn 0x300.
+	vpn := uint32(arch.KSeg2Base) >> arch.PageShift
+	tm.tl.WriteIndexed(3, tlb.Entry{
+		Hi: tlb.MakeHi(vpn, 0),
+		Lo: tlb.MakeLo(0x300, tlb.LoV|tlb.LoD|tlb.LoG),
+	})
+	p := tm.load(`
+		.org 0x80002000
+start:
+		li   t0, 0xc0000000
+		li   t1, 0xfeed
+		sw   t1, 16(t0)
+		lw   v0, 16(t0)
+		hcall 1
+		hcall 0
+	`)
+	tm.run(p, 100)
+	if r := tm.record(1); r.v0 != 0xfeed {
+		t.Errorf("kseg2 word = %#x", r.v0)
+	}
+	// The data must have landed at the mapped physical frame.
+	w, _ := tm.m.LoadWord(0x300<<arch.PageShift + 16)
+	if w != 0xfeed {
+		t.Errorf("physical word = %#x", w)
+	}
+}
+
+func TestKSeg2UnmappedFaultsInKernel(t *testing.T) {
+	tm := newTestMachine(t)
+	p := tm.load(`
+		.org 0x80000080
+		mfc0 v0, c0_cause
+		hcall 1
+		hcall 0
+		.org 0x80002000
+start:
+		li   t0, 0xc0100000    # kseg2, no TLB entry
+		lw   v0, 0(t0)
+		hcall 0
+	`)
+	tm.run(p, 100)
+	// Kernel-mode kseg2 misses vector to the general handler, not the
+	// user refill vector.
+	if r := tm.record(1); r.v0>>arch.CauseExcShift&31 != arch.ExcTLBL {
+		t.Errorf("cause = %#x, want TLBL", r.v0)
+	}
+}
+
+func TestUserKSeg2AccessIsAddressError(t *testing.T) {
+	tm := newTestMachine(t)
+	p := tm.load(enterUserHarness + `
+		.org 0x4000
+user:
+		li   t0, 0xc0000000
+		lw   v0, 0(t0)
+		nop
+	`)
+	tm.run(p, 200)
+	if r := tm.record(1); r.v0>>arch.CauseExcShift&31 != arch.ExcAdEL {
+		t.Errorf("cause = %#x, want AdEL", r.v0)
+	}
+}
+
+// TestTeraModeDelaySlotBD: direct user delivery must flag delay-slot
+// faults in the condition register and point XT at the branch.
+func TestTeraModeDelaySlotBD(t *testing.T) {
+	tm := newTestMachine(t)
+	enableTera(tm, arch.ExcBp)
+	p := tm.load(teraHarness + `
+		.org 0x4000
+user:
+		la   t0, handler
+		mtxt t0
+branchpc:
+		b    after
+		break                  # fault in the delay slot
+after:
+		syscall
+
+handler:
+		mfxc s0                # condition register
+		mfxt s1                # faulting address (the branch)
+		syscall
+	`)
+	tm.run(p, 300)
+	if got := tm.c.GPR[arch.RegS0]; got&arch.CauseBD == 0 {
+		t.Errorf("XC = %#x, want BD set", got)
+	}
+	if got := tm.c.GPR[arch.RegS0] >> arch.CauseExcShift & 31; got != arch.ExcBp {
+		t.Errorf("XC code = %d, want Bp", got)
+	}
+	if got := tm.c.GPR[arch.RegS1]; got != p.MustSymbol("branchpc") {
+		t.Errorf("XT = %#x, want branch at %#x", got, p.MustSymbol("branchpc"))
+	}
+}
+
+// TestTeraModeKernelFaultNeverDirect: exceptions raised in kernel mode
+// must never take the direct user path even when claimed.
+func TestTeraModeKernelFaultNeverDirect(t *testing.T) {
+	tm := newTestMachine(t)
+	enableTera(tm, arch.ExcBp)
+	p := tm.load(`
+		.org 0x80000080
+		mfc0 v0, c0_cause
+		hcall 1
+		hcall 0
+		.org 0x80002000
+start:
+		la   t0, 0x5000
+		mtxt t0               # XT loaded, but we are in kernel mode
+		break
+		hcall 0
+	`)
+	tm.run(p, 100)
+	if r := tm.record(1); r.v0>>arch.CauseExcShift&31 != arch.ExcBp {
+		t.Fatalf("kernel break did not reach the kernel vector")
+	}
+}

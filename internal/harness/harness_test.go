@@ -1,0 +1,187 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable1(t *testing.T) {
+	tbl, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.Render()
+	for _, want := range []string{"Ultrix", "Mach/UX", "SunOS", "Windows NT (est)", "Round trip"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table 1 lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2(t *testing.T) {
+	tbl, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.Render()
+	for _, want := range []string{"Deliver simple exception", "subpage", "Round trip", "eager"} {
+		if !strings.Contains(strings.ToLower(out), strings.ToLower(want)) {
+			t.Errorf("table 2 lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable3MatchesPaperExactly(t *testing.T) {
+	tbl, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every measured cell must equal the paper cell.
+	for _, row := range tbl.Rows {
+		if row[1] != row[2] {
+			t.Errorf("phase %q: measured %s vs paper %s", row[0], row[1], row[2])
+		}
+	}
+}
+
+func TestTable4(t *testing.T) {
+	tbl, err := Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.Render()
+	if !strings.Contains(out, "Lisp operations") || !strings.Contains(out, "Array test") {
+		t.Errorf("table 4 incomplete:\n%s", out)
+	}
+}
+
+func TestTable5(t *testing.T) {
+	tbl, err := Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.Render()
+	if !strings.Contains(out, "Tree") || !strings.Contains(out, "Interactive") {
+		t.Errorf("table 5 incomplete:\n%s", out)
+	}
+	// The paper's conclusion: fast exceptions are competitive where the
+	// Ultrix-priced ones are not — the shift this table demonstrates.
+	for _, row := range tbl.Rows {
+		if row[5] != "yes" {
+			t.Errorf("table 5 row %q: fast exceptions do not win:\n%s", row[0], out)
+		}
+		if row[7] != "no" {
+			t.Errorf("table 5 row %q: ultrix exceptions should lose:\n%s", row[0], out)
+		}
+	}
+}
+
+func TestFigures(t *testing.T) {
+	f3, err := Figure3(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f3.X) != 20 || len(f3.Y) != 2 {
+		t.Errorf("figure 3 shape: %d x %d", len(f3.X), len(f3.Y))
+	}
+	f4, err := Figure4(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f4.X) != 20 || len(f4.Y) != 2 {
+		t.Errorf("figure 4 shape: %d x %d", len(f4.X), len(f4.Y))
+	}
+}
+
+func TestAblations(t *testing.T) {
+	hw, err := AblationHardware()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hw.Rows) != 3 {
+		t.Errorf("hardware ablation rows = %d", len(hw.Rows))
+	}
+	eg, err := AblationEager()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eg.Rows) != 2 {
+		t.Errorf("eager ablation rows = %d", len(eg.Rows))
+	}
+	sp, err := AblationSubpage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Rows) < 3 {
+		t.Errorf("subpage ablation rows = %d", len(sp.Rows))
+	}
+	pc, err := AblationProtChange()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pc.Rows) != 3 {
+		t.Errorf("prot-change ablation rows = %d", len(pc.Rows))
+	}
+	vec, err := AblationVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vec.Rows) != 2 {
+		t.Errorf("vector ablation rows = %d", len(vec.Rows))
+	}
+}
+
+func TestTraceDelivery(t *testing.T) {
+	out, err := TraceDelivery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Figure 1", "Figure 2",
+		"psignal", "sendsig", "sigreturn", // the Unix phases
+		"hardware raises exception",
+		"user-level handler entered",
+		"application resumes",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace lacks %q:\n%s", want, out)
+		}
+	}
+	// The fast trace must NOT involve the Unix machinery.
+	fastPart := out[strings.Index(out, "Figure 2"):]
+	for _, bad := range []string{"psignal", "sendsig", "sigreturn", "trampoline"} {
+		if strings.Contains(fastPart, bad) {
+			t.Errorf("fast trace mentions %q:\n%s", bad, fastPart)
+		}
+	}
+}
+
+func TestSensitivityTable(t *testing.T) {
+	tbl, err := Sensitivity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Errorf("sensitivity rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestAllRendersEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full exhibit regeneration")
+	}
+	out, err := All(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Table 1", "Table 2", "Table 3", "Table 4", "Table 5",
+		"Figure 3", "Figure 4",
+		"Ablation A", "Ablation B", "Ablation C", "Ablation D", "Ablation E",
+		"Sensitivity",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("All() output lacks %q", want)
+		}
+	}
+}

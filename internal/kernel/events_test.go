@@ -1,0 +1,78 @@
+package kernel
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEventTracingToggle(t *testing.T) {
+	k := newKernel(t)
+	k.event("invisible")
+	if len(k.Events) != 0 {
+		t.Fatal("events recorded while tracing disabled")
+	}
+	k.TraceEvents = true
+	k.event("visible")
+	if len(k.Events) != 1 || k.Events[0].What != "visible" {
+		t.Fatalf("events = %+v", k.Events)
+	}
+	if k.Events[0].Cycle != k.CPU.Cycles {
+		t.Error("event cycle stamp wrong")
+	}
+}
+
+func TestKernelSourceListsAllPhases(t *testing.T) {
+	src := KernelSource()
+	for _, label := range []string{
+		"ph_decode:", "ph_compat:", "ph_save:", "ph_fpcheck:",
+		"ph_tlbcheck:", "ph_vector:", "ph_end:",
+		"utlb_vec:", "gen_vec:", "to_slow:", "sys_path:",
+		"ultrix_save:", "ultrix_restore:", "kern_entry:",
+	} {
+		if !strings.Contains(src, label) {
+			t.Errorf("kernel source lacks %q", label)
+		}
+	}
+}
+
+func TestConsoleAccumulates(t *testing.T) {
+	k := newKernel(t)
+	k.console.WriteString("ab")
+	k.console.WriteString("cd")
+	if k.Console() != "abcd" {
+		t.Errorf("console = %q", k.Console())
+	}
+}
+
+func TestSymbolPanicsOnUnknown(t *testing.T) {
+	k := newKernel(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("Symbol of unknown name did not panic")
+		}
+	}()
+	k.Symbol("no_such_label")
+}
+
+func TestProcsListAndSpawnLimits(t *testing.T) {
+	k := newKernel(t)
+	if len(k.Procs()) != 1 {
+		t.Fatalf("procs = %d", len(k.Procs()))
+	}
+	if k.Procs()[0].ASID() != 0 {
+		t.Error("boot process asid != 0")
+	}
+	// Per-process page tables land in distinct windows.
+	p0 := k.Procs()[0]
+	if p0.ptBase != PageTableBase {
+		t.Errorf("proc0 pt base = %#x", p0.ptBase)
+	}
+	p1 := newProc(k, 1)
+	if p1.ptBase != PageTableBase+PTStride {
+		t.Errorf("proc1 pt base = %#x", p1.ptBase)
+	}
+	// Same VPN maps through different PTEs.
+	if p0.pteAddr(5) == p1.pteAddr(5) {
+		t.Error("page tables alias")
+	}
+}

@@ -1,0 +1,314 @@
+package kernel
+
+import (
+	"strings"
+	"testing"
+
+	"uexc/internal/arch"
+	"uexc/internal/tlb"
+)
+
+func newKernel(t *testing.T) *Kernel {
+	t.Helper()
+	k, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestKernelImageAssembles(t *testing.T) {
+	k := newKernel(t)
+	// Vectors must sit at their architectural addresses.
+	if got := k.Symbol("utlb_vec"); got != arch.VecUTLBMiss {
+		t.Errorf("utlb_vec at %#x", got)
+	}
+	if got := k.Symbol("gen_vec"); got != arch.VecGeneral {
+		t.Errorf("gen_vec at %#x", got)
+	}
+	if k.Symbol("ph_decode") != arch.VecGeneral {
+		t.Errorf("fast path does not start at the vector")
+	}
+	// Phase labels must be ordered.
+	order := []string{"ph_decode", "ph_compat", "ph_save", "ph_fpcheck", "ph_tlbcheck", "ph_vector", "ph_end"}
+	for i := 1; i < len(order); i++ {
+		if k.Symbol(order[i]) <= k.Symbol(order[i-1]) {
+			t.Errorf("%s (%#x) not after %s (%#x)", order[i], k.Symbol(order[i]), order[i-1], k.Symbol(order[i-1]))
+		}
+	}
+}
+
+func TestStaticFastPathLength(t *testing.T) {
+	// The straight-line distance of the fast path matches Table 3's
+	// static layout: 65 instructions from vector to rfe.
+	k := newKernel(t)
+	bytes := k.Symbol("ph_end") - k.Symbol("ph_decode")
+	// The fp-check phase contains one unreached panic instruction.
+	if bytes != (65+1)*4 {
+		t.Errorf("fast path spans %d bytes (%d words), want %d", bytes, bytes/4, (65+1)*4)
+	}
+}
+
+func TestMapPageAndTranslate(t *testing.T) {
+	k := newKernel(t)
+	p := k.Proc
+	if err := p.MapPage(UserDataBase, true, true); err != nil {
+		t.Fatal(err)
+	}
+	if !k.WriteUserWord(UserDataBase+8, 0xfeedface) {
+		t.Fatal("write failed")
+	}
+	v, ok := k.ReadUserWord(UserDataBase + 8)
+	if !ok || v != 0xfeedface {
+		t.Fatalf("read = %#x, %v", v, ok)
+	}
+	// Unmapped address fails.
+	if _, ok := k.ReadUserWord(0x06000000); ok {
+		t.Error("read of unmapped va succeeded")
+	}
+}
+
+func TestProtectClearsTLBAndPTE(t *testing.T) {
+	k := newKernel(t)
+	p := k.Proc
+	if err := p.MapPage(UserDataBase, true, true); err != nil {
+		t.Fatal(err)
+	}
+	// Put a TLB entry in place as the refill handler would.
+	pte, _ := p.pte(UserDataBase >> arch.PageShift)
+	k.TLB.WriteIndexed(10, tlb.Entry{
+		Hi: tlb.MakeHi(UserDataBase>>arch.PageShift, 0),
+		Lo: pte,
+	})
+	n, err := p.Protect(UserDataBase, arch.PageSize, ProtRead)
+	if err != nil || n != 1 {
+		t.Fatalf("Protect = %d, %v", n, err)
+	}
+	pte, _ = p.pte(UserDataBase >> arch.PageShift)
+	if pte&tlb.LoD != 0 || pte&tlb.LoV == 0 {
+		t.Errorf("pte after protect = %#x", pte)
+	}
+	if _, _, hit := k.TLB.Lookup(UserDataBase, 0); hit {
+		t.Error("stale TLB entry survived Protect")
+	}
+	// PROT_NONE clears V as well.
+	if _, err := p.Protect(UserDataBase, arch.PageSize, ProtNone); err != nil {
+		t.Fatal(err)
+	}
+	pte, _ = p.pte(UserDataBase >> arch.PageShift)
+	if pte&tlb.LoV != 0 {
+		t.Errorf("pte after PROT_NONE = %#x", pte)
+	}
+	// Restore read-write.
+	if _, err := p.Protect(UserDataBase, arch.PageSize, ProtReadWrite); err != nil {
+		t.Fatal(err)
+	}
+	pte, _ = p.pte(UserDataBase >> arch.PageShift)
+	if pte&(tlb.LoV|tlb.LoD) != tlb.LoV|tlb.LoD {
+		t.Errorf("pte after RW = %#x", pte)
+	}
+}
+
+func TestProtectUnmappedFails(t *testing.T) {
+	k := newKernel(t)
+	if _, err := k.Proc.Protect(0x05000000, arch.PageSize, ProtRead); err == nil {
+		t.Error("Protect of unmapped page succeeded")
+	}
+}
+
+func TestSubpageProtectBitmap(t *testing.T) {
+	k := newKernel(t)
+	p := k.Proc
+	va := uint32(UserDataBase)
+	if err := p.MapPage(va, true, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SubpageProtect(va+1024, 2048, ProtNone); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		off  uint32
+		want bool
+	}{{0, false}, {1024, true}, {2048, true}, {3072, false}, {500, false}, {1500, true}}
+	for _, c := range cases {
+		if got := p.SubpageProtected(va + c.off); got != c.want {
+			t.Errorf("SubpageProtected(+%d) = %v, want %v", c.off, got, c.want)
+		}
+	}
+	pte, _ := p.pte(va >> arch.PageShift)
+	if pte&pteSubpage == 0 || pte&tlb.LoD != 0 {
+		t.Errorf("pte = %#x: want subpage set, D clear", pte)
+	}
+	// Releasing all subpages restores writability and drops the flag.
+	if err := p.SubpageProtect(va+1024, 2048, ProtReadWrite); err != nil {
+		t.Fatal(err)
+	}
+	pte, _ = p.pte(va >> arch.PageShift)
+	if pte&pteSubpage != 0 || pte&tlb.LoD == 0 {
+		t.Errorf("pte after release = %#x", pte)
+	}
+	// Misaligned requests fail.
+	if err := p.SubpageProtect(va+100, 1024, ProtNone); err == nil {
+		t.Error("misaligned subpage protect succeeded")
+	}
+	if err := p.SubpageProtect(va, 1000, ProtNone); err == nil {
+		t.Error("misaligned length succeeded")
+	}
+}
+
+func TestEnableFastExceptionsValidation(t *testing.T) {
+	k := newKernel(t)
+	p := k.Proc
+	// Claiming syscalls must fail.
+	if err := p.EnableFastExceptions(0x400100, 1<<arch.ExcSys, UserFrameVA); err == nil {
+		t.Error("claiming ExcSys succeeded")
+	}
+	if err := p.EnableFastExceptions(0x400100, 1<<arch.ExcBp, UserFrameVA+12); err == nil {
+		t.Error("unaligned frame page succeeded")
+	}
+	if err := p.EnableFastExceptions(0x400100, 1<<arch.ExcBp, UserFrameVA); err != nil {
+		t.Fatal(err)
+	}
+	// The u-area words must be published for the assembly handler.
+	if got := k.loadKernelWord(UAreaBase + UFexcMask); got != 1<<arch.ExcBp {
+		t.Errorf("u-area mask = %#x", got)
+	}
+	if got := k.loadKernelWord(UAreaBase + UFexcHandler); got != 0x400100 {
+		t.Errorf("u-area handler = %#x", got)
+	}
+	if got := k.loadKernelWord(UAreaBase + UFramePhys); got < arch.KSeg0Base {
+		t.Errorf("u-area frame phys = %#x, want kseg0 alias", got)
+	}
+	p.DisableFastExceptions()
+	if got := k.loadKernelWord(UAreaBase + UFexcMask); got != 0 {
+		t.Errorf("mask after disable = %#x", got)
+	}
+}
+
+func TestSetUBit(t *testing.T) {
+	k := newKernel(t)
+	p := k.Proc
+	if err := p.SetUBit(UserDataBase, true); err == nil {
+		t.Error("SetUBit on unmapped page succeeded")
+	}
+	if err := p.MapPage(UserDataBase, true, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetUBit(UserDataBase, true); err != nil {
+		t.Fatal(err)
+	}
+	pte, _ := p.pte(UserDataBase >> arch.PageShift)
+	if pte&tlb.LoU == 0 {
+		t.Errorf("pte = %#x, want U bit", pte)
+	}
+	if err := p.SetUBit(UserDataBase, false); err != nil {
+		t.Fatal(err)
+	}
+	pte, _ = p.pte(UserDataBase >> arch.PageShift)
+	if pte&tlb.LoU != 0 {
+		t.Errorf("pte = %#x, want U bit clear", pte)
+	}
+}
+
+func TestSbrkBounds(t *testing.T) {
+	k := newKernel(t)
+	old, err := k.Proc.Sbrk(1 << 20)
+	if err != nil || old != UserDataBase {
+		t.Fatalf("Sbrk = %#x, %v", old, err)
+	}
+	if _, err := k.Proc.Sbrk(0x70000000); err == nil {
+		t.Error("huge sbrk succeeded")
+	}
+}
+
+func TestSignalForMapping(t *testing.T) {
+	cases := map[uint32]uint32{
+		arch.ExcMod:  SIGSEGV,
+		arch.ExcTLBL: SIGSEGV,
+		arch.ExcAdEL: SIGBUS,
+		arch.ExcBp:   SIGTRAP,
+		arch.ExcOv:   SIGFPE,
+		arch.ExcRI:   SIGILL,
+	}
+	for code, want := range cases {
+		if got := signalFor(code); got != want {
+			t.Errorf("signalFor(%s) = %d, want %d", arch.ExcName(code), got, want)
+		}
+	}
+}
+
+func TestTrapframeSlots(t *testing.T) {
+	if off, ok := tfSlot(arch.RegAT); !ok || off != TfAT {
+		t.Error("at slot wrong")
+	}
+	if off, ok := tfSlot(arch.RegSP); !ok || off != TfSP {
+		t.Error("sp slot wrong")
+	}
+	if off, ok := tfSlot(arch.RegS3); !ok || off != TfS0+12 {
+		t.Error("s3 slot wrong")
+	}
+	if _, ok := tfSlot(arch.RegK0); ok {
+		t.Error("k0 must not have a slot")
+	}
+	if _, ok := tfSlot(arch.RegZero); ok {
+		t.Error("zero must not have a slot")
+	}
+}
+
+func TestLegitimateVA(t *testing.T) {
+	k := newKernel(t)
+	p := k.Proc
+	if !p.legitimateVA(UserTextBase + 100) {
+		t.Error("text not legitimate")
+	}
+	if p.legitimateVA(UserDataBase + 100) {
+		t.Error("heap beyond brk legitimate before sbrk")
+	}
+	if _, err := p.Sbrk(4096); err != nil {
+		t.Fatal(err)
+	}
+	if !p.legitimateVA(UserDataBase + 100) {
+		t.Error("heap below brk not legitimate")
+	}
+	if !p.legitimateVA(UserStackTop - 100) {
+		t.Error("stack not legitimate")
+	}
+	if p.legitimateVA(0x06660000) {
+		t.Error("hole legitimate")
+	}
+	if p.legitimateVA(UserFrameVA) {
+		t.Error("frame page legitimate before enable")
+	}
+}
+
+func TestOutOfPhysicalMemory(t *testing.T) {
+	k := newKernel(t)
+	p := k.Proc
+	// Exhaust the frame allocator.
+	k.nextFrame = PhysMemSize - arch.PageSize
+	if err := p.MapPage(UserDataBase, true, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.MapPage(UserDataBase+arch.PageSize, true, true); err == nil {
+		t.Error("MapPage beyond physical memory succeeded")
+	} else if !strings.Contains(err.Error(), "physical") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestCostsDocumentedNonZero(t *testing.T) {
+	c := DefaultCosts()
+	for name, v := range map[string]uint64{
+		"TrapEntry": c.TrapEntry, "Post": c.Post, "Recognize": c.Recognize,
+		"Sendsig": c.Sendsig, "CopyWord": c.CopyWord, "Sigreturn": c.Sigreturn,
+		"SyscallBase": c.SyscallBase, "SyscallBody": c.SyscallBody,
+		"MprotectPage": c.MprotectPage, "DemandPage": c.DemandPage,
+		"ProtLookup": c.ProtLookup, "ProtAmplify": c.ProtAmplify,
+		"SubpageCheck": c.SubpageCheck, "EmulLoad": c.EmulLoad,
+		"EmulBranch": c.EmulBranch, "ResumeRegs": c.ResumeRegs,
+	} {
+		if v == 0 {
+			t.Errorf("cost %s is zero", name)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+// Package kernel implements the simulated operating system: an
+// Ultrix-like Unix signal path, and the paper's fast user-level
+// exception delivery mechanism, both running on the simulated R3000-like
+// CPU (internal/cpu).
+//
+// The first-level exception handlers are written in simulated assembly
+// (see source.go) and executed instruction-by-instruction, so path
+// lengths are measured, not asserted. The portions the original system
+// wrote in C (Unix signal posting/recognition/delivery, page-table
+// manipulation, syscall bodies) run host-side behind the HCALL
+// instruction and charge calibrated cycle counts (see ultrix.go and
+// fast.go for derivations).
+package kernel
+
+import "uexc/internal/arch"
+
+// Physical memory layout. The kernel image and data live at the bottom
+// of physical memory (mapped through kseg0); user frames are allocated
+// above FrameBase by a bump allocator.
+const (
+	PhysMemSize = 32 << 20 // 32 MB, like a well-provisioned DS5000/200
+
+	// Kernel virtual layout (all kseg0 = phys + 0x80000000).
+	KernelTextBase = 0x80000000 // vectors + handlers + kernel code
+	UAreaBase      = 0x80040000 // u-area of the RUNNING process (switched in)
+	KStackTop      = 0x80060000 // kernel stack grows down
+	PageTableBase  = 0x80200000 // process 0's linear page table
+	// Each process's page table occupies its own 2 MB-aligned window
+	// (the Context register's PTE-base field is bits 31:21), asid*2 MB
+	// above PageTableBase. MaxProcs bounds the windows.
+	PTStride = 0x200000
+	MaxProcs = 3
+
+	FramePhysBase = 0x00800000 // first allocatable user frame (above the PTs)
+)
+
+// User address-space layout. Everything lies below UserVATop so the
+// linear page table stays small (UserVATop >> 12 entries * 4 bytes).
+const (
+	UserTextBase  = 0x00400000
+	UserDataBase  = 0x01000000
+	UserStackTop  = 0x07ff0000 // initial SP; stack grows down
+	UserFrameVA   = 0x07000000 // pinned exception-frame page (paper §3.2)
+	UserVATop     = 0x08000000
+	UserPTEntries = UserVATop >> arch.PageShift // 0x8000 entries = 128 KB
+)
+
+// U-area layout: fields the assembly handlers read, at fixed offsets
+// from UAreaBase. Keep in sync with source.go, which addresses them as
+// UAreaBase + offset.
+const (
+	UFexcMask    = 0x00 // bitmask of arch.Exc* codes enabled for fast delivery
+	UFexcHandler = 0x04 // user handler virtual address
+	UFramePhys   = 0x08 // kseg0 alias of the pinned frame page
+	UFrameVA     = 0x0c // user virtual address of the frame page
+	UKStack      = 0x10 // kernel stack top for the slow path
+	UAsid        = 0x14 // current ASID
+)
+
+// Exception frame layout: one frame per exception code inside the
+// pinned 4 KB page, FrameStride bytes apart (frame for code c is at
+// frame page + c*FrameStride). The kernel's save phase fills the first
+// words; the user-level low-level handler may use the rest.
+const (
+	FrameStride = 128
+
+	FrEPC      = 0x00
+	FrCause    = 0x04
+	FrBadVAddr = 0x08
+	FrAT       = 0x0c
+	FrV0       = 0x10
+	FrV1       = 0x14
+	FrA0       = 0x18
+	FrA1       = 0x1c
+	FrA2       = 0x20
+	FrA3       = 0x24
+	FrT0       = 0x28
+	FrT1       = 0x2c
+	FrT2       = 0x30
+	FrT3       = 0x34
+	FrStatus   = 0x38
+	FrT4       = 0x3c
+	FrT5       = 0x40
+	FrRA       = 0x44
+	// Watch-mode extension (§3.2.4 + the intro's conditional
+	// watchpoints): the kernel emulates a store to a watched subpage
+	// and reports the overwritten and stored values here before
+	// delivering; FrEPC already holds the post-store resume address.
+	FrOldVal = 0x48
+	FrNewVal = 0x4c
+	// 0x50.. free for the user handler's additional saves.
+)
+
+// Trapframe layout for the Ultrix-style slow path: a full register save
+// on the kernel stack, at KStackTop-TrapframeSize. The host-side "C"
+// layer reads and rewrites this area exactly as Ultrix's trap() and
+// sendsig() manipulate their trapframe.
+const (
+	TrapframeSize = 144
+
+	TfAT     = 0 * 4 // then v0,v1,a0-a3,t0-t7,s0-s7,t8,t9,gp,sp,fp,ra
+	TfV0     = 1 * 4
+	TfV1     = 2 * 4
+	TfA0     = 3 * 4
+	TfA1     = 4 * 4
+	TfA2     = 5 * 4
+	TfA3     = 6 * 4
+	TfT0     = 7 * 4 // t0..t7 occupy slots 7..14
+	TfS0     = 15 * 4
+	TfT8     = 23 * 4
+	TfT9     = 24 * 4
+	TfGP     = 25 * 4
+	TfSP     = 26 * 4
+	TfFP     = 27 * 4
+	TfRA     = 28 * 4
+	TfHI     = 29 * 4
+	TfLO     = 30 * 4
+	TfEPC    = 31 * 4
+	TfCause  = 32 * 4
+	TfBadVA  = 33 * 4
+	TfStatus = 34 * 4
+	TfWords  = 35
+)
+
+// HCALL codes: entry points into the kernel's host-side ("C") layer.
+const (
+	HCUltrixTrap = 1 // slow path: page faults, Unix signals
+	HCSyscall    = 2 // system-call dispatch
+	HCTLBProt    = 3 // fast path for TLB/protection faults
+	HCPanic      = 4 // unhandled condition
+)
+
+// Syscall numbers (v0 at the syscall instruction; Unix-ish).
+const (
+	SysExit        = 1
+	SysWrite       = 4
+	SysGetpid      = 20 // the paper's null-syscall comparison point
+	SysSbrk        = 17
+	SysSigaction   = 46
+	SysSigreturn   = 103
+	SysMprotect    = 125
+	SysCycles      = 200 // read cycle counter (simulator aid, charged like getpid)
+	SysUexcEnable  = 210 // the paper's new call: enable fast user exceptions
+	SysUexcEager   = 211 // toggle eager amplification
+	SysSubpageProt = 212 // 1 KB logical-page protection
+	SysSetUBit     = 213 // grant/revoke user TLB-protection modification (U bit)
+	SysUexcWatch   = 215 // watch mode: emulate-and-notify on protected subpages
+	SysYield       = 216 // cooperative switch to the next runnable process
+	SysGetAsid     = 217 // current address-space id (diagnostic)
+)
+
+// Protection values for SysMprotect / SysSubpageProt.
+const (
+	ProtNone      = 0
+	ProtRead      = 1
+	ProtReadWrite = 3
+)
+
+// PTE soft bits, kept in low bits of the EntryLo-format PTE where the
+// hardware ignores them (the TLB only interprets bits 8-11 and the PFN).
+const (
+	pteAlloc   uint32 = 1 << 0 // a physical frame is assigned
+	pteSubpage uint32 = 1 << 1 // 1 KB logical-page protection active
+	pteWrUnder uint32 = 1 << 2 // underlying region writable (D cleared by mprotect)
+)
+
+// Errno-style syscall results (returned in v0; negative means error).
+const (
+	EOK     = 0
+	EINVAL  = ^uint32(22) + 1 // -22
+	ENOMEM  = ^uint32(12) + 1 // -12
+	ENOSYS  = ^uint32(38) + 1 // -38
+	EFAULT  = ^uint32(14) + 1 // -14
+	ESRCH   = ^uint32(3) + 1  // -3
+	EACCESS = ^uint32(13) + 1 // -13
+)

@@ -1,0 +1,139 @@
+package kernel
+
+import (
+	"fmt"
+
+	"uexc/internal/arch"
+)
+
+// syscallFromTrapframe dispatches a system call: the slow path has
+// saved the full register state, v0 holds the syscall number and a0-a3
+// the arguments. Results return in the saved v0; the saved EPC advances
+// past the syscall instruction.
+func (k *Kernel) syscallFromTrapframe() error {
+	tf := trapframe{k}
+	k.Charge(k.Costs.SyscallBase)
+	k.Stats.Syscalls++
+
+	num := tf.reg(arch.RegV0)
+	a0 := tf.reg(arch.RegA0)
+	a1 := tf.reg(arch.RegA1)
+	a2 := tf.reg(arch.RegA2)
+
+	tf.setWord(TfEPC, tf.word(TfEPC)+4)
+	k.event(fmt.Sprintf("kernel: syscall %d", num))
+
+	res := uint32(EOK)
+	switch num {
+	case SysExit:
+		k.Charge(k.Costs.SyscallBody)
+		k.terminateCurrent(a0)
+		return nil
+
+	case SysYield:
+		k.Charge(k.Costs.SyscallBody + 120) // context-switch work
+		k.yield(EOK)
+		return nil
+
+	case SysGetAsid:
+		k.Charge(k.Costs.SyscallBody)
+		res = uint32(k.Proc.asid)
+
+	case SysGetpid:
+		k.Charge(k.Costs.SyscallBody)
+		res = 1
+
+	case SysCycles:
+		k.Charge(k.Costs.SyscallBody)
+		// Truncated cycle counter; enough for user-level deltas.
+		res = uint32(k.CPU.Cycles)
+
+	case SysWrite:
+		// write(fd=a0, buf=a1, len=a2) to the console.
+		k.Charge(k.Costs.SyscallBody + uint64(a2))
+		for i := uint32(0); i < a2; i++ {
+			b, ok := k.loadUserByte(a1 + i)
+			if !ok {
+				res = EFAULT
+				break
+			}
+			k.console.WriteByte(b)
+		}
+		if res == EOK {
+			res = a2
+		}
+
+	case SysSbrk:
+		old, err := k.Proc.Sbrk(a0)
+		k.Charge(k.Costs.SyscallBody)
+		if err != nil {
+			res = ENOMEM
+		} else {
+			res = old
+		}
+
+	case SysSigaction:
+		// sigaction(sig=a0, handler=a1); a2 carries the trampoline
+		// address on first use (the user runtime registers it).
+		k.Charge(k.Costs.SyscallBody + 30)
+		if a0 >= 32 {
+			res = EINVAL
+			break
+		}
+		k.Proc.sigHandlers[a0] = a1
+		if a2 != 0 {
+			k.Proc.trampolineVA = a2
+		}
+
+	case SysSigreturn:
+		if err := k.sigreturn(a0); err != nil {
+			return err
+		}
+		// The restored trapframe already holds the continuation EPC;
+		// do not let the +4 advance above survive (sigreturn rewrote
+		// the whole frame, so nothing to undo).
+		return nil
+
+	case SysMprotect:
+		pages, err := k.Proc.Protect(a0, a1, a2)
+		k.Charge(uint64(pages) * k.Costs.MprotectPage)
+		if err != nil {
+			res = EINVAL
+		}
+
+	case SysUexcEnable:
+		// uexc_enable(handler=a0, mask=a1, framepage=a2): §3.2.
+		k.Charge(k.Costs.SyscallBody + 200) // validate + pin the frame page
+		if err := k.Proc.EnableFastExceptions(a0, a1, a2); err != nil {
+			res = EINVAL
+		}
+
+	case SysUexcEager:
+		k.Charge(k.Costs.SyscallBody)
+		k.Proc.eager = a0 != 0
+
+	case SysSubpageProt:
+		// subpage_protect(va=a0, len=a1, prot=a2): §3.2.4.
+		k.Charge(k.Costs.SyscallBody + uint64(a1/arch.SubpageSize)*8 + uint64(k.Costs.MprotectPage))
+		if err := k.Proc.SubpageProtect(a0, a1, a2); err != nil {
+			res = EINVAL
+		}
+
+	case SysUexcWatch:
+		k.Charge(k.Costs.SyscallBody)
+		k.Proc.watchMode = a0 != 0
+
+	case SysSetUBit:
+		k.Charge(k.Costs.SyscallBody + 40)
+		on := a1 != 0
+		if err := k.Proc.SetUBit(a0, on); err != nil {
+			res = EINVAL
+		}
+
+	default:
+		res = ENOSYS
+	}
+
+	tf.setReg(arch.RegV0, res)
+	return nil
+}

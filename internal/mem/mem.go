@@ -1,0 +1,165 @@
+// Package mem implements the simulated machine's physical memory: a
+// sparse, page-granular byte store with little-endian word access, as on
+// the DECstation's R3000 configuration.
+//
+// Physical memory has no protection and no alignment rules of its own;
+// translation, protection, and alignment checking happen in the CPU and
+// TLB. Accesses beyond the configured physical size are bus errors,
+// reported as error values for the CPU to turn into IBE/DBE exceptions.
+package mem
+
+import (
+	"errors"
+	"fmt"
+)
+
+// pageShift matches the hardware page size (4 KB) for allocation
+// granularity only; physical memory itself is flat.
+const pageShift = 12
+const pageBytes = 1 << pageShift
+
+// ErrBusError is returned for accesses outside physical memory.
+var ErrBusError = errors.New("mem: bus error")
+
+// Memory is a sparse physical memory of a fixed size. The zero value is
+// unusable; use New.
+type Memory struct {
+	size  uint32
+	pages map[uint32][]byte // page frame number -> backing bytes
+}
+
+// New creates a physical memory of the given size in bytes, rounded up
+// to a whole page. Backing pages are allocated on first touch.
+func New(size uint32) *Memory {
+	size = (size + pageBytes - 1) &^ (pageBytes - 1)
+	return &Memory{size: size, pages: make(map[uint32][]byte)}
+}
+
+// Size returns the physical memory size in bytes.
+func (m *Memory) Size() uint32 { return m.size }
+
+func (m *Memory) page(pa uint32, alloc bool) ([]byte, error) {
+	if pa >= m.size {
+		return nil, fmt.Errorf("%w: pa %#x beyond %#x", ErrBusError, pa, m.size)
+	}
+	pfn := pa >> pageShift
+	p := m.pages[pfn]
+	if p == nil && alloc {
+		p = make([]byte, pageBytes)
+		m.pages[pfn] = p
+	}
+	return p, nil
+}
+
+// LoadByte reads one byte of physical memory.
+func (m *Memory) LoadByte(pa uint32) (uint8, error) {
+	p, err := m.page(pa, false)
+	if err != nil {
+		return 0, err
+	}
+	if p == nil {
+		return 0, nil
+	}
+	return p[pa&(pageBytes-1)], nil
+}
+
+// StoreByte writes one byte of physical memory.
+func (m *Memory) StoreByte(pa uint32, v uint8) error {
+	p, err := m.page(pa, true)
+	if err != nil {
+		return err
+	}
+	p[pa&(pageBytes-1)] = v
+	return nil
+}
+
+// LoadHalf reads a little-endian halfword. pa must be half-aligned
+// (alignment is checked by the CPU; this is a defensive check).
+func (m *Memory) LoadHalf(pa uint32) (uint16, error) {
+	lo, err := m.LoadByte(pa)
+	if err != nil {
+		return 0, err
+	}
+	hi, err := m.LoadByte(pa + 1)
+	if err != nil {
+		return 0, err
+	}
+	return uint16(lo) | uint16(hi)<<8, nil
+}
+
+// StoreHalf writes a little-endian halfword.
+func (m *Memory) StoreHalf(pa uint32, v uint16) error {
+	if err := m.StoreByte(pa, uint8(v)); err != nil {
+		return err
+	}
+	return m.StoreByte(pa+1, uint8(v>>8))
+}
+
+// LoadWord reads a little-endian 32-bit word.
+func (m *Memory) LoadWord(pa uint32) (uint32, error) {
+	// Fast path: word within one page.
+	if pa+3 < m.size && pa>>pageShift == (pa+3)>>pageShift {
+		p := m.pages[pa>>pageShift]
+		if p == nil {
+			return 0, nil
+		}
+		o := pa & (pageBytes - 1)
+		return uint32(p[o]) | uint32(p[o+1])<<8 | uint32(p[o+2])<<16 | uint32(p[o+3])<<24, nil
+	}
+	lo, err := m.LoadHalf(pa)
+	if err != nil {
+		return 0, err
+	}
+	hi, err := m.LoadHalf(pa + 2)
+	if err != nil {
+		return 0, err
+	}
+	return uint32(lo) | uint32(hi)<<16, nil
+}
+
+// StoreWord writes a little-endian 32-bit word.
+func (m *Memory) StoreWord(pa uint32, v uint32) error {
+	if pa+3 < m.size && pa>>pageShift == (pa+3)>>pageShift {
+		p, err := m.page(pa, true)
+		if err != nil {
+			return err
+		}
+		o := pa & (pageBytes - 1)
+		p[o] = uint8(v)
+		p[o+1] = uint8(v >> 8)
+		p[o+2] = uint8(v >> 16)
+		p[o+3] = uint8(v >> 24)
+		return nil
+	}
+	if err := m.StoreHalf(pa, uint16(v)); err != nil {
+		return err
+	}
+	return m.StoreHalf(pa+2, uint16(v>>16))
+}
+
+// Write copies b into physical memory starting at pa.
+func (m *Memory) Write(pa uint32, b []byte) error {
+	for i, v := range b {
+		if err := m.StoreByte(pa+uint32(i), v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Read copies n bytes starting at pa into a fresh slice.
+func (m *Memory) Read(pa uint32, n int) ([]byte, error) {
+	out := make([]byte, n)
+	for i := range out {
+		v, err := m.LoadByte(pa + uint32(i))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// TouchedPages returns the number of physical pages allocated so far;
+// used by tests and capacity reporting.
+func (m *Memory) TouchedPages() int { return len(m.pages) }

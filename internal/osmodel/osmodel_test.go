@@ -1,0 +1,96 @@
+package osmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func sys(t *testing.T, key string) System {
+	t.Helper()
+	s, ok := Find(key)
+	if !ok {
+		t.Fatalf("system %q not found", key)
+	}
+	return s
+}
+
+// anchors quoted in the paper's text (µs).
+func TestAnchorsFromPaperText(t *testing.T) {
+	cases := []struct {
+		key  string
+		want float64
+		tol  float64
+	}{
+		{"SunOS", 69, 0.12},    // "69 µseconds in the best case of SunOS"
+		{"Mach/UX", 2000, 0.2}, // "to 2 milliseconds for Mach/UX"
+		{"no UX", 256, 0.12},   // "raw performance ... (256 µs)"
+		{"Ultrix", 80, 0.12},   // Table 2's Ultrix round trip
+	}
+	for _, c := range cases {
+		s := sys(t, c.key)
+		got := s.RoundTripMicros()
+		if math.Abs(got-c.want) > c.want*c.tol {
+			t.Errorf("%s round trip = %.0fµs, want %.0f ±%.0f%%", s.Name, got, c.want, c.tol*100)
+		} else {
+			t.Logf("%s round trip = %.0fµs (anchor %.0f)", s.Name, got, c.want)
+		}
+	}
+}
+
+func TestUltrixRowMatchesTable2(t *testing.T) {
+	u := sys(t, "Ultrix")
+	if d := u.DeliverMicros(); math.Abs(d-55) > 8 {
+		t.Errorf("ultrix deliver = %.1f, want ~55", d)
+	}
+	if w := u.DeliverWriteProtMicros(); math.Abs(w-60) > 8 {
+		t.Errorf("ultrix write-prot deliver = %.1f, want ~60", w)
+	}
+	if w, d := u.DeliverWriteProtMicros(), u.DeliverMicros(); w <= d {
+		t.Error("write-prot delivery must exceed simple delivery")
+	}
+}
+
+func TestOrderingAcrossSystems(t *testing.T) {
+	// The paper's Table 1 shape: SunOS best, then Ultrix, then Mach,
+	// then Mach/UX worst by an order of magnitude.
+	sun := sys(t, "SunOS").RoundTripMicros()
+	ult := sys(t, "Ultrix").RoundTripMicros()
+	mach := sys(t, "no UX").RoundTripMicros()
+	machUX := sys(t, "Mach/UX").RoundTripMicros()
+	if !(sun < ult && ult < mach && mach < machUX) {
+		t.Errorf("ordering broken: sun=%.0f ultrix=%.0f mach=%.0f mach/ux=%.0f",
+			sun, ult, mach, machUX)
+	}
+	if machUX < 5*mach {
+		t.Errorf("Mach/UX (%.0f) should dwarf raw Mach (%.0f)", machUX, mach)
+	}
+}
+
+func TestEstimatedRowsAreFlagged(t *testing.T) {
+	for _, s := range Systems() {
+		wantEst := s.Name == "Windows NT" || s.Name == "DEC OSF/1 V1.3"
+		if s.Estimated != wantEst {
+			t.Errorf("%s: Estimated = %v, want %v", s.Name, s.Estimated, wantEst)
+		}
+	}
+}
+
+func TestSixSystems(t *testing.T) {
+	if n := len(Systems()); n != 6 {
+		t.Fatalf("systems = %d, want 6 (the paper's Table 1 columns)", n)
+	}
+	for _, s := range Systems() {
+		if s.DeliverMicros() <= 0 || s.ReturnMicros() <= 0 {
+			t.Errorf("%s has non-positive times", s.Name)
+		}
+		if s.RoundTripMicros() != s.DeliverMicros()+s.ReturnMicros() {
+			t.Errorf("%s: rt != deliver+return", s.Name)
+		}
+	}
+}
+
+func TestFindMiss(t *testing.T) {
+	if _, ok := Find("Plan 9"); ok {
+		t.Error("found a system that is not in Table 1")
+	}
+}

@@ -1,0 +1,154 @@
+// Package report renders the benchmark harness's tables and figure
+// series as fixed-width text, in the layout of the paper's exhibits.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled grid. The first column is the row label.
+type Table struct {
+	Title   string
+	Note    string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render formats the table.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+		fmt.Fprintf(&b, "%s\n", strings.Repeat("=", len(t.Title)))
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i == 0 {
+				fmt.Fprintf(&b, "%-*s", widths[i]+2, c)
+			} else {
+				fmt.Fprintf(&b, "%*s", widths[i]+2, c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", total))
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "note: %s\n", t.Note)
+	}
+	return b.String()
+}
+
+// Series is a titled set of (x, y...) samples for figure regeneration.
+type Series struct {
+	Title   string
+	Note    string
+	XLabel  string
+	YLabels []string
+	X       []float64
+	Y       [][]float64 // Y[i][j]: series i, sample j
+	XFmt    string      // defaults to %.1f
+	YFmt    string      // defaults to %.1f
+}
+
+// Render formats the series as aligned columns.
+func (s *Series) Render() string {
+	xf := s.XFmt
+	if xf == "" {
+		xf = "%.1f"
+	}
+	yf := s.YFmt
+	if yf == "" {
+		yf = "%.1f"
+	}
+	xw := 14
+	if len(s.XLabel)+2 > xw {
+		xw = len(s.XLabel) + 2
+	}
+	var b strings.Builder
+	if s.Title != "" {
+		fmt.Fprintf(&b, "%s\n%s\n", s.Title, strings.Repeat("=", len(s.Title)))
+	}
+	fmt.Fprintf(&b, "%-*s", xw, s.XLabel)
+	for _, yl := range s.YLabels {
+		fmt.Fprintf(&b, "%16s", yl)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", xw+16*len(s.YLabels)))
+	for j := range s.X {
+		fmt.Fprintf(&b, "%-*s", xw, fmt.Sprintf(xf, s.X[j]))
+		for i := range s.Y {
+			fmt.Fprintf(&b, "%16s", fmt.Sprintf(yf, s.Y[i][j]))
+		}
+		b.WriteByte('\n')
+	}
+	if s.Note != "" {
+		fmt.Fprintf(&b, "note: %s\n", s.Note)
+	}
+	return b.String()
+}
+
+// CSV renders the series as comma-separated values with a header row,
+// for external plotting of the figure.
+func (s *Series) CSV() string {
+	var b strings.Builder
+	b.WriteString(csvField(s.XLabel))
+	for _, yl := range s.YLabels {
+		b.WriteByte(',')
+		b.WriteString(csvField(yl))
+	}
+	b.WriteByte('\n')
+	for j := range s.X {
+		fmt.Fprintf(&b, "%g", s.X[j])
+		for i := range s.Y {
+			fmt.Fprintf(&b, ",%g", s.Y[i][j])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func csvField(f string) string {
+	if strings.ContainsAny(f, ",\"\n") {
+		return `"` + strings.ReplaceAll(f, `"`, `""`) + `"`
+	}
+	return f
+}
+
+// Micros formats a microsecond quantity the way the paper's tables do.
+func Micros(v float64) string {
+	if v >= 100 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.1f", v)
+}
+
+// Seconds formats a CPU-seconds quantity.
+func Seconds(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// Pct formats a percentage.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", v) }

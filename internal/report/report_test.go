@@ -1,0 +1,85 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := Table{
+		Title:   "Table X",
+		Headers: []string{"Operation", "Fast", "Ultrix"},
+		Note:    "a note",
+	}
+	tbl.AddRow("Deliver", "5", "55")
+	tbl.AddRow("Return", "3", "25")
+	out := tbl.Render()
+	for _, want := range []string{"Table X", "Operation", "Deliver", "55", "note: a note", "==="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render lacks %q:\n%s", want, out)
+		}
+	}
+	// Columns align: the header row and data rows share width.
+	lines := strings.Split(out, "\n")
+	var header, row string
+	for i, l := range lines {
+		if strings.Contains(l, "Operation") {
+			header = l
+			row = lines[i+2]
+		}
+	}
+	if len(header) == 0 || len(row) == 0 {
+		t.Fatal("header/data rows not found")
+	}
+	if idxH, idxR := strings.Index(header, "Fast"), strings.Index(row, "5"); idxR > idxH+4 {
+		t.Errorf("column misaligned:\n%s", out)
+	}
+}
+
+func TestSeriesRender(t *testing.T) {
+	s := Series{
+		Title:   "Figure Y",
+		XLabel:  "check cycles",
+		YLabels: []string{"ultrix", "fast"},
+		X:       []float64{1, 2},
+		Y:       [][]float64{{2000, 1000}, {150, 75}},
+	}
+	out := s.Render()
+	for _, want := range []string{"Figure Y", "check cycles", "ultrix", "2000.0", "75.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render lacks %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "\n") < 5 {
+		t.Errorf("too few lines:\n%s", out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Micros(5.44) != "5.4" {
+		t.Errorf("Micros(5.44) = %s", Micros(5.44))
+	}
+	if Micros(256.4) != "256" {
+		t.Errorf("Micros(256.4) = %s", Micros(256.4))
+	}
+	if Seconds(23.9) != "23.90" {
+		t.Errorf("Seconds = %s", Seconds(23.9))
+	}
+	if Pct(10.07) != "10.1%" {
+		t.Errorf("Pct = %s", Pct(10.07))
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	s := Series{
+		XLabel:  "check, cycles",
+		YLabels: []string{"ultrix", "fast"},
+		X:       []float64{1, 2.5},
+		Y:       [][]float64{{2000, 800}, {150, 60}},
+	}
+	got := s.CSV()
+	want := "\"check, cycles\",ultrix,fast\n1,2000,150\n2.5,800,60\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}

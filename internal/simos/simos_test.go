@@ -1,0 +1,83 @@
+package simos
+
+import (
+	"testing"
+
+	"uexc/internal/core"
+)
+
+func TestMeasureFastVsUltrix(t *testing.T) {
+	fast, err := Measure(core.ModeFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ult, err := Measure(core.ModeUltrix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper anchors, with the per-mode semantics documented on
+	// CostTable: fast prot fault (eager, incl. retry) ≈ 18 µs; Ultrix
+	// prot fault incl. the handler's unprotecting mprotect ≈ 100 µs.
+	if us := Micros(fast.ProtFaultRT); us < 10 || us > 25 {
+		t.Errorf("fast prot fault = %.1fµs, want ~16-18", us)
+	}
+	if us := Micros(ult.ProtFaultRT); us < 70 || us > 140 {
+		t.Errorf("ultrix prot fault = %.1fµs, want ~100", us)
+	}
+	if fast.ProtFaultRT >= ult.ProtFaultRT {
+		t.Error("fast prot fault not cheaper than ultrix")
+	}
+	if us := Micros(fast.UnalignedFaultRT); us < 4 || us > 8 {
+		t.Errorf("fast unaligned fault = %.1fµs, want ~6", us)
+	}
+	if fast.UnalignedFaultRT >= ult.UnalignedFaultRT {
+		t.Error("fast unaligned fault not cheaper than ultrix")
+	}
+	if us := Micros(fast.NullSyscall); us < 9 || us > 15 {
+		t.Errorf("null syscall = %.1fµs, want ~12", us)
+	}
+	if fast.MprotectPage <= fast.NullSyscall {
+		t.Error("mprotect must cost more than a null syscall")
+	}
+}
+
+func TestMeasureCaches(t *testing.T) {
+	a, err := Measure(core.ModeFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Measure(core.ModeFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("repeated Measure returned different tables (cache broken)")
+	}
+}
+
+func TestMeasureHardwareMode(t *testing.T) {
+	hw, err := Measure(core.ModeHardware)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := Measure(core.ModeFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hw.SimpleFaultRT >= fast.SimpleFaultRT {
+		t.Errorf("hardware simple fault (%.0f) not below software (%.0f)",
+			hw.SimpleFaultRT, fast.SimpleFaultRT)
+	}
+}
+
+func TestClock(t *testing.T) {
+	var c Clock
+	c.Charge(25e6) // one simulated second
+	if got := c.Seconds(); got != 1.0 {
+		t.Errorf("Seconds() = %v, want 1", got)
+	}
+	c.Charge(25) // one more µs
+	if got := c.MicrosTotal(); got != 1e6+1 {
+		t.Errorf("MicrosTotal() = %v", got)
+	}
+}

@@ -1,0 +1,201 @@
+// Package tlb implements the R3000-style translation lookaside buffer of
+// the simulated machine: 64 fully-associative entries tagged with an
+// address-space identifier (ASID), written either by index or by a
+// pseudo-random replacement register that never selects the first eight
+// ("wired") entries.
+//
+// Each entry carries the paper's proposed extension: a U bit that, when
+// set by the kernel, permits user-mode code to amplify or restrict the
+// read/write protection bits of that entry (never the translation). See
+// Section 2.2 of Thekkath & Levy.
+package tlb
+
+import "uexc/internal/arch"
+
+// Entries is the TLB size; Wired entries [0, Wired) are exempt from
+// random replacement, as on the R3000.
+const (
+	Entries = 64
+	Wired   = 8
+)
+
+// EntryLo bit assignments (R3000, plus the U extension in a
+// previously-unused bit).
+const (
+	LoN uint32 = 1 << 11 // non-cacheable (modeled but ignored)
+	LoD uint32 = 1 << 10 // dirty: set means writable
+	LoV uint32 = 1 << 9  // valid
+	LoG uint32 = 1 << 8  // global: ignore ASID on match
+	LoU uint32 = 1 << 7  // user-protection-modifiable (proposed hardware)
+
+	LoPFNMask uint32 = 0xfffff000
+)
+
+// EntryHi bit assignments.
+const (
+	HiVPNMask  uint32 = 0xfffff000
+	HiASIDMask uint32 = 0x00000fc0
+	HiASIDShft        = 6
+)
+
+// Entry is one TLB slot.
+type Entry struct {
+	Hi uint32
+	Lo uint32
+}
+
+// VPN returns the entry's virtual page number (va >> 12).
+func (e Entry) VPN() uint32 { return e.Hi >> arch.PageShift }
+
+// ASID returns the entry's address-space identifier.
+func (e Entry) ASID() uint8 { return uint8(e.Hi & HiASIDMask >> HiASIDShft) }
+
+// PFN returns the entry's physical frame number.
+func (e Entry) PFN() uint32 { return e.Lo >> arch.PageShift }
+
+// Valid reports the V bit.
+func (e Entry) Valid() bool { return e.Lo&LoV != 0 }
+
+// Writable reports the D bit.
+func (e Entry) Writable() bool { return e.Lo&LoD != 0 }
+
+// Global reports the G bit.
+func (e Entry) Global() bool { return e.Lo&LoG != 0 }
+
+// UserModifiable reports the proposed U bit.
+func (e Entry) UserModifiable() bool { return e.Lo&LoU != 0 }
+
+// MakeHi assembles an EntryHi from a virtual page number and ASID.
+func MakeHi(vpn uint32, asid uint8) uint32 {
+	return vpn<<arch.PageShift | uint32(asid)<<HiASIDShft&HiASIDMask
+}
+
+// MakeLo assembles an EntryLo from a physical frame number and flags.
+func MakeLo(pfn uint32, flags uint32) uint32 {
+	return pfn<<arch.PageShift | flags&^LoPFNMask
+}
+
+// TLB is the translation buffer. The zero value is an empty TLB with all
+// entries invalid.
+type TLB struct {
+	slots [Entries]Entry
+	// rand drives WriteRandom victim selection deterministically; real
+	// hardware decrements Random once per cycle, which is
+	// indistinguishable from any other well-spread sequence for
+	// replacement purposes.
+	rand uint32
+
+	// Hits and Misses count Lookup outcomes for statistics.
+	Hits   uint64
+	Misses uint64
+}
+
+// Reset invalidates every entry and zeroes statistics.
+func (t *TLB) Reset() {
+	*t = TLB{}
+}
+
+// Lookup finds the entry mapping va for the given ASID. It returns the
+// matching entry and its index. A miss (no VPN/ASID match) returns
+// ok == false; validity and writability of a hit are for the caller
+// (the CPU) to check and convert into TLBL/TLBS/Mod exceptions.
+func (t *TLB) Lookup(va uint32, asid uint8) (Entry, int, bool) {
+	vpn := va >> arch.PageShift
+	for i := range t.slots {
+		e := t.slots[i]
+		if e.Hi == 0 && e.Lo == 0 {
+			continue
+		}
+		if e.VPN() == vpn && (e.Global() || e.ASID() == asid) {
+			t.Hits++
+			return e, i, true
+		}
+	}
+	t.Misses++
+	return Entry{}, -1, false
+}
+
+// Probe returns the index of the entry whose Hi matches the given
+// EntryHi value (VPN and ASID exactly, as TLBP does), or ok == false.
+func (t *TLB) Probe(hi uint32) (int, bool) {
+	vpn := hi >> arch.PageShift
+	asid := uint8(hi & HiASIDMask >> HiASIDShft)
+	for i := range t.slots {
+		e := t.slots[i]
+		if e.Hi == 0 && e.Lo == 0 {
+			continue
+		}
+		if e.VPN() == vpn && (e.Global() || e.ASID() == asid) {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// Read returns the entry at index i (masked into range, as hardware
+// does).
+func (t *TLB) Read(i int) Entry {
+	return t.slots[i&(Entries-1)]
+}
+
+// WriteIndexed replaces the entry at index i.
+func (t *TLB) WriteIndexed(i int, e Entry) {
+	t.slots[i&(Entries-1)] = e
+}
+
+// WriteRandom replaces a pseudo-randomly chosen non-wired entry and
+// returns the victim index.
+func (t *TLB) WriteRandom(e Entry) int {
+	// xorshift step for spread; victims always land in [Wired, Entries).
+	t.rand = t.rand*1664525 + 1013904223
+	i := Wired + int(t.rand>>16%(Entries-Wired))
+	t.slots[i] = e
+	return i
+}
+
+// Random returns the index the next WriteRandom would use without
+// advancing state; exposed for the CP0 Random register.
+func (t *TLB) Random() int {
+	r := t.rand*1664525 + 1013904223
+	return Wired + int(r>>16%(Entries-Wired))
+}
+
+// InvalidateASID clears the V bit of every non-global entry with the
+// given ASID; used at address-space teardown.
+func (t *TLB) InvalidateASID(asid uint8) {
+	for i := range t.slots {
+		e := &t.slots[i]
+		if (e.Hi != 0 || e.Lo != 0) && !e.Global() && e.ASID() == asid {
+			e.Lo &^= LoV
+		}
+	}
+}
+
+// InvalidatePage clears any entry mapping vpn for asid (or globally).
+// Returns true if an entry was dropped.
+func (t *TLB) InvalidatePage(vpn uint32, asid uint8) bool {
+	dropped := false
+	for i := range t.slots {
+		e := &t.slots[i]
+		if (e.Hi != 0 || e.Lo != 0) && e.VPN() == vpn && (e.Global() || e.ASID() == asid) {
+			*e = Entry{}
+			dropped = true
+		}
+	}
+	return dropped
+}
+
+// UpdateProtection rewrites the D (writable) and V (valid) bits of the
+// entry at index i. It is the primitive behind both kernel protection
+// changes and the user-mode UTLBMOD instruction; UTLBMOD callers must
+// check UserModifiable first.
+func (t *TLB) UpdateProtection(i int, writable, valid bool) {
+	e := &t.slots[i&(Entries-1)]
+	e.Lo &^= LoD | LoV
+	if writable {
+		e.Lo |= LoD
+	}
+	if valid {
+		e.Lo |= LoV
+	}
+}

@@ -1,0 +1,179 @@
+package tlb
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEntryFieldAccessors(t *testing.T) {
+	e := Entry{Hi: MakeHi(0x12345, 17), Lo: MakeLo(0x00abc, LoV|LoD|LoU)}
+	if e.VPN() != 0x12345 {
+		t.Errorf("VPN = %#x", e.VPN())
+	}
+	if e.ASID() != 17 {
+		t.Errorf("ASID = %d", e.ASID())
+	}
+	if e.PFN() != 0xabc {
+		t.Errorf("PFN = %#x", e.PFN())
+	}
+	if !e.Valid() || !e.Writable() || !e.UserModifiable() || e.Global() {
+		t.Errorf("flags wrong: %+v", e)
+	}
+}
+
+func TestLookupAfterWriteFinds(t *testing.T) {
+	f := func(vpnRaw uint32, asid uint8, idx uint8) bool {
+		var tl TLB
+		vpn := vpnRaw & 0xfffff
+		asid &= 63
+		e := Entry{Hi: MakeHi(vpn, asid), Lo: MakeLo(vpn+1, LoV)}
+		tl.WriteIndexed(int(idx), e)
+		got, gi, ok := tl.Lookup(vpn<<12|0x123, asid)
+		return ok && gi == int(idx&63) && got == e
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestASIDMismatchMissesUnlessGlobal(t *testing.T) {
+	f := func(vpnRaw uint32, a1, a2 uint8, global bool) bool {
+		vpn := vpnRaw & 0xfffff
+		a1 &= 63
+		a2 &= 63
+		if a1 == a2 {
+			a2 = (a1 + 1) & 63
+		}
+		var tl TLB
+		flags := LoV
+		if global {
+			flags |= LoG
+		}
+		tl.WriteIndexed(0, Entry{Hi: MakeHi(vpn, a1), Lo: MakeLo(99, flags)})
+		_, _, ok := tl.Lookup(vpn<<12, a2)
+		return ok == global
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProbeAgreesWithLookup(t *testing.T) {
+	f := func(vpnRaw uint32, asid uint8, idx uint8, present bool) bool {
+		vpn := vpnRaw & 0xfffff
+		asid &= 63
+		var tl TLB
+		if present {
+			tl.WriteIndexed(int(idx), Entry{Hi: MakeHi(vpn, asid), Lo: MakeLo(5, LoV)})
+		}
+		pi, pok := tl.Probe(MakeHi(vpn, asid))
+		_, li, lok := tl.Lookup(vpn<<12, asid)
+		return pok == lok && (!pok || pi == li)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteRandomNeverVictimizesWired(t *testing.T) {
+	var tl TLB
+	for i := 0; i < 10000; i++ {
+		v := tl.WriteRandom(Entry{Hi: MakeHi(uint32(i)&0xfffff, 0), Lo: LoV})
+		if v < Wired || v >= Entries {
+			t.Fatalf("random victim %d out of [%d, %d)", v, Wired, Entries)
+		}
+	}
+	// All non-wired slots should eventually be chosen.
+	seen := map[int]bool{}
+	tl.Reset()
+	for i := 0; i < 20000 && len(seen) < Entries-Wired; i++ {
+		seen[tl.WriteRandom(Entry{Lo: LoV, Hi: 4096})] = true
+	}
+	if len(seen) != Entries-Wired {
+		t.Errorf("random replacement reached only %d of %d slots", len(seen), Entries-Wired)
+	}
+}
+
+func TestRandomPreviewMatchesWrite(t *testing.T) {
+	var tl TLB
+	for i := 0; i < 100; i++ {
+		want := tl.Random()
+		got := tl.WriteRandom(Entry{Hi: 4096, Lo: LoV})
+		if got != want {
+			t.Fatalf("Random() preview %d != WriteRandom victim %d", want, got)
+		}
+	}
+}
+
+func TestInvalidateASID(t *testing.T) {
+	var tl TLB
+	tl.WriteIndexed(0, Entry{Hi: MakeHi(1, 5), Lo: MakeLo(1, LoV)})
+	tl.WriteIndexed(1, Entry{Hi: MakeHi(2, 6), Lo: MakeLo(2, LoV)})
+	tl.WriteIndexed(2, Entry{Hi: MakeHi(3, 5), Lo: MakeLo(3, LoV|LoG)})
+	tl.InvalidateASID(5)
+	if tl.Read(0).Valid() {
+		t.Error("asid-5 entry still valid")
+	}
+	if !tl.Read(1).Valid() {
+		t.Error("asid-6 entry was invalidated")
+	}
+	if !tl.Read(2).Valid() {
+		t.Error("global entry was invalidated")
+	}
+}
+
+func TestInvalidatePage(t *testing.T) {
+	var tl TLB
+	tl.WriteIndexed(0, Entry{Hi: MakeHi(7, 1), Lo: MakeLo(9, LoV)})
+	if !tl.InvalidatePage(7, 1) {
+		t.Fatal("InvalidatePage missed existing entry")
+	}
+	if _, _, ok := tl.Lookup(7<<12, 1); ok {
+		t.Error("entry survived InvalidatePage")
+	}
+	if tl.InvalidatePage(7, 1) {
+		t.Error("second InvalidatePage reported a drop")
+	}
+}
+
+func TestUpdateProtection(t *testing.T) {
+	var tl TLB
+	tl.WriteIndexed(3, Entry{Hi: MakeHi(1, 0), Lo: MakeLo(2, LoV|LoU)})
+	tl.UpdateProtection(3, true, true)
+	e := tl.Read(3)
+	if !e.Writable() || !e.Valid() {
+		t.Errorf("after amplify: %+v", e)
+	}
+	if !e.UserModifiable() || e.PFN() != 2 {
+		t.Errorf("UpdateProtection disturbed U/PFN: %+v", e)
+	}
+	tl.UpdateProtection(3, false, true)
+	if tl.Read(3).Writable() {
+		t.Error("restrict did not clear D")
+	}
+	tl.UpdateProtection(3, false, false)
+	if tl.Read(3).Valid() {
+		t.Error("restrict did not clear V")
+	}
+}
+
+func TestHitMissCounters(t *testing.T) {
+	var tl TLB
+	tl.WriteIndexed(0, Entry{Hi: MakeHi(1, 0), Lo: MakeLo(1, LoV)})
+	tl.Lookup(1<<12, 0)
+	tl.Lookup(2<<12, 0)
+	tl.Lookup(1<<12, 0)
+	if tl.Hits != 2 || tl.Misses != 1 {
+		t.Errorf("hits=%d misses=%d, want 2/1", tl.Hits, tl.Misses)
+	}
+}
+
+func TestVPNZeroWithNonzeroLoIsMatchable(t *testing.T) {
+	// Page 0 must be mappable: the empty-slot check is (Hi==0 && Lo==0).
+	var tl TLB
+	tl.WriteIndexed(0, Entry{Hi: MakeHi(0, 0), Lo: MakeLo(4, LoV)})
+	e, _, ok := tl.Lookup(0x0ff, 0)
+	if !ok || e.PFN() != 4 {
+		t.Fatalf("page 0 lookup = %+v ok=%v", e, ok)
+	}
+}
