@@ -1,0 +1,37 @@
+# uexc build/verify entry points.
+#
+# `make check` is the tier-1 verification gate: static checks, the full
+# test suite under the race detector, and a 30-seed fault-injection
+# smoke campaign across all three delivery modes.
+
+GO ?= go
+
+.PHONY: all build test vet check campaign fuzz clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Tier-1 gate.
+check: vet build
+	$(GO) test -race ./...
+	$(GO) run ./cmd/uexc-bench -faultcampaign -seeds 30
+
+# Full acceptance campaign (the 100-seed run documented in DESIGN.md).
+campaign:
+	$(GO) run ./cmd/uexc-bench -faultcampaign -seeds 100
+
+# Short coverage-guided fuzzing burst on the decoder and assembler.
+fuzz:
+	$(GO) test ./internal/arch/ -fuzz FuzzDecodeEncode -fuzztime 30s
+	$(GO) test ./internal/asm/ -fuzz FuzzAssemble -fuzztime 30s
+
+clean:
+	$(GO) clean ./...

@@ -149,7 +149,10 @@ func BenchmarkFigure3(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		crossover = swizzle.Fig3Crossover(5, fast.RoundTripMicros(), 600)
+		crossover, err = swizzle.Fig3Crossover(5, fast.RoundTripMicros(), 600)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(float64(crossover), "breakeven_uses_fast_c5")
 }
@@ -168,7 +171,10 @@ func BenchmarkFigure4(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		crossover = swizzle.Fig4Crossover(fast.RoundTripMicros(), 2, 50)
+		crossover, err = swizzle.Fig4Crossover(fast.RoundTripMicros(), 2, 50)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(float64(crossover), "eager_wins_from_ptrs")
 }

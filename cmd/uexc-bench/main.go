@@ -11,11 +11,17 @@
 //	uexc-bench -trace          # Figures 1 and 2 as event traces
 //	uexc-bench -ablations      # the three ablation studies
 //	uexc-bench -validate       # also run object-store crossover validation
+//	uexc-bench -faultcampaign -seeds 100
+//	                           # deterministic fault-injection campaign:
+//	                           # each seed replayed twice under all three
+//	                           # delivery modes, invariants checked after
+//	                           # every injected event
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -32,10 +38,13 @@ func main() {
 		ablations = flag.Bool("ablations", false, "run the ablation studies")
 		validate  = flag.Bool("validate", false, "validate figure curves against the object store")
 		csvDir    = flag.String("csv", "", "also write figure series as CSV files into this directory")
+		campaign  = flag.Bool("faultcampaign", false, "run the deterministic fault-injection campaign")
+		seeds     = flag.Int("seeds", 30, "number of fault-campaign seeds")
+		verbose   = flag.Bool("v", false, "per-run fault-campaign progress")
 	)
 	flag.Parse()
 
-	if !*all && *table == 0 && *figure == 0 && !*trace && !*ablations {
+	if !*all && *table == 0 && *figure == 0 && !*trace && !*ablations && !*campaign {
 		*all = true
 	}
 
@@ -65,6 +74,26 @@ func main() {
 		}
 		fmt.Println(s.Render())
 		writeCSV(name, s)
+	}
+
+	if *campaign {
+		if *seeds <= 0 {
+			fail(fmt.Errorf("-seeds must be positive, got %d", *seeds))
+		}
+		var progress io.Writer
+		if *verbose {
+			progress = os.Stderr
+		}
+		res, err := harness.FaultCampaign(*seeds, progress)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(res.Summary())
+		if !res.Ok() {
+			fail(fmt.Errorf("fault campaign failed (%d failures, missing coverage: %v)",
+				len(res.Failures), res.MissingCoverage()))
+		}
+		return
 	}
 
 	if *all {

@@ -32,8 +32,14 @@ func main() {
 
 	fmt.Println("Figure 3 — residency checks vs exceptions (break-even uses per pointer):")
 	for _, c := range []float64{3, 5, 10} {
-		empF := swizzle.Fig3Crossover(c, fastUS, 900)
-		empU := swizzle.Fig3Crossover(c, ultUS, 3000)
+		empF, err := swizzle.Fig3Crossover(c, fastUS, 900)
+		if err != nil {
+			log.Fatal(err)
+		}
+		empU, err := swizzle.Fig3Crossover(c, ultUS, 3000)
+		if err != nil {
+			log.Fatal(err)
+		}
 		anaF := analytic.SwizzleBreakEvenUses(c, fastUS, 25)
 		anaU := analytic.SwizzleBreakEvenUses(c, ultUS, 25)
 		fmt.Printf("  checks of %2.0f cycles: exceptions win from %4d uses (fast; model %.0f)"+
@@ -43,8 +49,14 @@ func main() {
 	fmt.Println("\nFigure 4 — eager vs lazy swizzling (pages of 50 pointers):")
 	const pn = 50
 	for _, s := range []float64{1, 2, 4} {
-		empF := swizzle.Fig4Crossover(fastUS, s, pn)
-		empU := swizzle.Fig4Crossover(ultUS, s, pn)
+		empF, err := swizzle.Fig4Crossover(fastUS, s, pn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		empU, err := swizzle.Fig4Crossover(ultUS, s, pn)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("  swizzle cost %.0f µs: eager wins once %2d of %d pointers are used (fast)"+
 			" vs %2d of %d (Unix)\n", s, empF, pn, empU, pn)
 	}

@@ -23,11 +23,17 @@
 package swizzle
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
 	"uexc/internal/simos"
 )
+
+// ErrDiverged reports that two configurations which must produce
+// identical traversal results (mechanisms change cost, never answers —
+// DESIGN.md §6) disagreed on a checksum.
+var ErrDiverged = errors.New("swizzle: traversal results diverged")
 
 // Detect selects the residency-detection mechanism.
 type Detect int
@@ -222,7 +228,7 @@ func (s *Session) Object(obj OID) uint32 {
 
 // Fig3Workload dereferences nPtrs distinct pointers u times each and
 // returns the total cost in µs plus a traversal checksum.
-func Fig3Workload(d *Disk, cfg Config, nPtrs, uses int) (micros float64, checksum uint32) {
+func Fig3Workload(d *Disk, cfg Config, nPtrs, uses int) (micros float64, checksum uint32, err error) {
 	s := Open(d, cfg)
 	s.loadPage(0)
 	objs := len(d.Pages[0])
@@ -233,37 +239,43 @@ func Fig3Workload(d *Disk, cfg Config, nPtrs, uses int) (micros float64, checksu
 		for u := 0; u < uses; u++ {
 			target, err := s.Deref(obj, slot)
 			if err != nil {
-				panic(err)
+				return 0, 0, err
 			}
 			checksum = checksum*31 + s.Object(obj) + uint32(target.Idx)
 		}
 	}
-	return s.clock.MicrosTotal(), checksum
+	return s.clock.MicrosTotal(), checksum, nil
 }
 
 // Fig3Crossover sweeps u to find the smallest number of uses at which
 // fault-based detection beats checking, for the given check cost and
 // trap cost. Returns 0 if no crossover within maxUses.
-func Fig3Crossover(checkCycles, trapMicros float64, maxUses int) int {
+func Fig3Crossover(checkCycles, trapMicros float64, maxUses int) (int, error) {
 	d := NewGraphDisk(6, 32, 4, 7)
 	const nPtrs = 100
 	for u := 1; u <= maxUses; u++ {
-		chk, cs1 := Fig3Workload(d, Config{
+		chk, cs1, err := Fig3Workload(d, Config{
 			Detect: DetectChecks, Policy: Lazy,
 			CheckCycles: checkCycles, SwizzleMicros: 0.5, TrapMicros: trapMicros,
 		}, nPtrs, u)
-		flt, cs2 := Fig3Workload(d, Config{
+		if err != nil {
+			return 0, err
+		}
+		flt, cs2, err := Fig3Workload(d, Config{
 			Detect: DetectFaults, Policy: Lazy,
 			CheckCycles: checkCycles, SwizzleMicros: 0.5, TrapMicros: trapMicros,
 		}, nPtrs, u)
+		if err != nil {
+			return 0, err
+		}
 		if cs1 != cs2 {
-			panic("swizzle: traversal results diverged")
+			return 0, fmt.Errorf("%w: checks %#x vs faults %#x at %d uses", ErrDiverged, cs1, cs2, u)
 		}
 		if flt < chk {
-			return u
+			return u, nil
 		}
 	}
-	return 0
+	return 0, nil
 }
 
 // --- Figure 4: eager vs lazy swizzling -------------------------------
@@ -272,7 +284,7 @@ func Fig3Crossover(checkCycles, trapMicros float64, maxUses int) int {
 // returning total µs and a checksum. ptrsPerPage is fixed by the disk
 // layout; usedPerPage selects how many distinct pointers per page are
 // dereferenced (each once — Figure 4's model counts first uses).
-func Fig4Workload(d *Disk, cfg Config, pages int, usedPerPage int) (micros float64, checksum uint32) {
+func Fig4Workload(d *Disk, cfg Config, pages int, usedPerPage int) (micros float64, checksum uint32, err error) {
 	s := Open(d, cfg)
 	objs := len(d.Pages[0])
 	slots := len(d.Pages[0][0].Ptrs)
@@ -287,36 +299,42 @@ func Fig4Workload(d *Disk, cfg Config, pages int, usedPerPage int) (micros float
 			slot := (k / objs) % slots
 			target, err := s.Deref(obj, slot)
 			if err != nil {
-				panic(err)
+				return 0, 0, err
 			}
 			checksum = checksum*33 + uint32(target.Page) + s.Object(obj)
 		}
 	}
-	return s.clock.MicrosTotal(), checksum
+	return s.clock.MicrosTotal(), checksum, nil
 }
 
 // Fig4Crossover sweeps the per-page used-pointer count to find the
 // smallest count at which eager swizzling beats lazy, for the given
 // trap and swizzle costs. Returns 0 if eager never wins up to the page
 // pointer count.
-func Fig4Crossover(trapMicros, swizzleMicros float64, ptrsPerPage int) int {
+func Fig4Crossover(trapMicros, swizzleMicros float64, ptrsPerPage int) (int, error) {
 	// One object per "pointer slot": pages of ptrsPerPage pointers.
 	d := NewGraphDisk(8, ptrsPerPage, 1, 11)
 	for used := 1; used <= ptrsPerPage; used++ {
-		lazyC, cs1 := Fig4Workload(d, Config{
+		lazyC, cs1, err := Fig4Workload(d, Config{
 			Detect: DetectFaults, Policy: Lazy,
 			TrapMicros: trapMicros, SwizzleMicros: swizzleMicros,
 		}, len(d.Pages), used)
-		eagerC, cs2 := Fig4Workload(d, Config{
+		if err != nil {
+			return 0, err
+		}
+		eagerC, cs2, err := Fig4Workload(d, Config{
 			Detect: DetectFaults, Policy: Eager,
 			TrapMicros: trapMicros, SwizzleMicros: swizzleMicros,
 		}, len(d.Pages), used)
+		if err != nil {
+			return 0, err
+		}
 		if cs1 != cs2 {
-			panic("swizzle: policies diverged")
+			return 0, fmt.Errorf("%w: lazy %#x vs eager %#x at %d used", ErrDiverged, cs1, cs2, used)
 		}
 		if eagerC < lazyC {
-			return used
+			return used, nil
 		}
 	}
-	return 0
+	return 0, nil
 }

@@ -76,8 +76,11 @@ func TestFaultsChargeOncePerPointer(t *testing.T) {
 
 func TestMechanismsProduceIdenticalTraversals(t *testing.T) {
 	d := NewGraphDisk(6, 32, 4, 7)
-	_, cs1 := Fig3Workload(d, Config{Detect: DetectChecks, CheckCycles: 5, SwizzleMicros: 1, TrapMicros: 6}, 80, 3)
-	_, cs2 := Fig3Workload(d, Config{Detect: DetectFaults, CheckCycles: 5, SwizzleMicros: 1, TrapMicros: 6}, 80, 3)
+	_, cs1, err1 := Fig3Workload(d, Config{Detect: DetectChecks, CheckCycles: 5, SwizzleMicros: 1, TrapMicros: 6}, 80, 3)
+	_, cs2, err2 := Fig3Workload(d, Config{Detect: DetectFaults, CheckCycles: 5, SwizzleMicros: 1, TrapMicros: 6}, 80, 3)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("workloads: %v, %v", err1, err2)
+	}
 	if cs1 != cs2 {
 		t.Errorf("checksums differ: %#x vs %#x", cs1, cs2)
 	}
@@ -94,7 +97,10 @@ func TestFig3CrossoverMatchesAnalyticModel(t *testing.T) {
 	}
 	for _, c := range cases {
 		want := analytic.SwizzleBreakEvenUses(c.check, c.trap, 25)
-		got := Fig3Crossover(c.check, c.trap, 600)
+		got, err := Fig3Crossover(c.check, c.trap, 600)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if got == 0 {
 			t.Errorf("c=%v t=%v: no crossover found (analytic %v)", c.check, c.trap, want)
 			continue
@@ -113,8 +119,14 @@ func TestFig3CrossoverMatchesAnalyticModel(t *testing.T) {
 // TestFig3FastShiftsBalance is Figure 3's headline: the fast mechanism
 // moves the break-even point to far fewer uses per pointer.
 func TestFig3FastShiftsBalance(t *testing.T) {
-	fast := Fig3Crossover(5, 6, 800)
-	ultrix := Fig3Crossover(5, 80, 800)
+	fast, err := Fig3Crossover(5, 6, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ultrix, err := Fig3Crossover(5, 80, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if fast == 0 || ultrix == 0 {
 		t.Fatalf("crossovers: fast=%d ultrix=%d", fast, ultrix)
 	}
@@ -137,7 +149,10 @@ func TestFig4CrossoverMatchesAnalyticModel(t *testing.T) {
 	for _, c := range cases {
 		wantFrac := analytic.BreakEvenUsedFraction(c.trap, c.s, pn)
 		want := wantFrac * pn
-		got := Fig4Crossover(c.trap, c.s, pn)
+		got, err := Fig4Crossover(c.trap, c.s, pn)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if want >= pn {
 			if got != 0 {
 				t.Errorf("t=%v s=%v: eager won at %d but analytic says never (pu*=%.1f)", c.trap, c.s, got, want)
@@ -161,8 +176,14 @@ func TestFig4CrossoverMatchesAnalyticModel(t *testing.T) {
 // higher used fraction).
 func TestFig4FastFavorsLazy(t *testing.T) {
 	const pn = 50
-	fast := Fig4Crossover(6, 2, pn)
-	ultrix := Fig4Crossover(80, 2, pn)
+	fast, err := Fig4Crossover(6, 2, pn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ultrix, err := Fig4Crossover(80, 2, pn)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if fast == 0 || ultrix == 0 {
 		t.Fatalf("crossovers: fast=%d ultrix=%d", fast, ultrix)
 	}

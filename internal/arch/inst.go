@@ -1,6 +1,9 @@
 package arch
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // Mn identifies an instruction mnemonic.
 type Mn uint8
@@ -327,8 +330,26 @@ func Normalize(i Inst) Inst {
 	return out
 }
 
+// ErrBadEncoding reports an Inst that names no encodable instruction.
+var ErrBadEncoding = errors.New("arch: bad encoding")
+
+// EncodeChecked packs the instruction into its 32-bit word, rejecting
+// mnemonics outside the ISA table (MnInvalid, or values beyond the
+// table) with an error wrapping ErrBadEncoding. Fields the mnemonic's
+// format does not use are ignored.
+func EncodeChecked(i Inst) (uint32, error) {
+	if i.Mn == MnInvalid || int(i.Mn) >= len(specs) || specs[i.Mn].name == "" {
+		return 0, fmt.Errorf("%w: no such mnemonic %d", ErrBadEncoding, uint8(i.Mn))
+	}
+	return Encode(i), nil
+}
+
 // Encode packs the instruction into its 32-bit word. Fields the
-// mnemonic's format does not use are ignored.
+// mnemonic's format does not use are ignored. Callers are table-driven
+// — the assembler's mnemonic table and spec-sweeping tests only present
+// mnemonics that exist in specs — so unlike EncodeChecked this variant
+// does not validate Mn; arbitrary (e.g. fuzzed) instructions must go
+// through EncodeChecked.
 func Encode(i Inst) uint32 {
 	i = Normalize(i)
 	s := specs[i.Mn]
@@ -358,6 +379,11 @@ func Encode(i Inst) uint32 {
 		return s.op<<26 | uint32(i.Rs)<<21 | uint32(i.Rt)<<16 |
 			uint32(i.Rd)<<11 | s.fn
 	}
+	// Unreachable: every spec in the table carries one of the class
+	// values handled above, and the zero spec (MnInvalid and unnamed
+	// slots) has class clSpecial. A new class constant without an
+	// Encode arm is a build-time simulator bug, which is exactly what
+	// a panic should flag.
 	panic("arch: unreachable encode class")
 }
 
@@ -382,7 +408,10 @@ func Decode(w uint32) Inst {
 		if m == MnSYSCALL || m == MnBREAK {
 			return Inst{Mn: m, Code: w >> 6 & 0xfffff}
 		}
-		return Inst{Mn: m, Rs: rs, Rt: rt, Rd: rd, Shamt: sh}
+		// Special-format encodings carry register and shamt fields their
+		// mnemonic may not use (e.g. jr with junk in shamt); normalize so
+		// Decode honors the Inst contract that unused fields are zero.
+		return Normalize(Inst{Mn: m, Rs: rs, Rt: rt, Rd: rd, Shamt: sh})
 	case OpRegimm:
 		switch uint32(rt) {
 		case RtBLTZ:

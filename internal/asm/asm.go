@@ -54,7 +54,11 @@ func (p *Program) Symbol(name string) (uint32, bool) {
 }
 
 // MustSymbol returns the value of a symbol that must exist; it panics
-// otherwise (used by the kernel builder for its own labels).
+// otherwise. It is reserved for labels under the simulator's own
+// control (the kernel image and the user runtime prelude, whose
+// runtime-critical labels are verified at boot) — a miss is a
+// programming error, not an input error. Anything derived from user
+// input must use Symbol and handle the miss.
 func (p *Program) MustSymbol(name string) uint32 {
 	v, ok := p.Symbols[name]
 	if !ok {
@@ -193,6 +197,14 @@ func (a *assembler) pass1(src string) error {
 	return nil
 }
 
+// Reservation bounds: images are a few hundred KB at most, so an
+// enormous .space/.align (e.g. a negative expression wrapped to a huge
+// uint32) is diagnosed instead of materialized.
+const (
+	maxSpace = 1 << 20 // 1 MB
+	maxAlign = 1 << 16 // 64 KB
+)
+
 // stmtSize returns the byte size of a statement; .org mutates pc
 // directly and .equ defines a symbol.
 func (a *assembler) stmtSize(s *stmt, pc *uint32) (uint32, error) {
@@ -254,6 +266,9 @@ func (a *assembler) stmtSize(s *stmt, pc *uint32) (uint32, error) {
 		if n == 0 || n&(n-1) != 0 {
 			return 0, errf(s.line, ".align operand must be a power of two")
 		}
+		if n > maxAlign {
+			return 0, errf(s.line, ".align %d exceeds maximum %d", n, maxAlign)
+		}
 		pad := (n - *pc%n) % n
 		return pad, nil
 	case ".space":
@@ -263,6 +278,12 @@ func (a *assembler) stmtSize(s *stmt, pc *uint32) (uint32, error) {
 		n, err := evalExpr(s.ops[0], a.lookup)
 		if err != nil {
 			return 0, errf(s.line, "%v", err)
+		}
+		// Expressions are uint32, so a negative operand arrives as a
+		// huge positive one; either way a multi-megabyte reservation in
+		// a simulator image is a source bug, not a layout choice.
+		if n > maxSpace {
+			return 0, errf(s.line, ".space %d exceeds maximum %d", n, maxSpace)
 		}
 		return n, nil
 	case ".globl", ".global", ".text", ".data", ".set":

@@ -1,10 +1,40 @@
 package asm
 
 import (
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
 )
+
+// FuzzAssemble feeds arbitrary source text to the assembler: it must
+// never panic, and every rejection must be a typed *Error carrying a
+// plausible source line — the diagnostic contract the kernel build and
+// the test harness rely on. Seed corpus under testdata/fuzz/FuzzAssemble.
+func FuzzAssemble(f *testing.F) {
+	f.Add("")
+	f.Add("nop\n")
+	f.Add("main:\n\taddiu sp, sp, -8\n\tjal f\n\tnop\nf:\tjr ra\n\tnop\n")
+	f.Add(".org 0x80000000\n\tmfc0 k0, C0_CAUSE\n\trfe\n")
+	f.Add(".data\nw:\t.word 1, 2, 3\ns:\t.asciiz \"hi\\n\"\n")
+	f.Add("\t.align 4\n\t.space 128\n")
+	f.Add("bad instruction here\n")
+	f.Add("\t.word 0x\n")
+	f.Add("loop:\tb loop\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		_, err := Assemble(src, 0x00400000)
+		if err == nil {
+			return
+		}
+		var ae *Error
+		if !errors.As(err, &ae) {
+			t.Fatalf("Assemble error is not *asm.Error: %T %v", err, err)
+		}
+		if ae.Line < 1 {
+			t.Fatalf("diagnostic with bad line %d: %v", ae.Line, ae)
+		}
+	})
+}
 
 // TestAssemblerNeverPanics: arbitrary garbage must produce an error or
 // a program, never a panic.

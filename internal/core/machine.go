@@ -50,12 +50,16 @@ type Machine struct {
 	Prog *asm.Program // assembled user program (runtime + user text)
 }
 
-// NewMachine boots fresh hardware and kernel.
+// NewMachine boots fresh hardware and kernel. The CPU watchdog is
+// armed by default: a machine that provably stops making progress (a
+// pure state cycle — no stores, no new code) fails its Run with a
+// typed *cpu.LivelockError instead of spinning out the whole budget.
 func NewMachine() (*Machine, error) {
 	k, err := kernel.New()
 	if err != nil {
 		return nil, err
 	}
+	k.CPU.Watchdog = cpu.NewWatchdog(0)
 	return &Machine{K: k}, nil
 }
 
@@ -70,8 +74,12 @@ func (m *Machine) LoadProgram(src string) error {
 	if err := m.K.LoadUserProgram(p); err != nil {
 		return err
 	}
+	entry, ok := p.Symbol(userrt.SymStart)
+	if !ok {
+		return fmt.Errorf("core: user image missing %q", userrt.SymStart)
+	}
 	m.Prog = p
-	m.K.LaunchUser(p.MustSymbol(userrt.SymStart), kernel.UserStackTop-16)
+	m.K.LaunchUser(entry, kernel.UserStackTop-16)
 	return nil
 }
 
@@ -84,7 +92,11 @@ func (m *Machine) SpawnProgram(src string) (*kernel.Proc, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: assembling spawned program: %w", err)
 	}
-	return m.K.SpawnUser(p, p.MustSymbol(userrt.SymStart), kernel.UserStackTop-16)
+	entry, ok := p.Symbol(userrt.SymStart)
+	if !ok {
+		return nil, fmt.Errorf("core: spawned image missing %q", userrt.SymStart)
+	}
+	return m.K.SpawnUser(p, entry, kernel.UserStackTop-16)
 }
 
 // Sym resolves a user-program symbol.
@@ -105,11 +117,20 @@ func (m *Machine) EnableHardwareDelivery(mask uint32) {
 }
 
 // Run executes until process exit (or the instruction budget runs out).
+// A nonzero exit caused by kernel escalation (recursive-exception kill)
+// carries the recorded *kernel.MachineError cause chain, reachable via
+// errors.Is/errors.As.
 func (m *Machine) Run(maxInsts uint64) error {
 	if err := m.K.Run(maxInsts); err != nil {
 		return err
 	}
 	if done, status := m.K.Exited(); done && status != 0 {
+		for _, p := range m.K.Procs() {
+			if reason := p.KillReason(); reason != nil {
+				return fmt.Errorf("core: process exited with status %d (console: %q): %w",
+					status, m.K.Console(), reason)
+			}
+		}
 		return fmt.Errorf("core: process exited with status %d (console: %q)", status, m.K.Console())
 	}
 	return nil
@@ -129,7 +150,7 @@ func (m *Machine) RunWithWatches(maxInsts uint64, watches map[uint32]func(c *cpu
 		}
 	}
 	if !c.Halted {
-		return fmt.Errorf("core: instruction budget exhausted at pc %#x", c.PC)
+		return &cpu.BudgetError{Budget: maxInsts, PC: c.PC}
 	}
 	if done, status := m.K.Exited(); done && status != 0 {
 		return fmt.Errorf("core: process exited with status %d (console: %q)", status, m.K.Console())

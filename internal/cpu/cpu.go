@@ -71,6 +71,15 @@ type Exception struct {
 	User     bool // taken from user mode
 }
 
+// InjectedFault is a synchronous exception forced by a fault injector
+// (internal/faultinject): it is raised before the instruction at PC
+// executes, as if the hardware had glitched.
+type InjectedFault struct {
+	Code     uint32
+	BadVAddr uint32
+	HasBV    bool
+}
+
 // CPU is the machine state. Construct with New.
 type CPU struct {
 	GPR [32]uint32
@@ -119,8 +128,38 @@ type CPU struct {
 	Cycles uint64
 	Insts  uint64
 
+	// MemWrites counts successful data stores; the watchdog uses it as a
+	// cheap progress signal (a machine that stores is not livelocked by
+	// pure register cycling alone).
+	MemWrites uint64
+
 	// HCall is invoked by the kernel-mode HCALL instruction.
 	HCall HCallFn
+
+	// Inject, when non-nil, is consulted at the top of every Step; a
+	// non-nil result raises that exception instead of executing the
+	// instruction at PC. Hook point for internal/faultinject.
+	Inject func(c *CPU) *InjectedFault
+
+	// OnUEXRecursion, when non-nil, is called when a TeraMode machine
+	// suppresses direct user delivery of a claimed exception because the
+	// UEX recursion bit is already set (§2's double-fault indication).
+	// The exception then proceeds down the architectural kernel path;
+	// the hook lets the kernel record the recursion and arrange
+	// escalation (fallback or controlled kill) before that delivery.
+	OnUEXRecursion func(e Exception)
+
+	// OnUEXClear, when non-nil, is called when an XRET instruction
+	// clears a set UEX bit — a user-level handler just completed. The
+	// kernel uses it to restore the u-area claim mask it blanked for the
+	// handler's duration (the software analogue of the hardware UEX
+	// delivery gate: while a handler is in progress, claimed exceptions
+	// must take the kernel path so the in-progress exception frame is
+	// never overwritten).
+	OnUEXClear func()
+
+	// Watchdog, when non-nil, monitors Run for livelock.
+	Watchdog *Watchdog
 
 	// Halted stops Run; set by the kernel's exit path.
 	Halted bool
@@ -319,6 +358,7 @@ func (c *CPU) storeWord(va, v uint32) *excSignal {
 	if err := c.Mem.StoreWord(pa, v); err != nil {
 		return excAddr(arch.ExcDBE, va, false)
 	}
+	c.MemWrites++
 	return nil
 }
 
@@ -333,6 +373,7 @@ func (c *CPU) storeHalf(va uint32, v uint16) *excSignal {
 	if err := c.Mem.StoreHalf(pa, v); err != nil {
 		return excAddr(arch.ExcDBE, va, false)
 	}
+	c.MemWrites++
 	return nil
 }
 
@@ -344,6 +385,7 @@ func (c *CPU) storeByte(va uint32, v uint8) *excSignal {
 	if err := c.Mem.StoreByte(pa, v); err != nil {
 		return excAddr(arch.ExcDBE, va, false)
 	}
+	c.MemWrites++
 	return nil
 }
 
@@ -363,6 +405,13 @@ func (c *CPU) raise(sig *excSignal, instPC uint32, inDelay bool) {
 	}
 
 	sr := c.CP0[arch.C0Status]
+	if c.TeraMode && user && sr&arch.SrUEX != 0 && c.UserVector&(1<<sig.code) != 0 &&
+		c.OnUEXRecursion != nil {
+		// A claimed exception arrived while a user-level handler was
+		// already in progress: the UEX bit forces the kernel path, and
+		// the hook gives the OS its chance to police the recursion.
+		c.OnUEXRecursion(Exception{Code: sig.code, PC: instPC, BadVAddr: sig.badva, InDelay: inDelay, User: user})
+	}
 	if c.TeraMode && user && sr&arch.SrUEX == 0 && c.UserVector&(1<<sig.code) != 0 {
 		// Direct user-level delivery (Tera-style): load condition
 		// register, exchange PC and XT, mark UEX. No privilege change,
@@ -432,6 +481,13 @@ func (c *CPU) Step() error {
 	instPC := c.PC
 	inDelay := c.prevWasBranch
 
+	if c.Inject != nil {
+		if f := c.Inject(c); f != nil {
+			c.raise(&excSignal{code: f.Code, badva: f.BadVAddr, hasBV: f.HasBV}, instPC, inDelay)
+			return nil
+		}
+	}
+
 	if instPC&3 != 0 || (!c.KernelMode() && !arch.InKUSeg(instPC)) {
 		c.raise(excAddr(arch.ExcAdEL, instPC, false), instPC, inDelay)
 		return nil
@@ -493,16 +549,23 @@ func (c *CPU) hookErr() error {
 }
 
 // Run executes until the CPU halts or maxInsts instructions have
-// retired. It returns the number of instructions executed.
+// retired. It returns the number of instructions executed. Budget
+// exhaustion is reported as a *BudgetError; if a Watchdog is attached
+// and detects a state cycle, Run stops early with a *LivelockError.
 func (c *CPU) Run(maxInsts uint64) (uint64, error) {
 	start := c.Insts
 	for !c.Halted && c.Insts-start < maxInsts {
 		if err := c.Step(); err != nil {
 			return c.Insts - start, err
 		}
+		if c.Watchdog != nil {
+			if err := c.Watchdog.Observe(c); err != nil {
+				return c.Insts - start, err
+			}
+		}
 	}
 	if !c.Halted {
-		return c.Insts - start, fmt.Errorf("cpu: instruction budget %d exhausted at pc %#x", maxInsts, c.PC)
+		return c.Insts - start, &BudgetError{Budget: maxInsts, PC: c.PC}
 	}
 	return c.Insts - start, nil
 }

@@ -323,8 +323,12 @@ func (c *CPU) execute(i arch.Inst, pc uint32, branchTo func(uint32)) *excSignal 
 		// recursion guard.
 		target := c.XT
 		c.XT = pc + 4
+		wasUEX := c.CP0[arch.C0Status]&arch.SrUEX != 0
 		c.CP0[arch.C0Status] &^= arch.SrUEX
 		c.SetPC(target)
+		if wasUEX && c.OnUEXClear != nil {
+			c.OnUEXClear()
+		}
 	case arch.MnUTLBMOD:
 		return c.executeUTLBMod(rs, rt)
 	}

@@ -1,0 +1,93 @@
+package faultinject
+
+import (
+	"fmt"
+	"strings"
+
+	"uexc/internal/kernel"
+)
+
+// Checker asserts the DESIGN.md §6 machine invariants that must
+// survive the campaign's fault model. Structural kernel properties
+// (page-table well-formedness, frame pinning, u-area coherence) are
+// delegated to kernel.SelfCheck, whose covered structures all live
+// below the injector's corruption floor; on top of that the checker
+// tracks cross-observation properties a single snapshot cannot see:
+//
+//   - architectural zero: GPR[0] reads as zero;
+//   - time moves forward: cycle and instruction counters are monotone;
+//   - exits are final: once the machine reports an exit, the report
+//     and status never change;
+//   - the console is append-only;
+//   - the frame allocator's watermark is monotone and in-range.
+//
+// Violations wrap kernel.ErrInvariant for errors.Is dispatch.
+type Checker struct {
+	k *kernel.Kernel
+
+	maxCycles uint64
+	maxInsts  uint64
+	console   string
+	exited    bool
+	status    uint32
+	frameMark uint32
+}
+
+// NewChecker snapshots the baseline observations for machine k.
+func NewChecker(k *kernel.Kernel) *Checker {
+	ch := &Checker{k: k}
+	ch.observe()
+	return ch
+}
+
+func (ch *Checker) observe() {
+	ch.maxCycles = ch.k.CPU.Cycles
+	ch.maxInsts = ch.k.CPU.Insts
+	ch.console = ch.k.Console()
+	ch.exited, ch.status = ch.k.Exited()
+	ch.frameMark = ch.k.FrameWatermark()
+}
+
+// Check validates every invariant against the current machine state,
+// returning the first violation (wrapping kernel.ErrInvariant) or nil.
+// Successful observations become the baseline for the next call.
+func (ch *Checker) Check() error {
+	k, c := ch.k, ch.k.CPU
+
+	if c.GPR[0] != 0 {
+		return fmt.Errorf("%w: GPR[0] reads %#x, want 0", kernel.ErrInvariant, c.GPR[0])
+	}
+	if c.Cycles < ch.maxCycles {
+		return fmt.Errorf("%w: cycle counter ran backwards (%d < %d)",
+			kernel.ErrInvariant, c.Cycles, ch.maxCycles)
+	}
+	if c.Insts < ch.maxInsts {
+		return fmt.Errorf("%w: instruction counter ran backwards (%d < %d)",
+			kernel.ErrInvariant, c.Insts, ch.maxInsts)
+	}
+
+	console := k.Console()
+	if !strings.HasPrefix(console, ch.console) {
+		return fmt.Errorf("%w: console output mutated (was %q, now %q)",
+			kernel.ErrInvariant, ch.console, console)
+	}
+
+	exited, status := k.Exited()
+	if ch.exited && (!exited || status != ch.status) {
+		return fmt.Errorf("%w: exit state changed after exit (was %v/%d, now %v/%d)",
+			kernel.ErrInvariant, ch.exited, ch.status, exited, status)
+	}
+
+	mark := k.FrameWatermark()
+	if mark < ch.frameMark || mark > kernel.PhysMemSize {
+		return fmt.Errorf("%w: frame watermark %#x left range [%#x, %#x]",
+			kernel.ErrInvariant, mark, ch.frameMark, uint32(kernel.PhysMemSize))
+	}
+
+	if err := k.SelfCheck(); err != nil {
+		return err
+	}
+
+	ch.observe()
+	return nil
+}

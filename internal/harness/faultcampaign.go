@@ -1,0 +1,270 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"uexc/internal/arch"
+	"uexc/internal/core"
+	"uexc/internal/cpu"
+	"uexc/internal/faultinject"
+	"uexc/internal/kernel"
+)
+
+// campaignBudget bounds one injected run; the bounded in-program
+// handlers and the watchdog make every fault path converge far below
+// it, so reaching the budget is itself a campaign failure.
+const campaignBudget = 3_000_000
+
+// RequiredCoverage lists the event/behaviour categories a campaign
+// must exercise at least once to be considered a meaningful sweep.
+var RequiredCoverage = []string{
+	"tlb-flip",
+	"spurious-exception",
+	"uex-recursion",
+	"fast-ultrix-fallback",
+	"watchdog-livelock",
+}
+
+// CampaignResult aggregates a fault-injection campaign.
+type CampaignResult struct {
+	Seeds int
+	Runs  int
+
+	// Exercised counts injected events by kind plus the hardening
+	// behaviours they provoked (recursion escalations, fallbacks,
+	// kills, TLB scrubs, watchdog detections).
+	Exercised map[string]uint64
+	// Outcomes tallies runs by outcome class.
+	Outcomes map[string]int
+	// Failures lists determinism breaks, invariant violations, panics,
+	// and budget exhaustions; empty means the campaign passed.
+	Failures []string
+}
+
+// Ok reports whether the campaign passed: no failures and every
+// required category exercised.
+func (r *CampaignResult) Ok() bool {
+	return len(r.Failures) == 0 && len(r.MissingCoverage()) == 0
+}
+
+// MissingCoverage returns the required categories never exercised.
+func (r *CampaignResult) MissingCoverage() []string {
+	var missing []string
+	for _, k := range RequiredCoverage {
+		if r.Exercised[k] == 0 {
+			missing = append(missing, k)
+		}
+	}
+	return missing
+}
+
+// Summary renders the campaign report.
+func (r *CampaignResult) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fault campaign: %d seeds x 3 modes x 2 replays = %d runs\n", r.Seeds, r.Runs)
+	keys := make([]string, 0, len(r.Exercised))
+	for k := range r.Exercised {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	b.WriteString("exercised:\n")
+	for _, k := range keys {
+		fmt.Fprintf(&b, "  %-24s %d\n", k, r.Exercised[k])
+	}
+	outs := make([]string, 0, len(r.Outcomes))
+	for k := range r.Outcomes {
+		outs = append(outs, k)
+	}
+	sort.Strings(outs)
+	b.WriteString("outcomes:\n")
+	for _, k := range outs {
+		fmt.Fprintf(&b, "  %-24s %d\n", k, r.Outcomes[k])
+	}
+	if missing := r.MissingCoverage(); len(missing) > 0 {
+		fmt.Fprintf(&b, "MISSING COVERAGE: %s\n", strings.Join(missing, ", "))
+	}
+	if len(r.Failures) > 0 {
+		fmt.Fprintf(&b, "FAILURES (%d):\n", len(r.Failures))
+		for _, f := range r.Failures {
+			fmt.Fprintf(&b, "  %s\n", f)
+		}
+	} else {
+		b.WriteString("zero panics, zero invariant violations, deterministic per-seed outcomes\n")
+	}
+	return b.String()
+}
+
+// campaignReport is one run's digest.
+type campaignReport struct {
+	fingerprint string
+	outcome     string
+	exercised   [faultinject.NumKinds]uint64
+	stats       kernel.Stats
+	failures    []string
+}
+
+// FaultCampaign replays `seeds` fault plans under all three delivery
+// modes, each run twice, asserting determinism (identical fingerprints
+// per replay) and the DESIGN.md §6 invariants after every injected
+// event. A watchdog livelock probe (no injection, deliberate state
+// cycle) runs once per mode. Progress goes to w when non-nil.
+func FaultCampaign(seeds int, w io.Writer) (*CampaignResult, error) {
+	if seeds <= 0 {
+		seeds = 30
+	}
+	res := &CampaignResult{
+		Seeds:     seeds,
+		Exercised: make(map[string]uint64),
+		Outcomes:  make(map[string]int),
+	}
+	modes := []core.Mode{core.ModeUltrix, core.ModeFast, core.ModeHardware}
+
+	for seed := 0; seed < seeds; seed++ {
+		for _, mode := range modes {
+			first := campaignRun(int64(seed), mode)
+			again := campaignRun(int64(seed), mode)
+			res.Runs += 2
+
+			tag := fmt.Sprintf("seed %d mode %s", seed, mode)
+			for _, f := range first.failures {
+				res.Failures = append(res.Failures, tag+": "+f)
+			}
+			for _, f := range again.failures {
+				res.Failures = append(res.Failures, tag+" (replay): "+f)
+			}
+			if first.fingerprint != again.fingerprint {
+				res.Failures = append(res.Failures,
+					fmt.Sprintf("%s: nondeterministic (fingerprints differ:\n  %s\n  %s)",
+						tag, first.fingerprint, again.fingerprint))
+			}
+
+			// Count exercise from the first run only (the replay is a
+			// determinism witness, not extra coverage).
+			for k := faultinject.Kind(0); k < faultinject.NumKinds; k++ {
+				res.Exercised[k.String()] += first.exercised[k]
+			}
+			res.Exercised["uex-recursion"] += first.stats.UEXRecursions
+			res.Exercised["fast-ultrix-fallback"] += first.stats.FastFallbacks
+			res.Exercised["recursion-kill"] += first.stats.RecursionKills
+			res.Exercised["tlb-scrub"] += first.stats.TLBScrubs
+			res.Outcomes[first.outcome]++
+
+			if w != nil {
+				fmt.Fprintf(w, "%-28s %s\n", tag+":", first.outcome)
+			}
+		}
+	}
+
+	// Watchdog probe: a deliberate pure state cycle that only the
+	// livelock detector can classify (no stores, no new code).
+	for _, mode := range modes {
+		res.Runs++
+		outcome, fail := livelockProbe(mode)
+		res.Outcomes[outcome]++
+		if fail != "" {
+			res.Failures = append(res.Failures, fmt.Sprintf("livelock probe mode %s: %s", mode, fail))
+		} else {
+			res.Exercised["watchdog-livelock"]++
+		}
+		if w != nil {
+			fmt.Fprintf(w, "%-28s %s\n", fmt.Sprintf("livelock probe %s:", mode), outcome)
+		}
+	}
+	return res, nil
+}
+
+// campaignRun executes one seeded, injected scenario and digests it.
+// Go panics are converted into failures: the machine must degrade
+// through typed errors, never take the simulator down.
+func campaignRun(seed int64, mode core.Mode) (rep campaignReport) {
+	defer func() {
+		if r := recover(); r != nil {
+			rep.failures = append(rep.failures, fmt.Sprintf("panic: %v", r))
+			rep.outcome = "panic"
+			rep.fingerprint = "panic"
+		}
+	}()
+
+	m, err := core.NewMachine()
+	if err != nil {
+		rep.failures = append(rep.failures, "boot: "+err.Error())
+		return rep
+	}
+	inj := faultinject.Attach(m.K, seed, faultinject.Config{})
+	if err := m.LoadProgram(campaignProg(mode)); err != nil {
+		rep.failures = append(rep.failures, "load: "+err.Error())
+		return rep
+	}
+	if mode == core.ModeHardware {
+		// Claim Mod only: TLB refills must keep reaching the kernel's
+		// UTLB vector (the user handler cannot build translations).
+		m.EnableHardwareDelivery(1 << arch.ExcMod)
+	}
+
+	runErr := m.Run(campaignBudget)
+
+	// Final invariant sweep after the run settles.
+	if err := inj.Checker.Check(); err != nil {
+		inj.Violations = append(inj.Violations, fmt.Errorf("final sweep: %w", err))
+	}
+	for _, v := range inj.Violations {
+		rep.failures = append(rep.failures, "invariant: "+v.Error())
+	}
+
+	switch {
+	case runErr == nil:
+		rep.outcome = "survived"
+	case errors.Is(runErr, cpu.ErrLivelock):
+		rep.outcome = "livelock detected"
+	case errors.Is(runErr, kernel.ErrRecursion):
+		rep.outcome = "recursion kill"
+	case errors.Is(runErr, cpu.ErrBudget):
+		rep.outcome = "budget exhausted"
+		rep.failures = append(rep.failures, "budget exhausted: "+runErr.Error())
+	case strings.Contains(runErr.Error(), "process exited with status"):
+		rep.outcome = "signal termination"
+	default:
+		rep.outcome = "error"
+		rep.failures = append(rep.failures, "unexpected error: "+runErr.Error())
+	}
+
+	rep.exercised = inj.Exercised
+	rep.stats = m.K.Stats
+
+	var events strings.Builder
+	for _, e := range inj.Events {
+		fmt.Fprintf(&events, "[%d %s %s]", e.Inst, e.Kind, e.Detail)
+	}
+	errText := ""
+	if runErr != nil {
+		errText = runErr.Error()
+	}
+	rep.fingerprint = fmt.Sprintf("outcome=%s err=%q console=%q stats=%+v cycles=%d insts=%d events=%s",
+		rep.outcome, errText, m.K.Console(), m.K.Stats, m.CPU().Cycles, m.CPU().Insts, events.String())
+	return rep
+}
+
+// livelockProbe runs the deliberate-livelock program with no injector
+// and expects the CPU watchdog to stop it with a typed LivelockError.
+func livelockProbe(mode core.Mode) (outcome, failure string) {
+	m, err := core.NewMachine()
+	if err != nil {
+		return "error", "boot: " + err.Error()
+	}
+	if err := m.LoadProgram(livelockProg()); err != nil {
+		return "error", "load: " + err.Error()
+	}
+	if mode == core.ModeHardware {
+		m.EnableHardwareDelivery(1 << arch.ExcMod)
+	}
+	runErr := m.Run(campaignBudget)
+	var ll *cpu.LivelockError
+	if errors.As(runErr, &ll) {
+		return "livelock detected", ""
+	}
+	return "error", fmt.Sprintf("want LivelockError, got %v", runErr)
+}

@@ -1,0 +1,40 @@
+package harness
+
+import (
+	"testing"
+
+	"uexc/internal/core"
+)
+
+// TestFaultCampaignSmoke runs a short campaign: every required
+// category must be exercised, every run must be deterministic, and no
+// panic, invariant violation, or budget exhaustion may occur.
+func TestFaultCampaignSmoke(t *testing.T) {
+	res, err := FaultCampaign(8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ok() {
+		t.Fatalf("campaign failed:\n%s", res.Summary())
+	}
+	if res.Outcomes["survived"] == 0 {
+		t.Errorf("no run survived to clean exit:\n%s", res.Summary())
+	}
+	if res.Runs != 8*3*2+3 {
+		t.Errorf("runs = %d, want %d", res.Runs, 8*3*2+3)
+	}
+}
+
+// TestLivelockProbeAllModes: the deliberate state cycle must be
+// classified by the watchdog, not by budget exhaustion.
+func TestLivelockProbeAllModes(t *testing.T) {
+	for _, mode := range []core.Mode{core.ModeUltrix, core.ModeFast, core.ModeHardware} {
+		outcome, fail := livelockProbe(mode)
+		if fail != "" {
+			t.Errorf("mode %s: %s", mode, fail)
+		}
+		if outcome != "livelock detected" {
+			t.Errorf("mode %s: outcome %q", mode, outcome)
+		}
+	}
+}

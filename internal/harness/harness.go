@@ -252,7 +252,10 @@ func Figure3(validate bool) (*report.Series, error) {
 	if validate {
 		var checks []string
 		for _, c := range []float64{5, 10, 20} {
-			emp := swizzle.Fig3Crossover(c, fastUS, 600)
+			emp, err := swizzle.Fig3Crossover(c, fastUS, 600)
+			if err != nil {
+				return nil, err
+			}
 			ana := analytic.SwizzleBreakEvenUses(c, fastUS, 25)
 			checks = append(checks, fmt.Sprintf("c=%.0f: empirical %d vs analytic %.1f", c, emp, ana))
 		}
@@ -296,8 +299,14 @@ func Figure4(validate bool) (*report.Series, error) {
 	if validate {
 		var checks []string
 		for _, sc := range []float64{1, 2, 4} {
-			empF := swizzle.Fig4Crossover(fastUS, sc, pn)
-			empU := swizzle.Fig4Crossover(ultUS, sc, pn)
+			empF, err := swizzle.Fig4Crossover(fastUS, sc, pn)
+			if err != nil {
+				return nil, err
+			}
+			empU, err := swizzle.Fig4Crossover(ultUS, sc, pn)
+			if err != nil {
+				return nil, err
+			}
 			checks = append(checks, fmt.Sprintf("s=%.0fµs: eager wins from %d (fast) / %d (ultrix) of %d used",
 				sc, empF, empU, pn))
 		}

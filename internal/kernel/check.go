@@ -1,0 +1,87 @@
+package kernel
+
+import (
+	"fmt"
+
+	"uexc/internal/arch"
+	"uexc/internal/tlb"
+)
+
+// SelfCheck validates the kernel-owned DESIGN.md §6 invariants that
+// depend on unexported state; internal/faultinject layers CPU-level and
+// cross-observation (monotonicity) checks on top of it. These
+// properties must hold under the campaign's fault model because every
+// structure they cover lives below FramePhysBase, outside the
+// injector's memory-corruption range:
+//
+//   - page tables are well-formed: every nonzero PTE has its allocated
+//     bit, and its frame lies inside the allocated pool;
+//   - the exception-frame page stays pinned: the PTE for frameVA still
+//     names the physical frame published to the first-level handler;
+//   - the u-area mirrors the current process's fast-exception state.
+//
+// The scan visits only memory-backed page-table pages (untouched pages
+// read as all-zero PTEs), so its cost tracks the process footprint, not
+// the 128 KB table span.
+func (k *Kernel) SelfCheck() error {
+	if k.mcheck != nil {
+		return k.mcheck
+	}
+	const ptesPerPage = arch.PageSize / 4
+	for _, p := range k.procs {
+		for base := uint32(0); base < UserPTEntries; base += ptesPerPage {
+			if !k.Mem.PageBacked(arch.KSegPhys(p.pteAddr(base))) {
+				continue
+			}
+			for vpn := base; vpn < base+ptesPerPage; vpn++ {
+				pte := k.loadKernelWord(p.pteAddr(vpn))
+				if pte == 0 {
+					continue
+				}
+				if pte&pteAlloc == 0 {
+					return fmt.Errorf("%w: proc %d vpn %#x: nonzero PTE %#x without alloc bit",
+						ErrInvariant, p.asid, vpn, pte)
+				}
+				pa := pte & tlb.LoPFNMask
+				if pa < FramePhysBase || pa >= k.nextFrame {
+					return fmt.Errorf("%w: proc %d vpn %#x: PTE frame %#x outside pool [%#x,%#x)",
+						ErrInvariant, p.asid, vpn, pa, uint32(FramePhysBase), k.nextFrame)
+				}
+			}
+		}
+		if p.framePhys != 0 {
+			pte, ok := p.pte(p.frameVA >> arch.PageShift)
+			if !ok || pte&pteAlloc == 0 || pte&tlb.LoPFNMask != p.framePhys {
+				return fmt.Errorf("%w: proc %d exception frame unpinned: pte %#x, want frame %#x",
+					ErrInvariant, p.asid, pte, p.framePhys)
+			}
+		}
+	}
+
+	p := k.Proc
+	if p != nil {
+		// While a user handler is in progress the claim word is blanked
+		// (the UEX recursion gate, see syncClaimMask), so zero is also
+		// consistent then.
+		if got := k.loadKernelWord(UAreaBase + UFexcMask); got != p.fexcMask && !(k.uexBusy() && got == 0) {
+			return fmt.Errorf("%w: u-area fexc mask %#x != proc %d mask %#x",
+				ErrInvariant, got, p.asid, p.fexcMask)
+		}
+		if got := k.loadKernelWord(UAreaBase + UFexcHandler); got != p.fexcHandler {
+			return fmt.Errorf("%w: u-area handler %#x != proc %d handler %#x",
+				ErrInvariant, got, p.asid, p.fexcHandler)
+		}
+		if p.framePhys != 0 {
+			if got := k.loadKernelWord(UAreaBase + UFramePhys); got != arch.KSeg0Base+p.framePhys {
+				return fmt.Errorf("%w: u-area frame phys %#x != proc %d frame %#x",
+					ErrInvariant, got, p.asid, arch.KSeg0Base+p.framePhys)
+			}
+		}
+	}
+	return nil
+}
+
+// FrameWatermark returns the physical address one past the last
+// allocated user frame (the invariant checker's scan bound; also the
+// floor below which fault injection must not corrupt memory).
+func (k *Kernel) FrameWatermark() uint32 { return k.nextFrame }

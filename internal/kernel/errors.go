@@ -1,0 +1,71 @@
+package kernel
+
+import (
+	"errors"
+	"fmt"
+
+	"uexc/internal/arch"
+)
+
+// Sentinel error classes for errors.Is. Concrete failures are carried
+// by *MachineError with one of these as the terminal cause.
+var (
+	// ErrMachineCheck marks kernel-internal memory faults: the host
+	// "C" layer touched a kseg0 address that physical memory rejected.
+	ErrMachineCheck = errors.New("kernel: machine check")
+	// ErrBadProc marks corrupted or out-of-range per-process state
+	// (page-table indices, frame bookkeeping).
+	ErrBadProc = errors.New("kernel: bad process state")
+	// ErrRecursion marks the §2 double-fault condition: an exception
+	// that should have gone to a user handler arrived while the UEX
+	// recursion bit was already set.
+	ErrRecursion = errors.New("kernel: recursive exception in user handler")
+	// ErrInvariant marks a violated DESIGN.md §6 invariant found by
+	// SelfCheck or the fault-injection campaign's runtime checker.
+	ErrInvariant = errors.New("kernel: invariant violated")
+)
+
+// MachineError records a fatal machine condition with enough context to
+// reconstruct the cause chain: what the kernel was doing, where the
+// machine was, and the underlying error. It wraps via Unwrap so
+// errors.Is(err, ErrRecursion) etc. work through any nesting.
+type MachineError struct {
+	Op       string // what the kernel was doing ("deliver Mod", "store kernel word")
+	PC       uint32 // user/kernel PC at the time
+	BadVAddr uint32 // faulting address, if any
+	ASID     uint8  // current process
+	Err      error  // cause (possibly another *MachineError)
+}
+
+func (e *MachineError) Error() string {
+	return fmt.Sprintf("kernel: %s (pc %#x, badva %#x, asid %d): %v",
+		e.Op, e.PC, e.BadVAddr, e.ASID, e.Err)
+}
+
+func (e *MachineError) Unwrap() error { return e.Err }
+
+// machineCheck records the first kernel-internal fault. The hcall
+// dispatcher surfaces it as the run's error at the next kernel-call
+// boundary; recording rather than returning keeps the dozens of
+// trapframe/u-area accessors non-fallible (a machine check is
+// unrecoverable either way — it only needs to stop the run with its
+// cause intact, not unwind it).
+func (k *Kernel) machineCheck(op string, cause error) {
+	if k.mcheck != nil {
+		return
+	}
+	if cause == nil {
+		cause = ErrMachineCheck
+	}
+	var asid uint8
+	if k.Proc != nil {
+		asid = k.Proc.asid
+	}
+	k.mcheck = &MachineError{
+		Op:       op,
+		PC:       k.CPU.PC,
+		BadVAddr: k.CPU.CP0[arch.C0BadVAddr],
+		ASID:     asid,
+		Err:      cause,
+	}
+}

@@ -1,0 +1,153 @@
+package kernel
+
+import (
+	"fmt"
+
+	"uexc/internal/arch"
+	"uexc/internal/cpu"
+)
+
+// Recursive-exception escalation (§2). The UEX status bit marks "user
+// handler in progress"; the hardware design uses it to force the kernel
+// path when a claimed exception arrives recursively. This file is the
+// OS half of that policy, shared by both delivery modes:
+//
+//   - Hardware mode: the CPU suppresses direct vectoring when UEX is
+//     set and calls the OnUEXRecursion hook (onUEXRecursion below)
+//     before the architectural kernel delivery.
+//   - Software (fast path) mode: deliverFast sets UEX in the live
+//     Status and the user runtime's xret return clears it; tlbProt
+//     calls escalateRecursion when it is about to deliver while the
+//     bit is still set.
+//
+// The ladder: the first recursion in an exception class demotes that
+// class from fast to Ultrix delivery (the Unix machinery copes with
+// in-progress handlers via sigcontexts on the stack); a fault on the
+// exception-frame page itself, or a process that keeps recurring after
+// demotions, is unrecoverable and is killed with a recorded
+// *MachineError cause chain.
+
+// recursionKillDepth is the number of recursions a process survives
+// before escalation gives up on demotion and kills it.
+const recursionKillDepth = 4
+
+// uexBusy reports whether the interrupted user context had a fast
+// handler in progress (the kernel-entry status push preserves bit 16,
+// so the live Status word carries the interrupted context's UEX bit).
+func (k *Kernel) uexBusy() bool {
+	return k.CPU.CP0[arch.C0Status]&arch.SrUEX != 0
+}
+
+// syncClaimMask writes the u-area claim word the first-level handler
+// consults. While a user handler is in progress (UEX set) it reads as
+// zero: a recursive claimed exception must take the slow path, whose
+// kernel-stack trapframe leaves the singleton per-code exception frame
+// — and with it the in-progress handler's resume context — intact.
+// This is the software analogue of the hardware design's UEX delivery
+// gate; deliverFast blanks the word and the CPU's XRET notification
+// (onUEXClear) restores it.
+func (k *Kernel) syncClaimMask() {
+	mask := k.Proc.fexcMask
+	if k.uexBusy() {
+		mask = 0
+	}
+	k.storeKernelWord(UAreaBase+UFexcMask, mask)
+}
+
+// onUEXClear is the CPU's XRET notification: the user handler finished
+// and the recursion gate dropped, so the process's true claim mask is
+// republished to the u-area.
+func (k *Kernel) onUEXClear() {
+	if k.Proc == nil || k.Proc.exited {
+		return
+	}
+	k.syncClaimMask()
+}
+
+// slowPathRecursion applies §2's escalation when a fault about to
+// enter the signal machinery interrupted an in-progress user handler
+// of a claimed class. The first-level handler routed the fault here
+// (the claim mask reads zero while UEX is set) precisely so the
+// in-progress exception frame stayed intact; record the recursion and
+// demote — or condemn — before the signal is posted. Transparently
+// serviced faults (demand pages, TLB scrubs) never reach this point:
+// fixing them under a running handler is routine, not recursion.
+func (k *Kernel) slowPathRecursion(code, badva uint32) {
+	if k.Proc == nil || !k.uexBusy() {
+		return
+	}
+	if k.Proc.fexcMask&(1<<code) == 0 {
+		return
+	}
+	k.noteRecursion(code, badva)
+}
+
+// onFramePage reports whether badva falls on the process's pinned
+// exception-frame page — the one page the delivery mechanism itself
+// depends on.
+func (p *Proc) onFramePage(badva uint32) bool {
+	return p.framePhys != 0 && badva >= p.frameVA && badva < p.frameVA+arch.PageSize
+}
+
+// demoteClass switches one exception class from fast to Ultrix
+// delivery for the current process: the claim bit is cleared in the
+// process, the u-area word the assembly checks, and the hardware user
+// vector, so every later fault of this class takes the slow path.
+func (k *Kernel) demoteClass(code uint32) {
+	p := k.Proc
+	bit := uint32(1) << code
+	p.fexcMask &^= bit
+	k.syncClaimMask()
+	k.CPU.UserVector &^= bit
+	k.Stats.FastFallbacks++
+	k.event(fmt.Sprintf("kernel: recursion, demote %s to Ultrix delivery", arch.ExcName(code)))
+}
+
+// noteRecursion applies the escalation ladder and reports whether the
+// process must die. Shared by both delivery modes.
+func (k *Kernel) noteRecursion(code, badva uint32) (kill bool) {
+	p := k.Proc
+	k.Stats.UEXRecursions++
+	p.recursions++
+	k.demoteClass(code)
+	if p.onFramePage(badva) || p.recursions >= recursionKillDepth {
+		p.killReason = &MachineError{
+			Op:       fmt.Sprintf("unrecoverable recursive %s in user handler (depth %d)", arch.ExcName(code), p.recursions),
+			PC:       k.CPU.CP0[arch.C0EPC],
+			BadVAddr: badva,
+			ASID:     p.asid,
+			Err:      ErrRecursion,
+		}
+		p.forceKill = true
+		k.Stats.RecursionKills++
+		k.event(fmt.Sprintf("kernel: unrecoverable recursion (%s), killing process %d",
+			arch.ExcName(code), p.asid))
+		return true
+	}
+	return false
+}
+
+// escalateRecursion is the software-mode escalation point: tlbProt was
+// about to re-deliver a claimed fault while the user handler is still
+// in progress. Demote (or condemn) and route through the Unix
+// machinery; the live UEX bit is cleared because the in-progress
+// handler will never be resumed by the fast path.
+func (k *Kernel) escalateRecursion(code, badva uint32) error {
+	k.noteRecursion(code, badva)
+	k.CPU.CP0[arch.C0Status] &^= arch.SrUEX
+	return k.fastFallbackSignal(code, badva)
+}
+
+// onUEXRecursion is the hardware-mode hook: the CPU saw a claimed
+// exception with UEX already set and is about to force the kernel
+// path instead (it runs before the architectural kernel delivery).
+// Demoting here clears the u-area claim bit before the assembly
+// first-level handler checks it, so this very exception — and all
+// later ones of its class — flows down the Ultrix slow path, where
+// postSignal honors forceKill.
+func (k *Kernel) onUEXRecursion(e cpu.Exception) {
+	if k.Proc == nil || k.Proc.exited {
+		return
+	}
+	k.noteRecursion(e.Code, e.BadVAddr)
+}

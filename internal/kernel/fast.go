@@ -39,6 +39,17 @@ func (k *Kernel) tlbProt() error {
 	vpn := badva >> arch.PageShift
 	pte, ok := p.pte(vpn)
 
+	// A TLB entry that contradicts the page table (a flipped bit — see
+	// internal/faultinject — or any other soft error) is dropped and the
+	// access retried: the PTE is the authority, and the refill reloads
+	// truth. Without this, a stale read-only entry over a writable page
+	// faults forever.
+	if k.scrubTLB(badva) {
+		k.resumeFast(epc)
+		k.event("kernel: scrubbed TLB entry contradicting PTE, retry")
+		return nil
+	}
+
 	// Page fault service: unallocated but legitimate.
 	if ok && pte&pteAlloc == 0 && p.legitimateVA(badva) {
 		if err := p.MapPage(badva, p.regionWritable(badva), p.regionWritable(badva)); err != nil {
@@ -68,10 +79,16 @@ func (k *Kernel) tlbProt() error {
 			// with protection intact, report old/new values in the
 			// frame, and deliver a notification. The handler resumes
 			// past the store; the watchpoint stays armed.
+			if k.uexBusy() {
+				return k.escalateRecursion(code, badva)
+			}
 			return k.emulateAndNotify(code, epc, inDelay, badva)
 		}
 		// Protected subpage: enable access to the whole page and
 		// deliver (§3.2.4). A later SysSubpageProt call re-protects.
+		if k.uexBusy() {
+			return k.escalateRecursion(code, badva)
+		}
 		k.amplify(vpn, pte)
 		k.deliverFast(code)
 		return nil
@@ -92,12 +109,53 @@ func (k *Kernel) tlbProt() error {
 		return k.fastFallbackSignal(code, badva)
 	}
 
+	// About to re-enter the user handler: if it is already in progress
+	// (UEX set, §2's recursion hazard), escalate instead of stacking a
+	// second frame on top of the first.
+	if k.uexBusy() {
+		return k.escalateRecursion(code, badva)
+	}
+
 	if p.eager {
 		k.amplify(vpn, pte)
 		k.Stats.EagerAmplifies++
 	}
 	k.deliverFast(code)
 	return nil
+}
+
+// scrubTLB compares the live TLB entry for badva against the page
+// table and drops it when the two disagree on translation or hardware
+// protection. The PTE is the authority: disagreement means the entry
+// was upset after refill (fault injection models this as an SEU in the
+// CAM or permission bits). Entries carrying the U bit are exempt —
+// §3.2.3's user-level protection modification legitimately diverges
+// the TLB from the PTE, and scrubbing it would undo the user's
+// restriction. Returns true if an entry was dropped (caller retries).
+func (k *Kernel) scrubTLB(badva uint32) bool {
+	p := k.Proc
+	vpn := badva >> arch.PageShift
+	idx, hit := k.TLB.Probe(tlb.MakeHi(vpn, p.asid))
+	if !hit {
+		return false
+	}
+	e := k.TLB.Read(idx)
+	if e.UserModifiable() {
+		return false
+	}
+	var want uint32
+	if pte, ok := p.pte(vpn); ok && pte&pteAlloc != 0 {
+		want = pte
+	}
+	const authority = tlb.LoPFNMask | tlb.LoV | tlb.LoD
+	if e.Lo&authority == want&authority {
+		return false
+	}
+	k.TLB.InvalidatePage(vpn, p.asid)
+	k.Stats.TLBScrubs++
+	k.Charge(k.Costs.ProtLookup)
+	k.event(fmt.Sprintf("kernel: TLB entry for va %#x contradicts PTE, scrubbed", badva))
+	return true
 }
 
 // amplify grants full access to vpn's page in both the PTE and any
@@ -114,9 +172,15 @@ func (k *Kernel) amplify(vpn, pte uint32) {
 
 // deliverFast vectors the saved exception to the user handler by
 // loading EPC; the frame was already saved by the first-level handler.
+// It also sets the UEX bit in the live Status word — the software
+// analogue of §2's recursion guard. The bit survives the assembly
+// stub's rfe (which pops only the mode/interrupt stacks) into the
+// running handler, and the user runtime's xret return clears it.
 func (k *Kernel) deliverFast(code uint32) {
 	c := k.CPU
 	c.CP0[arch.C0EPC] = k.Proc.fexcHandler
+	c.CP0[arch.C0Status] |= arch.SrUEX
+	k.syncClaimMask() // gate closed: recursions take the slow path
 	k.Stats.FastDeliveries++
 	k.Stats.ProtFaultsToUser++
 	k.event(fmt.Sprintf("kernel: vector %s to user handler", arch.ExcName(code)))

@@ -31,6 +31,12 @@ type Stats struct {
 	UTLBEmuls        uint64 // UTLBMOD opcodes emulated in software (§3.2.3)
 	WatchHits        uint64 // watched-subpage stores emulated and notified
 	Switches         uint64 // process context switches
+
+	// Recursion-escalation tallies (§2's UEX-bit hazard handling).
+	UEXRecursions  uint64 // faults observed while a user handler was in progress
+	FastFallbacks  uint64 // exception classes demoted Fast→Ultrix after recursion
+	RecursionKills uint64 // processes killed for unrecoverable recursion
+	TLBScrubs      uint64 // TLB entries dropped for contradicting the page table
 }
 
 // Kernel is the simulated operating system instance: one CPU, the
@@ -63,6 +69,10 @@ type Kernel struct {
 	console  bytes.Buffer
 	exited   bool
 	exitCode uint32
+
+	// mcheck is the first recorded kernel-internal fault (see
+	// machineCheck in errors.go); surfaced at the next hcall boundary.
+	mcheck error
 }
 
 // New assembles and boots a kernel on fresh hardware.
@@ -77,6 +87,16 @@ func New() (*Kernel, error) {
 
 	k := &Kernel{CPU: c, Mem: m, TLB: t, Image: img, Costs: DefaultCosts()}
 	c.HCall = k.hcall
+	c.OnUEXRecursion = k.onUEXRecursion
+	c.OnUEXClear = k.onUEXClear
+
+	// The host-side layer jumps to these labels at runtime; verify them
+	// at boot so later Symbol() lookups of them cannot fail.
+	for _, sym := range []string{"kern_entry", "ultrix_restore", "gen_vec", "utlb_vec"} {
+		if _, ok := img.Symbol(sym); !ok {
+			return nil, fmt.Errorf("kernel: image missing required symbol %q", sym)
+		}
+	}
 
 	for _, ch := range img.Chunks {
 		if ch.Addr < arch.KSeg0Base {
@@ -113,7 +133,10 @@ func (k *Kernel) Console() string { return k.console.String() }
 // Exited reports whether the user process has exited, and its status.
 func (k *Kernel) Exited() (bool, uint32) { return k.exited, k.exitCode }
 
-// Symbol resolves a kernel-image symbol.
+// Symbol resolves a kernel-image symbol. It panics on unknown names:
+// the kernel image is baked-in source whose runtime-critical labels are
+// verified at boot, so a miss here is a programming error in the
+// simulator itself, not a machine condition.
 func (k *Kernel) Symbol(name string) uint32 { return k.Image.MustSymbol(name) }
 
 func (k *Kernel) event(what string) {
@@ -124,18 +147,23 @@ func (k *Kernel) event(what string) {
 
 // --- host-side physical/virtual memory helpers ---------------------
 
-// storeKernelWord writes a word at a kseg0 virtual address.
+// storeKernelWord writes a word at a kseg0 virtual address. A physical
+// fault here is a machine check (recorded, not panicked: corrupted
+// per-process state can steer these accesses, and the machine must die
+// with a cause chain rather than take the simulator down).
 func (k *Kernel) storeKernelWord(kva, v uint32) {
 	if err := k.Mem.StoreWord(arch.KSegPhys(kva), v); err != nil {
-		panic(fmt.Sprintf("kernel: store %#x: %v", kva, err))
+		k.machineCheck(fmt.Sprintf("store kernel word %#x", kva), err)
 	}
 }
 
-// loadKernelWord reads a word at a kseg0 virtual address.
+// loadKernelWord reads a word at a kseg0 virtual address; faults are
+// machine checks and read as zero.
 func (k *Kernel) loadKernelWord(kva uint32) uint32 {
 	v, err := k.Mem.LoadWord(arch.KSegPhys(kva))
 	if err != nil {
-		panic(fmt.Sprintf("kernel: load %#x: %v", kva, err))
+		k.machineCheck(fmt.Sprintf("load kernel word %#x", kva), err)
+		return 0
 	}
 	return v
 }
@@ -201,6 +229,16 @@ func (k *Kernel) WriteUserWord(va, v uint32) bool { return k.storeUserWord(va, v
 // --- hcall dispatch -------------------------------------------------
 
 func (k *Kernel) hcall(c *cpu.CPU, code uint32) error {
+	err := k.dispatchHCall(c, code)
+	// Surface any machine check recorded while the host layer ran; the
+	// kernel-call boundary is where the "hardware" reports it.
+	if err == nil && k.mcheck != nil {
+		err = k.mcheck
+	}
+	return err
+}
+
+func (k *Kernel) dispatchHCall(c *cpu.CPU, code uint32) error {
 	switch code {
 	case HCUltrixTrap:
 		return k.ultrixTrap()
@@ -261,5 +299,8 @@ func (k *Kernel) LaunchUser(entry, sp uint32) {
 // out.
 func (k *Kernel) Run(maxInsts uint64) error {
 	_, err := k.CPU.Run(maxInsts)
+	if err == nil && k.mcheck != nil {
+		err = k.mcheck
+	}
 	return err
 }

@@ -46,6 +46,11 @@ type Proc struct {
 	sigHandlers  [32]uint32
 	trampolineVA uint32
 
+	// Recursion-escalation state (see escalate.go).
+	recursions uint32 // faults taken while a user handler was in progress
+	forceKill  bool   // next postSignal must terminate regardless of handlers
+	killReason error  // *MachineError cause chain when escalation killed us
+
 	// Subpage protection: per-vpn bitmap of protected 1 KB subpages.
 	subpages map[uint32]uint8 // bit i set = subpage i protected
 }
@@ -66,6 +71,11 @@ func (p *Proc) ASID() uint8 { return p.asid }
 // Exited reports termination status.
 func (p *Proc) Exited() (bool, uint32) { return p.exited, p.exitCode }
 
+// KillReason returns the recorded *MachineError cause chain when the
+// kernel killed this process (recursion escalation), or nil for normal
+// exits and signal terminations.
+func (p *Proc) KillReason() error { return p.killReason }
+
 // pteAddr returns the kseg0 address of this process's PTE for vpn.
 func (p *Proc) pteAddr(vpn uint32) uint32 { return p.ptBase + vpn*4 }
 
@@ -79,7 +89,11 @@ func (p *Proc) pte(vpn uint32) (uint32, bool) {
 
 func (p *Proc) setPTE(vpn, pte uint32) {
 	if vpn >= UserPTEntries {
-		panic(fmt.Sprintf("kernel: vpn %#x out of page table", vpn))
+		// Callers bound vpn via pte() first, but corrupted state (fault
+		// injection, bad badva) can still steer here; record a machine
+		// check rather than scribble outside the page table.
+		p.k.machineCheck(fmt.Sprintf("setPTE vpn %#x out of page table", vpn), ErrBadProc)
+		return
 	}
 	p.k.storeKernelWord(p.pteAddr(vpn), pte)
 }
@@ -276,7 +290,10 @@ func (p *Proc) EnableFastExceptions(handler, mask, frameVA uint32) error {
 	p.framePhys = pte & tlb.LoPFNMask
 
 	k := p.k
-	k.storeKernelWord(UAreaBase+UFexcMask, mask)
+	// The u-area word stays blanked while a handler is in progress (a
+	// signal handler may re-enable fast delivery mid-escalation); the
+	// XRET notification republishes it.
+	k.syncClaimMask()
 	k.storeKernelWord(UAreaBase+UFexcHandler, handler)
 	k.storeKernelWord(UAreaBase+UFrameVA, frameVA)
 	k.storeKernelWord(UAreaBase+UFramePhys, arch.KSeg0Base+p.framePhys)

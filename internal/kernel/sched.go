@@ -100,7 +100,14 @@ func (k *Kernel) switchIn(i int) {
 	tf.setWord(TfStatus, p.ctx.status|arch.SrKUp)
 
 	// Switch the u-area to the incoming process's fast-exception state.
-	k.storeKernelWord(UAreaBase+UFexcMask, p.fexcMask)
+	// A process descheduled mid-handler (UEX set in its saved status)
+	// resumes with the claim word blanked — the recursion gate travels
+	// with the context; its XRET republishes the mask.
+	mask := p.fexcMask
+	if p.ctx.status&arch.SrUEX != 0 {
+		mask = 0
+	}
+	k.storeKernelWord(UAreaBase+UFexcMask, mask)
 	k.storeKernelWord(UAreaBase+UFexcHandler, p.fexcHandler)
 	k.storeKernelWord(UAreaBase+UFrameVA, p.frameVA)
 	k.storeKernelWord(UAreaBase+UFramePhys, arch.KSeg0Base+p.framePhys)

@@ -172,6 +172,7 @@ func (k *Kernel) ultrixTrap() error {
 		if handled, err := k.emulateUTLBModOpcode(tf); err != nil || handled {
 			return err
 		}
+		k.slowPathRecursion(code, tf.word(TfBadVA))
 		return k.postSignal(signalFor(code), code, tf.word(TfBadVA))
 	case arch.ExcMod, arch.ExcTLBL, arch.ExcTLBS:
 		badva := tf.word(TfBadVA)
@@ -184,9 +185,13 @@ func (k *Kernel) ultrixTrap() error {
 			k.event("kernel: page fault serviced, retry")
 			return nil
 		}
-		// Genuine protection violation: signal.
+		// Genuine protection violation: a claimed class arriving here
+		// with UEX set was deflected by the recursion gate — escalate
+		// before signaling.
+		k.slowPathRecursion(code, badva)
 		return k.postSignal(signalFor(code), code, badva)
 	default:
+		k.slowPathRecursion(code, tf.word(TfBadVA))
 		return k.postSignal(signalFor(code), code, tf.word(TfBadVA))
 	}
 }
@@ -245,6 +250,12 @@ func (k *Kernel) emulateUTLBModOpcode(tf trapframe) (bool, error) {
 // It reports handled=false for genuine protection violations.
 func (k *Kernel) pageFaultService(badva, code uint32) (bool, error) {
 	p := k.Proc
+	// A lying TLB entry (soft error) is scrubbed and the access retried;
+	// see scrubTLB. Ordered first so an upset entry cannot masquerade as
+	// a protection violation and loop through the signal path.
+	if k.scrubTLB(badva) {
+		return true, nil
+	}
 	vpn := badva >> arch.PageShift
 	pte, ok := p.pte(vpn)
 	if !ok {
@@ -287,6 +298,12 @@ func (k *Kernel) postSignal(sig, code, badva uint32) error {
 	if handler != 0 && p.trampolineVA == 0 {
 		// A handler without a registered trampoline cannot be invoked;
 		// treat as unhandled rather than vectoring user code to 0.
+		handler = 0
+	}
+	if p.forceKill {
+		// Escalation condemned the process (see escalate.go): no user
+		// handler may intercept its death.
+		p.forceKill = false
 		handler = 0
 	}
 	if handler == 0 {
@@ -351,7 +368,13 @@ func (k *Kernel) sigreturn(scp uint32) error {
 	for i := uint32(0); i < TfWords; i++ {
 		v, ok := k.loadUserWord(scp + i*4)
 		if !ok {
-			return fmt.Errorf("kernel: sigreturn copyin failed at %#x", scp+i*4)
+			// A sigreturn pointing at an unreadable sigcontext means the
+			// process corrupted its own stack (or a fault injector did):
+			// like Unix, kill the caller rather than the machine.
+			k.event(fmt.Sprintf("kernel: sigreturn copyin failed at %#x, killing", scp+i*4))
+			k.Stats.Terminations++
+			k.terminateCurrent(128 + SIGSEGV)
+			return nil
 		}
 		sc[i] = v
 	}

@@ -163,3 +163,28 @@ func (m *Memory) Read(pa uint32, n int) ([]byte, error) {
 // TouchedPages returns the number of physical pages allocated so far;
 // used by tests and capacity reporting.
 func (m *Memory) TouchedPages() int { return len(m.pages) }
+
+// PageBacked reports whether the page containing pa has been allocated.
+// Untouched pages read as zero, so scanners (the invariant checker)
+// can skip them without forcing allocation.
+func (m *Memory) PageBacked(pa uint32) bool {
+	if pa >= m.size {
+		return false
+	}
+	return m.pages[pa>>pageShift] != nil
+}
+
+// CorruptWord XORs mask into the word at pa, modeling a memory
+// single-event upset, and returns the value before and after.
+// internal/faultinject is the only intended caller.
+func (m *Memory) CorruptWord(pa uint32, mask uint32) (before, after uint32, err error) {
+	before, err = m.LoadWord(pa)
+	if err != nil {
+		return 0, 0, err
+	}
+	after = before ^ mask
+	if err := m.StoreWord(pa, after); err != nil {
+		return 0, 0, err
+	}
+	return before, after, nil
+}

@@ -88,11 +88,20 @@ type TLB struct {
 	// Hits and Misses count Lookup outcomes for statistics.
 	Hits   uint64
 	Misses uint64
+
+	// InjectMiss, when non-nil, is consulted on every Lookup; returning
+	// true forces a refill miss even if a matching entry exists,
+	// modeling a glitched CAM compare. Hook point for
+	// internal/faultinject.
+	InjectMiss func(va uint32, asid uint8) bool
 }
 
-// Reset invalidates every entry and zeroes statistics.
+// Reset invalidates every entry and zeroes statistics, keeping any
+// installed InjectMiss hook.
 func (t *TLB) Reset() {
+	hook := t.InjectMiss
 	*t = TLB{}
+	t.InjectMiss = hook
 }
 
 // Lookup finds the entry mapping va for the given ASID. It returns the
@@ -100,6 +109,10 @@ func (t *TLB) Reset() {
 // ok == false; validity and writability of a hit are for the caller
 // (the CPU) to check and convert into TLBL/TLBS/Mod exceptions.
 func (t *TLB) Lookup(va uint32, asid uint8) (Entry, int, bool) {
+	if t.InjectMiss != nil && t.InjectMiss(va, asid) {
+		t.Misses++
+		return Entry{}, -1, false
+	}
 	vpn := va >> arch.PageShift
 	for i := range t.slots {
 		e := t.slots[i]
@@ -141,6 +154,18 @@ func (t *TLB) Read(i int) Entry {
 // WriteIndexed replaces the entry at index i.
 func (t *TLB) WriteIndexed(i int, e Entry) {
 	t.slots[i&(Entries-1)] = e
+}
+
+// FlipBits XORs the given masks into the entry at index i and returns
+// the entry before and after. It models single-event upsets in the CAM
+// (Hi side) or data array (Lo side); internal/faultinject is the only
+// intended caller.
+func (t *TLB) FlipBits(i int, hiMask, loMask uint32) (before, after Entry) {
+	e := &t.slots[i&(Entries-1)]
+	before = *e
+	e.Hi ^= hiMask
+	e.Lo ^= loMask
+	return before, *e
 }
 
 // WriteRandom replaces a pseudo-randomly chosen non-wired entry and

@@ -153,8 +153,9 @@ __fexc_resume:
 	lw    ra, 0x44(t0)
 	lw    t0, 0x28(t0)        # t0 last: it held the frame pointer
 __fexc_jump:
-	jr    k0
-	nop
+	mtxt  k0                  # xret jumps through XT and clears the
+	xret                      # UEX recursion guard; same 2-cycle cost
+	                          # as the jr/nop pair it replaces
 
 # ----------------------------------------------------------------------
 # Specialized minimal fast handler (§4.2.2): saves nothing beyond the
@@ -182,8 +183,8 @@ __fexc_min_ret:
 	lw    ra, 0x44(t0)
 	lw    t0, 0x28(t0)
 __fexc_min_jump:
-	jr    k0
-	nop
+	mtxt  k0                  # clears UEX on return, like __fexc_jump
+	xret
 
 # ----------------------------------------------------------------------
 # Vectored low-level handler (the §2.2 vector-table design point): like
