@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check campaign fuzz clean
+.PHONY: all build test vet check campaign bench-campaign fuzz clean
 
 all: build
 
@@ -19,14 +19,22 @@ vet:
 test:
 	$(GO) test ./...
 
-# Tier-1 gate.
+# Tier-1 gate. The smoke campaign runs through the parallel engine
+# (four workers); its output is byte-identical to -parallel 1 by the
+# deterministic-merge contract (internal/parallel, DESIGN.md §8).
 check: vet build
 	$(GO) test -race ./...
-	$(GO) run ./cmd/uexc-bench -faultcampaign -seeds 30
+	$(GO) run ./cmd/uexc-bench -faultcampaign -seeds 30 -parallel 4
 
-# Full acceptance campaign (the 100-seed run documented in DESIGN.md).
+# Full acceptance campaign (the 100-seed run documented in DESIGN.md),
+# sharded over all CPUs.
 campaign:
-	$(GO) run ./cmd/uexc-bench -faultcampaign -seeds 100
+	$(GO) run ./cmd/uexc-bench -faultcampaign -seeds 100 -parallel 0
+
+# Serial-vs-parallel campaign wall time, recorded in the bench
+# trajectory (see EXPERIMENTS.md).
+bench-campaign:
+	$(GO) test -run '^$$' -bench 'BenchmarkCampaign(Serial|Parallel)' -benchtime 5x .
 
 # Short coverage-guided fuzzing burst on the decoder and assembler.
 fuzz:

@@ -140,7 +140,7 @@ func BenchmarkTable5(b *testing.B) {
 func BenchmarkFigure3(b *testing.B) {
 	var crossover int
 	for i := 0; i < b.N; i++ {
-		s, err := harness.Figure3(false)
+		s, err := harness.Figure3(false, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -162,7 +162,7 @@ func BenchmarkFigure3(b *testing.B) {
 func BenchmarkFigure4(b *testing.B) {
 	var crossover int
 	for i := 0; i < b.N; i++ {
-		s, err := harness.Figure4(false)
+		s, err := harness.Figure4(false, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -243,6 +243,44 @@ func BenchmarkAblationSubpage(b *testing.B) {
 	}
 	b.ReportMetric(emul, "emulation_µs")
 }
+
+// benchCampaignSeeds sizes the campaign benchmarks to the tier-1
+// smoke campaign.
+const benchCampaignSeeds = 30
+
+func benchCampaign(b *testing.B, workers int) {
+	b.Helper()
+	var fp string
+	for i := 0; i < b.N; i++ {
+		res, err := harness.FaultCampaignParallel(benchCampaignSeeds, workers, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Ok() {
+			b.Fatalf("campaign failed:\n%s", res.Summary())
+		}
+		if fp == "" {
+			fp = res.Fingerprints[0]
+		} else if fp != res.Fingerprints[0] {
+			b.Fatal("campaign fingerprints drifted across iterations")
+		}
+		b.ReportMetric(float64(res.Runs), "runs")
+	}
+}
+
+// BenchmarkCampaignSerial is the serial baseline for the sharded
+// campaign engine: the tier-1 smoke campaign on one worker.
+func BenchmarkCampaignSerial(b *testing.B) { benchCampaign(b, 1) }
+
+// BenchmarkCampaignParallel4 runs the same campaign sharded over four
+// workers with deterministic merging; compare ns/op against
+// BenchmarkCampaignSerial for the engine's wall-clock speedup (it
+// tracks available cores — on a single-CPU host it can only match the
+// serial time).
+func BenchmarkCampaignParallel4(b *testing.B) { benchCampaign(b, 4) }
+
+// BenchmarkCampaignParallel uses every core (the uexc-bench default).
+func BenchmarkCampaignParallel(b *testing.B) { benchCampaign(b, 0) }
 
 // BenchmarkSimulatorThroughput measures the host-side simulator itself:
 // simulated instructions per host second (not a paper exhibit; a

@@ -16,6 +16,9 @@
 //	                           # each seed replayed twice under all three
 //	                           # delivery modes, invariants checked after
 //	                           # every injected event
+//	uexc-bench -parallel 4     # shard independent runs over 4 workers
+//	                           # (0 = all CPUs; output is byte-identical
+//	                           # to -parallel 1 at any width)
 package main
 
 import (
@@ -24,139 +27,201 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"uexc/internal/harness"
 	"uexc/internal/report"
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "uexc-bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// writeSeriesCSV writes one figure series as CSV into dir, creating
+// the directory (and parents) if needed.
+func writeSeriesCSV(dir, name string, s *report.Series) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("creating -csv directory: %w", err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(s.CSV()), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// run is the testable body of main: parses args, regenerates the
+// requested exhibits to stdout, and reports progress/diagnostics on
+// stderr.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("uexc-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		all       = flag.Bool("all", false, "regenerate every table and figure")
-		table     = flag.Int("table", 0, "regenerate one table (1..5)")
-		figure    = flag.Int("figure", 0, "regenerate one figure (3 or 4)")
-		trace     = flag.Bool("trace", false, "render Figures 1 and 2 as event traces")
-		ablations = flag.Bool("ablations", false, "run the ablation studies")
-		validate  = flag.Bool("validate", false, "validate figure curves against the object store")
-		csvDir    = flag.String("csv", "", "also write figure series as CSV files into this directory")
-		campaign  = flag.Bool("faultcampaign", false, "run the deterministic fault-injection campaign")
-		seeds     = flag.Int("seeds", 30, "number of fault-campaign seeds")
-		verbose   = flag.Bool("v", false, "per-run fault-campaign progress")
+		all       = fs.Bool("all", false, "regenerate every table and figure")
+		table     = fs.Int("table", 0, "regenerate one table (1..5)")
+		figure    = fs.Int("figure", 0, "regenerate one figure (3 or 4)")
+		trace     = fs.Bool("trace", false, "render Figures 1 and 2 as event traces")
+		ablations = fs.Bool("ablations", false, "run the ablation studies")
+		validate  = fs.Bool("validate", false, "validate figure curves against the object store")
+		csvDir    = fs.String("csv", "", "also write figure series as CSV files into this directory")
+		campaign  = fs.Bool("faultcampaign", false, "run the deterministic fault-injection campaign")
+		seeds     = fs.Int("seeds", 30, "number of fault-campaign seeds")
+		workers   = fs.Int("parallel", runtime.NumCPU(), "worker goroutines for sharded runs (0 = all CPUs)")
+		verbose   = fs.Bool("v", false, "per-run fault-campaign progress")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if !*all && *table == 0 && *figure == 0 && !*trace && !*ablations && !*campaign {
 		*all = true
 	}
+	if *workers < 0 {
+		return fmt.Errorf("-parallel must be >= 0 (0 selects all CPUs), got %d", *workers)
+	}
+	// -csv writes figure series; tables, traces, and campaigns have no
+	// series, so a -csv that could never produce a file is an error,
+	// not a silent no-op.
+	if *csvDir != "" && !*all && *figure == 0 {
+		return fmt.Errorf("-csv writes figure series and needs -all or -figure; " +
+			"-table, -trace, and -faultcampaign produce no CSV")
+	}
 
-	fail := func(err error) {
-		fmt.Fprintf(os.Stderr, "uexc-bench: %v\n", err)
-		os.Exit(1)
-	}
-	printT := func(t *report.Table, err error) {
+	printT := func(t *report.Table, err error) error {
 		if err != nil {
-			fail(err)
+			return err
 		}
-		fmt.Println(t.Render())
+		fmt.Fprintln(stdout, t.Render())
+		return nil
 	}
-	writeCSV := func(name string, s *report.Series) {
+	writeCSV := func(name string, s *report.Series) error {
 		if *csvDir == "" {
-			return
+			return nil
 		}
-		path := filepath.Join(*csvDir, name)
-		if err := os.WriteFile(path, []byte(s.CSV()), 0o644); err != nil {
-			fail(err)
-		}
-		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
-	}
-	printS := func(name string, s *report.Series, err error) {
+		path, err := writeSeriesCSV(*csvDir, name, s)
 		if err != nil {
-			fail(err)
+			return err
 		}
-		fmt.Println(s.Render())
-		writeCSV(name, s)
+		fmt.Fprintf(stderr, "wrote %s\n", path)
+		return nil
+	}
+	printS := func(name string, s *report.Series, err error) error {
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, s.Render())
+		return writeCSV(name, s)
 	}
 
 	if *campaign {
 		if *seeds <= 0 {
-			fail(fmt.Errorf("-seeds must be positive, got %d", *seeds))
+			return fmt.Errorf("-seeds must be positive, got %d", *seeds)
 		}
 		var progress io.Writer
 		if *verbose {
-			progress = os.Stderr
+			progress = stderr
 		}
-		res, err := harness.FaultCampaign(*seeds, progress)
+		res, err := harness.FaultCampaignParallel(*seeds, *workers, progress)
 		if err != nil {
-			fail(err)
+			return err
 		}
-		fmt.Print(res.Summary())
+		fmt.Fprint(stdout, res.Summary())
 		if !res.Ok() {
-			fail(fmt.Errorf("fault campaign failed (%d failures, missing coverage: %v)",
-				len(res.Failures), res.MissingCoverage()))
+			return fmt.Errorf("fault campaign failed (%d failures, missing coverage: %v)",
+				len(res.Failures), res.MissingCoverage())
 		}
-		return
+		return nil
 	}
 
 	if *all {
-		out, err := harness.All(*validate)
+		out, err := harness.All(*validate, *workers)
 		if err != nil {
-			fail(err)
+			return err
 		}
-		fmt.Print(out)
+		fmt.Fprint(stdout, out)
 		tr, err := harness.TraceDelivery()
 		if err != nil {
-			fail(err)
+			return err
 		}
-		fmt.Println(tr)
+		fmt.Fprintln(stdout, tr)
 		if *csvDir != "" {
-			s3, err := harness.Figure3(false)
+			s3, err := harness.Figure3(false, *workers)
 			if err != nil {
-				fail(err)
+				return err
 			}
-			writeCSV("figure3.csv", s3)
-			s4, err := harness.Figure4(false)
+			if err := writeCSV("figure3.csv", s3); err != nil {
+				return err
+			}
+			s4, err := harness.Figure4(false, *workers)
 			if err != nil {
-				fail(err)
+				return err
 			}
-			writeCSV("figure4.csv", s4)
+			if err := writeCSV("figure4.csv", s4); err != nil {
+				return err
+			}
 		}
-		return
+		return nil
 	}
 	switch *table {
 	case 0:
 	case 1:
-		printT(harness.Table1())
+		if err := printT(harness.Table1()); err != nil {
+			return err
+		}
 	case 2:
-		printT(harness.Table2())
+		if err := printT(harness.Table2()); err != nil {
+			return err
+		}
 	case 3:
-		printT(harness.Table3())
+		if err := printT(harness.Table3()); err != nil {
+			return err
+		}
 	case 4:
-		printT(harness.Table4())
+		if err := printT(harness.Table4()); err != nil {
+			return err
+		}
 	case 5:
-		printT(harness.Table5())
+		if err := printT(harness.Table5()); err != nil {
+			return err
+		}
 	default:
-		fail(fmt.Errorf("no table %d (have 1..5)", *table))
+		return fmt.Errorf("no table %d (have 1..5)", *table)
 	}
 	switch *figure {
 	case 0:
 	case 3:
-		s, err := harness.Figure3(*validate)
-		printS("figure3.csv", s, err)
+		s, err := harness.Figure3(*validate, *workers)
+		if err := printS("figure3.csv", s, err); err != nil {
+			return err
+		}
 	case 4:
-		s, err := harness.Figure4(*validate)
-		printS("figure4.csv", s, err)
+		s, err := harness.Figure4(*validate, *workers)
+		if err := printS("figure4.csv", s, err); err != nil {
+			return err
+		}
 	default:
-		fail(fmt.Errorf("no figure %d (have 3, 4; 1 and 2 via -trace)", *figure))
+		return fmt.Errorf("no figure %d (have 3, 4; 1 and 2 via -trace)", *figure)
 	}
 	if *trace {
 		out, err := harness.TraceDelivery()
 		if err != nil {
-			fail(err)
+			return err
 		}
-		fmt.Println(out)
+		fmt.Fprintln(stdout, out)
 	}
 	if *ablations {
-		printT(harness.AblationHardware())
-		printT(harness.AblationEager())
-		printT(harness.AblationSubpage())
+		if err := printT(harness.AblationHardware()); err != nil {
+			return err
+		}
+		if err := printT(harness.AblationEager()); err != nil {
+			return err
+		}
+		if err := printT(harness.AblationSubpage()); err != nil {
+			return err
+		}
 	}
+	return nil
 }

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"uexc/internal/report"
+)
+
+func testSeries() *report.Series {
+	return &report.Series{
+		Title:   "test series",
+		XLabel:  "x",
+		YLabels: []string{"a", "b"},
+		X:       []float64{1, 2},
+		Y:       [][]float64{{10, 20}, {30, 40}},
+	}
+}
+
+// TestWriteSeriesCSVCreatesDirectory: -csv into a directory that does
+// not exist yet must create it (including parents) instead of failing
+// with a bare os.WriteFile error.
+func TestWriteSeriesCSVCreatesDirectory(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "does", "not", "exist")
+	path, err := writeSeriesCSV(dir, "figure3.csv", testSeries())
+	if err != nil {
+		t.Fatalf("writeSeriesCSV into missing directory: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "x,a,b\n1,10,30\n2,20,40\n"
+	if string(data) != want {
+		t.Errorf("CSV content = %q, want %q", data, want)
+	}
+}
+
+// TestCSVRejectedWithoutSeries: -csv silently did nothing when
+// combined with -table/-trace/-faultcampaign (none of which produce a
+// series); it must now be rejected up front with a clear error.
+func TestCSVRejectedWithoutSeries(t *testing.T) {
+	dir := t.TempDir()
+	for _, args := range [][]string{
+		{"-faultcampaign", "-seeds", "1", "-csv", dir},
+		{"-table", "1", "-csv", dir},
+		{"-trace", "-csv", dir},
+		{"-ablations", "-csv", dir},
+	} {
+		var stdout, stderr bytes.Buffer
+		err := run(args, &stdout, &stderr)
+		if err == nil {
+			t.Errorf("run(%v): no error for -csv without a figure series", args)
+			continue
+		}
+		if !strings.Contains(err.Error(), "-csv") {
+			t.Errorf("run(%v): error %q does not explain the -csv conflict", args, err)
+		}
+		if stdout.Len() != 0 {
+			t.Errorf("run(%v): produced output despite flag error", args)
+		}
+	}
+}
+
+// TestCSVAllowedWithFigure: the combinations that do have series keep
+// working, including alongside -table, and write into a fresh
+// directory end to end.
+func TestCSVAllowedWithFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots measurement machines")
+	}
+	dir := filepath.Join(t.TempDir(), "fresh")
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-figure", "3", "-csv", dir, "-parallel", "2"}, &stdout, &stderr); err != nil {
+		t.Fatalf("run -figure 3 -csv: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "figure3.csv")); err != nil {
+		t.Errorf("figure3.csv not written: %v", err)
+	}
+	if !strings.Contains(stdout.String(), "Figure 3") {
+		t.Error("figure output missing from stdout")
+	}
+	if !strings.Contains(stderr.String(), "wrote ") {
+		t.Error("csv progress note missing from stderr")
+	}
+}
+
+// TestParallelFlagValidation: explicit negative widths are nonsense
+// and rejected; -seeds stays validated on the campaign path.
+func TestParallelFlagValidation(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-faultcampaign", "-parallel", "-1"}, &stdout, &stderr); err == nil ||
+		!strings.Contains(err.Error(), "-parallel") {
+		t.Errorf("negative -parallel not rejected: %v", err)
+	}
+	if err := run([]string{"-faultcampaign", "-seeds", "-3"}, &stdout, &stderr); err == nil ||
+		!strings.Contains(err.Error(), "-seeds") {
+		t.Errorf("negative -seeds not rejected: %v", err)
+	}
+}
+
+// TestUnknownExhibitRejected: bad table/figure numbers stay errors
+// through the run() refactor.
+func TestUnknownExhibitRejected(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-table", "7"}, &stdout, &stderr); err == nil ||
+		!strings.Contains(err.Error(), "no table 7") {
+		t.Errorf("table 7 not rejected: %v", err)
+	}
+	if err := run([]string{"-figure", "5"}, &stdout, &stderr); err == nil ||
+		!strings.Contains(err.Error(), "no figure 5") {
+		t.Errorf("figure 5 not rejected: %v", err)
+	}
+}
+
+// TestCampaignSmokeViaCLI: the full campaign path through the CLI,
+// sharded, must pass and print the deterministic summary banner.
+func TestCampaignSmokeViaCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a fault campaign")
+	}
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-faultcampaign", "-seeds", "4", "-parallel", "0"}, &stdout, &stderr); err != nil {
+		t.Fatalf("campaign via CLI: %v\n%s", err, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "fault campaign: 4 seeds x 3 modes x 2 replays") {
+		t.Errorf("summary banner missing:\n%s", stdout.String())
+	}
+}

@@ -13,6 +13,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"uexc/internal/arch"
 	"uexc/internal/asm"
@@ -63,11 +64,45 @@ func NewMachine() (*Machine, error) {
 	return &Machine{K: k}, nil
 }
 
+// Reset reboots the machine in place — kernel, CPU, TLB, and memory
+// scrubbed but their allocations reused — restoring the exact state
+// NewMachine produces (watchdog armed, no program loaded). The
+// campaign's replay discipline doubles as the verification: a reset
+// machine must produce byte-identical fingerprints to a fresh one.
+func (m *Machine) Reset() error {
+	if err := m.K.Reset(); err != nil {
+		return err
+	}
+	m.K.CPU.Watchdog = cpu.NewWatchdog(0)
+	m.Prog = nil
+	return nil
+}
+
+// progCache caches assembled user images by source text. Programs are
+// immutable after assembly (loading copies chunk bytes into simulated
+// memory), so one *asm.Program is safely shared across machines and
+// workers; campaign runs load the same three mode programs thousands
+// of times and pay the assembler only once each.
+var progCache sync.Map // full source string -> *asm.Program
+
+func assembleUser(src string) (*asm.Program, error) {
+	full := userrt.Prelude() + src
+	if p, ok := progCache.Load(full); ok {
+		return p.(*asm.Program), nil
+	}
+	p, err := asm.Assemble(full, kernel.UserTextBase)
+	if err != nil {
+		return nil, err
+	}
+	cached, _ := progCache.LoadOrStore(full, p)
+	return cached.(*asm.Program), nil
+}
+
 // LoadProgram assembles the user runtime plus the given program text
 // (which must define "main"), loads it, and points the CPU at process
 // startup.
 func (m *Machine) LoadProgram(src string) error {
-	p, err := asm.Assemble(userrt.Prelude()+src, kernel.UserTextBase)
+	p, err := assembleUser(src)
 	if err != nil {
 		return fmt.Errorf("core: assembling user program: %w", err)
 	}
@@ -88,7 +123,7 @@ func (m *Machine) LoadProgram(src string) error {
 // space. Processes hand off with the yield system call; the machine
 // halts when every process has exited.
 func (m *Machine) SpawnProgram(src string) (*kernel.Proc, error) {
-	p, err := asm.Assemble(userrt.Prelude()+src, kernel.UserTextBase)
+	p, err := assembleUser(src)
 	if err != nil {
 		return nil, fmt.Errorf("core: assembling spawned program: %w", err)
 	}

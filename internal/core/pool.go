@@ -1,0 +1,54 @@
+package core
+
+import "sync"
+
+// MachinePool recycles booted Machines across simulator runs. Booting
+// is cheap thanks to the cached kernel image, but every boot still
+// rebuilds the address space (memory pages, page tables, TLB) from
+// nothing; a pooled machine keeps those allocations and is scrubbed
+// back to the NewMachine state by Reset on reuse. The pool is safe for
+// concurrent use by the parallel campaign workers; it holds at most as
+// many machines as were ever simultaneously checked out, i.e. one per
+// worker in steady state.
+//
+// Determinism contract: Get returns a machine whose observable state
+// is identical to a fresh NewMachine, so runs are byte-identical
+// whether their machine was pooled or fresh, and regardless of which
+// worker previously used it. Callers that suspect a machine's
+// integrity (e.g. after recovering a panic mid-run) should drop it on
+// the floor instead of calling Put.
+type MachinePool struct {
+	mu   sync.Mutex
+	free []*Machine
+}
+
+// Get returns a machine in the NewMachine state: a pooled one reset in
+// place, or a freshly booted one when the pool is empty.
+func (p *MachinePool) Get() (*Machine, error) {
+	p.mu.Lock()
+	var m *Machine
+	if n := len(p.free); n > 0 {
+		m = p.free[n-1]
+		p.free = p.free[:n-1]
+	}
+	p.mu.Unlock()
+	if m == nil {
+		return NewMachine()
+	}
+	if err := m.Reset(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Put returns a machine to the pool for reuse. The machine is reset on
+// the next Get, so Put itself is cheap and may be called with the
+// machine in any post-run state.
+func (p *MachinePool) Put(m *Machine) {
+	if m == nil {
+		return
+	}
+	p.mu.Lock()
+	p.free = append(p.free, m)
+	p.mu.Unlock()
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// runDigest executes a program on m and digests every observable the
+// campaign fingerprints: outcome error text, console, cycle and
+// instruction counts, and kernel stats.
+func runDigest(t *testing.T, m *Machine, prog string) string {
+	t.Helper()
+	if err := m.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	runErr := m.Run(10_000_000)
+	errText := ""
+	if runErr != nil {
+		errText = runErr.Error()
+	}
+	return fmt.Sprintf("err=%q console=%q stats=%+v cycles=%d insts=%d",
+		errText, m.K.Console(), m.K.Stats, m.CPU().Cycles, m.CPU().Insts)
+}
+
+// TestResetMatchesFreshMachine: a machine reset after a run must be
+// observationally identical to a freshly booted one — the contract the
+// campaign's machine pool depends on. The first run deliberately takes
+// exceptions and exercises the fast path so real kernel state (page
+// tables, TLB entries, stats, u-area) is left behind for Reset to
+// scrub.
+func TestResetMatchesFreshMachine(t *testing.T) {
+	dirty, err := NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = runDigest(t, dirty, simpleFastProg(20)) // leave residue
+
+	if err := dirty.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if dirty.Prog != nil {
+		t.Error("Reset kept the loaded program")
+	}
+	if c := dirty.CPU(); c.Cycles != 0 || c.Insts != 0 || c.TeraMode {
+		t.Errorf("Reset left CPU state: cycles=%d insts=%d tera=%v", c.Cycles, c.Insts, c.TeraMode)
+	}
+
+	fresh, err := NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, prog := range []string{simpleFastProg(20), simpleUltrixProg(20)} {
+		got := runDigest(t, dirty, prog)
+		want := runDigest(t, fresh, prog)
+		if got != want {
+			t.Errorf("program %d: reset machine diverged from fresh\n reset: %s\n fresh: %s", i, got, want)
+		}
+		if err := dirty.Reset(); err != nil {
+			t.Fatal(err)
+		}
+		if err := fresh.Reset(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestResetClearsHardwareDelivery: mode configuration must not leak
+// from one pooled run into the next.
+func TestResetClearsHardwareDelivery(t *testing.T) {
+	m, err := NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.EnableHardwareDelivery(1 << 1)
+	if err := m.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if m.CPU().TeraMode || m.CPU().UserVector != 0 {
+		t.Error("Reset kept hardware-delivery configuration")
+	}
+}
+
+// TestMachinePoolRecycles: Get/Put round-trips reuse the machine and
+// hand it back in the fresh-boot state.
+func TestMachinePoolRecycles(t *testing.T) {
+	var pool MachinePool
+	m1, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := runDigest(t, m1, simpleFastProg(10))
+	pool.Put(m1)
+
+	m2, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2 != m1 {
+		t.Fatal("pool booted a new machine while one was free")
+	}
+	if second := runDigest(t, m2, simpleFastProg(10)); second != first {
+		t.Errorf("recycled run diverged:\n first: %s\nsecond: %s", first, second)
+	}
+	pool.Put(m2)
+
+	// Two concurrent checkouts force a second boot.
+	a, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("pool handed out the same machine twice")
+	}
+}
+
+// TestAssembleUserCache: the same source yields the same shared
+// program object, and distinct sources stay distinct.
+func TestAssembleUserCache(t *testing.T) {
+	p1, err := assembleUser(simpleFastProg(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := assembleUser(simpleFastProg(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("identical source assembled twice (cache miss)")
+	}
+	p3, err := assembleUser(simpleFastProg(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3 == p1 {
+		t.Error("distinct sources shared one cache entry")
+	}
+}

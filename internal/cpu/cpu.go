@@ -205,6 +205,29 @@ func (c *CPU) Reset() {
 	c.prevWasBranch = false
 }
 
+// ResetAll restores the CPU to its as-constructed state: architectural
+// registers (via Reset) plus counters, delivery configuration, cost
+// model, and every installed hook. The attached memory and TLB are
+// reused; their contents are the caller's to reset. This is the
+// processor half of the machine-reset path that lets pooled machines
+// be recycled across simulator runs.
+func (c *CPU) ResetAll() {
+	c.Reset()
+	c.TeraMode, c.UserVector, c.FixedVector = false, 0, 0
+	c.HWUTLBMod = true
+	c.Cost = DefaultCost()
+	c.Cycles, c.Insts, c.MemWrites = 0, 0, 0
+	c.HCall = nil
+	c.Inject = nil
+	c.OnUEXRecursion, c.OnUEXClear = nil, nil
+	c.Watchdog = nil
+	c.CountPCs, c.PCCounts = false, nil
+	c.ExcCounts = [32]uint64{}
+	c.Trace = nil
+	c.redirect = false
+	c.pendingHookErr = nil
+}
+
 // Charge adds cycles outside normal instruction accounting; used by the
 // kernel's modeled C phases.
 func (c *CPU) Charge(cycles uint64) { c.Cycles += cycles }

@@ -6,12 +6,14 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 
 	"uexc/internal/arch"
 	"uexc/internal/core"
 	"uexc/internal/cpu"
 	"uexc/internal/faultinject"
 	"uexc/internal/kernel"
+	"uexc/internal/parallel"
 )
 
 // campaignBudget bounds one injected run; the bounded in-program
@@ -43,6 +45,13 @@ type CampaignResult struct {
 	// Failures lists determinism breaks, invariant violations, panics,
 	// and budget exhaustions; empty means the campaign passed.
 	Failures []string
+
+	// Fingerprints records each seed×mode run's determinism fingerprint
+	// in campaign order (seed-major, mode-minor), so two campaigns —
+	// e.g. a serial and a parallel run over the same seeds — can be
+	// compared for byte-identical machine behaviour, not just identical
+	// summaries.
+	Fingerprints []string
 }
 
 // Ok reports whether the campaign passed: no failures and every
@@ -111,8 +120,31 @@ type campaignReport struct {
 // modes, each run twice, asserting determinism (identical fingerprints
 // per replay) and the DESIGN.md §6 invariants after every injected
 // event. A watchdog livelock probe (no injection, deliberate state
-// cycle) runs once per mode. Progress goes to w when non-nil.
+// cycle) runs once per mode. Progress goes to w when non-nil. It is
+// the serial (one-worker) form of FaultCampaignParallel.
 func FaultCampaign(seeds int, w io.Writer) (*CampaignResult, error) {
+	return FaultCampaignParallel(seeds, 1, w)
+}
+
+// campaignTask is one shard of a campaign: a seed×mode pair run twice
+// (run + determinism replay), or one livelock probe. Shards are
+// independent — each runs on its own self-contained machine — so the
+// engine may execute them in any order on any worker.
+type campaignTask struct {
+	first, again campaignReport // seed×mode shards
+	probeOutcome string         // livelock-probe shards
+	probeFail    string
+}
+
+// FaultCampaignParallel shards the campaign's runs across `workers`
+// goroutines (0 selects GOMAXPROCS) via the work-stealing engine and
+// merges the shard results strictly in seed-major, mode-minor order —
+// never completion order — so the CampaignResult, its Summary, and the
+// per-run progress stream are byte-identical to the serial run for any
+// worker count. Machines are recycled through a pool, so a campaign
+// allocates only about one address space per worker rather than one
+// per run.
+func FaultCampaignParallel(seeds, workers int, w io.Writer) (*CampaignResult, error) {
 	if seeds <= 0 {
 		seeds = 30
 	}
@@ -123,77 +155,140 @@ func FaultCampaign(seeds int, w io.Writer) (*CampaignResult, error) {
 	}
 	modes := []core.Mode{core.ModeUltrix, core.ModeFast, core.ModeHardware}
 
-	for seed := 0; seed < seeds; seed++ {
-		for _, mode := range modes {
-			first := campaignRun(int64(seed), mode)
-			again := campaignRun(int64(seed), mode)
-			res.Runs += 2
+	// Task layout: [0, seeds×3) are the seed×mode replay pairs in
+	// seed-major order; the last three are the per-mode watchdog
+	// probes (a deliberate pure state cycle — no stores, no new code —
+	// that only the livelock detector can classify).
+	nTasks := seeds*len(modes) + len(modes)
+	progress := newOrderedWriter(w)
+	pool := &core.MachinePool{}
 
-			tag := fmt.Sprintf("seed %d mode %s", seed, mode)
-			for _, f := range first.failures {
-				res.Failures = append(res.Failures, tag+": "+f)
-			}
-			for _, f := range again.failures {
-				res.Failures = append(res.Failures, tag+" (replay): "+f)
-			}
-			if first.fingerprint != again.fingerprint {
-				res.Failures = append(res.Failures,
-					fmt.Sprintf("%s: nondeterministic (fingerprints differ:\n  %s\n  %s)",
-						tag, first.fingerprint, again.fingerprint))
-			}
-
-			// Count exercise from the first run only (the replay is a
-			// determinism witness, not extra coverage).
-			for k := faultinject.Kind(0); k < faultinject.NumKinds; k++ {
-				res.Exercised[k.String()] += first.exercised[k]
-			}
-			res.Exercised["uex-recursion"] += first.stats.UEXRecursions
-			res.Exercised["fast-ultrix-fallback"] += first.stats.FastFallbacks
-			res.Exercised["recursion-kill"] += first.stats.RecursionKills
-			res.Exercised["tlb-scrub"] += first.stats.TLBScrubs
-			res.Outcomes[first.outcome]++
-
-			if w != nil {
-				fmt.Fprintf(w, "%-28s %s\n", tag+":", first.outcome)
-			}
+	tasks := parallel.Map(workers, nTasks, func(i int) campaignTask {
+		var t campaignTask
+		if i < seeds*len(modes) {
+			seed, mode := i/len(modes), modes[i%len(modes)]
+			t.first = campaignRun(pool, int64(seed), mode)
+			t.again = campaignRun(pool, int64(seed), mode)
+			progress.emit(i, fmt.Sprintf("%-28s %s\n",
+				fmt.Sprintf("seed %d mode %s:", seed, mode), t.first.outcome))
+			return t
 		}
-	}
+		mode := modes[i-seeds*len(modes)]
+		t.probeOutcome, t.probeFail = livelockProbe(pool, mode)
+		progress.emit(i, fmt.Sprintf("%-28s %s\n",
+			fmt.Sprintf("livelock probe %s:", mode), t.probeOutcome))
+		return t
+	})
 
-	// Watchdog probe: a deliberate pure state cycle that only the
-	// livelock detector can classify (no stores, no new code).
-	for _, mode := range modes {
+	// Deterministic merge: fold shard digests in task-index order,
+	// reproducing exactly the accumulation the serial loop performed.
+	for i := 0; i < seeds*len(modes); i++ {
+		seed, mode := i/len(modes), modes[i%len(modes)]
+		first, again := tasks[i].first, tasks[i].again
+		res.Runs += 2
+
+		tag := fmt.Sprintf("seed %d mode %s", seed, mode)
+		for _, f := range first.failures {
+			res.Failures = append(res.Failures, tag+": "+f)
+		}
+		for _, f := range again.failures {
+			res.Failures = append(res.Failures, tag+" (replay): "+f)
+		}
+		if first.fingerprint != again.fingerprint {
+			res.Failures = append(res.Failures,
+				fmt.Sprintf("%s: nondeterministic (fingerprints differ:\n  %s\n  %s)",
+					tag, first.fingerprint, again.fingerprint))
+		}
+		res.Fingerprints = append(res.Fingerprints, first.fingerprint)
+
+		// Count exercise from the first run only (the replay is a
+		// determinism witness, not extra coverage).
+		for k := faultinject.Kind(0); k < faultinject.NumKinds; k++ {
+			res.Exercised[k.String()] += first.exercised[k]
+		}
+		res.Exercised["uex-recursion"] += first.stats.UEXRecursions
+		res.Exercised["fast-ultrix-fallback"] += first.stats.FastFallbacks
+		res.Exercised["recursion-kill"] += first.stats.RecursionKills
+		res.Exercised["tlb-scrub"] += first.stats.TLBScrubs
+		res.Outcomes[first.outcome]++
+	}
+	for j := 0; j < len(modes); j++ {
+		t := tasks[seeds*len(modes)+j]
 		res.Runs++
-		outcome, fail := livelockProbe(mode)
-		res.Outcomes[outcome]++
-		if fail != "" {
-			res.Failures = append(res.Failures, fmt.Sprintf("livelock probe mode %s: %s", mode, fail))
+		res.Outcomes[t.probeOutcome]++
+		if t.probeFail != "" {
+			res.Failures = append(res.Failures,
+				fmt.Sprintf("livelock probe mode %s: %s", modes[j], t.probeFail))
 		} else {
 			res.Exercised["watchdog-livelock"]++
-		}
-		if w != nil {
-			fmt.Fprintf(w, "%-28s %s\n", fmt.Sprintf("livelock probe %s:", mode), outcome)
 		}
 	}
 	return res, nil
 }
 
+// orderedWriter streams per-task lines to w in task-index order no
+// matter in which order workers complete them: a line is held until
+// every lower-indexed line has been written. With a nil w it is a
+// no-op.
+type orderedWriter struct {
+	mu      sync.Mutex
+	w       io.Writer
+	next    int
+	pending map[int]string
+}
+
+func newOrderedWriter(w io.Writer) *orderedWriter {
+	return &orderedWriter{w: w, pending: map[int]string{}}
+}
+
+func (o *orderedWriter) emit(i int, line string) {
+	if o.w == nil {
+		return
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.pending[i] = line
+	for {
+		l, ok := o.pending[o.next]
+		if !ok {
+			return
+		}
+		delete(o.pending, o.next)
+		io.WriteString(o.w, l)
+		o.next++
+	}
+}
+
 // campaignRun executes one seeded, injected scenario and digests it.
 // Go panics are converted into failures: the machine must degrade
-// through typed errors, never take the simulator down.
-func campaignRun(seed int64, mode core.Mode) (rep campaignReport) {
+// through typed errors, never take the simulator down. The machine
+// comes from (and, barring a panic, returns to) pool; a machine that
+// panicked mid-run is dropped rather than recycled, since its state is
+// no longer trustworthy.
+func campaignRun(pool *core.MachinePool, seed int64, mode core.Mode) (rep campaignReport) {
+	var (
+		m   *core.Machine
+		err error
+	)
+	healthy := false
 	defer func() {
 		if r := recover(); r != nil {
 			rep.failures = append(rep.failures, fmt.Sprintf("panic: %v", r))
 			rep.outcome = "panic"
 			rep.fingerprint = "panic"
+			return
+		}
+		if healthy {
+			pool.Put(m)
 		}
 	}()
 
-	m, err := core.NewMachine()
+	m, err = pool.Get()
 	if err != nil {
 		rep.failures = append(rep.failures, "boot: "+err.Error())
 		return rep
 	}
+	healthy = true
 	inj := faultinject.Attach(m.K, seed, faultinject.Config{})
 	if err := m.LoadProgram(campaignProg(mode)); err != nil {
 		rep.failures = append(rep.failures, "load: "+err.Error())
@@ -250,11 +345,12 @@ func campaignRun(seed int64, mode core.Mode) (rep campaignReport) {
 
 // livelockProbe runs the deliberate-livelock program with no injector
 // and expects the CPU watchdog to stop it with a typed LivelockError.
-func livelockProbe(mode core.Mode) (outcome, failure string) {
-	m, err := core.NewMachine()
+func livelockProbe(pool *core.MachinePool, mode core.Mode) (outcome, failure string) {
+	m, err := pool.Get()
 	if err != nil {
 		return "error", "boot: " + err.Error()
 	}
+	defer pool.Put(m)
 	if err := m.LoadProgram(livelockProg()); err != nil {
 		return "error", "load: " + err.Error()
 	}

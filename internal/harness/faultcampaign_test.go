@@ -1,6 +1,9 @@
 package harness
 
 import (
+	"bytes"
+	"reflect"
+	"runtime"
 	"testing"
 
 	"uexc/internal/core"
@@ -25,11 +28,51 @@ func TestFaultCampaignSmoke(t *testing.T) {
 	}
 }
 
+// TestFaultCampaignParallelDeterminism: the parallel campaign must be
+// byte-identical to the serial one for the same seeds — the whole
+// CampaignResult (Exercised, Outcomes, Failures ordering, per-run
+// Fingerprints), the rendered Summary, and the per-run progress stream
+// — at one worker, two workers, and NumCPU workers. This is the
+// deterministic-merge contract: results fold by seed/index, never by
+// completion time.
+func TestFaultCampaignParallelDeterminism(t *testing.T) {
+	const seeds = 6
+	var serialProgress bytes.Buffer
+	serial, err := FaultCampaignParallel(seeds, 1, &serialProgress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Fingerprints) != seeds*3 {
+		t.Fatalf("serial fingerprints = %d, want %d", len(serial.Fingerprints), seeds*3)
+	}
+
+	for _, workers := range []int{2, runtime.NumCPU()} {
+		var progress bytes.Buffer
+		par, err := FaultCampaignParallel(seeds, workers, &progress)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(par, serial) {
+			t.Errorf("workers=%d: CampaignResult differs from serial\nserial: %+v\nparallel: %+v",
+				workers, serial, par)
+		}
+		if par.Summary() != serial.Summary() {
+			t.Errorf("workers=%d: Summary differs from serial:\n%s\nvs\n%s",
+				workers, par.Summary(), serial.Summary())
+		}
+		if progress.String() != serialProgress.String() {
+			t.Errorf("workers=%d: progress stream differs from serial:\n%q\nvs\n%q",
+				workers, progress.String(), serialProgress.String())
+		}
+	}
+}
+
 // TestLivelockProbeAllModes: the deliberate state cycle must be
 // classified by the watchdog, not by budget exhaustion.
 func TestLivelockProbeAllModes(t *testing.T) {
+	pool := &core.MachinePool{}
 	for _, mode := range []core.Mode{core.ModeUltrix, core.ModeFast, core.ModeHardware} {
-		outcome, fail := livelockProbe(mode)
+		outcome, fail := livelockProbe(pool, mode)
 		if fail != "" {
 			t.Errorf("mode %s: %s", mode, fail)
 		}

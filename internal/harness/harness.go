@@ -13,6 +13,7 @@ import (
 	"uexc/internal/apps/swizzle"
 	"uexc/internal/core"
 	"uexc/internal/osmodel"
+	"uexc/internal/parallel"
 	"uexc/internal/report"
 	"uexc/internal/simos"
 )
@@ -220,8 +221,10 @@ func Table5() (*report.Table, error) {
 // Figure3 regenerates the swizzling break-even curves (uses per pointer
 // at which exceptions beat per-dereference checks), from measured
 // exception costs, and validates three points by running the object
-// store to its empirical crossover.
-func Figure3(validate bool) (*report.Series, error) {
+// store to its empirical crossover. Validation sweep points are
+// sharded across `workers` goroutines (0 = GOMAXPROCS, 1 = serial) and
+// merged in point order.
+func Figure3(validate bool, workers int) (*report.Series, error) {
 	fast, err := core.MeasureUnalignedMin(benchN)
 	if err != nil {
 		return nil, err
@@ -250,24 +253,52 @@ func Figure3(validate bool) (*report.Series, error) {
 		s.Y[1] = append(s.Y[1], p.UsesFast)
 	}
 	if validate {
-		var checks []string
-		for _, c := range []float64{5, 10, 20} {
+		// Each sweep point boots its own object store; shard them and
+		// merge the check strings by point index.
+		costs := []float64{5, 10, 20}
+		checks := parallel.Map(workers, len(costs), func(i int) crossoverCheck {
+			c := costs[i]
 			emp, err := swizzle.Fig3Crossover(c, fastUS, 600)
 			if err != nil {
-				return nil, err
+				return crossoverCheck{err: err}
 			}
 			ana := analytic.SwizzleBreakEvenUses(c, fastUS, 25)
-			checks = append(checks, fmt.Sprintf("c=%.0f: empirical %d vs analytic %.1f", c, emp, ana))
+			return crossoverCheck{text: fmt.Sprintf("c=%.0f: empirical %d vs analytic %.1f", c, emp, ana)}
+		})
+		texts, err := collectChecks(checks)
+		if err != nil {
+			return nil, err
 		}
-		s.Note += "; store-validated crossovers: " + strings.Join(checks, ", ")
+		s.Note += "; store-validated crossovers: " + strings.Join(texts, ", ")
 	}
 	return s, nil
 }
 
+// crossoverCheck is one validated figure sweep point; merged by index.
+type crossoverCheck struct {
+	text string
+	err  error
+}
+
+// collectChecks folds sharded sweep-point results in index order,
+// surfacing the first (lowest-index) error exactly as the serial loop
+// would have.
+func collectChecks(checks []crossoverCheck) ([]string, error) {
+	texts := make([]string, 0, len(checks))
+	for _, c := range checks {
+		if c.err != nil {
+			return nil, c.err
+		}
+		texts = append(texts, c.text)
+	}
+	return texts, nil
+}
+
 // Figure4 regenerates the eager-vs-lazy swizzling break-even curves
 // (fraction of a page's 50 pointers that must be used before eager
-// wins) and validates points against the object store.
-func Figure4(validate bool) (*report.Series, error) {
+// wins) and validates points against the object store, sharding the
+// validation sweep like Figure3.
+func Figure4(validate bool, workers int) (*report.Series, error) {
 	fast, err := core.MeasureUnalignedMin(benchN)
 	if err != nil {
 		return nil, err
@@ -297,20 +328,25 @@ func Figure4(validate bool) (*report.Series, error) {
 		s.Y[1] = append(s.Y[1], p.FracFast)
 	}
 	if validate {
-		var checks []string
-		for _, sc := range []float64{1, 2, 4} {
+		costs := []float64{1, 2, 4}
+		checks := parallel.Map(workers, len(costs), func(i int) crossoverCheck {
+			sc := costs[i]
 			empF, err := swizzle.Fig4Crossover(fastUS, sc, pn)
 			if err != nil {
-				return nil, err
+				return crossoverCheck{err: err}
 			}
 			empU, err := swizzle.Fig4Crossover(ultUS, sc, pn)
 			if err != nil {
-				return nil, err
+				return crossoverCheck{err: err}
 			}
-			checks = append(checks, fmt.Sprintf("s=%.0fµs: eager wins from %d (fast) / %d (ultrix) of %d used",
-				sc, empF, empU, pn))
+			return crossoverCheck{text: fmt.Sprintf("s=%.0fµs: eager wins from %d (fast) / %d (ultrix) of %d used",
+				sc, empF, empU, pn)}
+		})
+		texts, err := collectChecks(checks)
+		if err != nil {
+			return nil, err
 		}
-		s.Note += "; store-validated: " + strings.Join(checks, ", ")
+		s.Note += "; store-validated: " + strings.Join(texts, ", ")
 	}
 	return s, nil
 }
@@ -451,17 +487,22 @@ func Sensitivity() (*report.Table, error) {
 	return t, nil
 }
 
-// All renders every exhibit in order.
-func All(validate bool) (string, error) {
-	var b strings.Builder
+// All renders every exhibit in order. Each exhibit boots its own
+// measurement machines, so the steps are independent shards: they run
+// across `workers` goroutines (0 = GOMAXPROCS, 1 = serial) and are
+// concatenated strictly in exhibit order, making the output
+// byte-identical for any worker count. On a failure, the exhibits
+// before the first (lowest-index) error are returned with it, exactly
+// as the serial run would.
+func All(validate bool, workers int) (string, error) {
 	steps := []func() (string, error){
 		func() (string, error) { t, err := Table1(); return render(t, err) },
 		func() (string, error) { t, err := Table2(); return render(t, err) },
 		func() (string, error) { t, err := Table3(); return render(t, err) },
 		func() (string, error) { t, err := Table4(); return render(t, err) },
 		func() (string, error) { t, err := Table5(); return render(t, err) },
-		func() (string, error) { s, err := Figure3(validate); return renderS(s, err) },
-		func() (string, error) { s, err := Figure4(validate); return renderS(s, err) },
+		func() (string, error) { s, err := Figure3(validate, 1); return renderS(s, err) },
+		func() (string, error) { s, err := Figure4(validate, 1); return renderS(s, err) },
 		func() (string, error) { t, err := AblationHardware(); return render(t, err) },
 		func() (string, error) { t, err := AblationEager(); return render(t, err) },
 		func() (string, error) { t, err := AblationSubpage(); return render(t, err) },
@@ -469,12 +510,20 @@ func All(validate bool) (string, error) {
 		func() (string, error) { t, err := AblationVector(); return render(t, err) },
 		func() (string, error) { t, err := Sensitivity(); return render(t, err) },
 	}
-	for _, step := range steps {
-		out, err := step()
-		if err != nil {
-			return b.String(), err
+	type stepOut struct {
+		out string
+		err error
+	}
+	outs := parallel.Map(workers, len(steps), func(i int) stepOut {
+		out, err := steps[i]()
+		return stepOut{out, err}
+	})
+	var b strings.Builder
+	for _, s := range outs {
+		if s.err != nil {
+			return b.String(), s.err
 		}
-		b.WriteString(out)
+		b.WriteString(s.out)
 		b.WriteByte('\n')
 	}
 	return b.String(), nil

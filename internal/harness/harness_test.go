@@ -77,14 +77,14 @@ func TestTable5(t *testing.T) {
 }
 
 func TestFigures(t *testing.T) {
-	f3, err := Figure3(false)
+	f3, err := Figure3(false, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(f3.X) != 20 || len(f3.Y) != 2 {
 		t.Errorf("figure 3 shape: %d x %d", len(f3.X), len(f3.Y))
 	}
-	f4, err := Figure4(false)
+	f4, err := Figure4(false, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +170,7 @@ func TestAllRendersEndToEnd(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full exhibit regeneration")
 	}
-	out, err := All(false)
+	out, err := All(false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

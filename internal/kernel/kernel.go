@@ -3,6 +3,7 @@ package kernel
 import (
 	"bytes"
 	"fmt"
+	"sync"
 
 	"uexc/internal/arch"
 	"uexc/internal/asm"
@@ -75,21 +76,17 @@ type Kernel struct {
 	mcheck error
 }
 
-// New assembles and boots a kernel on fresh hardware.
-func New() (*Kernel, error) {
+// bootImage assembles and verifies the kernel image exactly once per
+// process. The image is immutable after assembly (loaders copy its
+// chunk bytes into simulated memory; everything else is symbol reads),
+// so one *asm.Program is safely shared by every machine on every
+// worker — re-assembling ~identical source per seed was pure waste in
+// campaign runs.
+var bootImage = sync.OnceValues(func() (*asm.Program, error) {
 	img, err := asm.Assemble(KernelSource(), KernelTextBase)
 	if err != nil {
 		return nil, fmt.Errorf("kernel: assembling image: %w", err)
 	}
-	m := mem.New(PhysMemSize)
-	t := &tlb.TLB{}
-	c := cpu.New(m, t)
-
-	k := &Kernel{CPU: c, Mem: m, TLB: t, Image: img, Costs: DefaultCosts()}
-	c.HCall = k.hcall
-	c.OnUEXRecursion = k.onUEXRecursion
-	c.OnUEXClear = k.onUEXClear
-
 	// The host-side layer jumps to these labels at runtime; verify them
 	// at boot so later Symbol() lookups of them cannot fail.
 	for _, sym := range []string{"kern_entry", "ultrix_restore", "gen_vec", "utlb_vec"} {
@@ -97,13 +94,61 @@ func New() (*Kernel, error) {
 			return nil, fmt.Errorf("kernel: image missing required symbol %q", sym)
 		}
 	}
-
 	for _, ch := range img.Chunks {
 		if ch.Addr < arch.KSeg0Base {
 			return nil, fmt.Errorf("kernel: image chunk at user address %#x", ch.Addr)
 		}
-		if err := m.Write(arch.KSegPhys(ch.Addr), ch.Data); err != nil {
-			return nil, fmt.Errorf("kernel: loading image: %w", err)
+	}
+	return img, nil
+})
+
+// New boots a kernel on fresh hardware (the assembled image itself is
+// cached process-wide; see bootImage).
+func New() (*Kernel, error) {
+	img, err := bootImage()
+	if err != nil {
+		return nil, err
+	}
+	m := mem.New(PhysMemSize)
+	t := &tlb.TLB{}
+	c := cpu.New(m, t)
+
+	k := &Kernel{CPU: c, Mem: m, TLB: t, Image: img}
+	if err := k.Reset(); err != nil {
+		return nil, err
+	}
+	return k, nil
+}
+
+// Reset reboots the kernel in place on its existing hardware: memory
+// pages, TLB array, and CPU are scrubbed (keeping their allocations),
+// injector hooks are dropped, the kernel image is reloaded, and a
+// fresh boot process is created. A reset kernel is observationally
+// identical to one from New — the property the campaign's machine pool
+// depends on and its replay fingerprints verify — while reusing the
+// address-space allocations of the previous run.
+func (k *Kernel) Reset() error {
+	c := k.CPU
+	c.ResetAll()
+	k.Mem.Reset()
+	k.TLB.Reset()
+	k.TLB.InjectMiss = nil // TLB.Reset preserves the hook; the reboot must not
+
+	c.HCall = k.hcall
+	c.OnUEXRecursion = k.onUEXRecursion
+	c.OnUEXClear = k.onUEXClear
+
+	k.Costs = DefaultCosts()
+	k.Stats = Stats{}
+	k.Events = nil
+	k.TraceEvents = false
+	k.console.Reset()
+	k.exited, k.exitCode = false, 0
+	k.mcheck = nil
+
+	for _, ch := range k.Image.Chunks {
+		if err := k.Mem.Write(arch.KSegPhys(ch.Addr), ch.Data); err != nil {
+			return fmt.Errorf("kernel: loading image: %w", err)
 		}
 	}
 
@@ -113,6 +158,7 @@ func New() (*Kernel, error) {
 	k.nextFrame = FramePhysBase
 	k.Proc = newProc(k, 0)
 	k.procs = []*Proc{k.Proc}
+	k.curr = 0
 
 	// Publish u-area fields the assembly reads.
 	k.storeKernelWord(UAreaBase+UKStack, KStackTop)
@@ -120,8 +166,7 @@ func New() (*Kernel, error) {
 	k.storeKernelWord(UAreaBase+UFexcHandler, 0)
 	k.storeKernelWord(UAreaBase+UFramePhys, 0)
 	k.storeKernelWord(UAreaBase+UFrameVA, 0)
-
-	return k, nil
+	return nil
 }
 
 // Procs returns all processes (index 0 is the boot process).

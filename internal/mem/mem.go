@@ -38,6 +38,16 @@ func New(size uint32) *Memory {
 // Size returns the physical memory size in bytes.
 func (m *Memory) Size() uint32 { return m.size }
 
+// Reset zeroes every touched page while keeping the page allocations.
+// Untouched pages read as zero, so a reset memory is observationally
+// identical to a fresh one — this is what lets a machine pool reuse
+// address spaces across simulator runs instead of rebuilding them.
+func (m *Memory) Reset() {
+	for _, p := range m.pages {
+		clear(p)
+	}
+}
+
 func (m *Memory) page(pa uint32, alloc bool) ([]byte, error) {
 	if pa >= m.size {
 		return nil, fmt.Errorf("%w: pa %#x beyond %#x", ErrBusError, pa, m.size)

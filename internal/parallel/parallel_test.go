@@ -1,0 +1,136 @@
+package parallel
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMapOrderAndCoverage: every index runs exactly once and results
+// land at their own index, for worker counts spanning the serial path,
+// contention, and more workers than tasks.
+func TestMapOrderAndCoverage(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		for _, n := range []int{0, 1, 2, 7, 100, 1000} {
+			var calls atomic.Int64
+			out := Map(workers, n, func(i int) int {
+				calls.Add(1)
+				return i * i
+			})
+			if len(out) != n {
+				t.Fatalf("workers=%d n=%d: len(out) = %d", workers, n, len(out))
+			}
+			if got := calls.Load(); got != int64(n) {
+				t.Errorf("workers=%d n=%d: fn ran %d times", workers, n, got)
+			}
+			for i, v := range out {
+				if v != i*i {
+					t.Fatalf("workers=%d n=%d: out[%d] = %d, want %d", workers, n, i, v, i*i)
+				}
+			}
+		}
+	}
+}
+
+// TestForEachExactlyOnce uses a per-index counter to catch both missed
+// and doubled indices under heavy stealing.
+func TestForEachExactlyOnce(t *testing.T) {
+	const n = 5000
+	counts := make([]atomic.Int32, n)
+	ForEach(16, n, func(i int) { counts[i].Add(1) })
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+}
+
+// TestStealingSkewed gives the first indices almost all the work; the
+// run only finishes promptly if idle workers steal from the loaded
+// span. The assertion is completion plus exactly-once coverage (the
+// timing is bounded by the test timeout, not a flaky wall-clock check).
+func TestStealingSkewed(t *testing.T) {
+	const n = 64
+	var slow atomic.Int64
+	counts := make([]atomic.Int32, n)
+	ForEach(8, n, func(i int) {
+		counts[i].Add(1)
+		if i < 8 { // all heavy work in the first span
+			slow.Add(1)
+			time.Sleep(2 * time.Millisecond)
+		}
+	})
+	if slow.Load() != 8 {
+		t.Fatalf("heavy tasks ran %d times, want 8", slow.Load())
+	}
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+}
+
+// TestDeterministicMerge: result bytes are identical across worker
+// counts even though execution interleaving differs.
+func TestDeterministicMerge(t *testing.T) {
+	fn := func(i int) string { return fmt.Sprintf("task-%03d", i*7%13) }
+	want := Map(1, 200, fn)
+	for _, workers := range []int{2, 4, runtime.GOMAXPROCS(0)} {
+		if got := Map(workers, 200, fn); !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: merged results differ from serial", workers)
+		}
+	}
+}
+
+// TestPanicPropagates: a panicking task surfaces in the caller rather
+// than killing a worker goroutine (and with it the process).
+func TestPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want \"boom\"", r)
+		}
+	}()
+	ForEach(4, 100, func(i int) {
+		if i == 37 {
+			panic("boom")
+		}
+	})
+	t.Fatal("ForEach returned after panic")
+}
+
+// TestWorkers: the normalization rule.
+func TestWorkers(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Errorf("Workers(3) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(-5); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-5) = %d, want GOMAXPROCS", got)
+	}
+}
+
+// TestSpanStealHalves pins the steal split rule: the thief takes the
+// upper half, the victim keeps the lower.
+func TestSpanStealHalves(t *testing.T) {
+	var s span
+	s.v.Store(pack(10, 20))
+	lo, hi, ok := s.steal()
+	if !ok || lo != 15 || hi != 20 {
+		t.Fatalf("steal = [%d,%d) ok=%v, want [15,20) true", lo, hi, ok)
+	}
+	if vlo, vhi := unpack(s.v.Load()); vlo != 10 || vhi != 15 {
+		t.Fatalf("victim span = [%d,%d), want [10,15)", vlo, vhi)
+	}
+	s.v.Store(pack(5, 6))
+	if lo, hi, ok = s.steal(); !ok || lo != 5 || hi != 6 {
+		t.Fatalf("steal of singleton = [%d,%d) ok=%v, want [5,6) true", lo, hi, ok)
+	}
+	if _, _, ok = s.steal(); ok {
+		t.Fatal("steal of empty span succeeded")
+	}
+}

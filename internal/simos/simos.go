@@ -15,6 +15,7 @@ package simos
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"uexc/internal/core"
 	"uexc/internal/cpu"
@@ -55,27 +56,45 @@ type CostTable struct {
 // Micros converts cycles to µs.
 func Micros(c float64) float64 { return c / cpu.ClockMHz }
 
+// costEntry is a single-flight cache slot: the first caller for a mode
+// runs measure inside the Once; concurrent callers for the same mode
+// block on that Once instead of measuring again.
+type costEntry struct {
+	once sync.Once
+	ct   CostTable
+	err  error
+}
+
 var (
 	costMu    sync.Mutex
-	costCache = map[core.Mode]CostTable{}
+	costCache = map[core.Mode]*costEntry{}
+
+	// measureRuns counts actual measure executions; the single-flight
+	// test asserts it stays at one per mode under concurrent callers.
+	measureRuns atomic.Int64
 )
 
 // Measure returns the cost table for a delivery mode, measuring it on
 // the instruction-level simulator on first use (then cached for the
 // process lifetime; the machine is deterministic, so re-measurement is
-// pure waste).
+// pure waste). Concurrent callers are single-flighted: with the
+// parallel campaign and exhibit engine sharing this process-global
+// cache, two workers requesting the same uncached mode must not both
+// boot a measurement machine — the second blocks until the first's
+// table is ready and then reads the identical bytes.
 func Measure(mode core.Mode) (CostTable, error) {
 	costMu.Lock()
-	defer costMu.Unlock()
-	if ct, ok := costCache[mode]; ok {
-		return ct, nil
+	e := costCache[mode]
+	if e == nil {
+		e = new(costEntry)
+		costCache[mode] = e
 	}
-	ct, err := measure(mode)
-	if err != nil {
-		return CostTable{}, err
-	}
-	costCache[mode] = ct
-	return ct, nil
+	costMu.Unlock()
+	e.once.Do(func() {
+		measureRuns.Add(1)
+		e.ct, e.err = measure(mode)
+	})
+	return e.ct, e.err
 }
 
 func measure(mode core.Mode) (CostTable, error) {

@@ -1,6 +1,7 @@
 package simos
 
 import (
+	"sync"
 	"testing"
 
 	"uexc/internal/core"
@@ -79,5 +80,49 @@ func TestClock(t *testing.T) {
 	c.Charge(25) // one more µs
 	if got := c.MicrosTotal(); got != 1e6+1 {
 		t.Errorf("MicrosTotal() = %v", got)
+	}
+}
+
+// TestMeasureSingleFlight hammers an uncached mode from many
+// goroutines: exactly one must run the underlying measurement, the
+// rest must block on it and read identical bytes — the property the
+// parallel campaign engine relies on for this process-global cache.
+func TestMeasureSingleFlight(t *testing.T) {
+	costMu.Lock()
+	costCache = map[core.Mode]*costEntry{} // drop any tables cached by earlier tests
+	measureRuns.Store(0)
+	costMu.Unlock()
+
+	const callers = 8
+	var wg sync.WaitGroup
+	tables := make([]CostTable, callers)
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tables[i], errs[i] = Measure(core.ModeFast)
+		}(i)
+	}
+	wg.Wait()
+
+	if got := measureRuns.Load(); got != 1 {
+		t.Errorf("measure ran %d times for one mode, want 1 (single-flight broken)", got)
+	}
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if tables[i] != tables[0] {
+			t.Errorf("caller %d saw a different cost table", i)
+		}
+	}
+
+	// Distinct modes are measured independently (one run each).
+	if _, err := Measure(core.ModeUltrix); err != nil {
+		t.Fatal(err)
+	}
+	if got := measureRuns.Load(); got != 2 {
+		t.Errorf("measure ran %d times for two modes, want 2", got)
 	}
 }
