@@ -16,6 +16,11 @@
 //	                           # each seed replayed twice under all three
 //	                           # delivery modes, invariants checked after
 //	                           # every injected event
+//	uexc-bench -difftest -seeds 200
+//	                           # differential campaign: each seed expands
+//	                           # to a random exception-rich program run
+//	                           # under all three delivery modes, asserting
+//	                           # architectural equivalence
 //	uexc-bench -parallel 4     # shard independent runs over 4 workers
 //	                           # (0 = all CPUs; output is byte-identical
 //	                           # to -parallel 1 at any width)
@@ -29,6 +34,7 @@ import (
 	"path/filepath"
 	"runtime"
 
+	dt "uexc/internal/difftest"
 	"uexc/internal/harness"
 	"uexc/internal/report"
 )
@@ -68,7 +74,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		validate  = fs.Bool("validate", false, "validate figure curves against the object store")
 		csvDir    = fs.String("csv", "", "also write figure series as CSV files into this directory")
 		campaign  = fs.Bool("faultcampaign", false, "run the deterministic fault-injection campaign")
-		seeds     = fs.Int("seeds", 30, "number of fault-campaign seeds")
+		difftest  = fs.Bool("difftest", false, "run the cross-mode differential-testing campaign")
+		seeds     = fs.Int("seeds", 30, "number of campaign seeds")
 		workers   = fs.Int("parallel", runtime.NumCPU(), "worker goroutines for sharded runs (0 = all CPUs)")
 		verbose   = fs.Bool("v", false, "per-run fault-campaign progress")
 	)
@@ -76,7 +83,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	if !*all && *table == 0 && *figure == 0 && !*trace && !*ablations && !*campaign {
+	if !*all && *table == 0 && *figure == 0 && !*trace && !*ablations && !*campaign && !*difftest {
 		*all = true
 	}
 	if *workers < 0 {
@@ -88,6 +95,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *csvDir != "" && !*all && *figure == 0 {
 		return fmt.Errorf("-csv writes figure series and needs -all or -figure; " +
 			"-table, -trace, and -faultcampaign produce no CSV")
+	}
+	if *campaign && *difftest {
+		return fmt.Errorf("-faultcampaign and -difftest are separate campaigns; pick one")
 	}
 
 	printT := func(t *report.Table, err error) error {
@@ -132,6 +142,26 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if !res.Ok() {
 			return fmt.Errorf("fault campaign failed (%d failures, missing coverage: %v)",
 				len(res.Failures), res.MissingCoverage())
+		}
+		return nil
+	}
+
+	if *difftest {
+		if *seeds <= 0 {
+			return fmt.Errorf("-seeds must be positive, got %d", *seeds)
+		}
+		var progress io.Writer
+		if *verbose {
+			progress = stderr
+		}
+		res, err := dt.Campaign(*seeds, *workers, progress)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, res.Summary())
+		if !res.Ok() {
+			return fmt.Errorf("differential campaign failed (%d divergences, self-test ok: %v)",
+				len(res.Divergences), res.SelfTestOK)
 		}
 		return nil
 	}

@@ -116,6 +116,50 @@ func TestUnknownExhibitRejected(t *testing.T) {
 	}
 }
 
+// TestDifftestSmokeViaCLI: the differential campaign through the CLI,
+// sharded, must pass, print the deterministic summary, and stream
+// byte-identical -v progress at every -parallel width.
+func TestDifftestSmokeViaCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a differential campaign")
+	}
+	run1 := func(workers string) (string, string) {
+		var stdout, stderr bytes.Buffer
+		if err := run([]string{"-difftest", "-seeds", "6", "-parallel", workers, "-v"}, &stdout, &stderr); err != nil {
+			t.Fatalf("difftest via CLI (-parallel %s): %v\n%s", workers, err, stdout.String())
+		}
+		return stdout.String(), stderr.String()
+	}
+	out1, prog1 := run1("1")
+	out4, prog4 := run1("4")
+	if out1 != out4 {
+		t.Errorf("difftest summary differs across -parallel widths:\n--- 1 ---\n%s--- 4 ---\n%s", out1, out4)
+	}
+	if prog1 != prog4 {
+		t.Errorf("difftest -v progress differs across -parallel widths:\n--- 1 ---\n%s--- 4 ---\n%s", prog1, prog4)
+	}
+	if !strings.Contains(out1, "difftest: 6 seeds x 3 modes") {
+		t.Errorf("summary banner missing:\n%s", out1)
+	}
+	if !strings.Contains(out1, "zero cross-mode divergences") {
+		t.Errorf("divergence verdict missing:\n%s", out1)
+	}
+}
+
+// TestDifftestFlagValidation: the two campaigns are mutually exclusive
+// and -seeds stays validated on the difftest path.
+func TestDifftestFlagValidation(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-difftest", "-faultcampaign"}, &stdout, &stderr); err == nil ||
+		!strings.Contains(err.Error(), "pick one") {
+		t.Errorf("-difftest -faultcampaign not rejected: %v", err)
+	}
+	if err := run([]string{"-difftest", "-seeds", "0"}, &stdout, &stderr); err == nil ||
+		!strings.Contains(err.Error(), "-seeds") {
+		t.Errorf("zero -seeds not rejected on difftest path: %v", err)
+	}
+}
+
 // TestCampaignSmokeViaCLI: the full campaign path through the CLI,
 // sharded, must pass and print the deterministic summary banner.
 func TestCampaignSmokeViaCLI(t *testing.T) {

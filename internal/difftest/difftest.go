@@ -1,0 +1,332 @@
+// Package difftest is the cross-mode differential-testing oracle: it
+// runs each internal/progen program under all three delivery modes
+// (ModeUltrix, ModeFast, ModeHardware) and asserts architectural
+// equivalence — the paper's central claim that fast user-level delivery
+// changes the cost of an exception, never its meaning.
+//
+// Equivalence relation (DESIGN.md §9). Two mode runs of the same
+// program are equivalent iff all of the following match:
+//
+//   - clean termination (exit 0) and console output;
+//   - the final general register file, excluding k0/k1 (kernel
+//     scratch), plus HI and LO;
+//   - exception counts for the intentional causes — Mod, AdEL, AdES,
+//     Bp, Ov;
+//   - the handler-entry log: order, cause code, and fault address of
+//     every policy invocation;
+//   - the bytes of the oracle data page and the fault arena.
+//
+// Everything else is the documented per-mode allowlist: cycle and
+// instruction counts (the quantity the paper varies), TLB refill
+// counts (TLBL/TLBS; handler code paths differ, so TLB pressure
+// differs), syscall counts (sigreturn is a syscall only the Unix path
+// executes), delivery-path statistics (FastDeliveries vs
+// UnixDeliveries), k0/k1 and all privileged/condition registers
+// (CP0, XT/XC/XB), the exception-frame page, the Tera wrapper's static
+// frame, and sigcontext residue below the user stack pointer.
+package difftest
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"uexc/internal/arch"
+	"uexc/internal/core"
+	"uexc/internal/parallel"
+	"uexc/internal/progen"
+)
+
+// Budget bounds one mode run; generated programs converge orders of
+// magnitude below it, so exhausting it is itself a failure.
+const Budget = 3_000_000
+
+// Modes is the comparison set, Ultrix first: the Unix path is the
+// semantic baseline the fast paths must reproduce.
+var Modes = []core.Mode{core.ModeUltrix, core.ModeFast, core.ModeHardware}
+
+// IntentionalCodes are the exception causes generated programs raise
+// on purpose; their per-cause counts must match across modes.
+var IntentionalCodes = []uint32{arch.ExcMod, arch.ExcAdEL, arch.ExcAdES, arch.ExcBp, arch.ExcOv}
+
+// Entry is one handler-policy invocation as the program logged it.
+type Entry struct {
+	Cause uint32
+	BadVA uint32
+}
+
+// ModeRun digests one program execution under one mode — exactly the
+// state the equivalence relation compares.
+type ModeRun struct {
+	Mode    core.Mode
+	Err     string // "" = clean exit 0
+	Console string
+	GPR     [32]uint32 // k0/k1 zeroed
+	HI, LO  uint32
+	Counts  map[uint32]uint64 // intentional causes only
+	Entries uint32            // total policy invocations
+	Log     []Entry
+	Data    []uint32 // oracle data page, word granular
+	Arena   []uint32 // fault arena
+}
+
+// runMode executes program p under mode on a pooled machine. mutate
+// selects the deliberately wrong handler variant (self-test only).
+func runMode(pool *core.MachinePool, p *progen.Program, mode core.Mode, mutate bool) (r ModeRun) {
+	r.Mode = mode
+	r.Counts = map[uint32]uint64{}
+
+	var m *core.Machine
+	healthy := false
+	defer func() {
+		if rec := recover(); rec != nil {
+			r.Err = fmt.Sprintf("panic: %v", rec)
+			return
+		}
+		if healthy {
+			pool.Put(m)
+		}
+	}()
+
+	m, err := pool.Get()
+	if err != nil {
+		r.Err = "boot: " + err.Error()
+		return r
+	}
+	healthy = true
+
+	if err := m.LoadProgram(p.Source(mode, mutate)); err != nil {
+		r.Err = "load: " + err.Error()
+		return r
+	}
+	if mode == core.ModeHardware {
+		m.EnableHardwareDelivery(progen.HWVector)
+	}
+	if err := m.Run(Budget); err != nil {
+		r.Err = err.Error()
+	}
+
+	r.Console = m.K.Console()
+	c := m.CPU()
+	r.GPR = c.GPR
+	r.GPR[arch.RegK0], r.GPR[arch.RegK1] = 0, 0
+	r.HI, r.LO = c.HI, c.LO
+	for _, code := range IntentionalCodes {
+		r.Counts[code] = c.ExcCounts[code]
+	}
+
+	word := func(va uint32) uint32 {
+		v, _ := m.K.ReadUserWord(va)
+		return v
+	}
+	r.Entries = word(progen.DataBase + progen.OffCount)
+	logged := word(progen.DataBase + progen.OffLogLen)
+	if logged > progen.LogCap {
+		logged = progen.LogCap
+	}
+	for i := uint32(0); i < logged; i++ {
+		r.Log = append(r.Log, Entry{
+			Cause: word(progen.DataBase + progen.OffLog + i*8),
+			BadVA: word(progen.DataBase + progen.OffLog + i*8 + 4),
+		})
+	}
+	for off := uint32(0); off < arch.PageSize; off += 4 {
+		r.Data = append(r.Data, word(progen.DataBase+off))
+	}
+	for off := uint32(0); off < progen.ArenaPages*arch.PageSize; off += 4 {
+		r.Arena = append(r.Arena, word(progen.ArenaBase+off))
+	}
+	return r
+}
+
+// diff lists the equivalence violations between a baseline run and
+// another mode's run, capped to keep reports readable.
+func diff(base, other *ModeRun) []string {
+	const maxPerPair = 8
+	var out []string
+	add := func(format string, args ...any) {
+		if len(out) < maxPerPair {
+			out = append(out, fmt.Sprintf("[%s vs %s] ", other.Mode, base.Mode)+fmt.Sprintf(format, args...))
+		}
+	}
+
+	if base.Err != other.Err {
+		add("run error %q != %q", other.Err, base.Err)
+	}
+	if base.Console != other.Console {
+		add("console %q != %q", other.Console, base.Console)
+	}
+	if base.Entries != other.Entries {
+		add("policy invocations %d != %d", other.Entries, base.Entries)
+	}
+	if len(base.Log) != len(other.Log) {
+		add("handler log length %d != %d", len(other.Log), len(base.Log))
+	}
+	for i := 0; i < len(base.Log) && i < len(other.Log); i++ {
+		if base.Log[i] != other.Log[i] {
+			add("log[%d] (cause %d badva %#x) != (cause %d badva %#x)",
+				i, other.Log[i].Cause, other.Log[i].BadVA, base.Log[i].Cause, base.Log[i].BadVA)
+		}
+	}
+	for _, code := range IntentionalCodes {
+		if base.Counts[code] != other.Counts[code] {
+			add("%s count %d != %d", arch.ExcName(code), other.Counts[code], base.Counts[code])
+		}
+	}
+	for r := 0; r < 32; r++ {
+		if base.GPR[r] != other.GPR[r] {
+			add("$%d = %#x != %#x", r, other.GPR[r], base.GPR[r])
+		}
+	}
+	if base.HI != other.HI || base.LO != other.LO {
+		add("hi/lo %#x/%#x != %#x/%#x", other.HI, other.LO, base.HI, base.LO)
+	}
+	for i := range base.Data {
+		if base.Data[i] != other.Data[i] {
+			add("data[%#x] = %#x != %#x", i*4, other.Data[i], base.Data[i])
+		}
+	}
+	for i := range base.Arena {
+		if base.Arena[i] != other.Arena[i] {
+			add("arena[%#x] = %#x != %#x", i*4, other.Arena[i], base.Arena[i])
+		}
+	}
+	return out
+}
+
+// CheckSeed generates seed's program, runs it under every mode, and
+// returns the equivalence violations against the Ultrix baseline
+// (empty = the modes agree) plus the baseline's handler-policy
+// invocation count. Mode errors surface as violations too: a program
+// that fails anywhere cannot witness equivalence.
+func CheckSeed(pool *core.MachinePool, seed int64) (divergences []string, entries uint64) {
+	p := progen.Generate(seed)
+	runs := make([]ModeRun, len(Modes))
+	for i, mode := range Modes {
+		runs[i] = runMode(pool, p, mode, false)
+	}
+	if runs[0].Err != "" {
+		divergences = append(divergences, fmt.Sprintf("[%s] run error: %s", runs[0].Mode, runs[0].Err))
+	}
+	for i := 1; i < len(runs); i++ {
+		divergences = append(divergences, diff(&runs[0], &runs[i])...)
+	}
+	return divergences, uint64(runs[0].Entries)
+}
+
+// Result aggregates a differential campaign.
+type Result struct {
+	Seeds    int
+	Episodes map[string]int // generated episode kinds, for coverage
+	Entries  uint64         // total handler-policy invocations (Ultrix baseline)
+	// Divergences lists every equivalence violation, prefixed with its
+	// seed; empty means all modes agreed on every seed.
+	Divergences []string
+	// SelfTest records the mutation self-test verdict (always run).
+	SelfTestOK   bool
+	SelfTestSeed int64
+}
+
+// Ok reports whether the campaign passed.
+func (r *Result) Ok() bool { return len(r.Divergences) == 0 && r.SelfTestOK }
+
+// Summary renders the deterministic campaign report.
+func (r *Result) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "difftest: %d seeds x %d modes (Ultrix baseline)\n", r.Seeds, len(Modes))
+	kinds := make([]string, 0, len(r.Episodes))
+	for k := range r.Episodes {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	b.WriteString("episodes generated:\n")
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "  %-16s %d\n", k, r.Episodes[k])
+	}
+	fmt.Fprintf(&b, "handler-policy invocations (baseline): %d\n", r.Entries)
+	if r.SelfTestOK {
+		fmt.Fprintf(&b, "oracle self-test: mutation in one mode detected (seed %d)\n", r.SelfTestSeed)
+	} else {
+		fmt.Fprintf(&b, "ORACLE SELF-TEST FAILED: mutation in one mode NOT detected (seed %d)\n", r.SelfTestSeed)
+	}
+	if len(r.Divergences) > 0 {
+		fmt.Fprintf(&b, "DIVERGENCES (%d):\n", len(r.Divergences))
+		for _, d := range r.Divergences {
+			fmt.Fprintf(&b, "  %s\n", d)
+		}
+	} else {
+		b.WriteString("zero cross-mode divergences\n")
+	}
+	return b.String()
+}
+
+// seedTask is one shard: a seed's three-mode comparison.
+type seedTask struct {
+	divergences []string
+	entries     uint64
+}
+
+// Campaign runs the oracle over seeds [0, n) sharded across workers via
+// the work-stealing engine, results merged strictly by seed index so
+// the Result and progress stream are byte-identical at any worker
+// count. The mutation self-test runs first on the lowest seed whose
+// program raises at least one fault.
+func Campaign(n, workers int, w io.Writer) (*Result, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("difftest: seed count must be positive, got %d", n)
+	}
+	res := &Result{Seeds: n, Episodes: map[string]int{}}
+
+	res.SelfTestSeed = mutationSeed()
+	res.SelfTestOK = SelfTest(res.SelfTestSeed)
+
+	pool := &core.MachinePool{}
+	progress := parallel.NewOrderedWriter(w)
+	tasks := parallel.Map(workers, n, func(i int) seedTask {
+		var t seedTask
+		t.divergences, t.entries = CheckSeed(pool, int64(i))
+		verdict := "ok"
+		if len(t.divergences) > 0 {
+			verdict = fmt.Sprintf("DIVERGED (%d)", len(t.divergences))
+		}
+		progress.Emit(i, fmt.Sprintf("seed %-6d %s\n", i, verdict))
+		return t
+	})
+
+	for i := 0; i < n; i++ {
+		for _, k := range progen.Generate(int64(i)).Episodes {
+			res.Episodes[k.String()]++
+		}
+		res.Entries += tasks[i].entries
+		for _, d := range tasks[i].divergences {
+			res.Divergences = append(res.Divergences, fmt.Sprintf("seed %d %s", i, d))
+		}
+	}
+	return res, nil
+}
+
+// mutationSeed returns the lowest seed whose program contains at least
+// one faulting episode — the mutated handler only misbehaves when the
+// policy actually runs.
+func mutationSeed() int64 {
+	for seed := int64(0); ; seed++ {
+		for _, k := range progen.Generate(seed).Episodes {
+			if k != progen.KindCompute {
+				return seed
+			}
+		}
+	}
+}
+
+// SelfTest proves the oracle can detect a semantic divergence: the
+// given seed is run with a known-wrong handler policy in ModeFast only
+// (logged causes offset by 32) and the oracle must flag it. A passing
+// self-test is a precondition for trusting "zero divergences".
+func SelfTest(seed int64) bool {
+	pool := &core.MachinePool{}
+	p := progen.Generate(seed)
+	base := runMode(pool, p, core.ModeUltrix, false)
+	mutated := runMode(pool, p, core.ModeFast, true)
+	return len(diff(&base, &mutated)) > 0
+}

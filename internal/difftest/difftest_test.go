@@ -1,0 +1,131 @@
+package difftest
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"uexc/internal/core"
+	"uexc/internal/progen"
+)
+
+// TestZeroDivergences: a band of generated programs must be
+// architecturally equivalent across all three delivery modes, and each
+// program must actually exercise the handler policy (a silently
+// fault-free program would make the equivalence vacuous).
+func TestZeroDivergences(t *testing.T) {
+	pool := &core.MachinePool{}
+	var total uint64
+	for seed := int64(0); seed < 40; seed++ {
+		divs, entries := CheckSeed(pool, seed)
+		for _, d := range divs {
+			t.Errorf("seed %d: %s", seed, d)
+		}
+		total += entries
+	}
+	if total == 0 {
+		t.Fatal("no handler-policy invocations across 40 seeds — generator is not faulting")
+	}
+}
+
+// TestOracleDetectsMutation: seeding a known-wrong handler policy into
+// a single mode must register as a divergence. Without this the
+// "zero divergences" verdict proves nothing.
+func TestOracleDetectsMutation(t *testing.T) {
+	seed := mutationSeed()
+	if !SelfTest(seed) {
+		t.Fatalf("oracle did not detect the cause-offset mutation at seed %d", seed)
+	}
+}
+
+// TestMutationDiffNamesLog: the mutation corrupts logged cause codes,
+// so the reported divergence must implicate the handler log (not some
+// incidental register).
+func TestMutationDiffNamesLog(t *testing.T) {
+	pool := &core.MachinePool{}
+	p := generateFaulting(t)
+	base := runMode(pool, p, core.ModeUltrix, false)
+	mut := runMode(pool, p, core.ModeFast, true)
+	divs := diff(&base, &mut)
+	if len(divs) == 0 {
+		t.Fatal("no divergences from mutated run")
+	}
+	found := false
+	for _, d := range divs {
+		if strings.Contains(d, "log[") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("mutation divergences never mention the handler log: %v", divs)
+	}
+}
+
+// TestCampaignDeterministicAcrossWorkers: the full campaign — summary
+// and streamed progress — must be byte-identical at every worker
+// count. This is the contract the sharded CLI path advertises.
+func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
+	const seeds = 12
+	type out struct {
+		summary  string
+		progress string
+	}
+	run := func(workers int) out {
+		var buf bytes.Buffer
+		res, err := Campaign(seeds, workers, &buf)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return out{res.Summary(), buf.String()}
+	}
+	base := run(1)
+	for _, workers := range []int{2, 4} {
+		got := run(workers)
+		if got.summary != base.summary {
+			t.Errorf("workers=%d: summary differs from serial run\n--- serial ---\n%s--- sharded ---\n%s",
+				workers, base.summary, got.summary)
+		}
+		if got.progress != base.progress {
+			t.Errorf("workers=%d: progress stream differs from serial run", workers)
+		}
+	}
+	if !strings.Contains(base.summary, "zero cross-mode divergences") {
+		t.Errorf("campaign summary reports divergences:\n%s", base.summary)
+	}
+	if !strings.Contains(base.summary, "oracle self-test: mutation in one mode detected") {
+		t.Errorf("campaign summary missing self-test verdict:\n%s", base.summary)
+	}
+}
+
+// TestCampaignRejectsBadSeedCount: the CLI surface.
+func TestCampaignRejectsBadSeedCount(t *testing.T) {
+	if _, err := Campaign(0, 1, nil); err == nil {
+		t.Error("Campaign(0) should fail")
+	}
+	if _, err := Campaign(-3, 1, nil); err == nil {
+		t.Error("Campaign(-3) should fail")
+	}
+}
+
+// generateFaulting returns the lowest-seed program with at least one
+// faulting episode.
+func generateFaulting(t *testing.T) *progen.Program {
+	t.Helper()
+	return progen.Generate(mutationSeed())
+}
+
+// FuzzDiffModes feeds arbitrary seeds to the cross-mode oracle. Any
+// seed whose generated program diverges between modes — or fails to
+// run cleanly in any mode — is a finding.
+func FuzzDiffModes(f *testing.F) {
+	for _, seed := range []int64{0, 1, 7, 11, 42, 1 << 32, -1} {
+		f.Add(seed)
+	}
+	pool := &core.MachinePool{}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		divs, _ := CheckSeed(pool, seed)
+		for _, d := range divs {
+			t.Errorf("seed %d: %s", seed, d)
+		}
+	})
+}

@@ -6,7 +6,6 @@ import (
 	"io"
 	"sort"
 	"strings"
-	"sync"
 
 	"uexc/internal/arch"
 	"uexc/internal/core"
@@ -160,7 +159,7 @@ func FaultCampaignParallel(seeds, workers int, w io.Writer) (*CampaignResult, er
 	// probes (a deliberate pure state cycle — no stores, no new code —
 	// that only the livelock detector can classify).
 	nTasks := seeds*len(modes) + len(modes)
-	progress := newOrderedWriter(w)
+	progress := parallel.NewOrderedWriter(w)
 	pool := &core.MachinePool{}
 
 	tasks := parallel.Map(workers, nTasks, func(i int) campaignTask {
@@ -169,13 +168,13 @@ func FaultCampaignParallel(seeds, workers int, w io.Writer) (*CampaignResult, er
 			seed, mode := i/len(modes), modes[i%len(modes)]
 			t.first = campaignRun(pool, int64(seed), mode)
 			t.again = campaignRun(pool, int64(seed), mode)
-			progress.emit(i, fmt.Sprintf("%-28s %s\n",
+			progress.Emit(i, fmt.Sprintf("%-28s %s\n",
 				fmt.Sprintf("seed %d mode %s:", seed, mode), t.first.outcome))
 			return t
 		}
 		mode := modes[i-seeds*len(modes)]
 		t.probeOutcome, t.probeFail = livelockProbe(pool, mode)
-		progress.emit(i, fmt.Sprintf("%-28s %s\n",
+		progress.Emit(i, fmt.Sprintf("%-28s %s\n",
 			fmt.Sprintf("livelock probe %s:", mode), t.probeOutcome))
 		return t
 	})
@@ -224,39 +223,6 @@ func FaultCampaignParallel(seeds, workers int, w io.Writer) (*CampaignResult, er
 		}
 	}
 	return res, nil
-}
-
-// orderedWriter streams per-task lines to w in task-index order no
-// matter in which order workers complete them: a line is held until
-// every lower-indexed line has been written. With a nil w it is a
-// no-op.
-type orderedWriter struct {
-	mu      sync.Mutex
-	w       io.Writer
-	next    int
-	pending map[int]string
-}
-
-func newOrderedWriter(w io.Writer) *orderedWriter {
-	return &orderedWriter{w: w, pending: map[int]string{}}
-}
-
-func (o *orderedWriter) emit(i int, line string) {
-	if o.w == nil {
-		return
-	}
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	o.pending[i] = line
-	for {
-		l, ok := o.pending[o.next]
-		if !ok {
-			return
-		}
-		delete(o.pending, o.next)
-		io.WriteString(o.w, l)
-		o.next++
-	}
 }
 
 // campaignRun executes one seeded, injected scenario and digests it.

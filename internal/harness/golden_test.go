@@ -1,0 +1,70 @@
+package harness
+
+// Golden-file tests: every table and ablation the harness can render
+// is pinned byte-for-byte under testdata/. The simulator is fully
+// deterministic, so any diff is a real change to measured behavior —
+// review it, then refresh with:
+//
+//	go test ./internal/harness -run TestGolden -update
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"uexc/internal/report"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from golden file.\n--- got ---\n%s--- want ---\n%s"+
+			"(if the change is intentional, refresh with -update)", name, got, want)
+	}
+}
+
+func TestGoldenExhibits(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates every table")
+	}
+	cases := []struct {
+		name string
+		fn   func() (*report.Table, error)
+	}{
+		{"table1", Table1},
+		{"table2", Table2},
+		{"table3", Table3},
+		{"table4", Table4},
+		{"table5", Table5},
+		{"ablation_hardware", AblationHardware},
+		{"ablation_eager", AblationEager},
+		{"ablation_subpage", AblationSubpage},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			tbl, err := c.fn()
+			if err != nil {
+				t.Fatalf("%s: %v", c.name, err)
+			}
+			checkGolden(t, c.name, tbl.Render())
+		})
+	}
+}

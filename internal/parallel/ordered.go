@@ -1,0 +1,46 @@
+package parallel
+
+import (
+	"io"
+	"sync"
+)
+
+// OrderedWriter streams per-task lines to w in task-index order no
+// matter in which order workers complete them: a line is held until
+// every lower-indexed line has been written. It is the progress-stream
+// counterpart of Map's deterministic merge — with it, a sharded run's
+// -v output is byte-identical to the serial run's at any worker count.
+// With a nil w it is a no-op.
+type OrderedWriter struct {
+	mu      sync.Mutex
+	w       io.Writer
+	next    int
+	pending map[int]string
+}
+
+// NewOrderedWriter returns an OrderedWriter streaming to w (nil for a
+// no-op writer).
+func NewOrderedWriter(w io.Writer) *OrderedWriter {
+	return &OrderedWriter{w: w, pending: map[int]string{}}
+}
+
+// Emit submits task i's line. Lines may arrive in any order; each is
+// written exactly once, in index order. Every index from 0 upward must
+// eventually be emitted or later lines stay queued.
+func (o *OrderedWriter) Emit(i int, line string) {
+	if o.w == nil {
+		return
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.pending[i] = line
+	for {
+		l, ok := o.pending[o.next]
+		if !ok {
+			return
+		}
+		delete(o.pending, o.next)
+		io.WriteString(o.w, l)
+		o.next++
+	}
+}

@@ -1,0 +1,314 @@
+package userrt_test
+
+// Behavioral tests for the user runtime: these boot the full machine
+// and drive the prelude's handler paths end to end — repeated handler
+// entry, the frame-page contract, the no-kernel return path, and the
+// vectored dispatch variant.
+
+import (
+	"testing"
+
+	"uexc/internal/arch"
+	"uexc/internal/core"
+	"uexc/internal/kernel"
+)
+
+func boot(t *testing.T, src string) *core.Machine {
+	t.Helper()
+	m, err := core.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadProgram(src); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestFastHandlerReentry: the general fast handler must be re-enterable
+// back to back — three breakpoints, each delivered to user level and
+// resumed via xret — while preserving every register class it claims to
+// save (callee-saved, caller-saved temporaries, HI/LO).
+func TestFastHandlerReentry(t *testing.T) {
+	m := boot(t, `
+main:
+	addiu sp, sp, -16
+	sw    ra, 0(sp)
+	la    t0, __skip_handler
+	la    t1, __fexc_chandler
+	sw    t0, 0(t1)
+	la    a0, __fexc_low
+	li    a1, 1 << 9          # Bp
+	jal   __uexc_enable
+	nop
+	li    s0, 0x1111
+	li    s7, 0x2222
+	li    t8, 0x3333
+	li    t9, 0x4444
+	li    t2, 0x5a5a
+	mthi  t2
+	li    t2, 0xa5a5
+	mtlo  t2
+	break
+	break
+	break
+	# Any clobber becomes a nonzero exit status.
+	li    v0, 0
+	li    t3, 0x1111
+	bne   s0, t3, bad
+	nop
+	li    t3, 0x2222
+	bne   s7, t3, bad
+	nop
+	li    t3, 0x3333
+	bne   t8, t3, bad
+	nop
+	li    t3, 0x4444
+	bne   t9, t3, bad
+	nop
+	mfhi  t4
+	li    t3, 0x5a5a
+	bne   t4, t3, bad
+	nop
+	mflo  t4
+	li    t3, 0xa5a5
+	bne   t4, t3, bad
+	nop
+	lw    ra, 0(sp)
+	addiu sp, sp, 16
+	jr    ra
+	nop
+bad:
+	li    v0, 1
+	lw    ra, 0(sp)
+	addiu sp, sp, 16
+	jr    ra
+	nop
+`)
+	if err := m.Run(1_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got := m.CPU().ExcCounts[arch.ExcBp]; got != 3 {
+		t.Errorf("Bp exceptions = %d, want 3", got)
+	}
+	// Simple exceptions are delivered entirely by the first-level
+	// assembly (ph_vector): neither delivery counter — both maintained
+	// by the kernel's Go paths — may move.
+	if m.K.Stats.UnixDeliveries != 0 {
+		t.Errorf("unix deliveries = %d, want 0", m.K.Stats.UnixDeliveries)
+	}
+	if m.K.Stats.FastFallbacks != 0 {
+		t.Errorf("fast fallbacks = %d, want 0", m.K.Stats.FastFallbacks)
+	}
+}
+
+// TestReturnWithoutKernel: a fast-delivered handler resumes via xret,
+// never re-entering the kernel — the only syscalls in the whole run are
+// the uexc_enable and the final exit. A sigreturn sneaking into the
+// resume path would show up as a third.
+func TestReturnWithoutKernel(t *testing.T) {
+	m := boot(t, `
+main:
+	addiu sp, sp, -16
+	sw    ra, 0(sp)
+	la    t0, __skip_handler
+	la    t1, __fexc_chandler
+	sw    t0, 0(t1)
+	la    a0, __fexc_low
+	li    a1, 1 << 9
+	jal   __uexc_enable
+	nop
+	break
+	li    v0, 0
+	lw    ra, 0(sp)
+	addiu sp, sp, 16
+	jr    ra
+	nop
+`)
+	if err := m.Run(1_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got := m.CPU().ExcCounts[arch.ExcSys]; got != 2 {
+		t.Errorf("syscalls = %d, want exactly 2 (uexc_enable + exit)", got)
+	}
+	if got := m.CPU().ExcCounts[arch.ExcBp]; got != 1 {
+		t.Errorf("Bp exceptions = %d, want 1", got)
+	}
+	if m.K.Stats.UnixDeliveries != 0 {
+		t.Errorf("unix deliveries = %d, want 0", m.K.Stats.UnixDeliveries)
+	}
+}
+
+// TestFramePageLayout: the C-level handler is entered with a0 = the
+// pinned frame page, and the kernel's first-level save put EPC, Cause,
+// and the faulting registers where the layout constants say.
+func TestFramePageLayout(t *testing.T) {
+	m := boot(t, `
+main:
+	addiu sp, sp, -16
+	sw    ra, 0(sp)
+	la    t0, probe_handler
+	la    t1, __fexc_chandler
+	sw    t0, 0(t1)
+	la    a0, __fexc_low
+	li    a1, 1 << 9
+	jal   __uexc_enable
+	nop
+	li    t5, 0x77770001      # lands in the frame's FrT5 slot
+bp1:
+	break
+	li    v0, 0
+	lw    ra, 0(sp)
+	addiu sp, sp, 16
+	jr    ra
+	nop
+
+# probe_handler records the frame VA and selected frame words, then
+# advances the resume PC past the break.
+probe_handler:
+	la    t6, probe_out
+	sw    a0, 0(t6)
+	lw    t7, 0x00(a0)        # FrEPC
+	sw    t7, 4(t6)
+	lw    t7, 0x04(a0)        # FrCause
+	sw    t7, 8(t6)
+	lw    t7, 0x40(a0)        # FrT5
+	sw    t7, 12(t6)
+	lw    t7, 0x00(a0)
+	addiu t7, t7, 4
+	sw    t7, 0x00(a0)
+	jr    ra
+	nop
+
+	.align 4
+probe_out:
+	.word 0, 0, 0, 0
+`)
+	if err := m.Run(1_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := m.Sym("probe_out")
+	word := func(off uint32) uint32 {
+		v, ok := m.K.ReadUserWord(out + off)
+		if !ok {
+			t.Fatalf("probe_out+%d unreadable", off)
+		}
+		return v
+	}
+	// Each exception code gets its own 128-byte frame within the pinned
+	// page (ph_compat: frame offset = code * 128).
+	wantFrame := uint32(kernel.UserFrameVA) + arch.ExcBp*128
+	if got := word(0); got != wantFrame {
+		t.Errorf("handler entered with frame VA %#x, want %#x", got, wantFrame)
+	}
+	if got, want := word(4), m.Sym("bp1"); got != want {
+		t.Errorf("FrEPC = %#x, want break address %#x", got, want)
+	}
+	if got := (word(8) >> 2) & 31; got != arch.ExcBp {
+		t.Errorf("FrCause code = %d, want %d (Bp)", got, arch.ExcBp)
+	}
+	if got := word(12); got != 0x77770001 {
+		t.Errorf("FrT5 = %#x, want the sentinel 0x77770001", got)
+	}
+}
+
+// TestVectoredDispatch: the __fexc_vec variant selects the C handler
+// from the per-exception table — a breakpoint and an unaligned load
+// must land in different handlers.
+func TestVectoredDispatch(t *testing.T) {
+	m := boot(t, `
+main:
+	addiu sp, sp, -16
+	sw    ra, 0(sp)
+	la    t0, __fexc_vtable
+	la    t1, bp_handler
+	sw    t1, 36(t0)          # slot 9 (Bp)
+	la    t1, adel_handler
+	sw    t1, 16(t0)          # slot 4 (AdEL)
+	la    a0, __fexc_vec
+	li    a1, (1 << 9) | (1 << 4)
+	jal   __uexc_enable
+	nop
+	break
+	la    t3, vec_out
+	lw    t4, 2(t3)           # AdEL: address % 4 != 0
+	li    v0, 0
+	lw    ra, 0(sp)
+	addiu sp, sp, 16
+	jr    ra
+	nop
+
+bp_handler:
+	la    t6, vec_out
+	li    t7, 0xaa
+	sw    t7, 0(t6)
+	lw    t7, 0x00(a0)
+	addiu t7, t7, 4
+	sw    t7, 0x00(a0)
+	jr    ra
+	nop
+
+adel_handler:
+	la    t6, vec_out
+	li    t7, 0xbb
+	sw    t7, 4(t6)
+	lw    t7, 0x00(a0)
+	addiu t7, t7, 4
+	sw    t7, 0x00(a0)
+	jr    ra
+	nop
+
+	.align 4
+vec_out:
+	.word 0, 0
+`)
+	if err := m.Run(1_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := m.Sym("vec_out")
+	if v, _ := m.K.ReadUserWord(out); v != 0xaa {
+		t.Errorf("Bp vector slot handler marker = %#x, want 0xaa", v)
+	}
+	if v, _ := m.K.ReadUserWord(out + 4); v != 0xbb {
+		t.Errorf("AdEL vector slot handler marker = %#x, want 0xbb", v)
+	}
+	if m.K.Stats.UnixDeliveries != 0 {
+		t.Errorf("unix deliveries = %d, want 0", m.K.Stats.UnixDeliveries)
+	}
+}
+
+// TestTrampolineReentry: the Unix trampoline path must also be
+// re-enterable — two breakpoints, each a full sendsig/handler/sigreturn
+// round trip.
+func TestTrampolineReentry(t *testing.T) {
+	m := boot(t, `
+main:
+	addiu sp, sp, -16
+	sw    ra, 0(sp)
+	li    a0, 5               # SIGTRAP
+	la    a1, __skip_sig_handler
+	la    a2, __sig_trampoline
+	li    v0, SYS_sigaction
+	syscall
+	nop
+	break
+	break
+	li    v0, 0
+	lw    ra, 0(sp)
+	addiu sp, sp, 16
+	jr    ra
+	nop
+`)
+	if err := m.Run(1_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got := m.CPU().ExcCounts[arch.ExcBp]; got != 2 {
+		t.Errorf("Bp exceptions = %d, want 2", got)
+	}
+	if got := m.K.Stats.UnixDeliveries; got != 2 {
+		t.Errorf("unix deliveries = %d, want 2", got)
+	}
+	if m.K.Stats.FastDeliveries != 0 {
+		t.Errorf("fast deliveries = %d, want 0", m.K.Stats.FastDeliveries)
+	}
+}
