@@ -11,7 +11,7 @@ GO ?= go
 # durably improves; never lower it to make a change pass.
 COVER_MIN ?= 86.0
 
-.PHONY: all build test vet check cover campaign bench-campaign fuzz clean
+.PHONY: all build test vet check cover campaign bench-campaign bench-cpu fuzz clean
 
 all: build
 
@@ -51,6 +51,13 @@ campaign:
 # trajectory (see EXPERIMENTS.md).
 bench-campaign:
 	$(GO) test -run '^$$' -bench 'BenchmarkCampaign(Serial|Parallel)' -benchtime 5x .
+
+# Interpreter fast-path benchmarks: raw step loop and memcpy-style
+# workload throughput (sim_MIPS) plus the serial campaign the DESIGN
+# §10 speedup claim is measured on. Before/after numbers for the
+# fast-path change are recorded in BENCH_cpu.json.
+bench-cpu:
+	$(GO) test -run '^$$' -bench 'Benchmark(StepLoop|MemcpyProgram|CampaignSerial)' -benchtime 2s .
 
 # Short coverage-guided fuzzing burst on the decoder and assembler.
 fuzz:

@@ -33,6 +33,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 
 	dt "uexc/internal/difftest"
 	"uexc/internal/harness"
@@ -78,9 +79,36 @@ func run(args []string, stdout, stderr io.Writer) error {
 		seeds     = fs.Int("seeds", 30, "number of campaign seeds")
 		workers   = fs.Int("parallel", runtime.NumCPU(), "worker goroutines for sharded runs (0 = all CPUs)")
 		verbose   = fs.Bool("v", false, "per-run fault-campaign progress")
+		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fmt.Errorf("creating -cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("starting CPU profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			return fmt.Errorf("creating -memprofile: %w", err)
+		}
+		defer func() {
+			runtime.GC() // flush unreachable allocations before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(stderr, "uexc-bench: writing -memprofile: %v\n", err)
+			}
+			f.Close()
+		}()
 	}
 
 	if !*all && *table == 0 && *figure == 0 && !*trace && !*ablations && !*campaign && !*difftest {

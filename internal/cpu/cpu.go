@@ -124,6 +124,23 @@ type CPU struct {
 	Mem *mem.Memory
 	TLB *tlb.TLB
 
+	// NoFastPath disables the micro-TLB / predecoded-instruction /
+	// direct-page fast paths (fastpath.go), forcing every access down
+	// the uncached interpreter path. The fast path is observationally
+	// transparent, so this only changes speed; tests flip it to verify
+	// exactly that.
+	NoFastPath bool
+
+	// Micro-TLBs and the predecoded instruction cache (fastpath.go).
+	itlb      [microEntries]utlbEntry
+	dtlb      [microEntries]utlbEntry
+	itlbClock uint8
+	dtlbClock uint8
+	microGen  uint64 // TLB.Gen the micro-TLBs were last synced to
+	ipages    map[uint32]*pageInsts
+	lastIPfn  uint32 // instsFor memo: pfn+1 (0 = empty)
+	lastIPi   *pageInsts
+
 	Cost   CostModel
 	Cycles uint64
 	Insts  uint64
@@ -179,6 +196,11 @@ type CPU struct {
 	// redirect marks that execute() replaced PC/NPC itself (XRET, RFE
 	// return paths that must bypass the fall-through update).
 	redirect bool
+	// execNPC/execBranch carry the control-flow result out of execute():
+	// the instruction after the delay slot and whether a branch was taken
+	// (scratch state valid only within one Step).
+	execNPC    uint32
+	execBranch bool
 	// pendingHookErr carries an HCALL hook failure out of execute().
 	pendingHookErr error
 }
@@ -203,6 +225,7 @@ func (c *CPU) Reset() {
 	c.XT, c.XC, c.XB = 0, 0, 0
 	c.Halted = false
 	c.prevWasBranch = false
+	c.flushMicroTLB()
 }
 
 // ResetAll restores the CPU to its as-constructed state: architectural
@@ -226,6 +249,14 @@ func (c *CPU) ResetAll() {
 	c.Trace = nil
 	c.redirect = false
 	c.pendingHookErr = nil
+	c.NoFastPath = false
+	c.itlbClock, c.dtlbClock = 0, 0
+	c.microGen = 0
+	// ipages is deliberately kept: predecoded instructions are keyed by
+	// physical page and validated against the page's store generation,
+	// which Memory.Reset advances, so entries from a previous run can
+	// never leak stale decodes — and pooled machines skip re-decoding
+	// the shared kernel text on every recycle.
 }
 
 // Charge adds cycles outside normal instruction accounting; used by the
@@ -271,8 +302,11 @@ const (
 )
 
 // translate maps a virtual address to physical for the given access
-// kind, raising the architectural exception on failure.
-func (c *CPU) translate(va uint32, kind AccessKind) (uint32, *excSignal) {
+// kind, raising the architectural exception on failure. On success it
+// also describes the translation for micro-TLB filling: whether it went
+// through the TLB (counted, for hit statistics) and whether it permits
+// stores.
+func (c *CPU) translate(va uint32, kind AccessKind) (uint32, fillInfo, *excSignal) {
 	user := !c.KernelMode()
 	loadCode, storeCode := arch.ExcAdEL, arch.ExcAdES
 	switch {
@@ -283,35 +317,36 @@ func (c *CPU) translate(va uint32, kind AccessKind) (uint32, *excSignal) {
 			if kind == AccStore {
 				code = arch.ExcTLBS
 			}
-			return 0, excAddr(code, va, true)
+			return 0, fillInfo{}, excAddr(code, va, true)
 		}
 		if !e.Valid() {
 			code := arch.ExcTLBL
 			if kind == AccStore {
 				code = arch.ExcTLBS
 			}
-			return 0, excAddr(code, va, false)
+			return 0, fillInfo{}, excAddr(code, va, false)
 		}
 		if kind == AccStore && !e.Writable() {
-			return 0, excAddr(arch.ExcMod, va, false)
+			return 0, fillInfo{}, excAddr(arch.ExcMod, va, false)
 		}
-		return e.PFN()<<arch.PageShift | va&(arch.PageSize-1), nil
+		return e.PFN()<<arch.PageShift | va&(arch.PageSize-1),
+			fillInfo{counted: true, writable: e.Writable()}, nil
 	case arch.InKSeg0(va), arch.InKSeg1(va):
 		if user {
 			code := loadCode
 			if kind == AccStore {
 				code = storeCode
 			}
-			return 0, excAddr(code, va, false)
+			return 0, fillInfo{}, excAddr(code, va, false)
 		}
-		return arch.KSegPhys(va), nil
+		return arch.KSegPhys(va), fillInfo{counted: false, writable: true}, nil
 	default: // kseg2: kernel, mapped
 		if user {
 			code := loadCode
 			if kind == AccStore {
 				code = storeCode
 			}
-			return 0, excAddr(code, va, false)
+			return 0, fillInfo{}, excAddr(code, va, false)
 		}
 		e, _, ok := c.TLB.Lookup(va, c.ASID())
 		if !ok || !e.Valid() {
@@ -319,12 +354,13 @@ func (c *CPU) translate(va uint32, kind AccessKind) (uint32, *excSignal) {
 			if kind == AccStore {
 				code = arch.ExcTLBS
 			}
-			return 0, excAddr(code, va, false)
+			return 0, fillInfo{}, excAddr(code, va, false)
 		}
 		if kind == AccStore && !e.Writable() {
-			return 0, excAddr(arch.ExcMod, va, false)
+			return 0, fillInfo{}, excAddr(arch.ExcMod, va, false)
 		}
-		return e.PFN()<<arch.PageShift | va&(arch.PageSize-1), nil
+		return e.PFN()<<arch.PageShift | va&(arch.PageSize-1),
+			fillInfo{counted: true, writable: e.Writable()}, nil
 	}
 }
 
@@ -332,7 +368,13 @@ func (c *CPU) loadWord(va uint32) (uint32, *excSignal) {
 	if va&3 != 0 {
 		return 0, excAddr(arch.ExcAdEL, va, false)
 	}
-	pa, sig := c.translate(va, AccLoad)
+	if e := c.dtlbLookup(va, false); e != nil {
+		if e.counted {
+			c.TLB.Hits++
+		}
+		return e.page.Word(va), nil
+	}
+	pa, fi, sig := c.translate(va, AccLoad)
 	if sig != nil {
 		return 0, sig
 	}
@@ -340,6 +382,7 @@ func (c *CPU) loadWord(va uint32) (uint32, *excSignal) {
 	if err != nil {
 		return 0, excAddr(arch.ExcDBE, va, false)
 	}
+	c.fillDTLB(va, pa, fi)
 	return v, nil
 }
 
@@ -347,7 +390,13 @@ func (c *CPU) loadHalf(va uint32) (uint16, *excSignal) {
 	if va&1 != 0 {
 		return 0, excAddr(arch.ExcAdEL, va, false)
 	}
-	pa, sig := c.translate(va, AccLoad)
+	if e := c.dtlbLookup(va, false); e != nil {
+		if e.counted {
+			c.TLB.Hits++
+		}
+		return e.page.Half(va), nil
+	}
+	pa, fi, sig := c.translate(va, AccLoad)
 	if sig != nil {
 		return 0, sig
 	}
@@ -355,11 +404,18 @@ func (c *CPU) loadHalf(va uint32) (uint16, *excSignal) {
 	if err != nil {
 		return 0, excAddr(arch.ExcDBE, va, false)
 	}
+	c.fillDTLB(va, pa, fi)
 	return v, nil
 }
 
 func (c *CPU) loadByte(va uint32) (uint8, *excSignal) {
-	pa, sig := c.translate(va, AccLoad)
+	if e := c.dtlbLookup(va, false); e != nil {
+		if e.counted {
+			c.TLB.Hits++
+		}
+		return e.page.Byte(va), nil
+	}
+	pa, fi, sig := c.translate(va, AccLoad)
 	if sig != nil {
 		return 0, sig
 	}
@@ -367,6 +423,7 @@ func (c *CPU) loadByte(va uint32) (uint8, *excSignal) {
 	if err != nil {
 		return 0, excAddr(arch.ExcDBE, va, false)
 	}
+	c.fillDTLB(va, pa, fi)
 	return v, nil
 }
 
@@ -374,7 +431,15 @@ func (c *CPU) storeWord(va, v uint32) *excSignal {
 	if va&3 != 0 {
 		return excAddr(arch.ExcAdES, va, false)
 	}
-	pa, sig := c.translate(va, AccStore)
+	if e := c.dtlbLookup(va, true); e != nil {
+		if e.counted {
+			c.TLB.Hits++
+		}
+		e.page.SetWord(va, v)
+		c.MemWrites++
+		return nil
+	}
+	pa, fi, sig := c.translate(va, AccStore)
 	if sig != nil {
 		return sig
 	}
@@ -382,6 +447,7 @@ func (c *CPU) storeWord(va, v uint32) *excSignal {
 		return excAddr(arch.ExcDBE, va, false)
 	}
 	c.MemWrites++
+	c.fillDTLB(va, pa, fi)
 	return nil
 }
 
@@ -389,7 +455,15 @@ func (c *CPU) storeHalf(va uint32, v uint16) *excSignal {
 	if va&1 != 0 {
 		return excAddr(arch.ExcAdES, va, false)
 	}
-	pa, sig := c.translate(va, AccStore)
+	if e := c.dtlbLookup(va, true); e != nil {
+		if e.counted {
+			c.TLB.Hits++
+		}
+		e.page.SetHalf(va, v)
+		c.MemWrites++
+		return nil
+	}
+	pa, fi, sig := c.translate(va, AccStore)
 	if sig != nil {
 		return sig
 	}
@@ -397,11 +471,20 @@ func (c *CPU) storeHalf(va uint32, v uint16) *excSignal {
 		return excAddr(arch.ExcDBE, va, false)
 	}
 	c.MemWrites++
+	c.fillDTLB(va, pa, fi)
 	return nil
 }
 
 func (c *CPU) storeByte(va uint32, v uint8) *excSignal {
-	pa, sig := c.translate(va, AccStore)
+	if e := c.dtlbLookup(va, true); e != nil {
+		if e.counted {
+			c.TLB.Hits++
+		}
+		e.page.SetByte(va, v)
+		c.MemWrites++
+		return nil
+	}
+	pa, fi, sig := c.translate(va, AccStore)
 	if sig != nil {
 		return sig
 	}
@@ -409,6 +492,7 @@ func (c *CPU) storeByte(va uint32, v uint8) *excSignal {
 		return excAddr(arch.ExcDBE, va, false)
 	}
 	c.MemWrites++
+	c.fillDTLB(va, pa, fi)
 	return nil
 }
 
@@ -515,18 +599,47 @@ func (c *CPU) Step() error {
 		c.raise(excAddr(arch.ExcAdEL, instPC, false), instPC, inDelay)
 		return nil
 	}
-	pa, sig := c.translate(instPC, AccFetch)
-	if sig != nil {
-		c.raise(sig, instPC, inDelay)
-		return nil
+	var inst arch.Inst
+	if e := c.itlbLookup(instPC); e != nil {
+		if e.counted {
+			c.TLB.Hits++
+		}
+		// Manually inlined pageInsts.fetch: this is the hottest line of
+		// the whole simulator.
+		pi := e.insts
+		w := instPC & (arch.PageSize - 1) >> 2
+		if g := e.page.Gen(); pi.gen == g && pi.filled[w>>6]&(1<<(w&63)) != 0 {
+			inst = pi.insts[w]
+		} else {
+			inst = pi.fetch(e.page, instPC)
+		}
+	} else {
+		pa, fi, sig := c.translate(instPC, AccFetch)
+		if sig != nil {
+			c.raise(sig, instPC, inDelay)
+			return nil
+		}
+		if pg := c.Mem.PageRef(pa); pg != nil && !c.NoFastPath {
+			// Decode through the predecode cache even when the micro-TLBs
+			// are bypassed (InjectMiss installed): decoding is pure and
+			// the cache is generation-checked, so the result is identical.
+			pi := c.instsFor(pa, pg)
+			w := pa & (arch.PageSize - 1) >> 2
+			if g := pg.Gen(); pi.gen == g && pi.filled[w>>6]&(1<<(w&63)) != 0 {
+				inst = pi.insts[w]
+			} else {
+				inst = pi.fetch(pg, instPC)
+			}
+			c.fillITLB(instPC, fi, pg, pi)
+		} else {
+			w, err := c.Mem.LoadWord(pa)
+			if err != nil {
+				c.raise(excAddr(arch.ExcIBE, instPC, false), instPC, inDelay)
+				return nil
+			}
+			inst = arch.Decode(w)
+		}
 	}
-	w, err := c.Mem.LoadWord(pa)
-	if err != nil {
-		c.raise(excAddr(arch.ExcIBE, instPC, false), instPC, inDelay)
-		return nil
-	}
-
-	inst := arch.Decode(w)
 	c.Insts++
 	c.Cycles += c.Cost.Inst
 	if c.CountPCs {
@@ -536,16 +649,13 @@ func (c *CPU) Step() error {
 		c.PCCounts[instPC]++
 	}
 
-	// Default control flow: fall through to NPC.
-	nextPC, nextNPC := c.NPC, c.NPC+4
-	wasBranch := false
-	branchTo := func(target uint32) {
-		nextNPC = target
-		wasBranch = true
-	}
+	// Default control flow: fall through to NPC; execute's branch cases
+	// redirect execNPC via branchTo.
+	nextPC := c.NPC
+	c.execNPC = c.NPC + 4
+	c.execBranch = false
 
-	sig = c.execute(inst, instPC, branchTo)
-	if sig != nil {
+	if sig := c.execute(&inst, instPC); sig != nil {
 		// Faulting instruction has no architectural effect; deliver.
 		c.raise(sig, instPC, inDelay)
 		return nil
@@ -559,10 +669,17 @@ func (c *CPU) Step() error {
 		return c.hookErr()
 	}
 
-	c.PC, c.NPC = nextPC, nextNPC
-	c.prevWasBranch = wasBranch
+	c.PC, c.NPC = nextPC, c.execNPC
+	c.prevWasBranch = c.execBranch
 	c.GPR[0] = 0
 	return c.hookErr()
+}
+
+// branchTo redirects the instruction after the delay slot; called by
+// execute's branch and jump cases.
+func (c *CPU) branchTo(target uint32) {
+	c.execNPC = target
+	c.execBranch = true
 }
 
 func (c *CPU) hookErr() error {

@@ -18,7 +18,7 @@ func (c *CPU) SetPC(pc uint32) {
 // if the instruction faults (in which case it must have had no
 // architectural effect). branchTo schedules a control transfer after
 // the delay slot.
-func (c *CPU) execute(i arch.Inst, pc uint32, branchTo func(uint32)) *excSignal {
+func (c *CPU) execute(i *arch.Inst, pc uint32) *excSignal {
 	g := &c.GPR
 	rs, rt, rd := g[i.Rs], g[i.Rt], &g[i.Rd]
 
@@ -42,15 +42,15 @@ func (c *CPU) execute(i arch.Inst, pc uint32, branchTo func(uint32)) *excSignal 
 
 	// --- jumps ---
 	case arch.MnJR:
-		branchTo(rs)
+		c.branchTo(rs)
 	case arch.MnJALR:
 		*rd = pc + 8
-		branchTo(rs)
+		c.branchTo(rs)
 	case arch.MnJ:
-		branchTo(arch.JumpTarget(pc, i.Target))
+		c.branchTo(arch.JumpTarget(pc, i.Target))
 	case arch.MnJAL:
 		g[arch.RegRA] = pc + 8
-		branchTo(arch.JumpTarget(pc, i.Target))
+		c.branchTo(arch.JumpTarget(pc, i.Target))
 
 	// --- traps ---
 	case arch.MnSYSCALL:
@@ -124,37 +124,37 @@ func (c *CPU) execute(i arch.Inst, pc uint32, branchTo func(uint32)) *excSignal 
 	// --- branches ---
 	case arch.MnBLTZ:
 		if int32(rs) < 0 {
-			branchTo(arch.BranchTarget(pc, i.Imm))
+			c.branchTo(arch.BranchTarget(pc, i.Imm))
 		}
 	case arch.MnBGEZ:
 		if int32(rs) >= 0 {
-			branchTo(arch.BranchTarget(pc, i.Imm))
+			c.branchTo(arch.BranchTarget(pc, i.Imm))
 		}
 	case arch.MnBLTZAL:
 		g[arch.RegRA] = pc + 8
 		if int32(rs) < 0 {
-			branchTo(arch.BranchTarget(pc, i.Imm))
+			c.branchTo(arch.BranchTarget(pc, i.Imm))
 		}
 	case arch.MnBGEZAL:
 		g[arch.RegRA] = pc + 8
 		if int32(rs) >= 0 {
-			branchTo(arch.BranchTarget(pc, i.Imm))
+			c.branchTo(arch.BranchTarget(pc, i.Imm))
 		}
 	case arch.MnBEQ:
 		if rs == rt {
-			branchTo(arch.BranchTarget(pc, i.Imm))
+			c.branchTo(arch.BranchTarget(pc, i.Imm))
 		}
 	case arch.MnBNE:
 		if rs != rt {
-			branchTo(arch.BranchTarget(pc, i.Imm))
+			c.branchTo(arch.BranchTarget(pc, i.Imm))
 		}
 	case arch.MnBLEZ:
 		if int32(rs) <= 0 {
-			branchTo(arch.BranchTarget(pc, i.Imm))
+			c.branchTo(arch.BranchTarget(pc, i.Imm))
 		}
 	case arch.MnBGTZ:
 		if int32(rs) > 0 {
-			branchTo(arch.BranchTarget(pc, i.Imm))
+			c.branchTo(arch.BranchTarget(pc, i.Imm))
 		}
 
 	// --- arithmetic/logic, immediate ---
@@ -337,7 +337,7 @@ func (c *CPU) execute(i arch.Inst, pc uint32, branchTo func(uint32)) *excSignal 
 
 // executeCP0 handles privileged system-control instructions; the caller
 // has already verified kernel mode.
-func (c *CPU) executeCP0(i arch.Inst) *excSignal {
+func (c *CPU) executeCP0(i *arch.Inst) *excSignal {
 	switch i.Mn {
 	case arch.MnMFC0:
 		v := c.CP0[i.C0Reg&31]

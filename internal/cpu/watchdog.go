@@ -56,7 +56,12 @@ type Watchdog struct {
 	// spacing between comparisons.
 	Window uint64
 
-	seen       map[uint32]struct{}
+	seen map[uint32]struct{}
+	// seenMemo is a direct-mapped membership cache in front of seen: a
+	// slot holding pc|1 proves pc is in the map (word-aligned PCs make
+	// bit 0 a validity tag). Pure acceleration — a miss falls back to
+	// the map, so detection behavior is bit-for-bit unchanged.
+	seenMemo   [1024]uint32
 	quietSince uint64 // Insts at last sign of progress
 	lastWrites uint64
 	lastCmp    uint64
@@ -77,6 +82,7 @@ func NewWatchdog(window uint64) *Watchdog {
 // Reset forgets all coverage and snapshot state.
 func (w *Watchdog) Reset() {
 	w.seen = make(map[uint32]struct{})
+	w.seenMemo = [1024]uint32{}
 	w.quietSince, w.lastWrites, w.lastCmp = 0, 0, 0
 	w.snapValid = false
 }
@@ -85,11 +91,15 @@ func (w *Watchdog) Reset() {
 // exception); it returns a *LivelockError when a state cycle is proven.
 func (w *Watchdog) Observe(c *CPU) error {
 	pc := c.PC
-	if _, ok := w.seen[pc]; !ok {
-		w.seen[pc] = struct{}{}
-		w.quietSince = c.Insts
-		w.snapValid = false
-		return nil
+	if w.seenMemo[pc>>2&1023] != pc|1 {
+		if _, ok := w.seen[pc]; !ok {
+			w.seen[pc] = struct{}{}
+			w.seenMemo[pc>>2&1023] = pc | 1
+			w.quietSince = c.Insts
+			w.snapValid = false
+			return nil
+		}
+		w.seenMemo[pc>>2&1023] = pc | 1
 	}
 	if c.MemWrites != w.lastWrites {
 		w.lastWrites = c.MemWrites

@@ -201,7 +201,12 @@ func diff(base, other *ModeRun) []string {
 // invocation count. Mode errors surface as violations too: a program
 // that fails anywhere cannot witness equivalence.
 func CheckSeed(pool *core.MachinePool, seed int64) (divergences []string, entries uint64) {
-	p := progen.Generate(seed)
+	return CheckProgram(pool, progen.Generate(seed))
+}
+
+// CheckProgram is CheckSeed for a caller-built program — the fuzzer
+// uses it to graft extra stanzas (the SMC probe) onto generated seeds.
+func CheckProgram(pool *core.MachinePool, p *progen.Program) (divergences []string, entries uint64) {
 	runs := make([]ModeRun, len(Modes))
 	for i, mode := range Modes {
 		runs[i] = runMode(pool, p, mode, false)

@@ -119,13 +119,47 @@ func generateFaulting(t *testing.T) *progen.Program {
 // run cleanly in any mode — is a finding.
 func FuzzDiffModes(f *testing.F) {
 	for _, seed := range []int64{0, 1, 7, 11, 42, 1 << 32, -1} {
-		f.Add(seed)
+		f.Add(seed, false)
 	}
+	// SMC probes: the same generated programs with a self-modifying-code
+	// stanza appended, pinning the interpreter's predecode invalidation.
+	f.Add(int64(0), true)
+	f.Add(int64(42), true)
 	pool := &core.MachinePool{}
-	f.Fuzz(func(t *testing.T, seed int64) {
-		divs, _ := CheckSeed(pool, seed)
+	f.Fuzz(func(t *testing.T, seed int64, smc bool) {
+		p := progen.Generate(seed)
+		if smc {
+			p.Extra = progen.SMCStanza
+		}
+		divs, _ := CheckProgram(pool, p)
 		for _, d := range divs {
-			t.Errorf("seed %d: %s", seed, d)
+			t.Errorf("seed %d (smc=%v): %s", seed, smc, d)
 		}
 	})
+}
+
+// TestSMCStanzaObservesPatch proves the self-modifying-code probe has
+// teeth: the patched thunk must contribute 7 from the first call and
+// 1234 from the second (patched) instruction to the s1 accumulator.
+// An interpreter serving stale predecoded instructions would add 7
+// twice — in every mode at once, which cross-mode diffing alone cannot
+// see.
+func TestSMCStanzaObservesPatch(t *testing.T) {
+	pool := &core.MachinePool{}
+	const seed = 3
+	base := progen.Generate(seed)
+	smc := progen.Generate(seed)
+	smc.Extra = progen.SMCStanza
+
+	for _, mode := range Modes {
+		rb := runMode(pool, base, mode, false)
+		rs := runMode(pool, smc, mode, false)
+		if rb.Err != "" || rs.Err != "" {
+			t.Fatalf("[%s] run errors: base=%q smc=%q", mode, rb.Err, rs.Err)
+		}
+		const s1 = 17
+		if got := rs.GPR[s1] - rb.GPR[s1]; got != 7+1234 {
+			t.Errorf("[%s] smc accumulator delta = %d, want %d (stale decode?)", mode, got, 7+1234)
+		}
+	}
 }

@@ -29,25 +29,41 @@ func (k *Kernel) SelfCheck() error {
 	}
 	const ptesPerPage = arch.PageSize / 4
 	for _, p := range k.procs {
+		if p.ptScanGen == nil {
+			p.ptScanGen = make([]uint64, UserPTEntries/ptesPerPage)
+		}
 		for base := uint32(0); base < UserPTEntries; base += ptesPerPage {
-			if !k.Mem.PageBacked(arch.KSegPhys(p.pteAddr(base))) {
+			// Scan each backed page-table page through its page handle:
+			// same words in the same order as loadKernelWord, without the
+			// per-word translation and error plumbing (a backed page below
+			// FramePhysBase can never bus-error). This check runs after
+			// every injected fault, so its constant factor matters: a page
+			// that passed at its current generation is skipped (see
+			// Proc.ptScanGen), so the steady-state cost tracks page-table
+			// churn, not table size.
+			pg := k.Mem.PageRef(arch.KSegPhys(p.pteAddr(base)))
+			if pg == nil {
 				continue
 			}
-			for vpn := base; vpn < base+ptesPerPage; vpn++ {
-				pte := k.loadKernelWord(p.pteAddr(vpn))
-				if pte == 0 {
+			memo := &p.ptScanGen[base/ptesPerPage]
+			if *memo == pg.Gen()+1 {
+				continue
+			}
+			for vpn := base; vpn < base+ptesPerPage; vpn += 2 {
+				// Zero PTEs dominate sparse tables; read pairs and skip
+				// zero runs in one compare.
+				pair := pg.Word64((vpn - base) * 4)
+				if pair == 0 {
 					continue
 				}
-				if pte&pteAlloc == 0 {
-					return fmt.Errorf("%w: proc %d vpn %#x: nonzero PTE %#x without alloc bit",
-						ErrInvariant, p.asid, vpn, pte)
+				if err := k.checkPTE(p, vpn, uint32(pair)); err != nil {
+					return err
 				}
-				pa := pte & tlb.LoPFNMask
-				if pa < FramePhysBase || pa >= k.nextFrame {
-					return fmt.Errorf("%w: proc %d vpn %#x: PTE frame %#x outside pool [%#x,%#x)",
-						ErrInvariant, p.asid, vpn, pa, uint32(FramePhysBase), k.nextFrame)
+				if err := k.checkPTE(p, vpn+1, uint32(pair>>32)); err != nil {
+					return err
 				}
 			}
+			*memo = pg.Gen() + 1
 		}
 		if p.framePhys != 0 {
 			pte, ok := p.pte(p.frameVA >> arch.PageShift)
@@ -77,6 +93,24 @@ func (k *Kernel) SelfCheck() error {
 					ErrInvariant, got, p.asid, arch.KSeg0Base+p.framePhys)
 			}
 		}
+	}
+	return nil
+}
+
+// checkPTE validates one page-table entry (zero entries are vacuously
+// fine).
+func (k *Kernel) checkPTE(p *Proc, vpn, pte uint32) error {
+	if pte == 0 {
+		return nil
+	}
+	if pte&pteAlloc == 0 {
+		return fmt.Errorf("%w: proc %d vpn %#x: nonzero PTE %#x without alloc bit",
+			ErrInvariant, p.asid, vpn, pte)
+	}
+	pa := pte & tlb.LoPFNMask
+	if pa < FramePhysBase || pa >= k.nextFrame {
+		return fmt.Errorf("%w: proc %d vpn %#x: PTE frame %#x outside pool [%#x,%#x)",
+			ErrInvariant, p.asid, vpn, pa, uint32(FramePhysBase), k.nextFrame)
 	}
 	return nil
 }

@@ -100,7 +100,7 @@ func (k *Kernel) demoteClass(code uint32) {
 	k.syncClaimMask()
 	k.CPU.UserVector &^= bit
 	k.Stats.FastFallbacks++
-	k.event(fmt.Sprintf("kernel: recursion, demote %s to Ultrix delivery", arch.ExcName(code)))
+	k.eventf("kernel: recursion, demote %s to Ultrix delivery", arch.ExcName(code))
 }
 
 // noteRecursion applies the escalation ladder and reports whether the
@@ -120,8 +120,8 @@ func (k *Kernel) noteRecursion(code, badva uint32) (kill bool) {
 		}
 		p.forceKill = true
 		k.Stats.RecursionKills++
-		k.event(fmt.Sprintf("kernel: unrecoverable recursion (%s), killing process %d",
-			arch.ExcName(code), p.asid))
+		k.eventf("kernel: unrecoverable recursion (%s), killing process %d",
+			arch.ExcName(code), p.asid)
 		return true
 	}
 	return false

@@ -34,7 +34,7 @@ func (k *Kernel) tlbProt() error {
 	inDelay := c.CP0[arch.C0Cause]&arch.CauseBD != 0
 
 	k.Charge(k.Costs.ProtLookup)
-	k.event(fmt.Sprintf("kernel: fast TLB path, %s at va %#x", arch.ExcName(code), badva))
+	k.eventf("kernel: fast TLB path, %s at va %#x", arch.ExcName(code), badva)
 
 	vpn := badva >> arch.PageShift
 	pte, ok := p.pte(vpn)
@@ -154,7 +154,7 @@ func (k *Kernel) scrubTLB(badva uint32) bool {
 	k.TLB.InvalidatePage(vpn, p.asid)
 	k.Stats.TLBScrubs++
 	k.Charge(k.Costs.ProtLookup)
-	k.event(fmt.Sprintf("kernel: TLB entry for va %#x contradicts PTE, scrubbed", badva))
+	k.eventf("kernel: TLB entry for va %#x contradicts PTE, scrubbed", badva)
 	return true
 }
 
@@ -183,7 +183,7 @@ func (k *Kernel) deliverFast(code uint32) {
 	k.syncClaimMask() // gate closed: recursions take the slow path
 	k.Stats.FastDeliveries++
 	k.Stats.ProtFaultsToUser++
-	k.event(fmt.Sprintf("kernel: vector %s to user handler", arch.ExcName(code)))
+	k.eventf("kernel: vector %s to user handler", arch.ExcName(code))
 }
 
 // resumeFast restores the scratch registers the first-level handler

@@ -190,6 +190,15 @@ func (k *Kernel) event(what string) {
 	}
 }
 
+// eventf is event with lazy formatting: campaigns run with tracing off,
+// and exception paths are hot enough that eager fmt.Sprintf at every
+// call site shows up in profiles.
+func (k *Kernel) eventf(format string, args ...any) {
+	if k.TraceEvents {
+		k.Events = append(k.Events, Event{Cycle: k.CPU.Cycles, What: fmt.Sprintf(format, args...)})
+	}
+}
+
 // --- host-side physical/virtual memory helpers ---------------------
 
 // storeKernelWord writes a word at a kseg0 virtual address. A physical

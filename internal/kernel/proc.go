@@ -48,6 +48,14 @@ type Proc struct {
 
 	// Recursion-escalation state (see escalate.go).
 	recursions uint32 // faults taken while a user handler was in progress
+
+	// ptScanGen memoizes SelfCheck's page-table scan: entry i holds
+	// 1 + the Page.Gen under which page-table page i last passed, or 0
+	// for never-validated. A page whose generation is unchanged has
+	// identical PTEs, and the frame-pool bound only grows, so a pass
+	// verdict stays valid until the page is written again. Allocated
+	// lazily by SelfCheck; nil after process setup.
+	ptScanGen []uint64
 	forceKill  bool   // next postSignal must terminate regardless of handlers
 	killReason error  // *MachineError cause chain when escalation killed us
 

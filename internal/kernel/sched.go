@@ -117,7 +117,7 @@ func (k *Kernel) switchIn(i int) {
 	c.CP0[arch.C0Context] = p.ptBase
 	c.CP0[arch.C0EntryHi] = uint32(p.asid) << tlb.HiASIDShft
 	k.Stats.Switches++
-	k.event(fmt.Sprintf("kernel: switch to process %d", p.asid))
+	k.eventf("kernel: switch to process %d", p.asid)
 }
 
 // yield deschedules the current process in favor of the next runnable

@@ -1,10 +1,6 @@
 package kernel
 
-import (
-	"fmt"
-
-	"uexc/internal/arch"
-)
+import "uexc/internal/arch"
 
 // syscallFromTrapframe dispatches a system call: the slow path has
 // saved the full register state, v0 holds the syscall number and a0-a3
@@ -21,7 +17,7 @@ func (k *Kernel) syscallFromTrapframe() error {
 	a2 := tf.reg(arch.RegA2)
 
 	tf.setWord(TfEPC, tf.word(TfEPC)+4)
-	k.event(fmt.Sprintf("kernel: syscall %d", num))
+	k.eventf("kernel: syscall %d", num)
 
 	res := uint32(EOK)
 	switch num {

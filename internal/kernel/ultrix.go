@@ -157,7 +157,7 @@ func (k *Kernel) ultrixTrap() error {
 
 	cause := tf.word(TfCause)
 	code := cause & arch.CauseExcMask >> arch.CauseExcShift
-	k.event(fmt.Sprintf("kernel: trap() decode, exccode=%s", arch.ExcName(code)))
+	k.eventf("kernel: trap() decode, exccode=%s", arch.ExcName(code))
 
 	switch code {
 	case arch.ExcSys:
@@ -289,7 +289,7 @@ func (k *Kernel) pageFaultService(badva, code uint32) (bool, error) {
 func (k *Kernel) postSignal(sig, code, badva uint32) error {
 	p := k.Proc
 	k.Charge(k.Costs.Post)
-	k.event(fmt.Sprintf("kernel: psignal posts signal %d", sig))
+	k.eventf("kernel: psignal posts signal %d", sig)
 
 	k.Charge(k.Costs.Recognize)
 	k.event("kernel: signal recognized on return to user")
@@ -308,7 +308,7 @@ func (k *Kernel) postSignal(sig, code, badva uint32) error {
 	}
 	if handler == 0 {
 		k.Stats.Terminations++
-		k.event(fmt.Sprintf("kernel: no handler, terminating with signal %d", sig))
+		k.eventf("kernel: no handler, terminating with signal %d", sig)
 		k.terminateCurrent(128 + sig)
 		return nil
 	}
@@ -326,18 +326,32 @@ func (k *Kernel) sendsig(handler, sig, code, badva uint32) error {
 	scp := (sp - uint32(TfWords*4) - 16) &^ 7 // sigcontext below current stack
 
 	// Copy the entire trapframe out to user space as the sigcontext.
+	// The destination translation is memoized per page: nothing executes
+	// between iterations, so the PTE cannot change except through the
+	// MapPage retry below, which refreshes the memo.
+	memoVPN, memoBase := ^uint32(0), uint32(0)
 	for i := uint32(0); i < TfWords; i++ {
 		v := tf.word(i * 4)
-		if !k.storeUserWord(scp+i*4, v) {
-			// The stack page may itself be unmapped: map and retry once.
-			if err := p.MapPage(scp+i*4, true, true); err != nil {
-				return fmt.Errorf("kernel: sendsig copyout failed at %#x", scp+i*4)
+		va := scp + i*4
+		if va>>arch.PageShift == memoVPN {
+			if k.Mem.StoreWord(memoBase|va&(arch.PageSize-1), v) == nil {
+				continue
 			}
-			k.Charge(k.Costs.DemandPage)
-			if !k.storeUserWord(scp+i*4, v) {
-				return fmt.Errorf("kernel: sendsig copyout failed at %#x", scp+i*4)
-			}
+			memoVPN = ^uint32(0) // fall through to the uncached path
 		}
+		if pa, ok := k.translateUser(va); ok && k.Mem.StoreWord(pa, v) == nil {
+			memoVPN, memoBase = va>>arch.PageShift, pa&^(arch.PageSize-1)
+			continue
+		}
+		// The stack page may itself be unmapped: map and retry once.
+		if err := p.MapPage(va, true, true); err != nil {
+			return fmt.Errorf("kernel: sendsig copyout failed at %#x", va)
+		}
+		k.Charge(k.Costs.DemandPage)
+		if !k.storeUserWord(va, v) {
+			return fmt.Errorf("kernel: sendsig copyout failed at %#x", va)
+		}
+		memoVPN = ^uint32(0)
 	}
 	k.Charge(k.Costs.Sendsig + uint64(TfWords)*k.Costs.CopyWord)
 
@@ -365,13 +379,30 @@ func (k *Kernel) sigreturn(scp uint32) error {
 	c := k.CPU
 	tf := trapframe{k}
 	var sc [TfWords]uint32
+	// Source translation memoized per page, as in sendsig's copyout.
+	memoVPN, memoBase := ^uint32(0), uint32(0)
 	for i := uint32(0); i < TfWords; i++ {
-		v, ok := k.loadUserWord(scp + i*4)
+		va := scp + i*4
+		var v uint32
+		ok := false
+		if va>>arch.PageShift == memoVPN {
+			if w, err := k.Mem.LoadWord(memoBase | va&(arch.PageSize-1)); err == nil {
+				v, ok = w, true
+			}
+		}
+		if !ok {
+			if pa, transOK := k.translateUser(va); transOK {
+				if w, err := k.Mem.LoadWord(pa); err == nil {
+					v, ok = w, true
+					memoVPN, memoBase = va>>arch.PageShift, pa&^(arch.PageSize-1)
+				}
+			}
+		}
 		if !ok {
 			// A sigreturn pointing at an unreadable sigcontext means the
 			// process corrupted its own stack (or a fault injector did):
 			// like Unix, kill the caller rather than the machine.
-			k.event(fmt.Sprintf("kernel: sigreturn copyin failed at %#x, killing", scp+i*4))
+			k.eventf("kernel: sigreturn copyin failed at %#x, killing", scp+i*4)
 			k.Stats.Terminations++
 			k.terminateCurrent(128 + SIGSEGV)
 			return nil

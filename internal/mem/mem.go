@@ -6,9 +6,22 @@
 // translation, protection, and alignment checking happen in the CPU and
 // TLB. Accesses beyond the configured physical size are bus errors,
 // reported as error values for the CPU to turn into IBE/DBE exceptions.
+//
+// Two fast-path facilities support the interpreter (see DESIGN.md §10):
+//
+//   - Page handles: PageRef exposes the backing page of a physical
+//     address as a *Page whose accessors read and write bytes directly,
+//     so a caller that caches the handle (the CPU's micro-TLBs) skips
+//     the per-access map lookup. Handles never go stale — pages are
+//     allocated once and reused forever, even across Reset.
+//   - Store generations: every mutation of a page advances its Gen
+//     counter, giving the CPU's predecoded instruction cache a precise,
+//     O(1) invalidation signal for self-modifying code, program loads,
+//     and injected memory corruption alike.
 package mem
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 )
@@ -21,44 +34,141 @@ const pageBytes = 1 << pageShift
 // ErrBusError is returned for accesses outside physical memory.
 var ErrBusError = errors.New("mem: bus error")
 
+// Page is the backing store of one physical page. All mutations go
+// through its Set* methods (or the Memory Store* wrappers), which keep
+// the generation counter honest; readers holding a *Page may cache
+// derived state (decoded instructions) keyed by Gen.
+type Page struct {
+	data []byte
+	gen  uint64
+}
+
+// Gen returns the page's store generation: it advances on every write
+// into the page, including Memory.Reset's scrub.
+func (p *Page) Gen() uint64 { return p.gen }
+
+// Byte reads the byte at the given offset within the page.
+func (p *Page) Byte(off uint32) uint8 { return p.data[off&(pageBytes-1)] }
+
+// Half reads a little-endian halfword at an in-page offset; off (mod
+// page size) must be <= pageSize-2, which any half-aligned offset is.
+func (p *Page) Half(off uint32) uint16 {
+	off &= pageBytes - 1
+	return binary.LittleEndian.Uint16(p.data[off:])
+}
+
+// Word reads a little-endian word at an in-page offset; off (mod page
+// size) must be <= pageSize-4, which any word-aligned offset is.
+func (p *Page) Word(off uint32) uint32 {
+	off &= pageBytes - 1
+	return binary.LittleEndian.Uint32(p.data[off:])
+}
+
+// Word64 reads two consecutive little-endian words as one 64-bit value
+// (low word first); off (mod page size) must be <= pageSize-8. Scanners
+// (the kernel's invariant checker) use it to skip zero runs fast.
+func (p *Page) Word64(off uint32) uint64 {
+	off &= pageBytes - 1
+	return binary.LittleEndian.Uint64(p.data[off:])
+}
+
+// SetByte writes one byte and advances the generation.
+func (p *Page) SetByte(off uint32, v uint8) {
+	p.data[off&(pageBytes-1)] = v
+	p.gen++
+}
+
+// SetHalf writes a little-endian halfword (offset rules as Half).
+func (p *Page) SetHalf(off uint32, v uint16) {
+	off &= pageBytes - 1
+	binary.LittleEndian.PutUint16(p.data[off:], v)
+	p.gen++
+}
+
+// SetWord writes a little-endian word (offset rules as Word).
+func (p *Page) SetWord(off uint32, v uint32) {
+	off &= pageBytes - 1
+	binary.LittleEndian.PutUint32(p.data[off:], v)
+	p.gen++
+}
+
+// handleCacheSize is the direct-mapped page-handle cache inside Memory
+// (a power of two). Handles never go stale, so the cache needs no
+// invalidation; it only short-circuits the pfn -> *Page map lookup.
+const handleCacheSize = 8
+
 // Memory is a sparse physical memory of a fixed size. The zero value is
 // unusable; use New.
 type Memory struct {
 	size  uint32
-	pages map[uint32][]byte // page frame number -> backing bytes
+	pages map[uint32]*Page // page frame number -> backing page
+
+	// Direct-mapped handle cache: tag holds pfn+1 (0 = empty slot).
+	cacheTag [handleCacheSize]uint32
+	cachePg  [handleCacheSize]*Page
 }
 
 // New creates a physical memory of the given size in bytes, rounded up
 // to a whole page. Backing pages are allocated on first touch.
 func New(size uint32) *Memory {
 	size = (size + pageBytes - 1) &^ (pageBytes - 1)
-	return &Memory{size: size, pages: make(map[uint32][]byte)}
+	return &Memory{size: size, pages: make(map[uint32]*Page)}
 }
 
 // Size returns the physical memory size in bytes.
 func (m *Memory) Size() uint32 { return m.size }
 
-// Reset zeroes every touched page while keeping the page allocations.
-// Untouched pages read as zero, so a reset memory is observationally
-// identical to a fresh one — this is what lets a machine pool reuse
-// address spaces across simulator runs instead of rebuilding them.
+// Reset zeroes every touched page while keeping the page allocations
+// (and therefore every outstanding *Page handle). Untouched pages read
+// as zero, so a reset memory is observationally identical to a fresh
+// one — this is what lets a machine pool reuse address spaces across
+// simulator runs. Each scrubbed page's generation advances, so cached
+// derivations (predecoded instructions) invalidate precisely.
 func (m *Memory) Reset() {
 	for _, p := range m.pages {
-		clear(p)
+		clear(p.data)
+		p.gen++
 	}
 }
 
-func (m *Memory) page(pa uint32, alloc bool) ([]byte, error) {
+// lookup returns the page holding pfn via the handle cache, or nil if
+// the page is unallocated.
+func (m *Memory) lookup(pfn uint32) *Page {
+	i := pfn & (handleCacheSize - 1)
+	if m.cacheTag[i] == pfn+1 {
+		return m.cachePg[i]
+	}
+	p := m.pages[pfn]
+	if p != nil {
+		m.cacheTag[i], m.cachePg[i] = pfn+1, p
+	}
+	return p
+}
+
+func (m *Memory) page(pa uint32, alloc bool) (*Page, error) {
 	if pa >= m.size {
 		return nil, fmt.Errorf("%w: pa %#x beyond %#x", ErrBusError, pa, m.size)
 	}
 	pfn := pa >> pageShift
-	p := m.pages[pfn]
+	p := m.lookup(pfn)
 	if p == nil && alloc {
-		p = make([]byte, pageBytes)
+		p = &Page{data: make([]byte, pageBytes)}
 		m.pages[pfn] = p
+		m.cacheTag[pfn&(handleCacheSize-1)] = pfn + 1
+		m.cachePg[pfn&(handleCacheSize-1)] = p
 	}
 	return p, nil
+}
+
+// PageRef returns the page handle backing pa, or nil if pa is beyond
+// physical memory or its page has never been touched. The handle stays
+// valid forever (pages survive Reset); content staleness is tracked by
+// Page.Gen.
+func (m *Memory) PageRef(pa uint32) *Page {
+	if pa >= m.size {
+		return nil
+	}
+	return m.lookup(pa >> pageShift)
 }
 
 // LoadByte reads one byte of physical memory.
@@ -70,7 +180,7 @@ func (m *Memory) LoadByte(pa uint32) (uint8, error) {
 	if p == nil {
 		return 0, nil
 	}
-	return p[pa&(pageBytes-1)], nil
+	return p.Byte(pa), nil
 }
 
 // StoreByte writes one byte of physical memory.
@@ -79,13 +189,20 @@ func (m *Memory) StoreByte(pa uint32, v uint8) error {
 	if err != nil {
 		return err
 	}
-	p[pa&(pageBytes-1)] = v
+	p.SetByte(pa, v)
 	return nil
 }
 
 // LoadHalf reads a little-endian halfword. pa must be half-aligned
 // (alignment is checked by the CPU; this is a defensive check).
 func (m *Memory) LoadHalf(pa uint32) (uint16, error) {
+	if pa < m.size-1 && pa&(pageBytes-1) <= pageBytes-2 {
+		p := m.lookup(pa >> pageShift)
+		if p == nil {
+			return 0, nil
+		}
+		return p.Half(pa), nil
+	}
 	lo, err := m.LoadByte(pa)
 	if err != nil {
 		return 0, err
@@ -99,6 +216,14 @@ func (m *Memory) LoadHalf(pa uint32) (uint16, error) {
 
 // StoreHalf writes a little-endian halfword.
 func (m *Memory) StoreHalf(pa uint32, v uint16) error {
+	if pa < m.size-1 && pa&(pageBytes-1) <= pageBytes-2 {
+		p, err := m.page(pa, true)
+		if err != nil {
+			return err
+		}
+		p.SetHalf(pa, v)
+		return nil
+	}
 	if err := m.StoreByte(pa, uint8(v)); err != nil {
 		return err
 	}
@@ -107,14 +232,14 @@ func (m *Memory) StoreHalf(pa uint32, v uint16) error {
 
 // LoadWord reads a little-endian 32-bit word.
 func (m *Memory) LoadWord(pa uint32) (uint32, error) {
-	// Fast path: word within one page.
-	if pa+3 < m.size && pa>>pageShift == (pa+3)>>pageShift {
-		p := m.pages[pa>>pageShift]
+	// Fast path: word in range and within one page (size is at least one
+	// page, so pa < size-3 also rules out pa+3 wrapping).
+	if pa < m.size-3 && pa&(pageBytes-1) <= pageBytes-4 {
+		p := m.lookup(pa >> pageShift)
 		if p == nil {
 			return 0, nil
 		}
-		o := pa & (pageBytes - 1)
-		return uint32(p[o]) | uint32(p[o+1])<<8 | uint32(p[o+2])<<16 | uint32(p[o+3])<<24, nil
+		return p.Word(pa), nil
 	}
 	lo, err := m.LoadHalf(pa)
 	if err != nil {
@@ -129,16 +254,12 @@ func (m *Memory) LoadWord(pa uint32) (uint32, error) {
 
 // StoreWord writes a little-endian 32-bit word.
 func (m *Memory) StoreWord(pa uint32, v uint32) error {
-	if pa+3 < m.size && pa>>pageShift == (pa+3)>>pageShift {
+	if pa < m.size-3 && pa&(pageBytes-1) <= pageBytes-4 {
 		p, err := m.page(pa, true)
 		if err != nil {
 			return err
 		}
-		o := pa & (pageBytes - 1)
-		p[o] = uint8(v)
-		p[o+1] = uint8(v >> 8)
-		p[o+2] = uint8(v >> 16)
-		p[o+3] = uint8(v >> 24)
+		p.SetWord(pa, v)
 		return nil
 	}
 	if err := m.StoreHalf(pa, uint16(v)); err != nil {
@@ -147,12 +268,18 @@ func (m *Memory) StoreWord(pa uint32, v uint32) error {
 	return m.StoreHalf(pa+2, uint16(v>>16))
 }
 
-// Write copies b into physical memory starting at pa.
+// Write copies b into physical memory starting at pa, page by page.
 func (m *Memory) Write(pa uint32, b []byte) error {
-	for i, v := range b {
-		if err := m.StoreByte(pa+uint32(i), v); err != nil {
+	for len(b) > 0 {
+		p, err := m.page(pa, true)
+		if err != nil {
 			return err
 		}
+		off := pa & (pageBytes - 1)
+		n := copy(p.data[off:], b)
+		p.gen++
+		b = b[n:]
+		pa += uint32(n)
 	}
 	return nil
 }
@@ -186,7 +313,9 @@ func (m *Memory) PageBacked(pa uint32) bool {
 
 // CorruptWord XORs mask into the word at pa, modeling a memory
 // single-event upset, and returns the value before and after.
-// internal/faultinject is the only intended caller.
+// internal/faultinject is the only intended caller. The store advances
+// the page generation, so a corrupted code page re-decodes — the upset
+// is architecturally visible exactly as a store would be.
 func (m *Memory) CorruptWord(pa uint32, mask uint32) (before, after uint32, err error) {
 	before, err = m.LoadWord(pa)
 	if err != nil {

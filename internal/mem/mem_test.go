@@ -126,3 +126,68 @@ func TestBulkWriteRead(t *testing.T) {
 		t.Errorf("Write past end err = %v", err)
 	}
 }
+
+func TestPageRefAndGen(t *testing.T) {
+	m := New(4 * pageBytes)
+	if m.PageRef(0x1000) != nil {
+		t.Fatal("PageRef on untouched page should be nil (reads-as-zero stays slow-path)")
+	}
+	if m.PageRef(4*pageBytes) != nil {
+		t.Fatal("PageRef beyond physical memory should be nil")
+	}
+	if err := m.StoreWord(0x1004, 0xdeadbeef); err != nil {
+		t.Fatal(err)
+	}
+	pg := m.PageRef(0x1000)
+	if pg == nil {
+		t.Fatal("PageRef nil after store touched the page")
+	}
+	if got := pg.Word(0x004); got != 0xdeadbeef {
+		t.Fatalf("page word = %#x", got)
+	}
+
+	// Every mutation path must advance the generation: it is the
+	// predecode cache's only invalidation signal.
+	g := pg.Gen()
+	pg.SetByte(0x10, 1)
+	pg.SetHalf(0x12, 2)
+	pg.SetWord(0x14, 3)
+	if pg.Gen() != g+3 {
+		t.Fatalf("gen %d after 3 sets, want %d", pg.Gen(), g+3)
+	}
+	g = pg.Gen()
+	if err := m.Write(0x1000, make([]byte, 2*pageBytes)); err != nil {
+		t.Fatal(err)
+	}
+	if pg.Gen() <= g {
+		t.Fatal("bulk Write did not advance gen of first page")
+	}
+	g = pg.Gen()
+	m.Reset()
+	if pg.Gen() <= g {
+		t.Fatal("Reset scrub did not advance gen")
+	}
+	if m.PageRef(0x1000) != pg {
+		t.Fatal("page handle changed across Reset; cached handles must stay valid")
+	}
+	if got := pg.Word(0x004); got != 0 {
+		t.Fatalf("post-Reset word = %#x, want 0", got)
+	}
+}
+
+func TestPageWord64(t *testing.T) {
+	m := New(pageBytes)
+	if err := m.StoreWord(0x20, 0x11223344); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.StoreWord(0x24, 0x55667788); err != nil {
+		t.Fatal(err)
+	}
+	pg := m.PageRef(0)
+	if got := pg.Word64(0x20); got != 0x55667788_11223344 {
+		t.Fatalf("Word64 = %#x", got)
+	}
+	if got := pg.Word64(0x28); got != 0 {
+		t.Fatalf("Word64 of zero words = %#x", got)
+	}
+}

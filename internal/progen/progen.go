@@ -141,6 +141,13 @@ type Program struct {
 	Episodes []Kind
 	Eager    bool // §3.2.3 eager amplification requested via syscall
 
+	// Extra is appended verbatim after the workload episodes (and before
+	// the epilogue) in every mode's Source. Generate never sets it, so
+	// existing seeds render unchanged; campaign variants (the SMC
+	// differential probe) use it to graft mode-independent stanzas onto
+	// a generated program.
+	Extra string
+
 	workload string // the mode-independent episode text
 }
 
@@ -183,6 +190,7 @@ func (p *Program) Source(mode core.Mode, mutate bool) string {
 	b.WriteString(setupStanza(mode))
 	b.WriteString(zeroRegs)
 	b.WriteString(p.workload)
+	b.WriteString(p.Extra)
 	b.WriteString(epilogue)
 	if mutate {
 		b.WriteString(strings.Replace(policyText, "dt_log_store_cause:\n\tsw    a0, 0(t4)",
@@ -310,6 +318,45 @@ const zeroRegs = `
 // epilogue dumps the oracle-visible register state and exits 0. The
 // raw register file is also compared at halt; the dump makes the
 // callee-saved story visible in the memory image too.
+// SMCStanza is a self-modifying-code episode for Program.Extra: it
+// plants a three-word thunk in the fault arena, calls it, patches its
+// first instruction in place, and calls it again, folding both return
+// values into the s1 accumulator. Every delivery mode must observe the
+// patched instruction on the second call — an interpreter that caches
+// decoded instructions without watching for stores diverges here. The
+// stanza is mode-independent; arena collisions with episode stores or
+// mprotect episodes only change what the thunk computes, identically in
+// every mode.
+const SMCStanza = `
+# extra episode: self-modifying code probe
+dt_smc:
+	la    t0, dt_smc_src
+	li    t1, DT_ARENA + 0x2f80
+	lw    t2, 0(t0)
+	sw    t2, 0(t1)
+	lw    t2, 4(t0)
+	sw    t2, 4(t1)
+	lw    t2, 8(t0)
+	sw    t2, 8(t1)
+	jalr  t1                   # first call: v1 = 7
+	nop
+	addu  s1, s1, v1
+	lw    t2, 12(t0)
+	sw    t2, 0(t1)            # patch: addiu v1, zero, 7 -> 1234
+	jalr  t1                   # second call must see the patch
+	nop
+	addu  s1, s1, v1
+	b     dt_smc_done
+	nop
+dt_smc_src:
+	addiu v1, zero, 7
+	jr    ra
+	nop
+	addiu v1, zero, 1234
+dt_smc_done:
+	addiu s0, s0, 1
+`
+
 const epilogue = `
 	la    t0, DT_DATA + 0x740
 	sw    s0, 0(t0)

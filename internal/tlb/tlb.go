@@ -8,9 +8,21 @@
 // set by the kernel, permits user-mode code to amplify or restrict the
 // read/write protection bits of that entry (never the translation). See
 // Section 2.2 of Thekkath & Levy.
+//
+// Lookup and Probe are O(1): a VPN-keyed index maps each live entry's
+// virtual page number to a bitmask of the slots holding it, so the
+// common hit touches one map bucket instead of scanning all 64 slots.
+// The index is pure acceleration — match order and statistics are
+// identical to the architectural linear scan (ascending slot order).
+// Every mutation also bumps a generation counter (Gen) that the CPU's
+// micro-TLBs use for precise invalidation.
 package tlb
 
-import "uexc/internal/arch"
+import (
+	"math/bits"
+
+	"uexc/internal/arch"
+)
 
 // Entries is the TLB size; Wired entries [0, Wired) are exempt from
 // random replacement, as on the R3000.
@@ -65,6 +77,11 @@ func (e Entry) Global() bool { return e.Lo&LoG != 0 }
 // UserModifiable reports the proposed U bit.
 func (e Entry) UserModifiable() bool { return e.Lo&LoU != 0 }
 
+// empty reports whether the slot is unoccupied. An all-zero pair is
+// the only empty encoding: an entry legitimately mapping VPN 0 / ASID 0
+// is live as long as any Lo flag (V, G, ...) is set.
+func (e Entry) empty() bool { return e.Hi == 0 && e.Lo == 0 }
+
 // MakeHi assembles an EntryHi from a virtual page number and ASID.
 func MakeHi(vpn uint32, asid uint8) uint32 {
 	return vpn<<arch.PageShift | uint32(asid)<<HiASIDShft&HiASIDMask
@@ -79,11 +96,30 @@ func MakeLo(pfn uint32, flags uint32) uint32 {
 // entries invalid.
 type TLB struct {
 	slots [Entries]Entry
+	// index maps the VPN of every live (non-empty) entry to a bitmask
+	// of the slots holding it. Built lazily so the zero value stays
+	// usable; nil means "not built yet".
+	index map[uint32]uint64
+	// gen counts mutations (writes, flips, protection updates,
+	// invalidations, resets). The CPU's micro-TLBs compare it to decide
+	// whether their cached translations are still current; it is never
+	// reset so a recycled TLB can't alias a stale cache.
+	gen uint64
 	// rand drives WriteRandom victim selection deterministically; real
 	// hardware decrements Random once per cycle, which is
 	// indistinguishable from any other well-spread sequence for
 	// replacement purposes.
 	rand uint32
+
+	// memo is a direct-mapped cache in front of index for Lookup's hot
+	// path: memoVPN holds vpn+1 (0 = empty) and memoMask the slot
+	// bitmask for that VPN (possibly zero: a cached miss). memoGen is
+	// the generation the memo was filled under; any mutation makes the
+	// whole memo stale at the next Lookup. Pure acceleration — match
+	// results and Hits/Misses are unchanged.
+	memoGen  uint64
+	memoVPN  [64]uint32
+	memoMask [64]uint64
 
 	// Hits and Misses count Lookup outcomes for statistics.
 	Hits   uint64
@@ -92,34 +128,98 @@ type TLB struct {
 	// InjectMiss, when non-nil, is consulted on every Lookup; returning
 	// true forces a refill miss even if a matching entry exists,
 	// modeling a glitched CAM compare. Hook point for
-	// internal/faultinject.
+	// internal/faultinject. While installed, the CPU bypasses its
+	// micro-TLBs so every lookup reaches this hook.
 	InjectMiss func(va uint32, asid uint8) bool
 }
 
+// Gen returns the mutation generation. Any change to TLB contents —
+// WriteIndexed, WriteRandom, FlipBits, UpdateProtection,
+// InvalidateASID, InvalidatePage, Reset — advances it; caches keyed on
+// a past generation must be discarded when it moves.
+func (t *TLB) Gen() uint64 { return t.gen }
+
 // Reset invalidates every entry and zeroes statistics, keeping any
-// installed InjectMiss hook.
+// installed InjectMiss hook. The mutation generation is preserved (and
+// advanced) so caches built against the old contents still invalidate.
 func (t *TLB) Reset() {
 	hook := t.InjectMiss
+	gen := t.gen
 	*t = TLB{}
 	t.InjectMiss = hook
+	t.gen = gen + 1
+}
+
+// buildIndex (re)derives the VPN index from the slot array.
+func (t *TLB) buildIndex() {
+	t.index = make(map[uint32]uint64, Entries)
+	for i := range t.slots {
+		t.indexAdd(i, t.slots[i])
+	}
+}
+
+// indexAdd registers slot i holding entry e (no-op for empty entries or
+// an unbuilt index).
+func (t *TLB) indexAdd(i int, e Entry) {
+	if t.index == nil || e.empty() {
+		return
+	}
+	t.index[e.VPN()] |= 1 << uint(i)
+}
+
+// indexRemove unregisters slot i's previous occupant.
+func (t *TLB) indexRemove(i int, e Entry) {
+	if t.index == nil || e.empty() {
+		return
+	}
+	vpn := e.VPN()
+	if m := t.index[vpn] &^ (1 << uint(i)); m == 0 {
+		delete(t.index, vpn)
+	} else {
+		t.index[vpn] = m
+	}
+}
+
+// setSlot replaces slot i, maintaining the index and the generation.
+func (t *TLB) setSlot(i int, e Entry) {
+	t.indexRemove(i, t.slots[i])
+	t.slots[i] = e
+	t.indexAdd(i, e)
+	t.gen++
 }
 
 // Lookup finds the entry mapping va for the given ASID. It returns the
 // matching entry and its index. A miss (no VPN/ASID match) returns
 // ok == false; validity and writability of a hit are for the caller
 // (the CPU) to check and convert into TLBL/TLBS/Mod exceptions.
+//
+// Candidates are taken from the VPN index and visited in ascending slot
+// order, which is exactly the architectural linear scan's match order.
 func (t *TLB) Lookup(va uint32, asid uint8) (Entry, int, bool) {
 	if t.InjectMiss != nil && t.InjectMiss(va, asid) {
 		t.Misses++
 		return Entry{}, -1, false
 	}
+	if t.index == nil {
+		t.buildIndex()
+	}
 	vpn := va >> arch.PageShift
-	for i := range t.slots {
+	if t.memoGen != t.gen {
+		t.memoVPN = [64]uint32{}
+		t.memoGen = t.gen
+	}
+	mi := vpn & 63
+	var mask uint64
+	if t.memoVPN[mi] == vpn+1 {
+		mask = t.memoMask[mi]
+	} else {
+		mask = t.index[vpn]
+		t.memoVPN[mi], t.memoMask[mi] = vpn+1, mask
+	}
+	for ; mask != 0; mask &= mask - 1 {
+		i := bits.TrailingZeros64(mask)
 		e := t.slots[i]
-		if e.Hi == 0 && e.Lo == 0 {
-			continue
-		}
-		if e.VPN() == vpn && (e.Global() || e.ASID() == asid) {
+		if e.Global() || e.ASID() == asid {
 			t.Hits++
 			return e, i, true
 		}
@@ -131,14 +231,15 @@ func (t *TLB) Lookup(va uint32, asid uint8) (Entry, int, bool) {
 // Probe returns the index of the entry whose Hi matches the given
 // EntryHi value (VPN and ASID exactly, as TLBP does), or ok == false.
 func (t *TLB) Probe(hi uint32) (int, bool) {
+	if t.index == nil {
+		t.buildIndex()
+	}
 	vpn := hi >> arch.PageShift
 	asid := uint8(hi & HiASIDMask >> HiASIDShft)
-	for i := range t.slots {
+	for mask := t.index[vpn]; mask != 0; mask &= mask - 1 {
+		i := bits.TrailingZeros64(mask)
 		e := t.slots[i]
-		if e.Hi == 0 && e.Lo == 0 {
-			continue
-		}
-		if e.VPN() == vpn && (e.Global() || e.ASID() == asid) {
+		if e.Global() || e.ASID() == asid {
 			return i, true
 		}
 	}
@@ -153,7 +254,7 @@ func (t *TLB) Read(i int) Entry {
 
 // WriteIndexed replaces the entry at index i.
 func (t *TLB) WriteIndexed(i int, e Entry) {
-	t.slots[i&(Entries-1)] = e
+	t.setSlot(i&(Entries-1), e)
 }
 
 // FlipBits XORs the given masks into the entry at index i and returns
@@ -161,11 +262,11 @@ func (t *TLB) WriteIndexed(i int, e Entry) {
 // (Hi side) or data array (Lo side); internal/faultinject is the only
 // intended caller.
 func (t *TLB) FlipBits(i int, hiMask, loMask uint32) (before, after Entry) {
-	e := &t.slots[i&(Entries-1)]
-	before = *e
-	e.Hi ^= hiMask
-	e.Lo ^= loMask
-	return before, *e
+	i &= Entries - 1
+	before = t.slots[i]
+	after = Entry{Hi: before.Hi ^ hiMask, Lo: before.Lo ^ loMask}
+	t.setSlot(i, after)
+	return before, after
 }
 
 // WriteRandom replaces a pseudo-randomly chosen non-wired entry and
@@ -174,7 +275,7 @@ func (t *TLB) WriteRandom(e Entry) int {
 	// xorshift step for spread; victims always land in [Wired, Entries).
 	t.rand = t.rand*1664525 + 1013904223
 	i := Wired + int(t.rand>>16%(Entries-Wired))
-	t.slots[i] = e
+	t.setSlot(i, e)
 	return i
 }
 
@@ -189,9 +290,10 @@ func (t *TLB) Random() int {
 // given ASID; used at address-space teardown.
 func (t *TLB) InvalidateASID(asid uint8) {
 	for i := range t.slots {
-		e := &t.slots[i]
-		if (e.Hi != 0 || e.Lo != 0) && !e.Global() && e.ASID() == asid {
+		e := t.slots[i]
+		if !e.empty() && !e.Global() && e.ASID() == asid {
 			e.Lo &^= LoV
+			t.setSlot(i, e)
 		}
 	}
 }
@@ -201,9 +303,9 @@ func (t *TLB) InvalidateASID(asid uint8) {
 func (t *TLB) InvalidatePage(vpn uint32, asid uint8) bool {
 	dropped := false
 	for i := range t.slots {
-		e := &t.slots[i]
-		if (e.Hi != 0 || e.Lo != 0) && e.VPN() == vpn && (e.Global() || e.ASID() == asid) {
-			*e = Entry{}
+		e := t.slots[i]
+		if !e.empty() && e.VPN() == vpn && (e.Global() || e.ASID() == asid) {
+			t.setSlot(i, Entry{})
 			dropped = true
 		}
 	}
@@ -215,7 +317,7 @@ func (t *TLB) InvalidatePage(vpn uint32, asid uint8) bool {
 // changes and the user-mode UTLBMOD instruction; UTLBMOD callers must
 // check UserModifiable first.
 func (t *TLB) UpdateProtection(i int, writable, valid bool) {
-	e := &t.slots[i&(Entries-1)]
+	e := t.slots[i&(Entries-1)]
 	e.Lo &^= LoD | LoV
 	if writable {
 		e.Lo |= LoD
@@ -223,4 +325,5 @@ func (t *TLB) UpdateProtection(i int, writable, valid bool) {
 	if valid {
 		e.Lo |= LoV
 	}
+	t.setSlot(i&(Entries-1), e)
 }

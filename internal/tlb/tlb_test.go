@@ -177,3 +177,95 @@ func TestVPNZeroWithNonzeroLoIsMatchable(t *testing.T) {
 		t.Fatalf("page 0 lookup = %+v ok=%v", e, ok)
 	}
 }
+
+func TestVPNZeroGlobalEntryHits(t *testing.T) {
+	// Regression for the VPN-indexed lookup: an entry whose Hi word is
+	// entirely zero (VPN 0, ASID 0) with all its state in Lo flags is a
+	// live entry, and the G bit must make it hit under any ASID. A
+	// lookup path that conflated "Hi == 0" with "empty slot" would drop
+	// it from the index.
+	var tl TLB
+	tl.WriteIndexed(2, Entry{Hi: 0, Lo: MakeLo(7, LoV|LoG)})
+	for _, asid := range []uint8{0, 1, 63} {
+		e, idx, ok := tl.Lookup(0x0a0, asid)
+		if !ok || idx != 2 || e.PFN() != 7 {
+			t.Fatalf("asid %d: lookup = (%+v, %d, %v), want hit at slot 2 pfn 7", asid, e, idx, ok)
+		}
+	}
+	if tl.Hits != 3 || tl.Misses != 0 {
+		t.Errorf("hits=%d misses=%d, want 3/0", tl.Hits, tl.Misses)
+	}
+}
+
+func TestLookupMatchOrderIsLinearScan(t *testing.T) {
+	// Two live entries for the same VPN: the indexed lookup must serve
+	// the lowest slot, exactly like the architectural linear scan, and
+	// fall to the next slot when the first is dropped.
+	var tl TLB
+	tl.WriteIndexed(5, Entry{Hi: MakeHi(3, 0), Lo: MakeLo(50, LoV)})
+	tl.WriteIndexed(9, Entry{Hi: MakeHi(3, 0), Lo: MakeLo(90, LoV)})
+	if e, idx, ok := tl.Lookup(3<<12, 0); !ok || idx != 5 || e.PFN() != 50 {
+		t.Fatalf("lookup = (%+v, %d, %v), want slot 5", e, idx, ok)
+	}
+	tl.WriteIndexed(5, Entry{})
+	if e, idx, ok := tl.Lookup(3<<12, 0); !ok || idx != 9 || e.PFN() != 90 {
+		t.Fatalf("after drop: lookup = (%+v, %d, %v), want slot 9", e, idx, ok)
+	}
+}
+
+func TestLookupMemoStalenessAcrossMutators(t *testing.T) {
+	// The direct-mapped memo in front of the VPN index must go stale on
+	// every mutator, including ones that touch other VPNs (the memo is
+	// generation-gated, not entry-gated).
+	var tl TLB
+	tl.WriteIndexed(0, Entry{Hi: MakeHi(4, 0), Lo: MakeLo(40, LoV)})
+	mutate := []struct {
+		name string
+		do   func()
+	}{
+		{"WriteIndexed", func() { tl.WriteIndexed(1, Entry{Hi: MakeHi(9, 0), Lo: MakeLo(9, LoV)}) }},
+		{"WriteRandom", func() { tl.WriteRandom(Entry{Hi: MakeHi(10, 0), Lo: MakeLo(10, LoV)}) }},
+		{"FlipBits", func() { tl.FlipBits(0, 0, LoD) }},
+		{"UpdateProtection", func() { tl.UpdateProtection(0, true, true) }},
+		{"InvalidateASID", func() {
+			tl.WriteIndexed(2, Entry{Hi: MakeHi(20, 5), Lo: MakeLo(20, LoV)})
+			tl.InvalidateASID(5)
+		}},
+		{"InvalidatePage", func() { tl.InvalidatePage(9, 0) }},
+	}
+	for _, m := range mutate {
+		if _, _, ok := tl.Lookup(4<<12, 0); !ok {
+			t.Fatalf("%s: warm-up lookup missed", m.name)
+		}
+		gen := tl.Gen()
+		m.do()
+		if tl.Gen() == gen {
+			t.Fatalf("%s did not advance Gen", m.name)
+		}
+		if _, _, ok := tl.Lookup(4<<12, 0); !ok {
+			t.Fatalf("%s: vpn 4 lookup missed after unrelated mutation", m.name)
+		}
+	}
+	// Now mutate the entry the memo is holding and check the result moves.
+	tl.WriteIndexed(0, Entry{Hi: MakeHi(4, 0), Lo: MakeLo(44, LoV)})
+	if e, _, ok := tl.Lookup(4<<12, 0); !ok || e.PFN() != 44 {
+		t.Fatalf("memo served stale entry: %+v ok=%v", e, ok)
+	}
+	tl.InvalidatePage(4, 0)
+	if _, _, ok := tl.Lookup(4<<12, 0); ok {
+		t.Fatal("memo served dropped entry")
+	}
+}
+
+func TestResetPreservesGenMonotonicity(t *testing.T) {
+	var tl TLB
+	tl.WriteIndexed(0, Entry{Hi: MakeHi(1, 0), Lo: MakeLo(1, LoV)})
+	g := tl.Gen()
+	tl.Reset()
+	if tl.Gen() <= g {
+		t.Fatalf("Reset gen %d not past %d: recycled TLBs could alias stale caches", tl.Gen(), g)
+	}
+	if _, _, ok := tl.Lookup(1<<12, 0); ok {
+		t.Fatal("lookup hit after Reset")
+	}
+}
