@@ -11,7 +11,7 @@ GO ?= go
 # durably improves; never lower it to make a change pass.
 COVER_MIN ?= 86.0
 
-.PHONY: all build test vet check cover campaign bench-campaign bench-cpu fuzz clean
+.PHONY: all build test vet check cover campaign bench-campaign bench-cpu bench-serve serve-smoke fuzz clean
 
 all: build
 
@@ -31,7 +31,15 @@ check: vet build
 	$(GO) test -race ./...
 	$(GO) run ./cmd/uexc-bench -faultcampaign -seeds 30 -parallel 4
 	$(GO) run ./cmd/uexc-bench -difftest -seeds 30 -parallel 4
+	$(MAKE) serve-smoke
 	$(MAKE) cover
+
+# Serving smoke: spins a race-enabled uexc-serve on an ephemeral port
+# and runs the end-to-end self-test — CLI byte-identity of streamed
+# jobs, deterministic 429 backpressure, a mixed loadgen burst with
+# exact /metrics accounting, and a graceful SIGTERM-style drain.
+serve-smoke:
+	$(GO) run -race ./cmd/uexc-serve -selftest -jobs 24 -concurrency 8
 
 # Coverage ratchet: reruns the suite with statement coverage over the
 # internal packages and enforces the COVER_MIN floor.
@@ -58,6 +66,13 @@ bench-campaign:
 # fast-path change are recorded in BENCH_cpu.json.
 bench-cpu:
 	$(GO) test -run '^$$' -bench 'Benchmark(StepLoop|MemcpyProgram|CampaignSerial)' -benchtime 2s .
+
+# Serving benchmark: the full self-test at acceptance scale — 200
+# mixed jobs at client concurrency 32 against a race-enabled server —
+# recording throughput and latency percentiles in BENCH_serve.json
+# (see EXPERIMENTS.md).
+bench-serve:
+	$(GO) run -race ./cmd/uexc-serve -selftest -jobs 200 -concurrency 32 -bench-out BENCH_serve.json
 
 # Short coverage-guided fuzzing burst on the decoder and assembler.
 fuzz:

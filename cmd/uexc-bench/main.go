@@ -27,13 +27,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 
 	dt "uexc/internal/difftest"
 	"uexc/internal/harness"
@@ -41,7 +44,13 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	// Ctrl-C (or SIGTERM) cancels the context, which the sharded
+	// campaign loops observe between runs: the process exits cleanly
+	// with an "aborted" error instead of running the sweep to
+	// completion. A second signal kills the process the default way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintf(os.Stderr, "uexc-bench: %v\n", err)
 		os.Exit(1)
 	}
@@ -62,8 +71,8 @@ func writeSeriesCSV(dir, name string, s *report.Series) (string, error) {
 
 // run is the testable body of main: parses args, regenerates the
 // requested exhibits to stdout, and reports progress/diagnostics on
-// stderr.
-func run(args []string, stdout, stderr io.Writer) error {
+// stderr. Cancelling ctx aborts the campaign paths between runs.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("uexc-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -117,6 +126,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *workers < 0 {
 		return fmt.Errorf("-parallel must be >= 0 (0 selects all CPUs), got %d", *workers)
 	}
+	// Both campaign kinds sweep seeds [0, n): a non-positive count can
+	// only mean a typo, so reject it up front instead of silently
+	// running an empty (or default-sized) campaign.
+	if (*campaign || *difftest) && *seeds <= 0 {
+		return fmt.Errorf("-seeds must be positive, got %d", *seeds)
+	}
 	// -csv writes figure series; tables, traces, and campaigns have no
 	// series, so a -csv that could never produce a file is an error,
 	// not a silent no-op.
@@ -155,14 +170,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	if *campaign {
-		if *seeds <= 0 {
-			return fmt.Errorf("-seeds must be positive, got %d", *seeds)
-		}
 		var progress io.Writer
 		if *verbose {
 			progress = stderr
 		}
-		res, err := harness.FaultCampaignParallel(*seeds, *workers, progress)
+		res, err := harness.FaultCampaignCtx(ctx, nil, *seeds, *workers, progress)
 		if err != nil {
 			return err
 		}
@@ -175,14 +187,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	if *difftest {
-		if *seeds <= 0 {
-			return fmt.Errorf("-seeds must be positive, got %d", *seeds)
-		}
 		var progress io.Writer
 		if *verbose {
 			progress = stderr
 		}
-		res, err := dt.Campaign(*seeds, *workers, progress)
+		res, err := dt.CampaignCtx(ctx, nil, *seeds, *workers, progress)
 		if err != nil {
 			return err
 		}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -51,7 +52,7 @@ func TestCSVRejectedWithoutSeries(t *testing.T) {
 		{"-ablations", "-csv", dir},
 	} {
 		var stdout, stderr bytes.Buffer
-		err := run(args, &stdout, &stderr)
+		err := run(context.Background(), args, &stdout, &stderr)
 		if err == nil {
 			t.Errorf("run(%v): no error for -csv without a figure series", args)
 			continue
@@ -74,7 +75,7 @@ func TestCSVAllowedWithFigure(t *testing.T) {
 	}
 	dir := filepath.Join(t.TempDir(), "fresh")
 	var stdout, stderr bytes.Buffer
-	if err := run([]string{"-figure", "3", "-csv", dir, "-parallel", "2"}, &stdout, &stderr); err != nil {
+	if err := run(context.Background(), []string{"-figure", "3", "-csv", dir, "-parallel", "2"}, &stdout, &stderr); err != nil {
 		t.Fatalf("run -figure 3 -csv: %v", err)
 	}
 	if _, err := os.Stat(filepath.Join(dir, "figure3.csv")); err != nil {
@@ -92,11 +93,11 @@ func TestCSVAllowedWithFigure(t *testing.T) {
 // and rejected; -seeds stays validated on the campaign path.
 func TestParallelFlagValidation(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if err := run([]string{"-faultcampaign", "-parallel", "-1"}, &stdout, &stderr); err == nil ||
+	if err := run(context.Background(), []string{"-faultcampaign", "-parallel", "-1"}, &stdout, &stderr); err == nil ||
 		!strings.Contains(err.Error(), "-parallel") {
 		t.Errorf("negative -parallel not rejected: %v", err)
 	}
-	if err := run([]string{"-faultcampaign", "-seeds", "-3"}, &stdout, &stderr); err == nil ||
+	if err := run(context.Background(), []string{"-faultcampaign", "-seeds", "-3"}, &stdout, &stderr); err == nil ||
 		!strings.Contains(err.Error(), "-seeds") {
 		t.Errorf("negative -seeds not rejected: %v", err)
 	}
@@ -106,11 +107,11 @@ func TestParallelFlagValidation(t *testing.T) {
 // through the run() refactor.
 func TestUnknownExhibitRejected(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if err := run([]string{"-table", "7"}, &stdout, &stderr); err == nil ||
+	if err := run(context.Background(), []string{"-table", "7"}, &stdout, &stderr); err == nil ||
 		!strings.Contains(err.Error(), "no table 7") {
 		t.Errorf("table 7 not rejected: %v", err)
 	}
-	if err := run([]string{"-figure", "5"}, &stdout, &stderr); err == nil ||
+	if err := run(context.Background(), []string{"-figure", "5"}, &stdout, &stderr); err == nil ||
 		!strings.Contains(err.Error(), "no figure 5") {
 		t.Errorf("figure 5 not rejected: %v", err)
 	}
@@ -125,7 +126,7 @@ func TestDifftestSmokeViaCLI(t *testing.T) {
 	}
 	run1 := func(workers string) (string, string) {
 		var stdout, stderr bytes.Buffer
-		if err := run([]string{"-difftest", "-seeds", "6", "-parallel", workers, "-v"}, &stdout, &stderr); err != nil {
+		if err := run(context.Background(), []string{"-difftest", "-seeds", "6", "-parallel", workers, "-v"}, &stdout, &stderr); err != nil {
 			t.Fatalf("difftest via CLI (-parallel %s): %v\n%s", workers, err, stdout.String())
 		}
 		return stdout.String(), stderr.String()
@@ -150,11 +151,11 @@ func TestDifftestSmokeViaCLI(t *testing.T) {
 // and -seeds stays validated on the difftest path.
 func TestDifftestFlagValidation(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if err := run([]string{"-difftest", "-faultcampaign"}, &stdout, &stderr); err == nil ||
+	if err := run(context.Background(), []string{"-difftest", "-faultcampaign"}, &stdout, &stderr); err == nil ||
 		!strings.Contains(err.Error(), "pick one") {
 		t.Errorf("-difftest -faultcampaign not rejected: %v", err)
 	}
-	if err := run([]string{"-difftest", "-seeds", "0"}, &stdout, &stderr); err == nil ||
+	if err := run(context.Background(), []string{"-difftest", "-seeds", "0"}, &stdout, &stderr); err == nil ||
 		!strings.Contains(err.Error(), "-seeds") {
 		t.Errorf("zero -seeds not rejected on difftest path: %v", err)
 	}
@@ -167,10 +168,52 @@ func TestCampaignSmokeViaCLI(t *testing.T) {
 		t.Skip("runs a fault campaign")
 	}
 	var stdout, stderr bytes.Buffer
-	if err := run([]string{"-faultcampaign", "-seeds", "4", "-parallel", "0"}, &stdout, &stderr); err != nil {
+	if err := run(context.Background(), []string{"-faultcampaign", "-seeds", "4", "-parallel", "0"}, &stdout, &stderr); err != nil {
 		t.Fatalf("campaign via CLI: %v\n%s", err, stdout.String())
 	}
 	if !strings.Contains(stdout.String(), "fault campaign: 4 seeds x 3 modes x 2 replays") {
 		t.Errorf("summary banner missing:\n%s", stdout.String())
+	}
+}
+
+// TestSeedsZeroRejectedOnCampaignPath: -seeds 0 (and negatives) must
+// be a clear flag error on the fault-campaign path, not a silently
+// empty or default-sized campaign; same for the difftest path.
+func TestSeedsZeroRejectedOnCampaignPath(t *testing.T) {
+	for _, args := range [][]string{
+		{"-faultcampaign", "-seeds", "0"},
+		{"-faultcampaign", "-seeds", "-7"},
+		{"-difftest", "-seeds", "-1"},
+	} {
+		var stdout, stderr bytes.Buffer
+		err := run(context.Background(), args, &stdout, &stderr)
+		if err == nil || !strings.Contains(err.Error(), "-seeds") {
+			t.Errorf("run(%v): err = %v, want a -seeds validation error", args, err)
+		}
+		if stdout.Len() != 0 {
+			t.Errorf("run(%v): produced output despite the flag error", args)
+		}
+	}
+}
+
+// TestCampaignCancelled: a cancelled context aborts both campaign
+// paths with the context error instead of running to completion —
+// the Ctrl-C path main wires up via signal.NotifyContext.
+func TestCampaignCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, args := range [][]string{
+		{"-faultcampaign", "-seeds", "5"},
+		{"-difftest", "-seeds", "5"},
+	} {
+		var stdout, stderr bytes.Buffer
+		err := run(ctx, args, &stdout, &stderr)
+		if err == nil || !strings.Contains(err.Error(), "aborted") {
+			t.Errorf("run(%v) under cancelled ctx: err = %v, want an aborted error", args, err)
+		}
+		if strings.Contains(stdout.String(), "fault campaign:") ||
+			strings.Contains(stdout.String(), "difftest:") {
+			t.Errorf("run(%v): summary printed despite cancellation", args)
+		}
 	}
 }

@@ -1,0 +1,111 @@
+// Command uexc-serve exposes the uexc engines — fault-injection
+// campaigns, the cross-mode differential oracle, figure sweeps, and
+// single program runs — as a long-lived HTTP job service.
+//
+// Modes:
+//
+//	uexc-serve                       serve until SIGTERM/Ctrl-C, then drain
+//	uexc-serve -selftest             end-to-end serving smoke (spins its own server)
+//	uexc-serve -loadgen -url ...     generate load against a running server
+//
+// See README.md "Serving" and DESIGN.md §11.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"uexc/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "uexc-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("uexc-serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr       = fs.String("addr", "127.0.0.1:8612", "listen address (serve mode)")
+		workers    = fs.Int("workers", 0, "jobs executing concurrently (0: 4)")
+		queue      = fs.Int("queue", 0, "admission queue depth beyond the workers (0: 16)")
+		jobTimeout = fs.Duration("job-timeout", 0, "per-job deadline cap (0: 120s)")
+		maxSeeds   = fs.Int("max-seeds", 0, "per-job campaign/difftest seed cap (0: 5000)")
+
+		selftest    = fs.Bool("selftest", false, "run the end-to-end serving smoke against an ephemeral server, then exit")
+		loadgen     = fs.Bool("loadgen", false, "generate load against -url, then exit")
+		url         = fs.String("url", "http://127.0.0.1:8612", "server base URL (loadgen mode)")
+		jobs        = fs.Int("jobs", 200, "total jobs (loadgen/selftest)")
+		concurrency = fs.Int("concurrency", 32, "client goroutines (loadgen/selftest)")
+		benchOut    = fs.String("bench-out", "", "write the load report as JSON to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *selftest && *loadgen {
+		return fmt.Errorf("-selftest and -loadgen are mutually exclusive")
+	}
+
+	switch {
+	case *selftest:
+		rep, err := server.Smoke(ctx, stderr, server.SmokeConfig{
+			Jobs: *jobs, Concurrency: *concurrency,
+			Workers: *workers, QueueDepth: *queue,
+		})
+		if rep != nil {
+			rep.Render(stdout)
+		}
+		if err != nil {
+			return err
+		}
+		return writeBench(*benchOut, rep, stderr)
+
+	case *loadgen:
+		start := time.Now()
+		rep, err := server.RunLoad(ctx, server.LoadConfig{
+			BaseURL: *url, Jobs: *jobs, Concurrency: *concurrency, Verbose: true,
+		})
+		if rep != nil {
+			rep.Render(stdout)
+			fmt.Fprintf(stderr, "loadgen: wall time %.2fs\n", time.Since(start).Seconds())
+		}
+		if err != nil {
+			return err
+		}
+		return writeBench(*benchOut, rep, stderr)
+
+	default:
+		return server.Run(ctx, server.Config{
+			Addr: *addr, Workers: *workers, QueueDepth: *queue,
+			MaxJobTimeout: *jobTimeout, MaxSeeds: *maxSeeds,
+		}, stderr, nil)
+	}
+}
+
+// writeBench persists the machine-readable load report (BENCH_serve.json).
+func writeBench(path string, rep *server.LoadReport, stderr io.Writer) error {
+	if path == "" || rep == nil {
+		return nil
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("bench-out: %w", err)
+	}
+	fmt.Fprintf(stderr, "wrote %s\n", path)
+	return nil
+}

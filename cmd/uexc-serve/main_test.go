@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"uexc/internal/server"
+)
+
+func TestFlagErrors(t *testing.T) {
+	var stderr bytes.Buffer
+	if err := run(context.Background(), []string{"-bogus"}, io.Discard, &stderr); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run(context.Background(), []string{"-selftest", "-loadgen"}, io.Discard, &stderr); err == nil {
+		t.Error("-selftest -loadgen accepted together")
+	}
+}
+
+func TestServeModeDrainsOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	var stderr bytes.Buffer
+	go func() { errc <- run(ctx, []string{"-addr", "127.0.0.1:0"}, io.Discard, &stderr) }()
+	time.Sleep(200 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("serve mode: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("serve mode did not drain on cancel")
+	}
+	if !strings.Contains(stderr.String(), "drained, bye") {
+		t.Errorf("serve log:\n%s", stderr.String())
+	}
+}
+
+// TestLoadgenMode drives -loadgen against a live server and checks the
+// -bench-out report.
+func TestLoadgenMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs campaigns")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	srvErr := make(chan error, 1)
+	go func() {
+		srvErr <- server.Run(ctx, server.Config{Workers: 2, QueueDepth: 8}, nil, ready)
+	}()
+	addr := <-ready
+
+	out := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	var stdout, stderr bytes.Buffer
+	err := run(context.Background(), []string{
+		"-loadgen", "-url", "http://" + addr,
+		"-jobs", "6", "-concurrency", "3", "-bench-out", out,
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("loadgen: %v\nstdout:\n%s\nstderr:\n%s", err, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "outcomes: ok 6, failed 0, dropped 0") {
+		t.Errorf("loadgen report:\n%s", stdout.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep server.LoadReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("bench-out not JSON: %v", err)
+	}
+	if rep.OK != 6 || rep.Jobs != 6 || rep.Concurrency != 3 {
+		t.Errorf("bench-out report: %+v", rep)
+	}
+
+	cancel()
+	if err := <-srvErr; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+}

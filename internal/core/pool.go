@@ -18,8 +18,33 @@ import "sync"
 // integrity (e.g. after recovering a panic mid-run) should drop it on
 // the floor instead of calling Put.
 type MachinePool struct {
-	mu   sync.Mutex
-	free []*Machine
+	// Harvest, when non-nil, is invoked by Put with the machine still in
+	// its post-run state (counters intact, reset not yet performed), on
+	// the caller's goroutine and outside the pool lock. The serving
+	// layer uses it to accumulate simulator counters — deliveries, TLB
+	// hits/misses, fast-path hits — across pooled runs before Reset
+	// wipes them. It must not retain the machine.
+	Harvest func(*Machine)
+
+	mu    sync.Mutex
+	free  []*Machine
+	stats PoolStats
+}
+
+// PoolStats counts pool traffic; the reuse ratio Reuses/Gets is the
+// pool hit rate the serving layer exports.
+type PoolStats struct {
+	Gets   uint64 // checkouts (Reuses + Boots)
+	Reuses uint64 // checkouts served by recycling a pooled machine
+	Boots  uint64 // checkouts that had to boot fresh hardware
+	Puts   uint64 // machines returned for reuse
+}
+
+// Stats returns a snapshot of the pool counters.
+func (p *MachinePool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
 }
 
 // Get returns a machine in the NewMachine state: a pooled one reset in
@@ -27,9 +52,13 @@ type MachinePool struct {
 func (p *MachinePool) Get() (*Machine, error) {
 	p.mu.Lock()
 	var m *Machine
+	p.stats.Gets++
 	if n := len(p.free); n > 0 {
 		m = p.free[n-1]
 		p.free = p.free[:n-1]
+		p.stats.Reuses++
+	} else {
+		p.stats.Boots++
 	}
 	p.mu.Unlock()
 	if m == nil {
@@ -48,7 +77,11 @@ func (p *MachinePool) Put(m *Machine) {
 	if m == nil {
 		return
 	}
+	if p.Harvest != nil {
+		p.Harvest(m)
+	}
 	p.mu.Lock()
 	p.free = append(p.free, m)
+	p.stats.Puts++
 	p.mu.Unlock()
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 )
 
@@ -137,5 +138,119 @@ func TestAssembleUserCache(t *testing.T) {
 	}
 	if p3 == p1 {
 		t.Error("distinct sources shared one cache entry")
+	}
+}
+
+// TestMachinePoolConcurrent hammers Get/Put from many goroutines (run
+// under -race by make check): the pool must never hand the same
+// machine to two holders at once, every recycled machine must pass the
+// kernel's invariant SelfCheck after Reset, and the traffic counters
+// must balance.
+func TestMachinePoolConcurrent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots machines from many goroutines")
+	}
+	var pool MachinePool
+	const (
+		goroutines = 8
+		rounds     = 25
+	)
+
+	var (
+		mu    sync.Mutex
+		inUse = map[*Machine]bool{}
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*rounds)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				m, err := pool.Get()
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d round %d: Get: %w", g, r, err)
+					return
+				}
+				mu.Lock()
+				if inUse[m] {
+					mu.Unlock()
+					errs <- fmt.Errorf("goroutine %d round %d: machine handed out twice", g, r)
+					return
+				}
+				inUse[m] = true
+				mu.Unlock()
+
+				// A recycled machine must be in the NewMachine state: the
+				// kernel invariants hold before any program is loaded.
+				if err := m.K.SelfCheck(); err != nil {
+					errs <- fmt.Errorf("goroutine %d round %d: recycled machine fails SelfCheck: %w", g, r, err)
+					return
+				}
+				// Dirty some rounds so Reset has real residue to scrub.
+				if r%3 == 0 {
+					if err := m.LoadProgram(simpleFastProg(3)); err != nil {
+						errs <- fmt.Errorf("goroutine %d round %d: load: %w", g, r, err)
+						return
+					}
+					if err := m.Run(1_000_000); err != nil {
+						errs <- fmt.Errorf("goroutine %d round %d: run: %w", g, r, err)
+						return
+					}
+				}
+
+				mu.Lock()
+				delete(inUse, m)
+				mu.Unlock()
+				pool.Put(m)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	st := pool.Stats()
+	if st.Gets != goroutines*rounds {
+		t.Errorf("Gets = %d, want %d", st.Gets, goroutines*rounds)
+	}
+	if st.Reuses+st.Boots != st.Gets {
+		t.Errorf("Reuses (%d) + Boots (%d) != Gets (%d)", st.Reuses, st.Boots, st.Gets)
+	}
+	if st.Puts != st.Gets {
+		t.Errorf("Puts = %d, want %d (every Get was returned)", st.Puts, st.Gets)
+	}
+	if st.Boots > goroutines {
+		t.Errorf("Boots = %d, want <= %d (at most one boot per concurrent holder)", st.Boots, goroutines)
+	}
+}
+
+// TestMachinePoolHarvest: Put invokes the Harvest hook with the
+// machine's post-run counters still intact (Reset happens on the next
+// Get, not on Put).
+func TestMachinePoolHarvest(t *testing.T) {
+	var pool MachinePool
+	var harvested []uint64
+	pool.Harvest = func(m *Machine) { harvested = append(harvested, m.CPU().Insts) }
+
+	m, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = runDigest(t, m, simpleFastProg(5))
+	insts := m.CPU().Insts
+	if insts == 0 {
+		t.Fatal("run retired no instructions")
+	}
+	pool.Put(m)
+
+	if len(harvested) != 1 || harvested[0] != insts {
+		t.Fatalf("harvested = %v, want [%d]", harvested, insts)
+	}
+	st := pool.Stats()
+	if st.Gets != 1 || st.Boots != 1 || st.Puts != 1 || st.Reuses != 0 {
+		t.Errorf("stats = %+v, want one boot, one put", st)
 	}
 }

@@ -145,6 +145,12 @@ type CPU struct {
 	Cycles uint64
 	Insts  uint64
 
+	// FastHits counts accesses served entirely by the fast path (a
+	// micro-TLB hit, counted or direct-mapped). Purely statistical —
+	// never part of a determinism fingerprint — it feeds the serving
+	// layer's metrics surface.
+	FastHits uint64
+
 	// MemWrites counts successful data stores; the watchdog uses it as a
 	// cheap progress signal (a machine that stores is not livelocked by
 	// pure register cycling alone).
@@ -240,6 +246,7 @@ func (c *CPU) ResetAll() {
 	c.HWUTLBMod = true
 	c.Cost = DefaultCost()
 	c.Cycles, c.Insts, c.MemWrites = 0, 0, 0
+	c.FastHits = 0
 	c.HCall = nil
 	c.Inject = nil
 	c.OnUEXRecursion, c.OnUEXClear = nil, nil

@@ -131,6 +131,7 @@ func (c *CPU) itlbLookup(va uint32) *utlbEntry {
 			if !c.microServes(&c.itlb[i]) {
 				return nil
 			}
+			c.FastHits++
 			return &c.itlb[i]
 		}
 	}
@@ -155,6 +156,7 @@ func (c *CPU) dtlbLookup(va uint32, store bool) *utlbEntry {
 			if !c.microServes(&c.dtlb[i]) {
 				return nil
 			}
+			c.FastHits++
 			return &c.dtlb[i]
 		}
 	}

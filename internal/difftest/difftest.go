@@ -27,6 +27,7 @@
 package difftest
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -278,6 +279,16 @@ type seedTask struct {
 // count. The mutation self-test runs first on the lowest seed whose
 // program raises at least one fault.
 func Campaign(n, workers int, w io.Writer) (*Result, error) {
+	return CampaignCtx(context.Background(), nil, n, workers, w)
+}
+
+// CampaignCtx is Campaign under a context and an optional caller-owned
+// machine pool (nil gets a private one; the serving layer passes its
+// shared pool so booted machines are recycled across jobs). A
+// cancelled or expired context aborts the sweep after at most the seed
+// comparisons already in flight and returns the context's error;
+// partial results are never reported.
+func CampaignCtx(ctx context.Context, pool *core.MachinePool, n, workers int, w io.Writer) (*Result, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("difftest: seed count must be positive, got %d", n)
 	}
@@ -286,9 +297,11 @@ func Campaign(n, workers int, w io.Writer) (*Result, error) {
 	res.SelfTestSeed = mutationSeed()
 	res.SelfTestOK = SelfTest(res.SelfTestSeed)
 
-	pool := &core.MachinePool{}
+	if pool == nil {
+		pool = &core.MachinePool{}
+	}
 	progress := parallel.NewOrderedWriter(w)
-	tasks := parallel.Map(workers, n, func(i int) seedTask {
+	tasks, err := parallel.MapCtx(ctx, workers, n, func(i int) seedTask {
 		var t seedTask
 		t.divergences, t.entries = CheckSeed(pool, int64(i))
 		verdict := "ok"
@@ -298,6 +311,9 @@ func Campaign(n, workers int, w io.Writer) (*Result, error) {
 		progress.Emit(i, fmt.Sprintf("seed %-6d %s\n", i, verdict))
 		return t
 	})
+	if err != nil {
+		return nil, fmt.Errorf("difftest aborted: %w", err)
+	}
 
 	for i := 0; i < n; i++ {
 		for _, k := range progen.Generate(int64(i)).Episodes {

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -144,6 +145,18 @@ type campaignTask struct {
 // allocates only about one address space per worker rather than one
 // per run.
 func FaultCampaignParallel(seeds, workers int, w io.Writer) (*CampaignResult, error) {
+	return FaultCampaignCtx(context.Background(), nil, seeds, workers, w)
+}
+
+// FaultCampaignCtx is FaultCampaignParallel under a context and an
+// optional caller-owned machine pool. A nil pool gets a private one; a
+// shared pool (the serving layer's) recycles booted machines across
+// campaigns, not just within one. Cancelling the context aborts the
+// sweep after at most the runs already in flight complete and returns
+// the context's error — partial results are never reported, so a
+// campaign result is either complete and byte-identical to the serial
+// run or absent.
+func FaultCampaignCtx(ctx context.Context, pool *core.MachinePool, seeds, workers int, w io.Writer) (*CampaignResult, error) {
 	if seeds <= 0 {
 		seeds = 30
 	}
@@ -160,9 +173,11 @@ func FaultCampaignParallel(seeds, workers int, w io.Writer) (*CampaignResult, er
 	// that only the livelock detector can classify).
 	nTasks := seeds*len(modes) + len(modes)
 	progress := parallel.NewOrderedWriter(w)
-	pool := &core.MachinePool{}
+	if pool == nil {
+		pool = &core.MachinePool{}
+	}
 
-	tasks := parallel.Map(workers, nTasks, func(i int) campaignTask {
+	tasks, err := parallel.MapCtx(ctx, workers, nTasks, func(i int) campaignTask {
 		var t campaignTask
 		if i < seeds*len(modes) {
 			seed, mode := i/len(modes), modes[i%len(modes)]
@@ -178,6 +193,9 @@ func FaultCampaignParallel(seeds, workers int, w io.Writer) (*CampaignResult, er
 			fmt.Sprintf("livelock probe %s:", mode), t.probeOutcome))
 		return t
 	})
+	if err != nil {
+		return nil, fmt.Errorf("fault campaign aborted: %w", err)
+	}
 
 	// Deterministic merge: fold shard digests in task-index order,
 	// reproducing exactly the accumulation the serial loop performed.

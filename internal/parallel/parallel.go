@@ -23,6 +23,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -84,8 +85,19 @@ func (s *span) steal() (lo, hi uint32, ok bool) {
 // returns when every call has completed. A panic in fn is re-raised
 // in the caller after the remaining workers drain.
 func ForEach(workers, n int, fn func(i int)) {
+	_ = ForEachCtx(context.Background(), workers, n, fn)
+}
+
+// ForEachCtx is ForEach under a context: every worker checks ctx
+// before taking another index, so a cancellation or deadline stops the
+// sweep after at most the tasks already in flight (one per worker)
+// finish. Which task indices ran before the abort is scheduling-
+// dependent, but the abort itself is deterministic for callers: a
+// non-nil return means the sweep is incomplete and its results must be
+// discarded, a nil return means fn ran exactly once for every index.
+func ForEachCtx(ctx context.Context, workers, n int, fn func(i int)) error {
 	if n <= 0 {
-		return
+		return ctx.Err()
 	}
 	workers = Workers(workers)
 	if workers > n {
@@ -95,9 +107,12 @@ func ForEach(workers, n int, fn func(i int)) {
 		// The serial fast path: identical semantics, no goroutines, so
 		// -parallel 1 really is the serial engine.
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fn(i)
 		}
-		return
+		return ctx.Err()
 	}
 
 	spans := make([]span, workers)
@@ -124,7 +139,7 @@ func ForEach(workers, n int, fn func(i int)) {
 					panicked.CompareAndSwap(nil, &r)
 				}
 			}()
-			for {
+			for ctx.Err() == nil {
 				i, ok := spans[self].take()
 				if !ok {
 					if !stealInto(spans, self) {
@@ -140,6 +155,7 @@ func ForEach(workers, n int, fn func(i int)) {
 	if p := panicked.Load(); p != nil {
 		panic(*p)
 	}
+	return ctx.Err()
 }
 
 // stealInto moves work from the largest victim span into spans[self].
@@ -175,4 +191,14 @@ func Map[T any](workers, n int, fn func(i int) T) []T {
 	out := make([]T, n)
 	ForEach(workers, n, func(i int) { out[i] = fn(i) })
 	return out
+}
+
+// MapCtx is Map under a context. On cancellation the partial result
+// slice is returned alongside the context's error; entries whose tasks
+// never ran hold T's zero value, and callers must treat the whole
+// slice as invalid when err is non-nil.
+func MapCtx[T any](ctx context.Context, workers, n int, fn func(i int) T) ([]T, error) {
+	out := make([]T, n)
+	err := ForEachCtx(ctx, workers, n, func(i int) { out[i] = fn(i) })
+	return out, err
 }

@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"runtime"
@@ -132,5 +133,68 @@ func TestSpanStealHalves(t *testing.T) {
 	}
 	if _, _, ok = s.steal(); ok {
 		t.Fatal("steal of empty span succeeded")
+	}
+}
+
+// TestForEachCtxCancelStopsPromptly: cancelling the context mid-sweep
+// stops workers from taking further indices; the call reports the
+// context error and strictly fewer than n tasks ran.
+func TestForEachCtxCancelStopsPromptly(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var calls atomic.Int64
+		const n = 100000
+		err := ForEachCtx(ctx, workers, n, func(i int) {
+			if calls.Add(1) == 10 {
+				cancel()
+			}
+		})
+		if err != context.Canceled {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		// Promptness bound: after cancel, each worker may finish at most
+		// the task it already holds.
+		if got := calls.Load(); got >= n || got > 10+int64(workers) {
+			t.Errorf("workers=%d: %d tasks ran after cancel at task 10", workers, got)
+		}
+		cancel()
+	}
+}
+
+// TestForEachCtxDeadline: an already-expired deadline runs nothing.
+func TestForEachCtxDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	var calls atomic.Int64
+	err := ForEachCtx(ctx, 4, 50, func(i int) { calls.Add(1) })
+	if err != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if calls.Load() != 0 {
+		t.Errorf("%d tasks ran under an expired deadline", calls.Load())
+	}
+}
+
+// TestMapCtxComplete: an uncancelled MapCtx is exactly Map.
+func TestMapCtxComplete(t *testing.T) {
+	out, err := MapCtx(context.Background(), 3, 40, func(i int) int { return i * i })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+// TestMapCtxCancelled: a cancelled MapCtx surfaces the context error so
+// callers discard the partial results.
+func TestMapCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := MapCtx(ctx, 2, 10, func(i int) int { return i })
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

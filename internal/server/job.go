@@ -1,0 +1,265 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+
+	"uexc/internal/core"
+	dt "uexc/internal/difftest"
+	"uexc/internal/harness"
+	"uexc/internal/progen"
+)
+
+// Type names a job kind the service can execute.
+type Type string
+
+const (
+	// TypeCampaign runs the deterministic fault-injection campaign
+	// (uexc-bench -faultcampaign) over Seeds seeds.
+	TypeCampaign Type = "campaign"
+	// TypeDifftest runs the cross-mode differential-testing oracle
+	// (uexc-bench -difftest) over Seeds seeds.
+	TypeDifftest Type = "difftest"
+	// TypeFigureSweep regenerates the Figure 3 and Figure 4 break-even
+	// sweeps from freshly measured exception costs.
+	TypeFigureSweep Type = "figure-sweep"
+	// TypeProgramRun generates the progen program for Seed and executes
+	// it once under Mode on a pooled machine.
+	TypeProgramRun Type = "program-run"
+)
+
+// Types lists every job kind, in documentation order.
+var Types = []Type{TypeCampaign, TypeDifftest, TypeFigureSweep, TypeProgramRun}
+
+// Request is the client-posted job specification.
+type Request struct {
+	Type Type `json:"type"`
+
+	// Seeds sizes campaign and difftest sweeps.
+	Seeds int `json:"seeds,omitempty"`
+	// Seed selects the generated program for program-run jobs.
+	Seed int64 `json:"seed,omitempty"`
+	// Mode selects the delivery mechanism for program-run jobs:
+	// "ultrix", "fast"/"fastexc", or "hardware" (case-insensitive).
+	Mode string `json:"mode,omitempty"`
+	// Parallel is the intra-job shard width handed to the work-stealing
+	// engine (0 = all CPUs), exactly uexc-bench's -parallel flag. The
+	// streamed output is byte-identical at any width.
+	Parallel int `json:"parallel,omitempty"`
+	// Verbose streams per-run progress events (uexc-bench -v).
+	Verbose bool `json:"verbose,omitempty"`
+	// TimeoutMS optionally tightens the per-job deadline below the
+	// server's maximum.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// Validate rejects malformed job specifications with a client-facing
+// error. maxSeeds caps sweep sizes so one request cannot monopolize
+// the service.
+func (r *Request) Validate(maxSeeds int) error {
+	switch r.Type {
+	case TypeCampaign, TypeDifftest:
+		if r.Seeds <= 0 {
+			return fmt.Errorf("%s: seeds must be positive, got %d", r.Type, r.Seeds)
+		}
+		if r.Seeds > maxSeeds {
+			return fmt.Errorf("%s: seeds %d exceeds the per-job cap %d", r.Type, r.Seeds, maxSeeds)
+		}
+	case TypeProgramRun:
+		if _, err := ParseMode(r.Mode); err != nil {
+			return err
+		}
+	case TypeFigureSweep:
+		// Only Parallel applies.
+	case "":
+		return fmt.Errorf("missing job type (have %v)", Types)
+	default:
+		return fmt.Errorf("unknown job type %q (have %v)", r.Type, Types)
+	}
+	if r.Parallel < 0 {
+		return fmt.Errorf("parallel must be >= 0 (0 selects all CPUs), got %d", r.Parallel)
+	}
+	if r.TimeoutMS < 0 {
+		return fmt.Errorf("timeout_ms must be >= 0, got %d", r.TimeoutMS)
+	}
+	return nil
+}
+
+// ParseMode maps the wire spelling of a delivery mode to core.Mode.
+// The empty string defaults to Ultrix, the semantic baseline.
+func ParseMode(s string) (core.Mode, error) {
+	switch strings.ToLower(s) {
+	case "", "ultrix":
+		return core.ModeUltrix, nil
+	case "fast", "fastexc":
+		return core.ModeFast, nil
+	case "hardware":
+		return core.ModeHardware, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q (have ultrix, fast, hardware)", s)
+}
+
+// Event is one NDJSON line of a job's response stream: exactly one
+// "accepted", zero or more "progress" lines, and exactly one terminal
+// "result". Concatenating the progress Lines followed by the result
+// Summary reproduces, byte for byte, what the equivalent uexc-bench
+// invocation writes (progress to stderr under -v, summary to stdout).
+type Event struct {
+	Type string `json:"type"` // "accepted" | "progress" | "result"
+	ID   uint64 `json:"id,omitempty"`
+	Job  string `json:"job,omitempty"`  // accepted: the job type
+	Line string `json:"line,omitempty"` // progress: one engine output line
+
+	// Result fields.
+	OK        *bool  `json:"ok,omitempty"`
+	Summary   string `json:"summary,omitempty"`
+	Error     string `json:"error,omitempty"`
+	ElapsedMS int64  `json:"elapsed_ms,omitempty"`
+}
+
+// job is one admitted request in flight between the handler goroutine
+// (which owns the connection and drains events) and the worker that
+// executes it. ctx bounds execution (deadline + client liveness);
+// streamCtx is the request context alone, so a deadline that aborts
+// the run does not also swallow the terminal result event.
+type job struct {
+	id        uint64
+	req       Request
+	ctx       context.Context
+	streamCtx context.Context
+	cancel    context.CancelFunc
+	events    chan Event
+}
+
+// emit queues an event for the handler, giving up only when the client
+// is gone (stream context dead) so a stalled consumer can never wedge
+// a worker — while a merely deadline-aborted job still delivers its
+// result to the waiting client.
+func (j *job) emit(ev Event) {
+	select {
+	case j.events <- ev:
+	case <-j.streamCtx.Done():
+	}
+}
+
+// progressWriter adapts a job to the io.Writer the engines' ordered
+// progress streams expect: every write is one complete output line,
+// forwarded as one NDJSON progress event.
+type progressWriter struct{ j *job }
+
+func (w progressWriter) Write(p []byte) (int, error) {
+	w.j.emit(Event{Type: "progress", Line: string(p)})
+	return len(p), nil
+}
+
+// runJob executes one admitted job on the shared machine pool and
+// returns its verdict: ok mirrors the engine's own pass/fail notion,
+// summary is the exact text the CLI would print to stdout, and err
+// carries abort/engine failures. Panics are contained by the caller.
+func (s *Server) runJob(j *job) (ok bool, summary string, err error) {
+	// A nil io.Writer keeps the engines' "no progress stream" contract;
+	// a typed-nil wrapper would defeat their w == nil check.
+	var w io.Writer
+	if j.req.Verbose {
+		w = progressWriter{j}
+	}
+
+	switch j.req.Type {
+	case TypeCampaign:
+		res, err := harness.FaultCampaignCtx(j.ctx, s.pool, j.req.Seeds, j.req.Parallel, w)
+		if err != nil {
+			return false, "", err
+		}
+		if !res.Ok() {
+			return false, res.Summary(), fmt.Errorf("fault campaign failed (%d failures, missing coverage: %v)",
+				len(res.Failures), res.MissingCoverage())
+		}
+		return true, res.Summary(), nil
+
+	case TypeDifftest:
+		res, err := dt.CampaignCtx(j.ctx, s.pool, j.req.Seeds, j.req.Parallel, w)
+		if err != nil {
+			return false, "", err
+		}
+		if !res.Ok() {
+			return false, res.Summary(), fmt.Errorf("differential campaign failed (%d divergences, self-test ok: %v)",
+				len(res.Divergences), res.SelfTestOK)
+		}
+		return true, res.Summary(), nil
+
+	case TypeFigureSweep:
+		s3, err := harness.Figure3(false, j.req.Parallel)
+		if err != nil {
+			return false, "", err
+		}
+		if err := j.ctx.Err(); err != nil {
+			return false, "", fmt.Errorf("figure sweep aborted: %w", err)
+		}
+		s4, err := harness.Figure4(false, j.req.Parallel)
+		if err != nil {
+			return false, "", err
+		}
+		return true, s3.Render() + "\n" + s4.Render() + "\n", nil
+
+	case TypeProgramRun:
+		return s.runProgram(j)
+	}
+	return false, "", fmt.Errorf("unknown job type %q", j.req.Type)
+}
+
+// runProgram executes one generated program under one mode on a pooled
+// machine. The summary digests the observables the difftest oracle
+// compares, so the same (seed, mode) always produces the same bytes.
+func (s *Server) runProgram(j *job) (bool, string, error) {
+	mode, err := ParseMode(j.req.Mode)
+	if err != nil {
+		return false, "", err
+	}
+	if err := j.ctx.Err(); err != nil {
+		return false, "", fmt.Errorf("program-run aborted: %w", err)
+	}
+	p := progen.Generate(j.req.Seed)
+
+	m, err := s.pool.Get()
+	if err != nil {
+		return false, "", fmt.Errorf("boot: %w", err)
+	}
+	healthy := false
+	defer func() {
+		if healthy {
+			s.pool.Put(m)
+		}
+	}()
+	if err := m.LoadProgram(p.Source(mode, false)); err != nil {
+		return false, "", fmt.Errorf("load: %w", err)
+	}
+	if mode == core.ModeHardware {
+		m.EnableHardwareDelivery(progen.HWVector)
+	}
+	runErr := m.Run(dt.Budget)
+	healthy = true
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "program-run: seed %d mode %s\n", j.req.Seed, mode)
+	episodes := make([]string, 0, len(p.Episodes))
+	for _, k := range p.Episodes {
+		episodes = append(episodes, k.String())
+	}
+	fmt.Fprintf(&b, "episodes: %s\n", strings.Join(episodes, " "))
+	fmt.Fprintf(&b, "console: %q\n", m.K.Console())
+	c := m.CPU()
+	var exc uint64
+	for _, n := range c.ExcCounts {
+		exc += n
+	}
+	fmt.Fprintf(&b, "insts=%d cycles=%d exceptions=%d fast=%d unix=%d\n",
+		c.Insts, c.Cycles, exc, m.K.Stats.FastDeliveries, m.K.Stats.UnixDeliveries)
+	if runErr != nil {
+		fmt.Fprintf(&b, "run error: %s\n", runErr)
+		return false, b.String(), fmt.Errorf("program-run: %w", runErr)
+	}
+	b.WriteString("exit: clean\n")
+	return true, b.String(), nil
+}

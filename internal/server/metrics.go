@@ -1,0 +1,200 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+
+	"uexc/internal/core"
+)
+
+// Metrics is the server's observability surface: admission and
+// completion counters, the in-flight gauge, and the simulator's own
+// counters accumulated from every pooled machine as it is returned
+// after a run (core.MachinePool.Harvest). All fields are atomics; the
+// struct is safe for concurrent update from workers and handlers.
+type Metrics struct {
+	Admitted         atomic.Uint64 // jobs accepted into the queue
+	RejectedFull     atomic.Uint64 // 429: queue at capacity
+	RejectedDraining atomic.Uint64 // 503: drain in progress
+	BadRequests      atomic.Uint64 // 4xx: malformed or invalid job specs
+
+	JobsOK        atomic.Uint64 // completed with ok=true
+	JobsFailed    atomic.Uint64 // completed with ok=false (engine failure)
+	JobsCancelled atomic.Uint64 // aborted by deadline or client disconnect
+
+	InFlight atomic.Int64 // jobs currently executing on a worker
+
+	byType map[Type]*atomic.Uint64 // admitted jobs by type
+
+	// Simulator counters, harvested at machine Put time.
+	SimFastDeliveries atomic.Uint64 // exceptions vectored to user handlers by the fast path
+	SimUnixDeliveries atomic.Uint64 // signals delivered via the Ultrix path
+	SimExceptions     atomic.Uint64 // every exception the CPU raised (all causes)
+	SimTLBHits        atomic.Uint64
+	SimTLBMisses      atomic.Uint64
+	SimFastPathHits   atomic.Uint64 // interpreter micro-TLB fast-path hits
+	SimInsts          atomic.Uint64
+	SimCycles         atomic.Uint64
+}
+
+// newMetrics builds a Metrics with one per-type admission counter for
+// every known job type.
+func newMetrics() *Metrics {
+	m := &Metrics{byType: make(map[Type]*atomic.Uint64, len(Types))}
+	for _, t := range Types {
+		m.byType[t] = &atomic.Uint64{}
+	}
+	return m
+}
+
+// harvest accumulates one finished run's simulator counters. Installed
+// as the machine pool's Harvest hook, so it observes the machine after
+// the run and before the recycling Reset wipes it.
+func (m *Metrics) harvest(mach *core.Machine) {
+	st := mach.K.Stats
+	m.SimFastDeliveries.Add(st.FastDeliveries)
+	m.SimUnixDeliveries.Add(st.UnixDeliveries)
+	c := mach.CPU()
+	var exc uint64
+	for _, n := range c.ExcCounts {
+		exc += n
+	}
+	m.SimExceptions.Add(exc)
+	m.SimTLBHits.Add(mach.K.TLB.Hits)
+	m.SimTLBMisses.Add(mach.K.TLB.Misses)
+	m.SimFastPathHits.Add(c.FastHits)
+	m.SimInsts.Add(c.Insts)
+	m.SimCycles.Add(c.Cycles)
+}
+
+// Snapshot is a consistent-enough (each field individually atomic)
+// copy of the metrics for rendering and for client-side verification.
+type Snapshot struct {
+	QueueDepth    int   `json:"queue_depth"`
+	QueueCapacity int   `json:"queue_capacity"`
+	InFlight      int64 `json:"inflight_jobs"`
+	Draining      bool  `json:"draining"`
+
+	Admitted         uint64 `json:"jobs_admitted_total"`
+	RejectedFull     uint64 `json:"jobs_rejected_full_total"`
+	RejectedDraining uint64 `json:"jobs_rejected_draining_total"`
+	BadRequests      uint64 `json:"bad_requests_total"`
+
+	JobsOK        uint64 `json:"jobs_ok_total"`
+	JobsFailed    uint64 `json:"jobs_failed_total"`
+	JobsCancelled uint64 `json:"jobs_cancelled_total"`
+
+	JobsByType map[string]uint64 `json:"jobs_by_type"`
+
+	Pool        core.PoolStats `json:"machine_pool"`
+	PoolHitRate float64        `json:"machine_pool_hit_rate"`
+
+	SimFastDeliveries uint64 `json:"sim_fast_deliveries_total"`
+	SimUnixDeliveries uint64 `json:"sim_unix_deliveries_total"`
+	SimExceptions     uint64 `json:"sim_exceptions_total"`
+	SimTLBHits        uint64 `json:"sim_tlb_hits_total"`
+	SimTLBMisses      uint64 `json:"sim_tlb_misses_total"`
+	SimFastPathHits   uint64 `json:"sim_fastpath_hits_total"`
+	SimInsts          uint64 `json:"sim_insts_total"`
+	SimCycles         uint64 `json:"sim_cycles_total"`
+}
+
+// snapshot gathers the current counter values plus queue/pool state
+// owned by the server.
+func (s *Server) snapshot() Snapshot {
+	m := s.metrics
+	snap := Snapshot{
+		QueueDepth:    len(s.queue),
+		QueueCapacity: cap(s.queue),
+		InFlight:      m.InFlight.Load(),
+		Draining:      s.isDraining(),
+
+		Admitted:         m.Admitted.Load(),
+		RejectedFull:     m.RejectedFull.Load(),
+		RejectedDraining: m.RejectedDraining.Load(),
+		BadRequests:      m.BadRequests.Load(),
+
+		JobsOK:        m.JobsOK.Load(),
+		JobsFailed:    m.JobsFailed.Load(),
+		JobsCancelled: m.JobsCancelled.Load(),
+
+		JobsByType: make(map[string]uint64, len(m.byType)),
+
+		Pool: s.pool.Stats(),
+
+		SimFastDeliveries: m.SimFastDeliveries.Load(),
+		SimUnixDeliveries: m.SimUnixDeliveries.Load(),
+		SimExceptions:     m.SimExceptions.Load(),
+		SimTLBHits:        m.SimTLBHits.Load(),
+		SimTLBMisses:      m.SimTLBMisses.Load(),
+		SimFastPathHits:   m.SimFastPathHits.Load(),
+		SimInsts:          m.SimInsts.Load(),
+		SimCycles:         m.SimCycles.Load(),
+	}
+	for t, c := range m.byType {
+		snap.JobsByType[string(t)] = c.Load()
+	}
+	if snap.Pool.Gets > 0 {
+		snap.PoolHitRate = float64(snap.Pool.Reuses) / float64(snap.Pool.Gets)
+	}
+	return snap
+}
+
+// renderText writes the snapshot in the flat `name value` exposition
+// format (Prometheus-style, one counter per line, keys sorted).
+func (snap Snapshot) renderText(w io.Writer) {
+	lines := map[string]string{
+		"uexc_queue_depth":                  fmt.Sprint(snap.QueueDepth),
+		"uexc_queue_capacity":               fmt.Sprint(snap.QueueCapacity),
+		"uexc_inflight_jobs":                fmt.Sprint(snap.InFlight),
+		"uexc_draining":                     fmt.Sprint(boolToInt(snap.Draining)),
+		"uexc_jobs_admitted_total":          fmt.Sprint(snap.Admitted),
+		"uexc_jobs_rejected_full_total":     fmt.Sprint(snap.RejectedFull),
+		"uexc_jobs_rejected_draining_total": fmt.Sprint(snap.RejectedDraining),
+		"uexc_bad_requests_total":           fmt.Sprint(snap.BadRequests),
+		"uexc_jobs_ok_total":                fmt.Sprint(snap.JobsOK),
+		"uexc_jobs_failed_total":            fmt.Sprint(snap.JobsFailed),
+		"uexc_jobs_cancelled_total":         fmt.Sprint(snap.JobsCancelled),
+		"uexc_pool_gets_total":              fmt.Sprint(snap.Pool.Gets),
+		"uexc_pool_reuses_total":            fmt.Sprint(snap.Pool.Reuses),
+		"uexc_pool_boots_total":             fmt.Sprint(snap.Pool.Boots),
+		"uexc_pool_puts_total":              fmt.Sprint(snap.Pool.Puts),
+		"uexc_pool_hit_rate":                fmt.Sprintf("%.4f", snap.PoolHitRate),
+		"uexc_sim_fast_deliveries_total":    fmt.Sprint(snap.SimFastDeliveries),
+		"uexc_sim_unix_deliveries_total":    fmt.Sprint(snap.SimUnixDeliveries),
+		"uexc_sim_exceptions_total":         fmt.Sprint(snap.SimExceptions),
+		"uexc_sim_tlb_hits_total":           fmt.Sprint(snap.SimTLBHits),
+		"uexc_sim_tlb_misses_total":         fmt.Sprint(snap.SimTLBMisses),
+		"uexc_sim_fastpath_hits_total":      fmt.Sprint(snap.SimFastPathHits),
+		"uexc_sim_insts_total":              fmt.Sprint(snap.SimInsts),
+		"uexc_sim_cycles_total":             fmt.Sprint(snap.SimCycles),
+	}
+	for t, n := range snap.JobsByType {
+		lines[fmt.Sprintf("uexc_jobs_admitted_by_type_total{type=%q}", t)] = fmt.Sprint(n)
+	}
+	keys := make([]string, 0, len(lines))
+	for k := range lines {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s %s\n", k, lines[k])
+	}
+}
+
+// renderJSON writes the snapshot as indented JSON.
+func (snap Snapshot) renderJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

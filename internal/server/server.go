@@ -1,0 +1,391 @@
+// Package server is uexc's long-lived serving layer: it exposes the
+// repository's engines — fault-injection campaigns, the cross-mode
+// differential oracle, figure sweeps, single program runs — as an HTTP
+// job service built for sustained concurrent load.
+//
+// Architecture (DESIGN.md §11):
+//
+//   - Admission control. POST /jobs validates the request and admits
+//     it into a bounded queue. A full queue answers 429 with
+//     Retry-After — explicit backpressure instead of unbounded memory
+//     — and a draining server answers 503.
+//   - Execution. A fixed worker pool drains the queue. All jobs share
+//     one core.MachinePool, so booted machines are recycled across
+//     requests, not just within one campaign; the pool's Harvest hook
+//     accumulates every run's simulator counters for /metrics.
+//   - Streaming. The response is NDJSON: an accepted event, optional
+//     per-run progress events (the engines' ordered progress stream,
+//     byte-identical to the CLI at any shard width), and a terminal
+//     result event carrying the exact summary text the CLI prints.
+//   - Deadlines. Every job runs under a context bounded by the
+//     server's maximum timeout (tightened per request), cancelled too
+//     when the client disconnects; cancellation propagates through
+//     internal/parallel into the campaign loops.
+//   - Drain. Drain stops admission, lets every admitted job finish and
+//     flush its stream, and only then lets shutdown proceed — wired to
+//     SIGTERM by cmd/uexc-serve.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"context"
+
+	"uexc/internal/core"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Addr is the listen address for Run ("" picks 127.0.0.1:0, the
+	// ephemeral-port form the smoke harness uses).
+	Addr string
+	// Workers is the number of jobs executing concurrently (<=0: 4).
+	Workers int
+	// QueueDepth is the waiting-room capacity beyond the running
+	// workers; the Workers+QueueDepth'th concurrent job gets 429
+	// (<=0: 16).
+	QueueDepth int
+	// MaxJobTimeout bounds every job's execution time and is the
+	// default when a request does not set timeout_ms (<=0: 120s).
+	MaxJobTimeout time.Duration
+	// MaxSeeds caps campaign/difftest sweep sizes per job (<=0: 5000).
+	MaxSeeds int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.MaxJobTimeout <= 0 {
+		c.MaxJobTimeout = 120 * time.Second
+	}
+	if c.MaxSeeds <= 0 {
+		c.MaxSeeds = 5000
+	}
+	return c
+}
+
+// Server is one serving instance. Create with New, expose via
+// Handler, stop with Drain (keeps workers alive, rejects new work)
+// and Close (drain + retire the workers).
+type Server struct {
+	cfg     Config
+	pool    *core.MachinePool
+	metrics *Metrics
+	queue   chan *job
+	stop    chan struct{}
+	nextID  atomic.Uint64
+	mux     *http.ServeMux
+
+	mu       sync.Mutex // guards draining and the admit/Drain race
+	draining bool
+	jobWG    sync.WaitGroup // admitted jobs not yet finished
+
+	workerWG sync.WaitGroup
+
+	// execHook, when non-nil, replaces runJob — a seam the tests and
+	// the smoke harness use to hold jobs in place, making queue-full
+	// and drain conditions deterministic regardless of engine speed.
+	execHook func(j *job) (bool, string, error)
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		pool:    &core.MachinePool{},
+		metrics: newMetrics(),
+		queue:   make(chan *job, cfg.QueueDepth),
+		stop:    make(chan struct{}),
+	}
+	s.pool.Harvest = s.metrics.harvest
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/jobs", s.handleJobs)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	for w := 0; w < cfg.Workers; w++ {
+		s.workerWG.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the HTTP surface: /jobs, /metrics, /healthz, and
+// /debug/pprof.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// isDraining reports whether admission is closed.
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain closes admission and blocks until every already-admitted job
+// has finished executing (its stream may still be flushing to a slow
+// client; HTTP shutdown handles that wait). Idempotent.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.jobWG.Wait()
+}
+
+// Close drains and then retires the worker pool.
+func (s *Server) Close() {
+	s.Drain()
+	s.mu.Lock()
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+	s.mu.Unlock()
+	s.workerWG.Wait()
+}
+
+// admit tries to place a job in the queue. The lock makes the
+// draining check and the WaitGroup add atomic with respect to Drain:
+// after Drain returns, no job can be admitted and every admitted job
+// has been counted.
+func (s *Server) admit(j *job) (status int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.metrics.RejectedDraining.Add(1)
+		return http.StatusServiceUnavailable
+	}
+	select {
+	case s.queue <- j:
+		s.jobWG.Add(1)
+		s.metrics.Admitted.Add(1)
+		s.metrics.byType[j.req.Type].Add(1)
+		return http.StatusOK
+	default:
+		s.metrics.RejectedFull.Add(1)
+		return http.StatusTooManyRequests
+	}
+}
+
+// worker executes queued jobs until the server closes.
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for {
+		select {
+		case j := <-s.queue:
+			s.execute(j)
+		case <-s.stop:
+			// Drain already emptied the queue (Close drains first), so
+			// nothing is abandoned here.
+			return
+		}
+	}
+}
+
+// execute runs one job to completion and emits its terminal event.
+func (s *Server) execute(j *job) {
+	defer s.jobWG.Done()
+	defer j.cancel()
+	s.metrics.InFlight.Add(1)
+	defer s.metrics.InFlight.Add(-1)
+
+	start := time.Now()
+	var (
+		ok      bool
+		summary string
+		err     error
+	)
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ok, summary, err = false, "", fmt.Errorf("job panicked: %v", r)
+			}
+		}()
+		if s.execHook != nil {
+			ok, summary, err = s.execHook(j)
+		} else {
+			ok, summary, err = s.runJob(j)
+		}
+	}()
+
+	switch {
+	case ok:
+		s.metrics.JobsOK.Add(1)
+	case j.ctx.Err() != nil:
+		s.metrics.JobsCancelled.Add(1)
+	default:
+		s.metrics.JobsFailed.Add(1)
+	}
+
+	ev := Event{
+		Type: "result", ID: j.id, OK: &ok, Summary: summary,
+		ElapsedMS: time.Since(start).Milliseconds(),
+	}
+	if err != nil {
+		ev.Error = err.Error()
+	}
+	j.emit(ev)
+	close(j.events)
+}
+
+// retryAfterSeconds is the backpressure hint on 429/503 responses.
+const retryAfterSeconds = 1
+
+// handleJobs is POST /jobs: validate, admit, stream.
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req Request
+	body := http.MaxBytesReader(w, r.Body, 1<<16)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.metrics.BadRequests.Add(1)
+		http.Error(w, "malformed job: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := req.Validate(s.cfg.MaxSeeds); err != nil {
+		s.metrics.BadRequests.Add(1)
+		http.Error(w, "invalid job: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	timeout := s.cfg.MaxJobTimeout
+	if req.TimeoutMS > 0 {
+		if t := time.Duration(req.TimeoutMS) * time.Millisecond; t < timeout {
+			timeout = t
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	j := &job{
+		id:        s.nextID.Add(1),
+		req:       req,
+		ctx:       ctx,
+		streamCtx: r.Context(),
+		cancel:    cancel,
+		events:    make(chan Event, 64),
+	}
+	if status := s.admit(j); status != http.StatusOK {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		msg := "queue full, retry later"
+		if status == http.StatusServiceUnavailable {
+			msg = "server draining, not admitting jobs"
+		}
+		http.Error(w, msg, status)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flush := func() {
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+	}
+	_ = enc.Encode(Event{Type: "accepted", ID: j.id, Job: string(req.Type)})
+	flush()
+	for ev := range j.events {
+		if err := enc.Encode(ev); err != nil {
+			// Client gone: stop writing but keep draining so the worker's
+			// sends never block (its emits fall through on ctx.Done once
+			// the request context is cancelled).
+			break
+		}
+		flush()
+	}
+}
+
+// handleMetrics is GET /metrics: flat text by default, JSON with
+// ?format=json.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.snapshot()
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		_ = snap.renderJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	snap.renderText(w)
+}
+
+// handleHealthz reports readiness: 200 while admitting, 503 while
+// draining.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.isDraining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// Run serves cfg.Addr until ctx is cancelled (SIGTERM in
+// cmd/uexc-serve), then drains gracefully: admission closes, admitted
+// jobs finish and flush, and only then does the listener shut down.
+// The bound address is reported through ready (buffered; may be nil)
+// as soon as the listener is up.
+func Run(ctx context.Context, cfg Config, logw io.Writer, ready chan<- string) error {
+	s := New(cfg)
+	defer s.Close()
+
+	addr := cfg.Addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	if logw != nil {
+		fmt.Fprintf(logw, "uexc-serve: listening on %s (workers %d, queue %d)\n",
+			ln.Addr(), s.cfg.Workers, s.cfg.QueueDepth)
+	}
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	if logw != nil {
+		fmt.Fprintln(logw, "uexc-serve: drain: admission closed, finishing in-flight jobs")
+	}
+	s.Drain()
+	// Streams may still be flushing; Shutdown waits for the handlers.
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	err = hs.Shutdown(shutCtx)
+	if logw != nil {
+		fmt.Fprintln(logw, "uexc-serve: drained, bye")
+	}
+	return err
+}
