@@ -11,7 +11,7 @@ GO ?= go
 # durably improves; never lower it to make a change pass.
 COVER_MIN ?= 86.0
 
-.PHONY: all build test vet check cover campaign bench-campaign bench-cpu bench-serve serve-smoke fuzz clean
+.PHONY: all build test vet check cover campaign bench-campaign bench-cpu bench-serve serve-smoke chaos-smoke fuzz clean
 
 all: build
 
@@ -32,6 +32,7 @@ check: vet build
 	$(GO) run ./cmd/uexc-bench -faultcampaign -seeds 30 -parallel 4
 	$(GO) run ./cmd/uexc-bench -difftest -seeds 30 -parallel 4
 	$(MAKE) serve-smoke
+	$(MAKE) chaos-smoke
 	$(MAKE) cover
 
 # Serving smoke: spins a race-enabled uexc-serve on an ephemeral port
@@ -40,6 +41,16 @@ check: vet build
 # exact /metrics accounting, and a graceful SIGTERM-style drain.
 serve-smoke:
 	$(GO) run -race ./cmd/uexc-serve -selftest -jobs 24 -concurrency 8
+
+# Crash-tolerance gauntlet: a 30-seed campaign through a journal-backed
+# race-enabled server that is killed and restarted 3 times mid-run
+# (plus injected worker panics, shard stalls, slow fsyncs, and client
+# disconnects); the survivor's stream must be byte-identical to an
+# undisturbed run, /metrics accounting exact, and a poison shard must
+# quarantine with a typed failure instead of wedging the service
+# (DESIGN.md §12, EXPERIMENTS.md).
+chaos-smoke:
+	$(GO) run -race ./cmd/uexc-serve -chaos -chaos-seeds 30 -chaos-kills 3
 
 # Coverage ratchet: reruns the suite with statement coverage over the
 # internal packages and enforces the COVER_MIN floor.

@@ -5,10 +5,14 @@
 // Modes:
 //
 //	uexc-serve                       serve until SIGTERM/Ctrl-C, then drain
+//	uexc-serve -store-dir d -resume  serve with a durable job journal, resuming
+//	                                 jobs that survived the last crash
 //	uexc-serve -selftest             end-to-end serving smoke (spins its own server)
 //	uexc-serve -loadgen -url ...     generate load against a running server
+//	uexc-serve -chaos                crash-tolerance gauntlet: repeated mid-campaign
+//	                                 kills must leave the final stream byte-identical
 //
-// See README.md "Serving" and DESIGN.md §11.
+// See README.md "Serving" and DESIGN.md §11–12.
 package main
 
 import (
@@ -23,11 +27,13 @@ import (
 	"time"
 
 	"uexc/internal/server"
+	"uexc/internal/server/chaos"
 )
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	forceExitOnSecondSignal(ctx, stop)
 	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "uexc-serve:", err)
 		os.Exit(1)
@@ -43,9 +49,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		queue      = fs.Int("queue", 0, "admission queue depth beyond the workers (0: 16)")
 		jobTimeout = fs.Duration("job-timeout", 0, "per-job deadline cap (0: 120s)")
 		maxSeeds   = fs.Int("max-seeds", 0, "per-job campaign/difftest seed cap (0: 5000)")
+		storeDir   = fs.String("store-dir", "", "durable job journal directory (empty: in-memory only)")
+		resume     = fs.Bool("resume", false, "re-admit journaled jobs that never finished (needs -store-dir)")
 
 		selftest    = fs.Bool("selftest", false, "run the end-to-end serving smoke against an ephemeral server, then exit")
 		loadgen     = fs.Bool("loadgen", false, "generate load against -url, then exit")
+		chaosMode   = fs.Bool("chaos", false, "run the crash-tolerance gauntlet on an ephemeral server, then exit")
+		chaosSeeds  = fs.Int("chaos-seeds", 0, "campaign size for -chaos (0: 30)")
+		chaosKills  = fs.Int("chaos-kills", 0, "kill/restart cycles for -chaos (0: 3)")
+		chaosSeed   = fs.Int64("chaos-seed", 0, "fault-plan seed for -chaos (reproduces a failing run)")
 		url         = fs.String("url", "http://127.0.0.1:8612", "server base URL (loadgen mode)")
 		jobs        = fs.Int("jobs", 200, "total jobs (loadgen/selftest)")
 		concurrency = fs.Int("concurrency", 32, "client goroutines (loadgen/selftest)")
@@ -54,11 +66,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *selftest && *loadgen {
-		return fmt.Errorf("-selftest and -loadgen are mutually exclusive")
+	if modes := btoi(*selftest) + btoi(*loadgen) + btoi(*chaosMode); modes > 1 {
+		return fmt.Errorf("-selftest, -loadgen and -chaos are mutually exclusive")
+	}
+	if *resume && *storeDir == "" {
+		return fmt.Errorf("-resume requires -store-dir")
 	}
 
 	switch {
+	case *chaosMode:
+		return chaos.Run(ctx, chaos.Config{
+			Seeds: *chaosSeeds, Kills: *chaosKills, Seed: *chaosSeed,
+			Workers: *workers, Out: stderr,
+		})
+
 	case *selftest:
 		rep, err := server.Smoke(ctx, stderr, server.SmokeConfig{
 			Jobs: *jobs, Concurrency: *concurrency,
@@ -90,8 +111,28 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return server.Run(ctx, server.Config{
 			Addr: *addr, Workers: *workers, QueueDepth: *queue,
 			MaxJobTimeout: *jobTimeout, MaxSeeds: *maxSeeds,
+			StoreDir: *storeDir, Resume: *resume,
 		}, stderr, nil)
 	}
+}
+
+// forceExitOnSecondSignal is the double-SIGTERM escape hatch: the
+// first signal cancels ctx and begins the graceful drain; restore then
+// returns signal handling to the default disposition, so a second
+// SIGTERM or Ctrl-C terminates the process immediately instead of
+// waiting out a drain that may be pinned by a long campaign.
+func forceExitOnSecondSignal(ctx context.Context, restore func()) {
+	go func() {
+		<-ctx.Done()
+		restore()
+	}()
+}
+
+func btoi(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // writeBench persists the machine-readable load report (BENCH_serve.json).

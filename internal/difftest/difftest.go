@@ -267,10 +267,24 @@ func (r *Result) Summary() string {
 	return b.String()
 }
 
-// seedTask is one shard: a seed's three-mode comparison.
-type seedTask struct {
-	divergences []string
-	entries     uint64
+// Shard is one shard: a seed's three-mode comparison digest. Fields
+// are exported and JSON-tagged because the serving layer journals
+// shards at checkpoint boundaries and replays them on resume
+// (DESIGN.md §12); a shard is a deterministic function of its seed.
+type Shard struct {
+	Divergences []string `json:"divergences,omitempty"`
+	Entries     uint64   `json:"entries"`
+}
+
+// shardLine renders seed i's progress line from its digest — the one
+// formatting point shared by live shards and checkpoint replays, so a
+// resumed stream is byte-identical by construction.
+func shardLine(i int, t Shard) string {
+	verdict := "ok"
+	if len(t.Divergences) > 0 {
+		verdict = fmt.Sprintf("DIVERGED (%d)", len(t.Divergences))
+	}
+	return fmt.Sprintf("seed %-6d %s\n", i, verdict)
 }
 
 // Campaign runs the oracle over seeds [0, n) sharded across workers via
@@ -289,8 +303,25 @@ func Campaign(n, workers int, w io.Writer) (*Result, error) {
 // comparisons already in flight and returns the context's error;
 // partial results are never reported.
 func CampaignCtx(ctx context.Context, pool *core.MachinePool, n, workers int, w io.Writer) (*Result, error) {
+	return CampaignResumeCtx(ctx, pool, n, workers, w, nil, 0, nil)
+}
+
+// CampaignResumeCtx is CampaignCtx with checkpoint/resume: `done`
+// holds the digests of the contiguous seed prefix recovered from a
+// durable checkpoint (nil for a fresh run), folded and re-streamed
+// without re-execution; `save`, when non-nil, receives the grown
+// contiguous prefix every `every` merged seeds and at completion,
+// strictly in order. The Result, Summary, and progress stream are
+// byte-identical to an undisturbed run regardless of worker count or
+// interruption point. The mutation self-test always re-runs — it is a
+// precondition for trusting the oracle, not a shard.
+func CampaignResumeCtx(ctx context.Context, pool *core.MachinePool, n, workers int, w io.Writer,
+	done []Shard, every int, save func(prefix []Shard) error) (*Result, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("difftest: seed count must be positive, got %d", n)
+	}
+	if len(done) > n {
+		return nil, fmt.Errorf("difftest: checkpoint has %d shards but the campaign has only %d seeds", len(done), n)
 	}
 	res := &Result{Seeds: n, Episodes: map[string]int{}}
 
@@ -300,15 +331,16 @@ func CampaignCtx(ctx context.Context, pool *core.MachinePool, n, workers int, w 
 	if pool == nil {
 		pool = &core.MachinePool{}
 	}
-	progress := parallel.NewOrderedWriter(w)
-	tasks, err := parallel.MapCtx(ctx, workers, n, func(i int) seedTask {
-		var t seedTask
-		t.divergences, t.entries = CheckSeed(pool, int64(i))
-		verdict := "ok"
-		if len(t.divergences) > 0 {
-			verdict = fmt.Sprintf("DIVERGED (%d)", len(t.divergences))
+	if w != nil {
+		for i, t := range done {
+			io.WriteString(w, shardLine(i, t))
 		}
-		progress.Emit(i, fmt.Sprintf("seed %-6d %s\n", i, verdict))
+	}
+	progress := parallel.NewOrderedWriterAt(w, len(done))
+	tasks, err := parallel.MapResumeCtx(ctx, workers, n, done, every, save, func(i int) Shard {
+		var t Shard
+		t.Divergences, t.Entries = CheckSeed(pool, int64(i))
+		progress.Emit(i, shardLine(i, t))
 		return t
 	})
 	if err != nil {
@@ -319,8 +351,8 @@ func CampaignCtx(ctx context.Context, pool *core.MachinePool, n, workers int, w 
 		for _, k := range progen.Generate(int64(i)).Episodes {
 			res.Episodes[k.String()]++
 		}
-		res.Entries += tasks[i].entries
-		for _, d := range tasks[i].divergences {
+		res.Entries += tasks[i].Entries
+		for _, d := range tasks[i].Divergences {
 			res.Divergences = append(res.Divergences, fmt.Sprintf("seed %d %s", i, d))
 		}
 	}

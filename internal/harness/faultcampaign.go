@@ -107,13 +107,16 @@ func (r *CampaignResult) Summary() string {
 	return b.String()
 }
 
-// campaignReport is one run's digest.
-type campaignReport struct {
-	fingerprint string
-	outcome     string
-	exercised   [faultinject.NumKinds]uint64
-	stats       kernel.Stats
-	failures    []string
+// RunDigest is one run's digest. Every field is exported and
+// JSON-tagged because shards are journaled verbatim by the serving
+// layer's checkpoint path (DESIGN.md §12): a digest written by one
+// process must fold identically when replayed by the next.
+type RunDigest struct {
+	Fingerprint string                       `json:"fp"`
+	Outcome     string                       `json:"outcome"`
+	Exercised   [faultinject.NumKinds]uint64 `json:"exercised"`
+	Stats       kernel.Stats                 `json:"stats"`
+	Failures    []string                     `json:"failures,omitempty"`
 }
 
 // FaultCampaign replays `seeds` fault plans under all three delivery
@@ -126,14 +129,17 @@ func FaultCampaign(seeds int, w io.Writer) (*CampaignResult, error) {
 	return FaultCampaignParallel(seeds, 1, w)
 }
 
-// campaignTask is one shard of a campaign: a seed×mode pair run twice
-// (run + determinism replay), or one livelock probe. Shards are
+// CampaignShard is one shard of a campaign: a seed×mode pair run
+// twice (run + determinism replay), or one livelock probe. Shards are
 // independent — each runs on its own self-contained machine — so the
-// engine may execute them in any order on any worker.
-type campaignTask struct {
-	first, again campaignReport // seed×mode shards
-	probeOutcome string         // livelock-probe shards
-	probeFail    string
+// engine may execute them in any order on any worker, and a shard's
+// digest is a deterministic function of (seed, mode) alone, which is
+// what makes journaled shards resumable.
+type CampaignShard struct {
+	First        RunDigest `json:"first,omitempty"` // seed×mode shards
+	Again        RunDigest `json:"again,omitempty"`
+	ProbeOutcome string    `json:"probe_outcome,omitempty"` // livelock-probe shards
+	ProbeFail    string    `json:"probe_fail,omitempty"`
 }
 
 // FaultCampaignParallel shards the campaign's runs across `workers`
@@ -157,6 +163,45 @@ func FaultCampaignParallel(seeds, workers int, w io.Writer) (*CampaignResult, er
 // campaign result is either complete and byte-identical to the serial
 // run or absent.
 func FaultCampaignCtx(ctx context.Context, pool *core.MachinePool, seeds, workers int, w io.Writer) (*CampaignResult, error) {
+	return FaultCampaignResumeCtx(ctx, pool, seeds, workers, w, nil, 0, nil)
+}
+
+// campaignModes is the fixed mode order of a campaign's shard layout.
+var campaignModes = []core.Mode{core.ModeUltrix, core.ModeFast, core.ModeHardware}
+
+// CampaignShards returns the task count of a `seeds` campaign: the
+// seed×mode replay pairs plus the three per-mode watchdog probes.
+func CampaignShards(seeds int) int {
+	return seeds*len(campaignModes) + len(campaignModes)
+}
+
+// campaignShardLine renders shard i's progress line from its digest —
+// the single formatting point for both live shards and checkpointed
+// shards replayed on resume, so the two are byte-identical by
+// construction.
+func campaignShardLine(i, seeds int, t CampaignShard) string {
+	if i < seeds*len(campaignModes) {
+		seed, mode := i/len(campaignModes), campaignModes[i%len(campaignModes)]
+		return fmt.Sprintf("%-28s %s\n",
+			fmt.Sprintf("seed %d mode %s:", seed, mode), t.First.Outcome)
+	}
+	mode := campaignModes[i-seeds*len(campaignModes)]
+	return fmt.Sprintf("%-28s %s\n",
+		fmt.Sprintf("livelock probe %s:", mode), t.ProbeOutcome)
+}
+
+// FaultCampaignResumeCtx is FaultCampaignCtx with checkpoint/resume:
+// `done` holds the digests of the contiguous shard prefix recovered
+// from a durable checkpoint (nil for a fresh run), which are folded
+// and re-streamed without re-execution; `save`, when non-nil, is
+// called with the grown contiguous prefix every `every` merged shards
+// (and at completion), in order, never concurrently — the §12
+// checkpoint cadence. The merged result, summary, and progress stream
+// are byte-identical to an undisturbed run at any worker count and
+// any interruption point, because shards are deterministic and the
+// merge is strictly index-ordered.
+func FaultCampaignResumeCtx(ctx context.Context, pool *core.MachinePool, seeds, workers int, w io.Writer,
+	done []CampaignShard, every int, save func(prefix []CampaignShard) error) (*CampaignResult, error) {
 	if seeds <= 0 {
 		seeds = 30
 	}
@@ -165,32 +210,41 @@ func FaultCampaignCtx(ctx context.Context, pool *core.MachinePool, seeds, worker
 		Exercised: make(map[string]uint64),
 		Outcomes:  make(map[string]int),
 	}
-	modes := []core.Mode{core.ModeUltrix, core.ModeFast, core.ModeHardware}
+	modes := campaignModes
 
 	// Task layout: [0, seeds×3) are the seed×mode replay pairs in
 	// seed-major order; the last three are the per-mode watchdog
 	// probes (a deliberate pure state cycle — no stores, no new code —
 	// that only the livelock detector can classify).
-	nTasks := seeds*len(modes) + len(modes)
-	progress := parallel.NewOrderedWriter(w)
+	nTasks := CampaignShards(seeds)
+	if len(done) > nTasks {
+		return nil, fmt.Errorf("fault campaign: checkpoint has %d shards but a %d-seed campaign has only %d",
+			len(done), seeds, nTasks)
+	}
 	if pool == nil {
 		pool = &core.MachinePool{}
 	}
 
-	tasks, err := parallel.MapCtx(ctx, workers, nTasks, func(i int) campaignTask {
-		var t campaignTask
+	// Replay the checkpointed prefix into the progress stream, then let
+	// the ordered writer continue from the first live shard.
+	if w != nil {
+		for i, t := range done {
+			io.WriteString(w, campaignShardLine(i, seeds, t))
+		}
+	}
+	progress := parallel.NewOrderedWriterAt(w, len(done))
+
+	tasks, err := parallel.MapResumeCtx(ctx, workers, nTasks, done, every, save, func(i int) CampaignShard {
+		var t CampaignShard
 		if i < seeds*len(modes) {
 			seed, mode := i/len(modes), modes[i%len(modes)]
-			t.first = campaignRun(pool, int64(seed), mode)
-			t.again = campaignRun(pool, int64(seed), mode)
-			progress.Emit(i, fmt.Sprintf("%-28s %s\n",
-				fmt.Sprintf("seed %d mode %s:", seed, mode), t.first.outcome))
-			return t
+			t.First = campaignRun(pool, int64(seed), mode)
+			t.Again = campaignRun(pool, int64(seed), mode)
+		} else {
+			mode := modes[i-seeds*len(modes)]
+			t.ProbeOutcome, t.ProbeFail = livelockProbe(pool, mode)
 		}
-		mode := modes[i-seeds*len(modes)]
-		t.probeOutcome, t.probeFail = livelockProbe(pool, mode)
-		progress.Emit(i, fmt.Sprintf("%-28s %s\n",
-			fmt.Sprintf("livelock probe %s:", mode), t.probeOutcome))
+		progress.Emit(i, campaignShardLine(i, seeds, t))
 		return t
 	})
 	if err != nil {
@@ -201,41 +255,41 @@ func FaultCampaignCtx(ctx context.Context, pool *core.MachinePool, seeds, worker
 	// reproducing exactly the accumulation the serial loop performed.
 	for i := 0; i < seeds*len(modes); i++ {
 		seed, mode := i/len(modes), modes[i%len(modes)]
-		first, again := tasks[i].first, tasks[i].again
+		first, again := tasks[i].First, tasks[i].Again
 		res.Runs += 2
 
 		tag := fmt.Sprintf("seed %d mode %s", seed, mode)
-		for _, f := range first.failures {
+		for _, f := range first.Failures {
 			res.Failures = append(res.Failures, tag+": "+f)
 		}
-		for _, f := range again.failures {
+		for _, f := range again.Failures {
 			res.Failures = append(res.Failures, tag+" (replay): "+f)
 		}
-		if first.fingerprint != again.fingerprint {
+		if first.Fingerprint != again.Fingerprint {
 			res.Failures = append(res.Failures,
 				fmt.Sprintf("%s: nondeterministic (fingerprints differ:\n  %s\n  %s)",
-					tag, first.fingerprint, again.fingerprint))
+					tag, first.Fingerprint, again.Fingerprint))
 		}
-		res.Fingerprints = append(res.Fingerprints, first.fingerprint)
+		res.Fingerprints = append(res.Fingerprints, first.Fingerprint)
 
 		// Count exercise from the first run only (the replay is a
 		// determinism witness, not extra coverage).
 		for k := faultinject.Kind(0); k < faultinject.NumKinds; k++ {
-			res.Exercised[k.String()] += first.exercised[k]
+			res.Exercised[k.String()] += first.Exercised[k]
 		}
-		res.Exercised["uex-recursion"] += first.stats.UEXRecursions
-		res.Exercised["fast-ultrix-fallback"] += first.stats.FastFallbacks
-		res.Exercised["recursion-kill"] += first.stats.RecursionKills
-		res.Exercised["tlb-scrub"] += first.stats.TLBScrubs
-		res.Outcomes[first.outcome]++
+		res.Exercised["uex-recursion"] += first.Stats.UEXRecursions
+		res.Exercised["fast-ultrix-fallback"] += first.Stats.FastFallbacks
+		res.Exercised["recursion-kill"] += first.Stats.RecursionKills
+		res.Exercised["tlb-scrub"] += first.Stats.TLBScrubs
+		res.Outcomes[first.Outcome]++
 	}
 	for j := 0; j < len(modes); j++ {
 		t := tasks[seeds*len(modes)+j]
 		res.Runs++
-		res.Outcomes[t.probeOutcome]++
-		if t.probeFail != "" {
+		res.Outcomes[t.ProbeOutcome]++
+		if t.ProbeFail != "" {
 			res.Failures = append(res.Failures,
-				fmt.Sprintf("livelock probe mode %s: %s", modes[j], t.probeFail))
+				fmt.Sprintf("livelock probe mode %s: %s", modes[j], t.ProbeFail))
 		} else {
 			res.Exercised["watchdog-livelock"]++
 		}
@@ -249,7 +303,7 @@ func FaultCampaignCtx(ctx context.Context, pool *core.MachinePool, seeds, worker
 // comes from (and, barring a panic, returns to) pool; a machine that
 // panicked mid-run is dropped rather than recycled, since its state is
 // no longer trustworthy.
-func campaignRun(pool *core.MachinePool, seed int64, mode core.Mode) (rep campaignReport) {
+func campaignRun(pool *core.MachinePool, seed int64, mode core.Mode) (rep RunDigest) {
 	var (
 		m   *core.Machine
 		err error
@@ -257,9 +311,9 @@ func campaignRun(pool *core.MachinePool, seed int64, mode core.Mode) (rep campai
 	healthy := false
 	defer func() {
 		if r := recover(); r != nil {
-			rep.failures = append(rep.failures, fmt.Sprintf("panic: %v", r))
-			rep.outcome = "panic"
-			rep.fingerprint = "panic"
+			rep.Failures = append(rep.Failures, fmt.Sprintf("panic: %v", r))
+			rep.Outcome = "panic"
+			rep.Fingerprint = "panic"
 			return
 		}
 		if healthy {
@@ -269,13 +323,13 @@ func campaignRun(pool *core.MachinePool, seed int64, mode core.Mode) (rep campai
 
 	m, err = pool.Get()
 	if err != nil {
-		rep.failures = append(rep.failures, "boot: "+err.Error())
+		rep.Failures = append(rep.Failures, "boot: "+err.Error())
 		return rep
 	}
 	healthy = true
 	inj := faultinject.Attach(m.K, seed, faultinject.Config{})
 	if err := m.LoadProgram(campaignProg(mode)); err != nil {
-		rep.failures = append(rep.failures, "load: "+err.Error())
+		rep.Failures = append(rep.Failures, "load: "+err.Error())
 		return rep
 	}
 	if mode == core.ModeHardware {
@@ -291,28 +345,28 @@ func campaignRun(pool *core.MachinePool, seed int64, mode core.Mode) (rep campai
 		inj.Violations = append(inj.Violations, fmt.Errorf("final sweep: %w", err))
 	}
 	for _, v := range inj.Violations {
-		rep.failures = append(rep.failures, "invariant: "+v.Error())
+		rep.Failures = append(rep.Failures, "invariant: "+v.Error())
 	}
 
 	switch {
 	case runErr == nil:
-		rep.outcome = "survived"
+		rep.Outcome = "survived"
 	case errors.Is(runErr, cpu.ErrLivelock):
-		rep.outcome = "livelock detected"
+		rep.Outcome = "livelock detected"
 	case errors.Is(runErr, kernel.ErrRecursion):
-		rep.outcome = "recursion kill"
+		rep.Outcome = "recursion kill"
 	case errors.Is(runErr, cpu.ErrBudget):
-		rep.outcome = "budget exhausted"
-		rep.failures = append(rep.failures, "budget exhausted: "+runErr.Error())
+		rep.Outcome = "budget exhausted"
+		rep.Failures = append(rep.Failures, "budget exhausted: "+runErr.Error())
 	case strings.Contains(runErr.Error(), "process exited with status"):
-		rep.outcome = "signal termination"
+		rep.Outcome = "signal termination"
 	default:
-		rep.outcome = "error"
-		rep.failures = append(rep.failures, "unexpected error: "+runErr.Error())
+		rep.Outcome = "error"
+		rep.Failures = append(rep.Failures, "unexpected error: "+runErr.Error())
 	}
 
-	rep.exercised = inj.Exercised
-	rep.stats = m.K.Stats
+	rep.Exercised = inj.Exercised
+	rep.Stats = m.K.Stats
 
 	var events strings.Builder
 	for _, e := range inj.Events {
@@ -322,8 +376,8 @@ func campaignRun(pool *core.MachinePool, seed int64, mode core.Mode) (rep campai
 	if runErr != nil {
 		errText = runErr.Error()
 	}
-	rep.fingerprint = fmt.Sprintf("outcome=%s err=%q console=%q stats=%+v cycles=%d insts=%d events=%s",
-		rep.outcome, errText, m.K.Console(), m.K.Stats, m.CPU().Cycles, m.CPU().Insts, events.String())
+	rep.Fingerprint = fmt.Sprintf("outcome=%s err=%q console=%q stats=%+v cycles=%d insts=%d events=%s",
+		rep.Outcome, errText, m.K.Console(), m.K.Stats, m.CPU().Cycles, m.CPU().Insts, events.String())
 	return rep
 }
 

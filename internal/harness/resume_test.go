@@ -1,0 +1,113 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestFaultCampaignResumeByteIdentical: a campaign interrupted at any
+// checkpoint and resumed from the durable prefix produces a progress
+// stream, summary, and fingerprint list byte-identical to an
+// undisturbed run — the §12 resume rule, at engine level.
+func TestFaultCampaignResumeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs campaigns")
+	}
+	const seeds = 3
+	ctx := context.Background()
+
+	var wantStream bytes.Buffer
+	want, err := FaultCampaignCtx(ctx, nil, seeds, 1, &wantStream)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Capture checkpoints at a tight cadence, round-tripped through
+	// JSON exactly as the journal stores them.
+	var mu sync.Mutex
+	var checkpoints [][]CampaignShard
+	save := func(prefix []CampaignShard) error {
+		blob, err := json.Marshal(prefix)
+		if err != nil {
+			return err
+		}
+		var copied []CampaignShard
+		if err := json.Unmarshal(blob, &copied); err != nil {
+			return err
+		}
+		mu.Lock()
+		checkpoints = append(checkpoints, copied)
+		mu.Unlock()
+		return nil
+	}
+	var ckStream bytes.Buffer
+	ckRes, err := FaultCampaignResumeCtx(ctx, nil, seeds, 2, &ckStream, nil, 2, save)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ckStream.String() != wantStream.String() || ckRes.Summary() != want.Summary() {
+		t.Fatalf("checkpointing changed the output:\n--- with ---\n%s%s\n--- without ---\n%s%s",
+			ckStream.String(), ckRes.Summary(), wantStream.String(), want.Summary())
+	}
+	if len(checkpoints) == 0 {
+		t.Fatal("no checkpoints captured")
+	}
+	last := checkpoints[len(checkpoints)-1]
+	if len(last) != CampaignShards(seeds) {
+		t.Fatalf("final checkpoint has %d shards, want %d", len(last), CampaignShards(seeds))
+	}
+
+	// Resume from every captured prefix (simulating a kill right after
+	// that checkpoint's fsync) and demand byte identity.
+	for _, done := range checkpoints {
+		var gotStream bytes.Buffer
+		got, err := FaultCampaignResumeCtx(ctx, nil, seeds, 2, &gotStream, done, 2, func([]CampaignShard) error { return nil })
+		if err != nil {
+			t.Fatalf("resume from %d shards: %v", len(done), err)
+		}
+		if gotStream.String() != wantStream.String() {
+			t.Errorf("resume from %d shards: stream differs\n--- resumed ---\n%s--- undisturbed ---\n%s",
+				len(done), gotStream.String(), wantStream.String())
+		}
+		if got.Summary() != want.Summary() {
+			t.Errorf("resume from %d shards: summary differs", len(done))
+		}
+		if len(got.Fingerprints) != len(want.Fingerprints) {
+			t.Fatalf("resume from %d shards: %d fingerprints, want %d", len(done), len(got.Fingerprints), len(want.Fingerprints))
+		}
+		for i := range want.Fingerprints {
+			if got.Fingerprints[i] != want.Fingerprints[i] {
+				t.Errorf("resume from %d shards: fingerprint %d differs", len(done), i)
+			}
+		}
+	}
+}
+
+// TestFaultCampaignResumeRejectsOversizedCheckpoint: a checkpoint
+// larger than the campaign's shard space is a corrupt resume and must
+// be refused, not truncated silently.
+func TestFaultCampaignResumeRejectsOversizedCheckpoint(t *testing.T) {
+	done := make([]CampaignShard, CampaignShards(2)+1)
+	_, err := FaultCampaignResumeCtx(context.Background(), nil, 2, 1, nil, done, 1, nil)
+	if err == nil {
+		t.Fatal("oversized checkpoint accepted")
+	}
+}
+
+// TestFaultCampaignSaveErrorAborts: a checkpoint save failure aborts
+// the campaign with the save's own error.
+func TestFaultCampaignSaveErrorAborts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a campaign")
+	}
+	boom := errors.New("journal full")
+	_, err := FaultCampaignResumeCtx(context.Background(), nil, 2, 1, nil, nil, 1,
+		func([]CampaignShard) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+}

@@ -21,7 +21,15 @@ type OrderedWriter struct {
 // NewOrderedWriter returns an OrderedWriter streaming to w (nil for a
 // no-op writer).
 func NewOrderedWriter(w io.Writer) *OrderedWriter {
-	return &OrderedWriter{w: w, pending: map[int]string{}}
+	return NewOrderedWriterAt(w, 0)
+}
+
+// NewOrderedWriterAt returns an OrderedWriter whose first expected
+// index is next — the resume form: a caller that has already written
+// lines [0, next) (replayed from a checkpoint) continues the stream
+// seamlessly, and any Emit below next is ignored as already written.
+func NewOrderedWriterAt(w io.Writer, next int) *OrderedWriter {
+	return &OrderedWriter{w: w, next: next, pending: map[int]string{}}
 }
 
 // Emit submits task i's line. Lines may arrive in any order; each is
@@ -33,6 +41,9 @@ func (o *OrderedWriter) Emit(i int, line string) {
 	}
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	if i < o.next {
+		return // already written (resume replays never re-emit)
+	}
 	o.pending[i] = line
 	for {
 		l, ok := o.pending[o.next]

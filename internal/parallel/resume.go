@@ -1,0 +1,164 @@
+package parallel
+
+import (
+	"context"
+	"sync"
+)
+
+// ShardRunner wraps the execution of one shard. The engine calls it
+// with the shard index and a run closure that performs the shard's
+// work; the runner must call run at least once (it may call it again,
+// e.g. to retry a shard whose previous attempt panicked) and must not
+// return before a successful attempt or a deliberate, typed give-up.
+// Runners are how the serving layer attaches per-shard deadlines,
+// bounded retries, and chaos-injected faults without the engines
+// knowing: the engine sees only "the shard ran".
+type ShardRunner func(i int, run func())
+
+type shardRunnerKey struct{}
+
+// WithShardRunner returns a context carrying r. Every ForEachCtx /
+// MapCtx / MapResumeCtx sweep under that context routes each shard
+// through r instead of calling the shard function directly.
+func WithShardRunner(ctx context.Context, r ShardRunner) context.Context {
+	return context.WithValue(ctx, shardRunnerKey{}, r)
+}
+
+// shardRunnerFrom extracts the runner installed by WithShardRunner,
+// or nil.
+func shardRunnerFrom(ctx context.Context) ShardRunner {
+	r, _ := ctx.Value(shardRunnerKey{}).(ShardRunner)
+	return r
+}
+
+// wrapShard applies the context's shard runner (if any) around fn.
+func wrapShard(ctx context.Context, fn func(i int)) func(i int) {
+	r := shardRunnerFrom(ctx)
+	if r == nil {
+		return fn
+	}
+	return func(i int) { r(i, func() { fn(i) }) }
+}
+
+// checkpointer tracks the contiguous completed prefix of a sharded
+// sweep — the same merge frontier OrderedWriter streams by — and
+// invokes save whenever the prefix has advanced `every` or more shards
+// past the last durable point. save runs under the lock, so saves are
+// strictly ordered and each prefix is saved at most once.
+type checkpointer[T any] struct {
+	mu        sync.Mutex
+	out       []T
+	pending   map[int]bool
+	next      int // first index not yet completed
+	lastSaved int
+	every     int
+	save      func(prefix []T) error
+	err       error
+}
+
+// complete marks shard i done and checkpoints if the prefix crossed a
+// cadence boundary. It returns the sticky first save error.
+func (c *checkpointer[T]) complete(i int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
+	c.pending[i] = true
+	for c.pending[c.next] {
+		delete(c.pending, c.next)
+		c.next++
+	}
+	if c.next-c.lastSaved >= c.every {
+		if err := c.save(c.out[:c.next]); err != nil {
+			c.err = err
+			return err
+		}
+		c.lastSaved = c.next
+	}
+	return nil
+}
+
+// finish saves the final full prefix (if not already durable) once the
+// sweep has completed all n shards.
+func (c *checkpointer[T]) finish(n int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
+	if c.next == n && c.lastSaved < n {
+		if err := c.save(c.out[:n]); err != nil {
+			c.err = err
+			return err
+		}
+		c.lastSaved = n
+	}
+	return nil
+}
+
+// MapResumeCtx is MapCtx with durable-prefix resume and periodic
+// checkpointing — the primitive behind crash-tolerant campaigns.
+//
+// done holds the results of the contiguous shard prefix [0, len(done))
+// recovered from a previous (interrupted) run; those shards are not
+// re-executed, their results are copied into the output verbatim.
+// Remaining shards run across `workers` exactly as in MapCtx.
+//
+// If save is non-nil it is called with out[:prefix] every time the
+// contiguous completed prefix grows by at least `every` shards (and
+// once more at full completion), strictly in prefix order, never
+// concurrently. Because the prefix is the same frontier the ordered
+// merge consumes, a prefix saved durably and later resumed reproduces
+// the interrupted run byte-for-byte: shards are deterministic, so
+// re-running the unsaved suffix yields identical results.
+//
+// A save error aborts the sweep and is returned; as with MapCtx, a
+// non-nil error means the result slice must be discarded.
+func MapResumeCtx[T any](ctx context.Context, workers, n int, done []T, every int, save func(prefix []T) error, fn func(i int) T) ([]T, error) {
+	if len(done) > n {
+		done = done[:n]
+	}
+	out := make([]T, n)
+	copy(out, done)
+	start := len(done)
+
+	// The inner sweep runs over the shifted suffix [0, n-start), so the
+	// context's shard runner is applied here — with true shard indices,
+	// which fault plans and retry accounting key on — and stripped from
+	// the inner context.
+	exec := func(idx int) { out[idx] = fn(idx) }
+	if r := shardRunnerFrom(ctx); r != nil {
+		inner := exec
+		exec = func(idx int) { r(idx, func() { inner(idx) }) }
+		ctx = WithShardRunner(ctx, nil)
+	}
+
+	if save == nil {
+		err := ForEachCtx(ctx, workers, n-start, func(i int) { exec(start + i) })
+		return out, err
+	}
+	if every <= 0 {
+		every = 1
+	}
+	ck := &checkpointer[T]{
+		out: out, pending: make(map[int]bool),
+		next: start, lastSaved: start, every: every, save: save,
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	err := ForEachCtx(cctx, workers, n-start, func(i int) {
+		idx := start + i
+		exec(idx)
+		if ck.complete(idx) != nil {
+			cancel() // the save error is sticky in ck; stop the sweep
+		}
+	})
+	if ck.err != nil {
+		return out, ck.err
+	}
+	if err != nil {
+		return out, err
+	}
+	return out, ck.finish(n)
+}

@@ -1,0 +1,70 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestChaosSmallScale runs the full gauntlet — kills, restarts,
+// disconnects, faults, byte-identity, exact accounting, and the poison
+// phase — at a size small enough for the test suite.
+func TestChaosSmallScale(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	var out bytes.Buffer
+	if err := Run(ctx, Config{Seeds: 4, Kills: 2, Seed: 1}); err != nil {
+		t.Fatalf("chaos run: %v\n%s", err, out.String())
+	}
+}
+
+// TestChaosTranscript checks the harness narrates its progress: the
+// plan line, one line per kill, and the final verdict.
+func TestChaosTranscript(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	var out bytes.Buffer
+	if err := Run(ctx, Config{Seeds: 4, Kills: 2, Seed: 7, Out: &out}); err != nil {
+		t.Fatalf("chaos run: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{
+		"chaos: plan seed 7",
+		"chaos: kill #1",
+		"chaos: kill #2",
+		"byte-identical",
+		"metrics exact",
+		"poison shard quarantined",
+		"chaos: ok",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("transcript missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestPlanDeterminism pins the property every debugging session relies
+// on: the same plan seed yields the same fault decisions.
+func TestPlanDeterminism(t *testing.T) {
+	a, b := plan{seed: 42}, plan{seed: 42}
+	other := plan{seed: 43}
+	same, diff := 0, 0
+	for shard := 0; shard < 200; shard++ {
+		fa, fb := a.fault(1, shard, 0), b.fault(1, shard, 0)
+		if fa != fb {
+			t.Fatalf("plan 42 disagrees with itself on shard %d: %+v vs %+v", shard, fa, fb)
+		}
+		if fa == other.fault(1, shard, 0) {
+			same++
+		} else {
+			diff++
+		}
+		if ra := a.fault(1, shard, 1); ra.Panic || ra.Stall != 0 {
+			t.Fatalf("retry attempt for shard %d is not clean: %+v", shard, ra)
+		}
+	}
+	if diff == 0 {
+		t.Fatalf("plans 42 and 43 agree on all %d shards; seed is not mixed in", same+diff)
+	}
+}

@@ -1,0 +1,219 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"uexc/internal/harness"
+)
+
+// TestDrainWaitsForMidCheckpointJob: SIGTERM arriving while a job is
+// mid-checkpoint — blocked inside the journal fsync — must not tear
+// the checkpoint or the job: Drain waits, the checkpoint lands, the
+// job finishes, and the client still gets the complete stream.
+func TestDrainWaitsForMidCheckpointJob(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a campaign")
+	}
+	const seeds = 2
+	var golden bytes.Buffer
+	gres, err := harness.FaultCampaignCtx(context.Background(), nil, seeds, 1, &golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden.WriteString(gres.Summary())
+
+	var armed atomic.Bool
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	s, err := New(Config{
+		Workers: 1, QueueDepth: 2,
+		StoreDir: t.TempDir(), CheckpointEvery: 1, StoreSyncEvery: 1,
+		// Once armed, the next checkpoint fsync parks until released —
+		// the drain signal lands exactly mid-checkpoint.
+		StoreSyncDelay: func() {
+			if !armed.Load() {
+				return
+			}
+			select {
+			case entered <- struct{}{}:
+			default:
+			}
+			<-release
+		},
+		// Slow every shard slightly so checkpoints keep coming while the
+		// test arms the trap.
+		ShardFault: func(job uint64, shard, attempt int) ShardFault {
+			return ShardFault{Stall: 5 * time.Millisecond}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		s.Close()
+	})
+
+	body, _ := json.Marshal(Request{Type: TypeCampaign, Seeds: seeds, Parallel: 1, Verbose: true})
+	type streamed struct {
+		output       string
+		ok, complete bool
+		errText      string
+	}
+	clientDone := make(chan streamed, 1)
+	go func() {
+		resp, err := http.Post(hs.URL+"/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			clientDone <- streamed{errText: err.Error()}
+			return
+		}
+		defer resp.Body.Close()
+		var st streamed
+		st.output, st.ok, st.complete, st.errText = StreamResult(resp.Body)
+		clientDone <- st
+	}()
+
+	waitMetric(t, "first checkpoint", func() bool { return s.metrics.Checkpoints.Load() >= 1 })
+	armed.Store(true)
+	<-entered // a checkpoint fsync is now parked
+
+	drained := make(chan struct{})
+	go func() { s.Drain(); close(drained) }()
+	select {
+	case <-drained:
+		t.Fatal("Drain returned while a checkpoint fsync was still parked")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	armed.Store(false)
+	close(release)
+	select {
+	case <-drained:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Drain never returned after the checkpoint was released")
+	}
+	st := <-clientDone
+	if !st.complete || !st.ok {
+		t.Fatalf("job across a mid-checkpoint drain: ok=%v complete=%v err=%s", st.ok, st.complete, st.errText)
+	}
+	if st.output != golden.String() {
+		t.Errorf("stream differs from the undisturbed run\n--- got ---\n%s--- golden ---\n%s",
+			st.output, golden.String())
+	}
+	if got := s.metrics.JobsOK.Load(); got != 1 {
+		t.Errorf("JobsOK = %d, want 1", got)
+	}
+}
+
+// TestClientDisconnectDuringReplayStream: a client re-attaching to a
+// resumed job and hanging up while the journal-replayed prefix is
+// still streaming must not disturb the job — it completes, and a later
+// attach gets the full byte-identical stream.
+func TestClientDisconnectDuringReplayStream(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs campaigns across a kill")
+	}
+	const seeds = 4
+	dir := t.TempDir()
+	var golden bytes.Buffer
+	gres, err := harness.FaultCampaignCtx(context.Background(), nil, seeds, 1, &golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden.WriteString(gres.Summary())
+
+	// Incarnation A: checkpoint every shard, stall a late shard to pin
+	// the campaign mid-flight, then kill.
+	stallShard := harness.CampaignShards(seeds) - 2
+	s1, err := New(Config{
+		Workers: 1, QueueDepth: 2,
+		StoreDir: dir, CheckpointEvery: 1, StoreSyncEvery: 1,
+		ShardFault: func(job uint64, shard, attempt int) ShardFault {
+			if shard == stallShard {
+				return ShardFault{Stall: 30 * time.Second}
+			}
+			return ShardFault{}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs1 := httptest.NewServer(s1.Handler())
+	body, _ := json.Marshal(Request{Type: TypeCampaign, Seeds: seeds, Parallel: 2, Verbose: true})
+	posted := make(chan struct{})
+	go func() {
+		defer close(posted)
+		resp, err := http.Post(hs1.URL+"/jobs", "application/json", bytes.NewReader(body))
+		if err == nil {
+			StreamResult(resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	waitMetric(t, "checkpoints before kill", func() bool { return s1.metrics.Checkpoints.Load() >= 3 })
+	s1.Kill()
+	<-posted
+	hs1.Close()
+
+	// Incarnation B: resume, with every live shard slowed so the
+	// replayed prefix streams while the job is still running.
+	s2, err := New(Config{
+		Workers: 1, QueueDepth: 2,
+		StoreDir: dir, Resume: true, CheckpointEvery: 1,
+		ShardFault: func(job uint64, shard, attempt int) ShardFault {
+			return ShardFault{Stall: 5 * time.Millisecond}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(func() {
+		hs2.Close()
+		s2.Close()
+	})
+	if got := s2.metrics.ReplayedJobs.Load(); got != 1 {
+		t.Fatalf("ReplayedJobs = %d, want 1", got)
+	}
+
+	// Attach, sip two replayed events, and hang up mid-replay.
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, hs2.URL+"/jobs/1", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for i := 0; i < 2 && sc.Scan(); i++ {
+	}
+	cancel()
+	resp.Body.Close()
+
+	// The job must still run to completion, undisturbed.
+	waitMetric(t, "job completes after disconnect", func() bool { return s2.metrics.JobsOK.Load() == 1 })
+	if got := s2.metrics.JobsCancelled.Load(); got != 0 {
+		t.Errorf("JobsCancelled = %d, want 0", got)
+	}
+
+	full, err := http.Get(hs2.URL + "/jobs/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer full.Body.Close()
+	out, ok, complete, errText := StreamResult(full.Body)
+	if !complete || !ok {
+		t.Fatalf("final attach incomplete: ok=%v complete=%v err=%s", ok, complete, errText)
+	}
+	if out != golden.String() {
+		t.Errorf("resumed stream differs from the undisturbed run\n--- got ---\n%s--- golden ---\n%s",
+			out, golden.String())
+	}
+}

@@ -1,0 +1,429 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"uexc/internal/harness"
+)
+
+// waitMetric polls a server-side condition until it holds or the
+// deadline lapses. Test goroutine only.
+func waitMetric(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s: condition never held", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestDurableJobSurvivesKillAndResumes is the acceptance scenario: a
+// campaign job is admitted on a durable server, the server is killed
+// mid-campaign (journal abandoned mid-batch, no finish record), and a
+// fresh incarnation opened on the same store with Resume re-admits the
+// job, resumes it from the durable shard prefix, and streams — via
+// GET /jobs/{id} re-attach — output byte-identical to a run that was
+// never interrupted.
+func TestDurableJobSurvivesKillAndResumes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs campaigns across a kill")
+	}
+	const seeds = 6
+	dir := t.TempDir()
+
+	// The undisturbed golden: CLI stream + summary at shard width 1.
+	var golden bytes.Buffer
+	gres, err := harness.FaultCampaignCtx(context.Background(), nil, seeds, 1, &golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden.WriteString(gres.Summary())
+
+	// Incarnation A: checkpoint every merged shard, and stall one late
+	// shard so the campaign reliably outlives the kill trigger.
+	stallShard := harness.CampaignShards(seeds) - 3
+	s1, err := New(Config{
+		Workers: 1, QueueDepth: 4,
+		StoreDir: dir, CheckpointEvery: 1, StoreSyncEvery: 1,
+		ShardFault: func(job uint64, shard, attempt int) ShardFault {
+			if shard == stallShard {
+				return ShardFault{Stall: 30 * time.Second}
+			}
+			return ShardFault{}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs1 := httptest.NewServer(s1.Handler())
+
+	body, _ := json.Marshal(Request{Type: TypeCampaign, Seeds: seeds, Parallel: 2, Verbose: true})
+	type streamed struct {
+		ok, complete bool
+		errText      string
+	}
+	clientDone := make(chan streamed, 1)
+	go func() {
+		resp, err := http.Post(hs1.URL+"/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			clientDone <- streamed{errText: err.Error()}
+			return
+		}
+		defer resp.Body.Close()
+		var st streamed
+		_, st.ok, st.complete, st.errText = StreamResult(resp.Body)
+		clientDone <- st
+	}()
+
+	// Kill only after real progress is durable: several checkpoints
+	// fsynced, while the stalled shard pins the job mid-flight.
+	waitMetric(t, "checkpoints before kill", func() bool {
+		return s1.metrics.Checkpoints.Load() >= 5 && s1.metrics.ShardStalls.Load() >= 1
+	})
+	s1.Kill()
+	// An in-process kill cannot cut the TCP stream the way a real
+	// SIGKILL does, but the job must have died unfinished — and the
+	// journal must carry no finish record (proven below by the replay).
+	if st := <-clientDone; st.ok {
+		t.Fatalf("job finished ok across a kill: %+v", st)
+	}
+	hs1.Close()
+	if got := s1.metrics.JobsCancelled.Load(); got != 1 {
+		t.Errorf("incarnation A JobsCancelled = %d, want 1", got)
+	}
+
+	// Incarnation B: same store, resume on. No faults this time.
+	s2, err := New(Config{Workers: 1, QueueDepth: 4, StoreDir: dir, Resume: true, CheckpointEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(func() {
+		hs2.Close()
+		s2.Close()
+	})
+
+	if got := s2.metrics.Restarts.Load(); got != 1 {
+		t.Errorf("Restarts = %d, want 1", got)
+	}
+	if got := s2.metrics.ReplayedJobs.Load(); got != 1 {
+		t.Fatalf("ReplayedJobs = %d, want 1", got)
+	}
+	if got := s2.metrics.ResumedShards.Load(); got == 0 {
+		t.Error("ResumedShards = 0; the durable prefix was lost")
+	}
+	if got := s2.metrics.ResumedShards.Load(); got > uint64(stallShard) {
+		t.Errorf("ResumedShards = %d, beyond the stalled shard %d", got, stallShard)
+	}
+
+	// Re-attach to the replayed job and demand the undisturbed bytes.
+	resp, err := http.Get(hs2.URL + "/jobs/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /jobs/1: status %d", resp.StatusCode)
+	}
+	out, ok, complete, errText := StreamResult(resp.Body)
+	if !complete || !ok {
+		t.Fatalf("resumed job did not complete cleanly: ok=%v complete=%v err=%s", ok, complete, errText)
+	}
+	if out != golden.String() {
+		t.Errorf("resumed stream differs from the undisturbed run\n--- resumed ---\n%s--- golden ---\n%s",
+			out, golden.String())
+	}
+	if got := s2.metrics.JobsOK.Load(); got != 1 {
+		t.Errorf("incarnation B JobsOK = %d, want 1", got)
+	}
+}
+
+// TestDurableClientDisconnectDoesNotCancel: with a store, a client
+// walking away mid-stream leaves the journaled job running; its result
+// is recovered later via GET /jobs/{id}.
+func TestDurableClientDisconnectDoesNotCancel(t *testing.T) {
+	s, err := New(Config{Workers: 1, QueueDepth: 2, StoreDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	s.execHook = func(j *job) (bool, string, error) {
+		select {
+		case <-release:
+			return true, "durable job done\n", nil
+		case <-j.ctx.Done():
+			return false, "", j.ctx.Err()
+		}
+	}
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		s.Close()
+	})
+
+	body, _ := json.Marshal(Request{Type: TypeProgramRun, Seed: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, http.MethodPost, hs.URL+"/jobs", bytes.NewReader(body))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitMetric(t, "job in flight", func() bool { return s.metrics.InFlight.Load() == 1 })
+	cancel() // client walks away
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	// The job must still be running: only release ends it.
+	time.Sleep(20 * time.Millisecond)
+	if got := s.metrics.InFlight.Load(); got != 1 {
+		t.Fatalf("InFlight = %d after disconnect; a durable job must not be cancelled by its client", got)
+	}
+	close(release)
+	waitMetric(t, "job finished", func() bool { return s.metrics.JobsOK.Load() == 1 })
+
+	// Recover the full stream by re-attaching.
+	rresp, err := http.Get(hs.URL + "/jobs/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rresp.Body.Close()
+	out, ok, complete, errText := StreamResult(rresp.Body)
+	if !complete || !ok || out != "durable job done\n" {
+		t.Errorf("re-attached stream: ok=%v complete=%v out=%q err=%s", ok, complete, out, errText)
+	}
+	if got := s.metrics.JobsCancelled.Load(); got != 0 {
+		t.Errorf("JobsCancelled = %d, want 0", got)
+	}
+}
+
+// TestPoisonShardQuarantine: a shard that fails every attempt is
+// quarantined after ShardAttempts tries, failing the job with the
+// typed *ShardError chain, while a transiently failing shard is
+// retried into success with byte-identical output.
+func TestPoisonShardQuarantine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs campaigns")
+	}
+	const seeds = 2
+	s, base := startTest(t, Config{
+		Workers: 1, QueueDepth: 2,
+		ShardAttempts: 2, ShardBackoff: time.Millisecond,
+		ShardFault: func(job uint64, shard, attempt int) ShardFault {
+			return ShardFault{Panic: shard == 3}
+		},
+	})
+	out, ok, errText, status, _ := postStream(t, base,
+		Request{Type: TypeCampaign, Seeds: seeds, Parallel: 1})
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	if ok {
+		t.Fatalf("job succeeded with a poison shard: %s", out)
+	}
+	for _, want := range []string{"poison shard quarantined", "shard 3", "2 attempts"} {
+		if !strings.Contains(errText, want) {
+			t.Errorf("terminal error %q missing %q", errText, want)
+		}
+	}
+	if got := s.metrics.ShardsPoisoned.Load(); got != 1 {
+		t.Errorf("ShardsPoisoned = %d, want 1", got)
+	}
+	if got := s.metrics.ShardRetries.Load(); got != 1 {
+		t.Errorf("ShardRetries = %d, want 1 (one retry before quarantine)", got)
+	}
+	if got := s.metrics.JobsFailed.Load(); got != 1 {
+		t.Errorf("JobsFailed = %d, want 1 (quarantine is a failure, not a cancellation)", got)
+	}
+}
+
+// TestTransientShardPanicRetriedByteIdentical: a shard panicking on
+// its first attempt only is retried and the job's stream still equals
+// the undisturbed CLI output — retries cannot perturb the
+// deterministic merge.
+func TestTransientShardPanicRetriedByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs campaigns")
+	}
+	const seeds = 3
+	var golden bytes.Buffer
+	gres, err := harness.FaultCampaignCtx(context.Background(), nil, seeds, 1, &golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden.WriteString(gres.Summary())
+
+	s, base := startTest(t, Config{
+		Workers: 1, QueueDepth: 2,
+		ShardAttempts: 3, ShardBackoff: time.Millisecond,
+		ShardFault: func(job uint64, shard, attempt int) ShardFault {
+			return ShardFault{Panic: shard == 2 && attempt == 0}
+		},
+	})
+	out, ok, errText, _, _ := postStream(t, base,
+		Request{Type: TypeCampaign, Seeds: seeds, Parallel: 2, Verbose: true})
+	if !ok {
+		t.Fatalf("job failed despite retry budget: %s", errText)
+	}
+	if out != golden.String() {
+		t.Errorf("retried stream differs from the undisturbed run\n--- retried ---\n%s--- golden ---\n%s",
+			out, golden.String())
+	}
+	if got := s.metrics.ShardRetries.Load(); got != 1 {
+		t.Errorf("ShardRetries = %d, want 1", got)
+	}
+	if got := s.metrics.ShardsPoisoned.Load(); got != 0 {
+		t.Errorf("ShardsPoisoned = %d, want 0", got)
+	}
+}
+
+// TestShardErrorChain: the quarantine error is typed end to end —
+// errors.Is sees ErrShardPoisoned, errors.As recovers the shard's
+// identity, and the last attempt's failure is preserved as the cause.
+func TestShardErrorChain(t *testing.T) {
+	s := newT(t, Config{Workers: 1, QueueDepth: 1, ShardAttempts: 2, ShardBackoff: time.Microsecond})
+	defer s.Close()
+	j := &job{id: 7, log: newEventLog()}
+	j.ctx, j.cancel = context.WithCancel(context.Background())
+	defer j.cancel()
+
+	run := s.shardRunner(j)
+	var recovered any
+	func() {
+		defer func() { recovered = recover() }()
+		run(3, func() { panic("flaky hardware") })
+	}()
+	err, isErr := recovered.(error)
+	if !isErr {
+		t.Fatalf("quarantine panicked with %T, want *ShardError", recovered)
+	}
+	if !errors.Is(err, ErrShardPoisoned) {
+		t.Errorf("errors.Is(err, ErrShardPoisoned) = false for %v", err)
+	}
+	var se *ShardError
+	if !errors.As(err, &se) {
+		t.Fatalf("errors.As failed for %v", err)
+	}
+	if se.Job != 7 || se.Shard != 3 || se.Attempts != 2 {
+		t.Errorf("ShardError = %+v, want job 7 shard 3 attempts 2", se)
+	}
+	if se.Err == nil || !strings.Contains(se.Err.Error(), "flaky hardware") {
+		t.Errorf("cause %v does not preserve the attempt failure", se.Err)
+	}
+}
+
+// TestRetryBackoffDeterministicAndBounded: the backoff schedule is a
+// pure function of (base, attempt, job, shard), grows exponentially,
+// and never exceeds base*2^k + 50% jitter capped at 1.5s.
+func TestRetryBackoffDeterministicAndBounded(t *testing.T) {
+	base := 5 * time.Millisecond
+	for attempt := 1; attempt <= 6; attempt++ {
+		d1 := retryBackoff(base, attempt, 42, 7)
+		d2 := retryBackoff(base, attempt, 42, 7)
+		if d1 != d2 {
+			t.Fatalf("attempt %d: backoff not deterministic (%v vs %v)", attempt, d1, d2)
+		}
+		exp := base << (attempt - 1)
+		if exp > time.Second {
+			exp = time.Second
+		}
+		if d1 < exp || d1 > exp+exp/2 {
+			t.Errorf("attempt %d: backoff %v outside [%v, %v]", attempt, d1, exp, exp+exp/2)
+		}
+	}
+	if retryBackoff(base, 1, 42, 7) == retryBackoff(base, 1, 42, 8) &&
+		retryBackoff(base, 1, 42, 7) == retryBackoff(base, 1, 42, 9) {
+		t.Error("jitter identical across shards; retries would thunder in lockstep")
+	}
+}
+
+// TestJobReattachRouting: /jobs/{id} rejects bad methods, bad IDs, and
+// unknown jobs.
+func TestJobReattachRouting(t *testing.T) {
+	_, base := startTest(t, Config{Workers: 1, QueueDepth: 1})
+	for path, want := range map[string]int{
+		"/jobs/999": http.StatusNotFound,
+		"/jobs/abc": http.StatusBadRequest,
+	} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("GET %s: status %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+	resp, err := http.Post(base+"/jobs/1", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /jobs/1: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestStreamResultTrailerIntegrity: the client-side verifier rejects
+// truncated streams, record-count lies, and fingerprint mismatches,
+// and accepts a well-formed stream.
+func TestStreamResultTrailerIntegrity(t *testing.T) {
+	okv := true
+	lines := func(evs ...Event) (string, string) {
+		var b strings.Builder
+		h := fnv.New64a()
+		for _, ev := range evs {
+			blob, _ := json.Marshal(ev)
+			b.Write(blob)
+			b.WriteByte('\n')
+			h.Write(blob)
+			h.Write([]byte{'\n'})
+		}
+		return b.String(), fmt.Sprintf("%016x", h.Sum64())
+	}
+	body, fp := lines(
+		Event{Type: "accepted", ID: 1, Job: "program-run"},
+		Event{Type: "progress", Line: "line one\n"},
+		Event{Type: "result", ID: 1, OK: &okv, Summary: "done\n"},
+	)
+	trailer, _ := json.Marshal(Event{Type: "trailer", ID: 1, Records: 3, FNV: fp})
+
+	out, ok, complete, errText := StreamResult(strings.NewReader(body + string(trailer) + "\n"))
+	if !complete || !ok || out != "line one\ndone\n" {
+		t.Fatalf("valid stream rejected: ok=%v complete=%v out=%q err=%s", ok, complete, out, errText)
+	}
+
+	// Truncated: result but no trailer.
+	if _, _, complete, errText = StreamResult(strings.NewReader(body)); complete ||
+		!strings.Contains(errText, "integrity trailer") {
+		t.Errorf("truncated stream: complete=%v err=%q", complete, errText)
+	}
+
+	// Record-count lie.
+	badCount, _ := json.Marshal(Event{Type: "trailer", ID: 1, Records: 2, FNV: fp})
+	if _, _, complete, errText = StreamResult(strings.NewReader(body + string(badCount) + "\n")); complete ||
+		!strings.Contains(errText, "records") {
+		t.Errorf("bad record count: complete=%v err=%q", complete, errText)
+	}
+
+	// Fingerprint mismatch.
+	badFP, _ := json.Marshal(Event{Type: "trailer", ID: 1, Records: 3, FNV: "0000000000000000"})
+	if _, _, complete, errText = StreamResult(strings.NewReader(body + string(badFP) + "\n")); complete ||
+		!strings.Contains(errText, "fingerprint") {
+		t.Errorf("bad fingerprint: complete=%v err=%q", complete, errText)
+	}
+}

@@ -2,13 +2,16 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"uexc/internal/core"
 	dt "uexc/internal/difftest"
 	"uexc/internal/harness"
+	"uexc/internal/parallel"
 	"uexc/internal/progen"
 )
 
@@ -102,12 +105,14 @@ func ParseMode(s string) (core.Mode, error) {
 }
 
 // Event is one NDJSON line of a job's response stream: exactly one
-// "accepted", zero or more "progress" lines, and exactly one terminal
-// "result". Concatenating the progress Lines followed by the result
+// "accepted", zero or more "progress" lines, exactly one terminal
+// "result", and a final "trailer" carrying the stream's own record
+// count and FNV-1a fingerprint so a client can detect truncation or
+// corruption. Concatenating the progress Lines followed by the result
 // Summary reproduces, byte for byte, what the equivalent uexc-bench
 // invocation writes (progress to stderr under -v, summary to stdout).
 type Event struct {
-	Type string `json:"type"` // "accepted" | "progress" | "result"
+	Type string `json:"type"` // "accepted" | "progress" | "result" | "trailer"
 	ID   uint64 `json:"id,omitempty"`
 	Job  string `json:"job,omitempty"`  // accepted: the job type
 	Line string `json:"line,omitempty"` // progress: one engine output line
@@ -117,32 +122,90 @@ type Event struct {
 	Summary   string `json:"summary,omitempty"`
 	Error     string `json:"error,omitempty"`
 	ElapsedMS int64  `json:"elapsed_ms,omitempty"`
+
+	// Trailer fields: the count and FNV-1a-64 fingerprint of every
+	// preceding line of this stream (each including its newline). The
+	// trailer line itself is not part of its own fingerprint.
+	Records int    `json:"records,omitempty"`
+	FNV     string `json:"fnv64,omitempty"`
 }
 
-// job is one admitted request in flight between the handler goroutine
-// (which owns the connection and drains events) and the worker that
-// executes it. ctx bounds execution (deadline + client liveness);
-// streamCtx is the request context alone, so a deadline that aborts
-// the run does not also swallow the terminal result event.
-type job struct {
-	id        uint64
-	req       Request
-	ctx       context.Context
-	streamCtx context.Context
-	cancel    context.CancelFunc
-	events    chan Event
+// eventLog is a job's replayable event history: every event ever
+// emitted, retained so any number of streams — the original POST
+// response, or a later GET /jobs/{id} re-attach after a client
+// disconnect or a server restart — can replay it from the start and
+// then follow the live tail. close marks the terminal event delivered.
+type eventLog struct {
+	mu     sync.Mutex
+	cond   sync.Cond
+	events []Event
+	closed bool
 }
 
-// emit queues an event for the handler, giving up only when the client
-// is gone (stream context dead) so a stalled consumer can never wedge
-// a worker — while a merely deadline-aborted job still delivers its
-// result to the waiting client.
-func (j *job) emit(ev Event) {
-	select {
-	case j.events <- ev:
-	case <-j.streamCtx.Done():
+func newEventLog() *eventLog {
+	l := &eventLog{}
+	l.cond.L = &l.mu
+	return l
+}
+
+// append adds one event and wakes every waiting stream.
+func (l *eventLog) append(ev Event) {
+	l.mu.Lock()
+	if !l.closed {
+		l.events = append(l.events, ev)
 	}
+	l.mu.Unlock()
+	l.cond.Broadcast()
 }
+
+// close marks the log complete (no further events) and wakes waiters.
+func (l *eventLog) close() {
+	l.mu.Lock()
+	l.closed = true
+	l.mu.Unlock()
+	l.cond.Broadcast()
+}
+
+// broadcast wakes every waiter without changing the log — installed as
+// a context.AfterFunc so a disconnecting client's stream unblocks.
+func (l *eventLog) broadcast() { l.cond.Broadcast() }
+
+// next blocks until the log has grown past from, closed, or ctx died,
+// then returns the events after from and whether the log is closed.
+func (l *eventLog) next(ctx context.Context, from int) ([]Event, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for ctx.Err() == nil && !l.closed && len(l.events) <= from {
+		l.cond.Wait()
+	}
+	var evs []Event
+	if from < len(l.events) {
+		evs = l.events[from:len(l.events):len(l.events)]
+	}
+	return evs, l.closed
+}
+
+// job is one admitted request in flight. ctx bounds execution: for an
+// ephemeral job (no store) it also dies with the client connection;
+// for a durable job it derives from the server's base context alone,
+// because a journaled job must keep running — and checkpointing —
+// after its client disconnects. The event log replaces a channel so
+// streams can re-attach.
+type job struct {
+	id      uint64
+	req     Request
+	rawReq  json.RawMessage // the spec as journaled (canonical re-marshal)
+	ctx     context.Context
+	cancel  context.CancelFunc
+	log     *eventLog
+	resumed int               // durable shards recovered from the journal
+	done    []json.RawMessage // their digests, in prefix order
+}
+
+// emit appends one event to the job's replayable log. It never blocks:
+// a slow or absent consumer costs memory (bounded by the job's own
+// output), never a wedged worker.
+func (j *job) emit(ev Event) { j.log.append(ev) }
 
 // progressWriter adapts a job to the io.Writer the engines' ordered
 // progress streams expect: every write is one complete output line,
@@ -154,10 +217,59 @@ func (w progressWriter) Write(p []byte) (int, error) {
 	return len(p), nil
 }
 
+// decodeShards unmarshals the journal's shard digests back into the
+// engine's typed checkpoint prefix.
+func decodeShards[T any](raw []json.RawMessage) ([]T, error) {
+	if len(raw) == 0 {
+		return nil, nil
+	}
+	out := make([]T, len(raw))
+	for i, blob := range raw {
+		if err := json.Unmarshal(blob, &out[i]); err != nil {
+			return nil, fmt.Errorf("resume: corrupt shard digest %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// saveShards builds the engine checkpoint callback for a durable job:
+// journal every newly merged shard digest past the already-durable
+// prefix, then fsync — the §12 checkpoint boundary. The engine calls
+// it serially in prefix order, so the durable cursor needs no lock.
+// Without a store there is nothing to persist and the engines skip
+// checkpointing entirely.
+func saveShards[T any](s *Server, j *job) func(prefix []T) error {
+	if s.store == nil {
+		return nil
+	}
+	durable := j.resumed
+	return func(prefix []T) error {
+		for ; durable < len(prefix); durable++ {
+			blob, err := json.Marshal(prefix[durable])
+			if err != nil {
+				return fmt.Errorf("checkpoint shard %d: %w", durable, err)
+			}
+			if err := s.store.AppendShard(j.id, durable, blob); err != nil {
+				return err
+			}
+		}
+		if err := s.store.Sync(); err != nil {
+			return err
+		}
+		s.metrics.Checkpoints.Add(1)
+		return nil
+	}
+}
+
 // runJob executes one admitted job on the shared machine pool and
 // returns its verdict: ok mirrors the engine's own pass/fail notion,
 // summary is the exact text the CLI would print to stdout, and err
 // carries abort/engine failures. Panics are contained by the caller.
+//
+// Campaign and difftest jobs run under the server's shard runner
+// (per-shard retry, deadline, chaos injection) and, when a store is
+// configured, checkpoint every CheckpointEvery merged shards and skip
+// the durable prefix recovered from the journal on resume.
 func (s *Server) runJob(j *job) (ok bool, summary string, err error) {
 	// A nil io.Writer keeps the engines' "no progress stream" contract;
 	// a typed-nil wrapper would defeat their w == nil check.
@@ -168,9 +280,15 @@ func (s *Server) runJob(j *job) (ok bool, summary string, err error) {
 
 	switch j.req.Type {
 	case TypeCampaign:
-		res, err := harness.FaultCampaignCtx(j.ctx, s.pool, j.req.Seeds, j.req.Parallel, w)
-		if err != nil {
-			return false, "", err
+		done, derr := decodeShards[harness.CampaignShard](j.done)
+		if derr != nil {
+			return false, "", derr
+		}
+		ctx := parallel.WithShardRunner(j.ctx, s.shardRunner(j))
+		res, rerr := harness.FaultCampaignResumeCtx(ctx, s.pool, j.req.Seeds, j.req.Parallel, w,
+			done, s.cfg.CheckpointEvery, saveShards[harness.CampaignShard](s, j))
+		if rerr != nil {
+			return false, "", rerr
 		}
 		if !res.Ok() {
 			return false, res.Summary(), fmt.Errorf("fault campaign failed (%d failures, missing coverage: %v)",
@@ -179,9 +297,15 @@ func (s *Server) runJob(j *job) (ok bool, summary string, err error) {
 		return true, res.Summary(), nil
 
 	case TypeDifftest:
-		res, err := dt.CampaignCtx(j.ctx, s.pool, j.req.Seeds, j.req.Parallel, w)
-		if err != nil {
-			return false, "", err
+		done, derr := decodeShards[dt.Shard](j.done)
+		if derr != nil {
+			return false, "", derr
+		}
+		ctx := parallel.WithShardRunner(j.ctx, s.shardRunner(j))
+		res, rerr := dt.CampaignResumeCtx(ctx, s.pool, j.req.Seeds, j.req.Parallel, w,
+			done, s.cfg.CheckpointEvery, saveShards[dt.Shard](s, j))
+		if rerr != nil {
+			return false, "", rerr
 		}
 		if !res.Ok() {
 			return false, res.Summary(), fmt.Errorf("differential campaign failed (%d divergences, self-test ok: %v)",

@@ -6,9 +6,11 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -30,10 +32,10 @@ type LoadConfig struct {
 	// Verbose requests per-run progress streaming on every job,
 	// exercising the NDJSON path under load.
 	Verbose bool
-	// RetryDelay is the pause before re-posting after backpressure
-	// (<=0: 25ms). The Retry-After header is asserted present but not
-	// slept in full, so bursts actually stress admission.
-	RetryDelay time.Duration
+	// RetryCap optionally caps the backpressure sleep (tests use a few
+	// milliseconds so forced-429 scenarios stay fast; 0: honor the
+	// server's Retry-After in full).
+	RetryCap time.Duration
 }
 
 // LoadReport is the client-side account of one load run. Dropped
@@ -50,6 +52,10 @@ type LoadReport struct {
 	Retried429  int            `json:"retried_429"`
 	Retried503  int            `json:"retried_503"`
 	ByType      map[string]int `json:"by_type"`
+	// RetryHistogram maps retries-per-job to the number of jobs that
+	// needed exactly that many backpressure retries before admission —
+	// the shape of the herd, not just its size.
+	RetryHistogram map[int]int `json:"retry_histogram"`
 
 	DurationMS   int64   `json:"duration_ms"`
 	JobsPerSec   float64 `json:"jobs_per_sec"`
@@ -97,36 +103,87 @@ type jobOutcome struct {
 // StreamResult reads one NDJSON job stream and reconstructs the
 // CLI-equivalent output: concatenated progress lines followed by the
 // result summary. It returns the reconstructed output, the result
-// verdict, and whether a terminal result event arrived at all.
+// verdict, and whether the stream completed — which now requires the
+// integrity trailer: the final event's record count and FNV-1a-64
+// fingerprint must match what the client itself counted and hashed,
+// so a truncated or corrupted stream can never pass as complete.
 func StreamResult(r io.Reader) (output string, ok, complete bool, errText string) {
 	var b strings.Builder
+	h := fnv.New64a()
+	records := 0
+	sawResult := false
+	var resultOK bool
+	var resultErr string
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	for sc.Scan() {
+		line := sc.Bytes()
 		var ev Event
-		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+		if err := json.Unmarshal(line, &ev); err != nil {
 			return b.String(), false, false, "malformed event: " + err.Error()
 		}
+		if ev.Type == "trailer" {
+			if !sawResult {
+				return b.String(), false, false, "trailer arrived before a result event"
+			}
+			if ev.Records != records {
+				return b.String(), false, false,
+					fmt.Sprintf("trailer counts %d records, client saw %d", ev.Records, records)
+			}
+			if want := fmt.Sprintf("%016x", h.Sum64()); ev.FNV != want {
+				return b.String(), false, false,
+					fmt.Sprintf("stream fingerprint mismatch: trailer %s, client %s", ev.FNV, want)
+			}
+			return b.String(), resultOK, true, resultErr
+		}
+		// The trailer fingerprints every preceding line with its newline.
+		h.Write(line)
+		h.Write([]byte{'\n'})
+		records++
 		switch ev.Type {
 		case "progress":
 			b.WriteString(ev.Line)
 		case "result":
+			sawResult = true
 			b.WriteString(ev.Summary)
 			if ev.OK != nil {
-				ok = *ev.OK
+				resultOK = *ev.OK
 			}
-			return b.String(), ok, true, ev.Error
+			resultErr = ev.Error
 		}
+	}
+	if sawResult {
+		return b.String(), false, false, "stream ended without an integrity trailer"
 	}
 	return b.String(), false, false, "stream ended without a result event"
 }
 
+// retryWait turns the server's Retry-After hint into the actual pause
+// before the rejection-th re-post (1-based): the hinted duration is
+// honored in full, doubled on consecutive rejections (capped at 8x) so
+// a persistently full server sheds load, plus a deterministic jitter of
+// up to half the wait keyed on (job, rejection) — 32 clients bounced by
+// the same burst spread out instead of thundering back in lockstep.
+func retryWait(hinted time.Duration, jobIdx, rejection int) time.Duration {
+	d := hinted
+	for i := 1; i < rejection && i < 4; i++ {
+		d *= 2
+	}
+	if d <= 0 {
+		return 0
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/%d", jobIdx, rejection)
+	return d + time.Duration(h.Sum64()%uint64(d/2+1))
+}
+
 // postJob posts one job and consumes its stream, retrying on
 // backpressure (429/503) until admitted or the context dies.
-func postJob(ctx context.Context, client *http.Client, base string, req Request, retryDelay time.Duration) jobOutcome {
+func postJob(ctx context.Context, client *http.Client, base string, jobIdx int, req Request, retryCap time.Duration) jobOutcome {
 	out := jobOutcome{req: req}
 	body, _ := json.Marshal(req)
 	start := time.Now()
+	rejections := 0
 	for {
 		if ctx.Err() != nil {
 			out.errText = ctx.Err().Error()
@@ -155,15 +212,22 @@ func postJob(ctx context.Context, client *http.Client, base string, req Request,
 				idx = 1
 			}
 			out.retries[idx]++
-			if resp.Header.Get("Retry-After") == "" {
+			secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+			if err != nil || secs < 0 {
 				resp.Body.Close()
-				out.errText = fmt.Sprintf("status %d without Retry-After", resp.StatusCode)
+				out.errText = fmt.Sprintf("status %d with unusable Retry-After %q",
+					resp.StatusCode, resp.Header.Get("Retry-After"))
 				return out
 			}
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
+			rejections++
+			wait := retryWait(time.Duration(secs)*time.Second, jobIdx, rejections)
+			if retryCap > 0 && wait > retryCap {
+				wait = retryCap
+			}
 			select {
-			case <-time.After(retryDelay):
+			case <-time.After(wait):
 			case <-ctx.Done():
 				out.errText = ctx.Err().Error()
 				return out
@@ -185,13 +249,12 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 	if cfg.Jobs <= 0 || cfg.Concurrency <= 0 {
 		return nil, fmt.Errorf("loadgen: jobs (%d) and concurrency (%d) must be positive", cfg.Jobs, cfg.Concurrency)
 	}
-	retryDelay := cfg.RetryDelay
-	if retryDelay <= 0 {
-		retryDelay = 25 * time.Millisecond
-	}
 	client := &http.Client{}
 
-	rep := &LoadReport{Jobs: cfg.Jobs, Concurrency: cfg.Concurrency, ByType: map[string]int{}}
+	rep := &LoadReport{
+		Jobs: cfg.Jobs, Concurrency: cfg.Concurrency,
+		ByType: map[string]int{}, RetryHistogram: map[int]int{},
+	}
 	outcomes := make([]jobOutcome, cfg.Jobs)
 	indices := make(chan int)
 	var wg sync.WaitGroup
@@ -201,7 +264,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 		go func() {
 			defer wg.Done()
 			for i := range indices {
-				outcomes[i] = postJob(ctx, client, cfg.BaseURL, cfg.mixRequest(i), retryDelay)
+				outcomes[i] = postJob(ctx, client, cfg.BaseURL, i, cfg.mixRequest(i), cfg.RetryCap)
 			}
 		}()
 	}
@@ -218,6 +281,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 		rep.ByType[string(o.req.Type)]++
 		rep.Retried429 += o.retries[0]
 		rep.Retried503 += o.retries[1]
+		rep.RetryHistogram[o.retries[0]+o.retries[1]]++
 		switch {
 		case o.complete && o.ok:
 			rep.OK++
@@ -272,6 +336,18 @@ func (r *LoadReport) Render(w io.Writer) {
 	}
 	fmt.Fprintf(w, "outcomes: ok %d, failed %d, dropped %d (retries: %d x 429, %d x 503)\n",
 		r.OK, r.Failed, r.Dropped, r.Retried429, r.Retried503)
+	if r.Retried429+r.Retried503 > 0 {
+		counts := make([]int, 0, len(r.RetryHistogram))
+		for n := range r.RetryHistogram {
+			counts = append(counts, n)
+		}
+		sort.Ints(counts)
+		fmt.Fprint(w, "retry histogram:")
+		for _, n := range counts {
+			fmt.Fprintf(w, "  %dx:%d", n, r.RetryHistogram[n])
+		}
+		fmt.Fprintln(w)
+	}
 	fmt.Fprintf(w, "latency ms: p50 %.1f  p90 %.1f  p99 %.1f  max %.1f\n",
 		r.P50LatencyMS, r.P90LatencyMS, r.P99LatencyMS, r.MaxLatencyMS)
 }

@@ -1,0 +1,126 @@
+package server
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRetryWaitHonorsHint pins the client backoff contract: the
+// server's Retry-After hint is honored in full (never undercut),
+// jitter adds at most half the wait on top, consecutive rejections
+// double the base up to 8x, and the whole schedule is deterministic —
+// a failing burst replays identically.
+func TestRetryWaitHonorsHint(t *testing.T) {
+	const hint = time.Second
+	for rejection := 1; rejection <= 6; rejection++ {
+		base := hint
+		for i := 1; i < rejection && i < 4; i++ {
+			base *= 2
+		}
+		for job := 0; job < 50; job++ {
+			w := retryWait(hint, job, rejection)
+			if w < base {
+				t.Fatalf("job %d rejection %d: wait %v undercuts the %v hint", job, rejection, w, base)
+			}
+			if w > base+base/2 {
+				t.Fatalf("job %d rejection %d: wait %v exceeds hint+50%% jitter (%v)", job, rejection, w, base+base/2)
+			}
+			if again := retryWait(hint, job, rejection); again != w {
+				t.Fatalf("job %d rejection %d: nondeterministic wait %v vs %v", job, rejection, w, again)
+			}
+		}
+	}
+	// The jitter must actually spread the herd: 50 jobs bounced by the
+	// same burst may not all sleep the same duration.
+	distinct := map[time.Duration]bool{}
+	for job := 0; job < 50; job++ {
+		distinct[retryWait(hint, job, 1)] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatalf("all 50 jobs picked the same wait; jitter is not keyed on the job")
+	}
+	if w := retryWait(0, 3, 1); w != 0 {
+		t.Fatalf("zero hint slept %v", w)
+	}
+}
+
+// TestLoadgenBackpressureRetryHistogram forces a saturated server —
+// one worker and one queue slot, both pinned by held jobs — so every
+// loadgen client bounces off admission at least once, then releases
+// the logjam and checks the burst completes with an internally
+// consistent retry histogram.
+func TestLoadgenBackpressureRetryHistogram(t *testing.T) {
+	s := newT(t, Config{Workers: 1, QueueDepth: 1})
+	release := make(chan struct{})
+	var once sync.Once
+	rel := func() { once.Do(func() { close(release) }) }
+	defer rel()
+	s.execHook = func(j *job) (bool, string, error) {
+		select {
+		case <-release:
+			return true, "done\n", nil
+		case <-j.ctx.Done():
+			return false, "", j.ctx.Err()
+		}
+	}
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	defer s.Close()
+
+	// Pin the worker, then the queue slot, strictly in turn.
+	results := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, _, _, err := tryPost(hs.URL, Request{Type: TypeProgramRun, Seed: 1})
+			results <- err
+		}()
+		inFlight, queued := int64(1), 0
+		if i == 1 {
+			queued = 1
+		}
+		waitMetric(t, "saturation", func() bool {
+			return s.metrics.InFlight.Load() == inFlight && len(s.queue) == queued
+		})
+	}
+
+	go func() { time.Sleep(50 * time.Millisecond); rel() }()
+	rep, err := RunLoad(context.Background(), LoadConfig{
+		BaseURL: hs.URL, Jobs: 4, Concurrency: 2, RetryCap: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("loadgen against a saturated server: %v\nreport: %+v", err, rep)
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-results; err != nil {
+			t.Fatalf("pinned job %d: %v", i, err)
+		}
+	}
+	if rep.OK != 4 {
+		t.Fatalf("report: %+v", rep)
+	}
+	// The server was saturated when the burst began, so both leading
+	// clients must have been bounced at least once.
+	if rep.Retried429 < 2 {
+		t.Errorf("Retried429 = %d, want >= 2 (burst began against a full queue)", rep.Retried429)
+	}
+	jobs, retries := 0, 0
+	for n, v := range rep.RetryHistogram {
+		jobs += v
+		retries += n * v
+	}
+	if jobs != rep.Jobs {
+		t.Errorf("histogram covers %d jobs, want %d", jobs, rep.Jobs)
+	}
+	if retries != rep.Retried429+rep.Retried503 {
+		t.Errorf("histogram sums to %d retries, counters say %d", retries, rep.Retried429+rep.Retried503)
+	}
+	var buf strings.Builder
+	rep.Render(&buf)
+	if !strings.Contains(buf.String(), "retry histogram:") {
+		t.Errorf("render omits the retry histogram:\n%s", buf.String())
+	}
+}

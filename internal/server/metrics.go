@@ -27,6 +27,16 @@ type Metrics struct {
 
 	InFlight atomic.Int64 // jobs currently executing on a worker
 
+	// Durability counters (DESIGN.md §12).
+	Restarts       atomic.Uint64 // journal restart records (process incarnations)
+	ReplayedJobs   atomic.Uint64 // pending jobs re-admitted from the journal
+	ResumedShards  atomic.Uint64 // durable shards skipped on resume
+	Checkpoints    atomic.Uint64 // shard-prefix checkpoints fsynced
+	ShardRetries   atomic.Uint64 // shard attempts after a failure
+	ShardsPoisoned atomic.Uint64 // shards quarantined after the last retry
+	ShardStalls    atomic.Uint64 // injected shard stalls observed
+	ShardTimeouts  atomic.Uint64 // shard attempts at or past the deadline
+
 	byType map[Type]*atomic.Uint64 // admitted jobs by type
 
 	// Simulator counters, harvested at machine Put time.
@@ -89,6 +99,19 @@ type Snapshot struct {
 
 	JobsByType map[string]uint64 `json:"jobs_by_type"`
 
+	StoreEnabled   bool   `json:"store_enabled"`
+	Restarts       uint64 `json:"restarts_total"`
+	ReplayedJobs   uint64 `json:"jobs_replayed_total"`
+	ResumedShards  uint64 `json:"shards_resumed_total"`
+	Checkpoints    uint64 `json:"checkpoints_total"`
+	ShardRetries   uint64 `json:"shard_retries_total"`
+	ShardsPoisoned uint64 `json:"shards_poisoned_total"`
+	ShardStalls    uint64 `json:"shard_stalls_total"`
+	ShardTimeouts  uint64 `json:"shard_timeouts_total"`
+	JournalAppends uint64 `json:"journal_appends_total"`
+	JournalSyncs   uint64 `json:"journal_syncs_total"`
+	JournalLost    uint64 `json:"journal_lost_total"`
+
 	Pool        core.PoolStats `json:"machine_pool"`
 	PoolHitRate float64        `json:"machine_pool_hit_rate"`
 
@@ -123,6 +146,16 @@ func (s *Server) snapshot() Snapshot {
 
 		JobsByType: make(map[string]uint64, len(m.byType)),
 
+		StoreEnabled:   s.store != nil,
+		Restarts:       m.Restarts.Load(),
+		ReplayedJobs:   m.ReplayedJobs.Load(),
+		ResumedShards:  m.ResumedShards.Load(),
+		Checkpoints:    m.Checkpoints.Load(),
+		ShardRetries:   m.ShardRetries.Load(),
+		ShardsPoisoned: m.ShardsPoisoned.Load(),
+		ShardStalls:    m.ShardStalls.Load(),
+		ShardTimeouts:  m.ShardTimeouts.Load(),
+
 		Pool: s.pool.Stats(),
 
 		SimFastDeliveries: m.SimFastDeliveries.Load(),
@@ -133,6 +166,12 @@ func (s *Server) snapshot() Snapshot {
 		SimFastPathHits:   m.SimFastPathHits.Load(),
 		SimInsts:          m.SimInsts.Load(),
 		SimCycles:         m.SimCycles.Load(),
+	}
+	if s.store != nil {
+		jst := s.store.Stats()
+		snap.JournalAppends = jst.Appends
+		snap.JournalSyncs = jst.Syncs
+		snap.JournalLost = jst.Lost
 	}
 	for t, c := range m.byType {
 		snap.JobsByType[string(t)] = c.Load()
@@ -158,6 +197,18 @@ func (snap Snapshot) renderText(w io.Writer) {
 		"uexc_jobs_ok_total":                fmt.Sprint(snap.JobsOK),
 		"uexc_jobs_failed_total":            fmt.Sprint(snap.JobsFailed),
 		"uexc_jobs_cancelled_total":         fmt.Sprint(snap.JobsCancelled),
+		"uexc_store_enabled":                fmt.Sprint(boolToInt(snap.StoreEnabled)),
+		"uexc_restarts_total":               fmt.Sprint(snap.Restarts),
+		"uexc_jobs_replayed_total":          fmt.Sprint(snap.ReplayedJobs),
+		"uexc_shards_resumed_total":         fmt.Sprint(snap.ResumedShards),
+		"uexc_checkpoints_total":            fmt.Sprint(snap.Checkpoints),
+		"uexc_shard_retries_total":          fmt.Sprint(snap.ShardRetries),
+		"uexc_shards_poisoned_total":        fmt.Sprint(snap.ShardsPoisoned),
+		"uexc_shard_stalls_total":           fmt.Sprint(snap.ShardStalls),
+		"uexc_shard_timeouts_total":         fmt.Sprint(snap.ShardTimeouts),
+		"uexc_journal_appends_total":        fmt.Sprint(snap.JournalAppends),
+		"uexc_journal_syncs_total":          fmt.Sprint(snap.JournalSyncs),
+		"uexc_journal_lost_total":           fmt.Sprint(snap.JournalLost),
 		"uexc_pool_gets_total":              fmt.Sprint(snap.Pool.Gets),
 		"uexc_pool_reuses_total":            fmt.Sprint(snap.Pool.Reuses),
 		"uexc_pool_boots_total":             fmt.Sprint(snap.Pool.Boots),

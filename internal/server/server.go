@@ -3,7 +3,7 @@
 // differential oracle, figure sweeps, single program runs — as an HTTP
 // job service built for sustained concurrent load.
 //
-// Architecture (DESIGN.md §11):
+// Architecture (DESIGN.md §11, durability §12):
 //
 //   - Admission control. POST /jobs validates the request and admits
 //     it into a bounded queue. A full queue answers 429 with
@@ -15,25 +15,42 @@
 //     accumulates every run's simulator counters for /metrics.
 //   - Streaming. The response is NDJSON: an accepted event, optional
 //     per-run progress events (the engines' ordered progress stream,
-//     byte-identical to the CLI at any shard width), and a terminal
-//     result event carrying the exact summary text the CLI prints.
+//     byte-identical to the CLI at any shard width), a terminal result
+//     event carrying the exact summary text the CLI prints, and an
+//     integrity trailer (record count + FNV-1a fingerprint). Every
+//     job's events are retained in a replayable log, so a stream can
+//     re-attach via GET /jobs/{id} after a disconnect or a restart.
+//   - Durability. With StoreDir set, admissions, shard checkpoints,
+//     and terminal verdicts go through a write-ahead journal
+//     (internal/server/store). A killed server restarted with Resume
+//     re-admits the journal's pending jobs and resumes each from its
+//     durable shard prefix, reproducing the interrupted stream byte
+//     for byte.
+//   - Retry. Campaign/difftest shards run under a shard runner:
+//     bounded retries with exponential backoff and deterministic
+//     jitter, a per-shard deadline, and poison-shard quarantine via a
+//     typed *ShardError chain.
 //   - Deadlines. Every job runs under a context bounded by the
-//     server's maximum timeout (tightened per request), cancelled too
-//     when the client disconnects; cancellation propagates through
-//     internal/parallel into the campaign loops.
+//     server's maximum timeout (tightened per request). Ephemeral jobs
+//     (no store) are cancelled when their client disconnects; durable
+//     jobs keep running — their stream is re-attachable.
 //   - Drain. Drain stops admission, lets every admitted job finish and
 //     flush its stream, and only then lets shutdown proceed — wired to
-//     SIGTERM by cmd/uexc-serve.
+//     SIGTERM by cmd/uexc-serve. Kill is the opposite: a simulated
+//     crash (no drain, journal tail dropped) for the chaos harness.
 package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -41,6 +58,7 @@ import (
 	"context"
 
 	"uexc/internal/core"
+	"uexc/internal/server/store"
 )
 
 // Config sizes the service.
@@ -59,6 +77,42 @@ type Config struct {
 	MaxJobTimeout time.Duration
 	// MaxSeeds caps campaign/difftest sweep sizes per job (<=0: 5000).
 	MaxSeeds int
+
+	// StoreDir, when set, enables the durable job store: a write-ahead
+	// NDJSON journal under this directory records every admission,
+	// shard checkpoint, and terminal verdict, so admitted jobs survive
+	// a process kill. Durable jobs are decoupled from their client
+	// connection (a disconnect no longer cancels them).
+	StoreDir string
+	// Resume re-admits the journal's pending jobs at startup, each
+	// resuming from its durable contiguous shard prefix. Without it an
+	// existing journal is kept (and keeps growing) but pending jobs
+	// are left for a later -resume incarnation.
+	Resume bool
+	// CheckpointEvery is the checkpoint cadence: a durable campaign or
+	// difftest job journals its merged shard digests every this many
+	// prefix shards (<=0: 8).
+	CheckpointEvery int
+	// StoreSyncEvery is the journal's shard-record fsync batch size,
+	// forwarded to store.Options (<=0: 8).
+	StoreSyncEvery int
+	// StoreSyncDelay, when non-nil, runs before every journal fsync —
+	// the chaos harness's slow-fsync injection point.
+	StoreSyncDelay func()
+
+	// ShardAttempts bounds how many times one campaign/difftest shard
+	// is executed before it is quarantined as poison (<=0: 3).
+	ShardAttempts int
+	// ShardBackoff is the base pause before a shard retry, doubled per
+	// attempt with deterministic jitter (<=0: 5ms).
+	ShardBackoff time.Duration
+	// ShardDeadline is the per-attempt shard deadline: injected stalls
+	// at or past it fail the attempt, and organically slower shards
+	// are counted as timeouts (<=0: 60s).
+	ShardDeadline time.Duration
+	// ShardFault, when non-nil, is consulted before every shard
+	// attempt — the chaos harness's fault-injection point.
+	ShardFault func(job uint64, shard, attempt int) ShardFault
 }
 
 func (c Config) withDefaults() Config {
@@ -74,24 +128,44 @@ func (c Config) withDefaults() Config {
 	if c.MaxSeeds <= 0 {
 		c.MaxSeeds = 5000
 	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 8
+	}
+	if c.ShardAttempts <= 0 {
+		c.ShardAttempts = 3
+	}
+	if c.ShardBackoff <= 0 {
+		c.ShardBackoff = 5 * time.Millisecond
+	}
+	if c.ShardDeadline <= 0 {
+		c.ShardDeadline = 60 * time.Second
+	}
 	return c
 }
 
 // Server is one serving instance. Create with New, expose via
 // Handler, stop with Drain (keeps workers alive, rejects new work)
-// and Close (drain + retire the workers).
+// and Close (drain + retire the workers), or Kill (simulated crash).
 type Server struct {
 	cfg     Config
 	pool    *core.MachinePool
 	metrics *Metrics
+	store   *store.Store // nil without StoreDir
 	queue   chan *job
 	stop    chan struct{}
 	nextID  atomic.Uint64
 	mux     *http.ServeMux
 
-	mu       sync.Mutex // guards draining and the admit/Drain race
+	// baseCtx is the ancestor of every durable job's context: it dies
+	// only on Kill, never on client disconnect.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu       sync.Mutex // guards draining, killed, jobs, and the admit/Drain race
 	draining bool
-	jobWG    sync.WaitGroup // admitted jobs not yet finished
+	killed   bool
+	jobs     map[uint64]*job // every admitted job, by ID, for re-attach
+	jobWG    sync.WaitGroup  // admitted jobs not yet finished
 
 	workerWG sync.WaitGroup
 
@@ -101,20 +175,58 @@ type Server struct {
 	execHook func(j *job) (bool, string, error)
 }
 
-// New builds a Server and starts its worker pool.
-func New(cfg Config) *Server {
+// New builds a Server, replays its journal if StoreDir is set (and
+// re-admits pending jobs under Resume), and starts the worker pool.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:     cfg,
 		pool:    &core.MachinePool{},
 		metrics: newMetrics(),
-		queue:   make(chan *job, cfg.QueueDepth),
 		stop:    make(chan struct{}),
+		jobs:    make(map[uint64]*job),
 	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.pool.Harvest = s.metrics.harvest
+
+	var pending []store.PendingJob
+	if cfg.StoreDir != "" {
+		st, state, err := store.Open(cfg.StoreDir, store.Options{
+			SyncEvery: cfg.StoreSyncEvery, SyncDelay: cfg.StoreSyncDelay,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.store = st
+		s.nextID.Store(state.MaxID)
+		s.metrics.Restarts.Store(state.Restarts)
+		if cfg.Resume {
+			pending = state.Pending
+		}
+	}
+
+	// The queue grows by the replayed jobs so a resumed backlog cannot
+	// deadlock admission against its own capacity.
+	s.queue = make(chan *job, cfg.QueueDepth+len(pending))
+	for _, p := range pending {
+		j, err := s.resumeJob(p)
+		if err != nil {
+			// A spec this incarnation cannot run (corrupt digest, cap
+			// lowered) is finished with the error rather than wedging
+			// the journal forever.
+			_ = s.store.FinishJob(p.ID, false, "", "resume: "+err.Error())
+			continue
+		}
+		s.queue <- j
+		s.jobs[j.id] = j
+		s.jobWG.Add(1)
+		s.metrics.ReplayedJobs.Add(1)
+		s.metrics.ResumedShards.Add(uint64(len(p.Shards)))
+	}
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/jobs", s.handleJobs)
+	s.mux.HandleFunc("/jobs/", s.handleJobGet)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -127,11 +239,46 @@ func New(cfg Config) *Server {
 		s.workerWG.Add(1)
 		go s.worker()
 	}
-	return s
+	return s, nil
 }
 
-// Handler returns the HTTP surface: /jobs, /metrics, /healthz, and
-// /debug/pprof.
+// resumeJob rebuilds a journaled pending job for re-execution: same
+// ID, same spec, and the durable shard prefix to skip. Its deadline
+// restarts at re-admission (wall time already burned died with the
+// previous process).
+func (s *Server) resumeJob(p store.PendingJob) (*job, error) {
+	var req Request
+	if err := json.Unmarshal(p.Req, &req); err != nil {
+		return nil, fmt.Errorf("journaled spec: %w", err)
+	}
+	if err := req.Validate(s.cfg.MaxSeeds); err != nil {
+		return nil, err
+	}
+	j := &job{
+		id: p.ID, req: req, rawReq: p.Req,
+		log:     newEventLog(),
+		resumed: len(p.Shards),
+		done:    p.Shards,
+	}
+	j.ctx, j.cancel = s.jobContext(s.baseCtx, req)
+	j.emit(Event{Type: "accepted", ID: j.id, Job: string(req.Type)})
+	return j, nil
+}
+
+// jobContext derives a job's execution context from parent, bounded
+// by the server cap tightened by the request's own timeout.
+func (s *Server) jobContext(parent context.Context, req Request) (context.Context, context.CancelFunc) {
+	timeout := s.cfg.MaxJobTimeout
+	if req.TimeoutMS > 0 {
+		if t := time.Duration(req.TimeoutMS) * time.Millisecond; t < timeout {
+			timeout = t
+		}
+	}
+	return context.WithTimeout(parent, timeout)
+}
+
+// Handler returns the HTTP surface: /jobs, /jobs/{id}, /metrics,
+// /healthz, and /debug/pprof.
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // isDraining reports whether admission is closed.
@@ -147,11 +294,15 @@ func (s *Server) isDraining() bool {
 func (s *Server) Drain() {
 	s.mu.Lock()
 	s.draining = true
+	killed := s.killed
 	s.mu.Unlock()
-	s.jobWG.Wait()
+	if !killed {
+		s.jobWG.Wait()
+	}
 }
 
-// Close drains and then retires the worker pool.
+// Close drains, retires the worker pool, and closes the journal
+// cleanly (every batched record flushed and fsynced).
 func (s *Server) Close() {
 	s.Drain()
 	s.mu.Lock()
@@ -162,29 +313,79 @@ func (s *Server) Close() {
 	}
 	s.mu.Unlock()
 	s.workerWG.Wait()
+	if s.store != nil {
+		_ = s.store.Close()
+	}
 }
 
-// admit tries to place a job in the queue. The lock makes the
-// draining check and the WaitGroup add atomic with respect to Drain:
-// after Drain returns, no job can be admitted and every admitted job
-// has been counted.
-func (s *Server) admit(j *job) (status int) {
+// Kill simulates a crash for the chaos harness: admission stops, the
+// base context dies (in-flight engines unwind at their next shard
+// boundary), the journal is abandoned mid-batch exactly as SIGKILL
+// would leave it — unflushed records lost, no finish markers written —
+// and queued jobs are dropped with their streams cut. The journal
+// still holds every admitted-but-unfinished job for the next
+// incarnation to resume.
+func (s *Server) Kill() {
+	s.mu.Lock()
+	s.draining = true
+	s.killed = true
+	s.mu.Unlock()
+	s.baseCancel()
+	if s.store != nil {
+		s.store.Abandon()
+	}
+	s.mu.Lock()
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+	s.mu.Unlock()
+	s.workerWG.Wait()
+	// Workers are gone; drop what they never started. Streams end
+	// without a result event — the crash signature clients see.
+	for {
+		select {
+		case j := <-s.queue:
+			j.cancel()
+			j.log.close()
+			s.jobWG.Done()
+		default:
+			return
+		}
+	}
+}
+
+// admit places a job in the queue and journals the admission. The
+// lock makes the draining check, the capacity check, and the
+// WaitGroup add atomic with respect to Drain and other admits: after
+// Drain returns no job can be admitted, and a checked-free slot
+// cannot be stolen (only admit sends, and only under this lock).
+func (s *Server) admit(j *job) (status int, msg string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
 		s.metrics.RejectedDraining.Add(1)
-		return http.StatusServiceUnavailable
+		return http.StatusServiceUnavailable, "server draining, not admitting jobs"
 	}
-	select {
-	case s.queue <- j:
-		s.jobWG.Add(1)
-		s.metrics.Admitted.Add(1)
-		s.metrics.byType[j.req.Type].Add(1)
-		return http.StatusOK
-	default:
+	if len(s.queue) == cap(s.queue) {
 		s.metrics.RejectedFull.Add(1)
-		return http.StatusTooManyRequests
+		return http.StatusTooManyRequests, "queue full, retry later"
 	}
+	if s.store != nil {
+		// Journal before acknowledging: an accepted event is a promise
+		// that survives a kill.
+		if err := s.store.AcceptJob(j.id, j.rawReq); err != nil {
+			return http.StatusInternalServerError, "journal admission: " + err.Error()
+		}
+	}
+	s.queue <- j
+	s.jobs[j.id] = j
+	s.jobWG.Add(1)
+	s.metrics.Admitted.Add(1)
+	s.metrics.byType[j.req.Type].Add(1)
+	j.emit(Event{Type: "accepted", ID: j.id, Job: string(j.req.Type)})
+	return http.StatusOK, ""
 }
 
 // worker executes queued jobs until the server closes.
@@ -195,14 +396,15 @@ func (s *Server) worker() {
 		case j := <-s.queue:
 			s.execute(j)
 		case <-s.stop:
-			// Drain already emptied the queue (Close drains first), so
-			// nothing is abandoned here.
+			// Close drains the queue first; Kill sweeps the leftovers.
 			return
 		}
 	}
 }
 
-// execute runs one job to completion and emits its terminal event.
+// execute runs one job to completion, journals the verdict (unless a
+// kill is in progress — an unfinished job must stay pending), and
+// closes the event log after the terminal event.
 func (s *Server) execute(j *job) {
 	defer s.jobWG.Done()
 	defer j.cancel()
@@ -218,7 +420,11 @@ func (s *Server) execute(j *job) {
 	func() {
 		defer func() {
 			if r := recover(); r != nil {
-				ok, summary, err = false, "", fmt.Errorf("job panicked: %v", r)
+				if se, poisoned := r.(*ShardError); poisoned {
+					ok, summary, err = false, "", se
+				} else {
+					ok, summary, err = false, "", fmt.Errorf("job panicked: %v", r)
+				}
 			}
 		}()
 		if s.execHook != nil {
@@ -228,13 +434,26 @@ func (s *Server) execute(j *job) {
 		}
 	}()
 
+	var se *ShardError
 	switch {
 	case ok:
 		s.metrics.JobsOK.Add(1)
+	case errors.As(err, &se):
+		// Poison quarantine is a job failure even though the quarantine
+		// cancelled the rest of the sweep.
+		s.metrics.JobsFailed.Add(1)
 	case j.ctx.Err() != nil:
 		s.metrics.JobsCancelled.Add(1)
 	default:
 		s.metrics.JobsFailed.Add(1)
+	}
+
+	if s.store != nil && s.baseCtx.Err() == nil {
+		errText := ""
+		if err != nil {
+			errText = err.Error()
+		}
+		_ = s.store.FinishJob(j.id, ok, summary, errText)
 	}
 
 	ev := Event{
@@ -245,7 +464,7 @@ func (s *Server) execute(j *job) {
 		ev.Error = err.Error()
 	}
 	j.emit(ev)
-	close(j.events)
+	j.log.close()
 }
 
 // retryAfterSeconds is the backpressure hint on 429/503 responses.
@@ -270,53 +489,108 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "invalid job: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-
-	timeout := s.cfg.MaxJobTimeout
-	if req.TimeoutMS > 0 {
-		if t := time.Duration(req.TimeoutMS) * time.Millisecond; t < timeout {
-			timeout = t
-		}
+	raw, err := json.Marshal(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
-	defer cancel()
 
-	j := &job{
-		id:        s.nextID.Add(1),
-		req:       req,
-		ctx:       ctx,
-		streamCtx: r.Context(),
-		cancel:    cancel,
-		events:    make(chan Event, 64),
+	// Ephemeral jobs die with their client; durable (journaled) jobs
+	// run on the server's base context — the journal has promised
+	// they finish, and their stream can re-attach.
+	parent := r.Context()
+	if s.store != nil {
+		parent = s.baseCtx
 	}
-	if status := s.admit(j); status != http.StatusOK {
-		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
-		msg := "queue full, retry later"
-		if status == http.StatusServiceUnavailable {
-			msg = "server draining, not admitting jobs"
+	j := &job{id: s.nextID.Add(1), req: req, rawReq: raw, log: newEventLog()}
+	j.ctx, j.cancel = s.jobContext(parent, req)
+
+	if status, msg := s.admit(j); status != http.StatusOK {
+		j.cancel()
+		if status != http.StatusInternalServerError {
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
 		}
 		http.Error(w, msg, status)
 		return
 	}
+	s.streamJob(w, r, j)
+}
 
+// handleJobGet is GET /jobs/{id}: re-attach to an admitted job's
+// stream, replaying its full event log from the start and following
+// the live tail — the recovery path for disconnected clients and for
+// jobs resumed from the journal after a crash.
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	id, err := strconv.ParseUint(strings.TrimPrefix(r.URL.Path, "/jobs/"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad job id", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		http.Error(w, "unknown job", http.StatusNotFound)
+		return
+	}
+	s.streamJob(w, r, j)
+}
+
+// streamJob writes a job's event log as NDJSON from the beginning,
+// blocking on the live tail until the log closes, then appends the
+// integrity trailer: the count and FNV-1a-64 fingerprint of every
+// line written (trailer excluded). Returns early, without a trailer,
+// only if the client goes away.
+func (s *Server) streamJob(w http.ResponseWriter, r *http.Request, j *job) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
-	enc := json.NewEncoder(w)
 	flush := func() {
 		if f, ok := w.(http.Flusher); ok {
 			f.Flush()
 		}
 	}
-	_ = enc.Encode(Event{Type: "accepted", ID: j.id, Job: string(req.Type)})
-	flush()
-	for ev := range j.events {
-		if err := enc.Encode(ev); err != nil {
-			// Client gone: stop writing but keep draining so the worker's
-			// sends never block (its emits fall through on ctx.Done once
-			// the request context is cancelled).
+	// A disconnect must wake the log wait below.
+	defer context.AfterFunc(r.Context(), j.log.broadcast)()
+
+	h := fnv.New64a()
+	records := 0
+	for from := 0; ; {
+		evs, closed := j.log.next(r.Context(), from)
+		for _, ev := range evs {
+			line, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			line = append(line, '\n')
+			h.Write(line)
+			records++
+			if _, err := w.Write(line); err != nil {
+				return // client gone; the job itself is unaffected if durable
+			}
+			flush()
+		}
+		from += len(evs)
+		if closed && len(evs) == 0 {
 			break
 		}
-		flush()
+		if r.Context().Err() != nil {
+			return
+		}
 	}
+	trailer, err := json.Marshal(Event{
+		Type: "trailer", ID: j.id, Records: records,
+		FNV: fmt.Sprintf("%016x", h.Sum64()),
+	})
+	if err != nil {
+		return
+	}
+	_, _ = w.Write(append(trailer, '\n'))
+	flush()
 }
 
 // handleMetrics is GET /metrics: flat text by default, JSON with
@@ -348,7 +622,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // The bound address is reported through ready (buffered; may be nil)
 // as soon as the listener is up.
 func Run(ctx context.Context, cfg Config, logw io.Writer, ready chan<- string) error {
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		return err
+	}
 	defer s.Close()
 
 	addr := cfg.Addr
@@ -363,6 +640,10 @@ func Run(ctx context.Context, cfg Config, logw io.Writer, ready chan<- string) e
 	if logw != nil {
 		fmt.Fprintf(logw, "uexc-serve: listening on %s (workers %d, queue %d)\n",
 			ln.Addr(), s.cfg.Workers, s.cfg.QueueDepth)
+		if s.store != nil {
+			fmt.Fprintf(logw, "uexc-serve: journal %s: restart #%d, %d jobs replayed (%d durable shards)\n",
+				cfg.StoreDir, s.metrics.Restarts.Load(), s.metrics.ReplayedJobs.Load(), s.metrics.ResumedShards.Load())
+		}
 	}
 	if ready != nil {
 		ready <- ln.Addr().String()

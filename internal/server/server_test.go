@@ -17,11 +17,21 @@ import (
 	"uexc/internal/harness"
 )
 
+// newT builds a Server, failing the test on a store error.
+func newT(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
 // startTest serves a fresh Server over real HTTP and tears both down
 // with the test.
 func startTest(t *testing.T, cfg Config) (*Server, string) {
 	t.Helper()
-	s := New(cfg)
+	s := newT(t, cfg)
 	hs := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		hs.Close()
@@ -122,7 +132,7 @@ func TestParseMode(t *testing.T) {
 // rejection never disturbs the admitted jobs. The blocking exec hook
 // makes saturation deterministic.
 func TestQueueFull429(t *testing.T) {
-	s := New(Config{Workers: 2, QueueDepth: 2})
+	s := newT(t, Config{Workers: 2, QueueDepth: 2})
 	release := make(chan struct{})
 	s.execHook = func(j *job) (bool, string, error) {
 		select {
@@ -191,7 +201,7 @@ func TestQueueFull429(t *testing.T) {
 // run to completion and stream its full result while new jobs bounce
 // with 503 + Retry-After; /healthz flips to draining.
 func TestDrainFinishesAdmittedRejectsNew(t *testing.T) {
-	s := New(Config{Workers: 1, QueueDepth: 4})
+	s := newT(t, Config{Workers: 1, QueueDepth: 4})
 	release := make(chan struct{})
 	s.execHook = func(j *job) (bool, string, error) {
 		select {
@@ -507,7 +517,7 @@ func TestLoadgen(t *testing.T) {
 // TestClientDisconnectCancelsJob: dropping the connection mid-stream
 // cancels the job's context so the worker is freed promptly.
 func TestClientDisconnectCancelsJob(t *testing.T) {
-	s := New(Config{Workers: 1, QueueDepth: 1})
+	s := newT(t, Config{Workers: 1, QueueDepth: 1})
 	started := make(chan struct{}, 1)
 	s.execHook = func(j *job) (bool, string, error) {
 		started <- struct{}{}

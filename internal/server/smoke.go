@@ -144,7 +144,10 @@ func Smoke(ctx context.Context, out io.Writer, cfg SmokeConfig) (*LoadReport, er
 // the exec hook so the check cannot depend on engine speed — still
 // runs to completion and streams its full result.
 func checkDrain(client *http.Client) error {
-	s := New(Config{Workers: 1, QueueDepth: 4})
+	s, err := New(Config{Workers: 1, QueueDepth: 4})
+	if err != nil {
+		return err
+	}
 	defer s.Close()
 	release := make(chan struct{})
 	var once sync.Once
@@ -250,7 +253,10 @@ func checkDrain(client *http.Client) error {
 // so the worker and the queue slot stay full — independent of how fast
 // the engines happen to run — until the 429 has been observed.
 func checkBackpressure(ctx context.Context, client *http.Client) error {
-	s := New(Config{Workers: 1, QueueDepth: 1})
+	s, err := New(Config{Workers: 1, QueueDepth: 1})
+	if err != nil {
+		return err
+	}
 	defer s.Close()
 	release := make(chan struct{})
 	var once sync.Once

@@ -1,0 +1,201 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func openT(t *testing.T, dir string, opts Options) (*Store, *State) {
+	t.Helper()
+	s, st, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return s, st
+}
+
+// TestRoundTrip: accepted jobs with shard prefixes survive a close and
+// replay exactly; finished jobs are compacted away.
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, st := openT(t, dir, Options{})
+	if len(st.Pending) != 0 || st.Restarts != 0 || st.MaxID != 0 {
+		t.Fatalf("fresh state: %+v", st)
+	}
+
+	req1 := json.RawMessage(`{"type":"campaign","seeds":30}`)
+	req2 := json.RawMessage(`{"type":"difftest","seeds":10}`)
+	if err := s.AcceptJob(1, req1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AcceptJob(2, req2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.AppendShard(1, i, json.RawMessage(`{"shard":`+string(rune('0'+i))+`}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.FinishJob(2, true, "done\n", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, st2 := openT(t, dir, Options{})
+	defer s2.Close()
+	if st2.Restarts != 1 {
+		t.Errorf("Restarts = %d, want 1", st2.Restarts)
+	}
+	if st2.MaxID != 2 {
+		t.Errorf("MaxID = %d, want 2", st2.MaxID)
+	}
+	if st2.FinishedJobs != 1 {
+		t.Errorf("FinishedJobs = %d, want 1", st2.FinishedJobs)
+	}
+	if len(st2.Pending) != 1 {
+		t.Fatalf("Pending = %+v, want just job 1", st2.Pending)
+	}
+	p := st2.Pending[0]
+	if p.ID != 1 || string(p.Req) != string(req1) || len(p.Shards) != 5 {
+		t.Fatalf("pending job: id=%d req=%s shards=%d", p.ID, p.Req, len(p.Shards))
+	}
+	if string(p.Shards[3]) != `{"shard":3}` {
+		t.Errorf("shard 3 = %s", p.Shards[3])
+	}
+	if st2.ResumedShards != 5 {
+		t.Errorf("ResumedShards = %d, want 5", st2.ResumedShards)
+	}
+}
+
+// TestRestartCounting: each reopen of an existing journal adds one
+// restart record, accumulated across compactions.
+func TestRestartCounting(t *testing.T) {
+	dir := t.TempDir()
+	for want := uint64(0); want < 4; want++ {
+		s, st := openT(t, dir, Options{})
+		if st.Restarts != want {
+			t.Fatalf("open %d: Restarts = %d, want %d", want, st.Restarts, want)
+		}
+		s.Close()
+	}
+}
+
+// TestTornTailDropped: a partial last line (the SIGKILL signature) is
+// dropped; everything durably synced before it survives.
+func TestTornTailDropped(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir, Options{})
+	if err := s.AcceptJob(7, json.RawMessage(`{"type":"campaign","seeds":3}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendShard(7, 0, json.RawMessage(`{"x":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	s.Abandon()
+
+	// Simulate the torn write a kill leaves behind.
+	path := filepath.Join(dir, journalName)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"t":"shard","job":7,"i":1,"da`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, st := openT(t, dir, Options{})
+	defer s2.Close()
+	if !st.TornTail {
+		t.Error("torn tail not reported")
+	}
+	if len(st.Pending) != 1 || len(st.Pending[0].Shards) != 1 {
+		t.Fatalf("state after torn tail: %+v", st)
+	}
+}
+
+// TestAbandonLosesUnsyncedBatch: shard records buffered past the last
+// fsync batch vanish on Abandon, exactly like a real SIGKILL — and the
+// survivors are still a contiguous prefix.
+func TestAbandonLosesUnsyncedBatch(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir, Options{SyncEvery: 4})
+	if err := s.AcceptJob(1, json.RawMessage(`{}`)); err != nil { // synced
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ { // batch of 4 syncs at i=3 (4 records); 2 left buffered
+		if err := s.AppendShard(1, i, json.RawMessage(`{"i":true}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Abandon()
+	if err := s.AppendShard(1, 6, json.RawMessage(`{}`)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after abandon: %v, want ErrClosed", err)
+	}
+
+	_, st := openT(t, dir, Options{})
+	got := len(st.Pending[0].Shards)
+	if got >= 6 {
+		t.Fatalf("abandon lost nothing (%d shards survive); unsynced tail should vanish", got)
+	}
+	if got < 3 {
+		t.Fatalf("synced batch lost: only %d shards survive", got)
+	}
+}
+
+// TestSlowSyncHookRuns: the chaos fsync-delay hook is invoked on the
+// sync path.
+func TestSlowSyncHookRuns(t *testing.T) {
+	dir := t.TempDir()
+	calls := 0
+	s, _ := openT(t, dir, Options{SyncDelay: func() { calls++ }})
+	if err := s.AcceptJob(1, json.RawMessage(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Error("SyncDelay hook never ran")
+	}
+}
+
+// TestCorruptRecordRejected: a malformed record that is NOT the torn
+// tail fails the open loudly — resuming from a corrupt journal would
+// silently drop work.
+func TestCorruptRecordRejected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, journalName)
+	if err := os.WriteFile(path, []byte("not json\n{\"t\":\"accept\",\"job\":1}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir, Options{}); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("Open on corrupt journal: %v, want corrupt-journal error", err)
+	}
+}
+
+// TestStats: appends, syncs, and post-close losses are counted.
+func TestStats(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir, Options{SyncEvery: 100})
+	_ = s.AcceptJob(1, json.RawMessage(`{}`))
+	_ = s.AppendShard(1, 0, json.RawMessage(`{}`))
+	st := s.Stats()
+	if st.Appends != 2 || st.Syncs == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	s.Abandon()
+	_ = s.FinishJob(1, true, "", "")
+	if got := s.Stats().Lost; got != 1 {
+		t.Errorf("Lost = %d, want 1", got)
+	}
+}
