@@ -7,12 +7,16 @@ import (
 
 // ShardRunner wraps the execution of one shard. The engine calls it
 // with the shard index and a run closure that performs the shard's
-// work; the runner must call run at least once (it may call it again,
-// e.g. to retry a shard whose previous attempt panicked) and must not
-// return before a successful attempt or a deliberate, typed give-up.
-// Runners are how the serving layer attaches per-shard deadlines,
-// bounded retries, and chaos-injected faults without the engines
-// knowing: the engine sees only "the shard ran".
+// work; the runner calls run once on success (it may call it again,
+// e.g. to retry a shard whose previous attempt panicked), panics with
+// a typed error to quarantine a shard that keeps failing, or — only
+// when the sweep's context is already dead — returns without ever
+// calling run. Sweeps must therefore observe whether run executed and
+// never treat a skipped shard as completed: MapResumeCtx tracks this
+// so a give-up cannot advance the checkpoint frontier over a
+// zero-value result. Runners are how the serving layer attaches
+// per-shard deadlines, bounded retries, and chaos-injected faults
+// without the engines knowing: the engine sees only "the shard ran".
 type ShardRunner func(i int, run func())
 
 type shardRunnerKey struct{}
@@ -126,11 +130,17 @@ func MapResumeCtx[T any](ctx context.Context, workers, n int, done []T, every in
 	// The inner sweep runs over the shifted suffix [0, n-start), so the
 	// context's shard runner is applied here — with true shard indices,
 	// which fault plans and retry accounting key on — and stripped from
-	// the inner context.
-	exec := func(idx int) { out[idx] = fn(idx) }
+	// the inner context. exec reports whether fn actually executed: a
+	// runner may give up without running when the job context is dead,
+	// and a skipped shard must not reach the checkpointer — saving its
+	// zero-value result would durably corrupt the resumable prefix.
+	exec := func(idx int) bool { out[idx] = fn(idx); return true }
 	if r := shardRunnerFrom(ctx); r != nil {
 		inner := exec
-		exec = func(idx int) { r(idx, func() { inner(idx) }) }
+		exec = func(idx int) (ran bool) {
+			r(idx, func() { ran = inner(idx) })
+			return ran
+		}
 		ctx = WithShardRunner(ctx, nil)
 	}
 
@@ -149,7 +159,9 @@ func MapResumeCtx[T any](ctx context.Context, workers, n int, done []T, every in
 	defer cancel()
 	err := ForEachCtx(cctx, workers, n-start, func(i int) {
 		idx := start + i
-		exec(idx)
+		if !exec(idx) {
+			return // runner gave up (dead context); the shard did not run
+		}
 		if ck.complete(idx) != nil {
 			cancel() // the save error is sticky in ck; stop the sweep
 		}

@@ -169,6 +169,38 @@ func TestShardRunnerWrapsEveryShard(t *testing.T) {
 	}
 }
 
+// TestShardRunnerGiveUpDoesNotCheckpoint: a runner that gives up
+// without calling run (its only legal reason: the sweep's context is
+// dead) must not advance the checkpoint frontier — no saved prefix may
+// ever contain the zero-value result of a shard that never executed,
+// or a resumed run would be corrupt.
+func TestShardRunnerGiveUpDoesNotCheckpoint(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		rctx := WithShardRunner(ctx, func(i int, run func()) {
+			if i >= 5 {
+				cancel()
+			}
+			if ctx.Err() != nil {
+				return // give up without running, as a dead-job runner does
+			}
+			run()
+		})
+		_, err := MapResumeCtx(rctx, workers, 12, nil, 1, func(prefix []int) error {
+			for j, v := range prefix {
+				if v != j+1 {
+					t.Errorf("workers %d: saved prefix[%d] = %d — a shard that never ran was checkpointed", workers, j, v)
+				}
+			}
+			return nil
+		}, func(i int) int { return i + 1 })
+		if err == nil {
+			t.Errorf("workers %d: sweep with given-up shards reported success", workers)
+		}
+		cancel()
+	}
+}
+
 // TestShardRunnerAppliesToForEachCtx: the hook also wraps plain
 // (non-resume) sweeps, which the serving layer relies on for jobs
 // started fresh.

@@ -24,6 +24,7 @@ type Metrics struct {
 	JobsOK        atomic.Uint64 // completed with ok=true
 	JobsFailed    atomic.Uint64 // completed with ok=false (engine failure)
 	JobsCancelled atomic.Uint64 // aborted by deadline or client disconnect
+	JobsEvicted   atomic.Uint64 // finished jobs dropped after the retention window
 
 	InFlight atomic.Int64 // jobs currently executing on a worker
 
@@ -96,6 +97,7 @@ type Snapshot struct {
 	JobsOK        uint64 `json:"jobs_ok_total"`
 	JobsFailed    uint64 `json:"jobs_failed_total"`
 	JobsCancelled uint64 `json:"jobs_cancelled_total"`
+	JobsEvicted   uint64 `json:"jobs_evicted_total"`
 
 	JobsByType map[string]uint64 `json:"jobs_by_type"`
 
@@ -143,6 +145,7 @@ func (s *Server) snapshot() Snapshot {
 		JobsOK:        m.JobsOK.Load(),
 		JobsFailed:    m.JobsFailed.Load(),
 		JobsCancelled: m.JobsCancelled.Load(),
+		JobsEvicted:   m.JobsEvicted.Load(),
 
 		JobsByType: make(map[string]uint64, len(m.byType)),
 
@@ -197,6 +200,7 @@ func (snap Snapshot) renderText(w io.Writer) {
 		"uexc_jobs_ok_total":                fmt.Sprint(snap.JobsOK),
 		"uexc_jobs_failed_total":            fmt.Sprint(snap.JobsFailed),
 		"uexc_jobs_cancelled_total":         fmt.Sprint(snap.JobsCancelled),
+		"uexc_jobs_evicted_total":           fmt.Sprint(snap.JobsEvicted),
 		"uexc_store_enabled":                fmt.Sprint(boolToInt(snap.StoreEnabled)),
 		"uexc_restarts_total":               fmt.Sprint(snap.Restarts),
 		"uexc_jobs_replayed_total":          fmt.Sprint(snap.ReplayedJobs),

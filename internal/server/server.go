@@ -19,7 +19,9 @@
 //     event carrying the exact summary text the CLI prints, and an
 //     integrity trailer (record count + FNV-1a fingerprint). Every
 //     job's events are retained in a replayable log, so a stream can
-//     re-attach via GET /jobs/{id} after a disconnect or a restart.
+//     re-attach via GET /jobs/{id} after a disconnect or a restart;
+//     finished jobs stay re-attachable for JobRetention and are then
+//     evicted so the log store does not grow without bound.
 //   - Durability. With StoreDir set, admissions, shard checkpoints,
 //     and terminal verdicts go through a write-ahead journal
 //     (internal/server/store). A killed server restarted with Resume
@@ -77,6 +79,11 @@ type Config struct {
 	MaxJobTimeout time.Duration
 	// MaxSeeds caps campaign/difftest sweep sizes per job (<=0: 5000).
 	MaxSeeds int
+	// JobRetention bounds how long a finished job (and its full event
+	// log) stays re-attachable via GET /jobs/{id} after its terminal
+	// event; past the window the job is evicted so a long-lived server
+	// does not retain every stream it ever produced (<=0: 5m).
+	JobRetention time.Duration
 
 	// StoreDir, when set, enables the durable job store: a write-ahead
 	// NDJSON journal under this directory records every admission,
@@ -127,6 +134,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxSeeds <= 0 {
 		c.MaxSeeds = 5000
+	}
+	if c.JobRetention <= 0 {
+		c.JobRetention = 5 * time.Minute
 	}
 	if c.CheckpointEvery <= 0 {
 		c.CheckpointEvery = 8
@@ -217,9 +227,9 @@ func New(cfg Config) (*Server, error) {
 			_ = s.store.FinishJob(p.ID, false, "", "resume: "+err.Error())
 			continue
 		}
-		s.queue <- j
 		s.jobs[j.id] = j
 		s.jobWG.Add(1)
+		s.queue <- j
 		s.metrics.ReplayedJobs.Add(1)
 		s.metrics.ResumedShards.Add(uint64(len(p.Shards)))
 	}
@@ -330,10 +340,15 @@ func (s *Server) Kill() {
 	s.draining = true
 	s.killed = true
 	s.mu.Unlock()
-	s.baseCancel()
+	// Abandon the journal BEFORE cancelling the jobs: once the base
+	// context is dead, shard runners start giving up without running
+	// their shards, and no window may exist in which such a skipped
+	// shard's checkpoint could still reach the journal — a durable
+	// zero-value digest would corrupt the resumable prefix.
 	if s.store != nil {
 		s.store.Abandon()
 	}
+	s.baseCancel()
 	s.mu.Lock()
 	select {
 	case <-s.stop:
@@ -379,12 +394,17 @@ func (s *Server) admit(j *job) (status int, msg string) {
 			return http.StatusInternalServerError, "journal admission: " + err.Error()
 		}
 	}
-	s.queue <- j
+	// Register and emit the accepted event BEFORE handing the job to a
+	// worker: once queued, a worker may emit progress — or even close
+	// the event log — and the accepted event must be first in every
+	// replayed stream. The send cannot block: capacity was checked
+	// above and only admit sends, only under this lock.
 	s.jobs[j.id] = j
 	s.jobWG.Add(1)
 	s.metrics.Admitted.Add(1)
 	s.metrics.byType[j.req.Type].Add(1)
 	j.emit(Event{Type: "accepted", ID: j.id, Job: string(j.req.Type)})
+	s.queue <- j
 	return http.StatusOK, ""
 }
 
@@ -465,6 +485,19 @@ func (s *Server) execute(j *job) {
 	}
 	j.emit(ev)
 	j.log.close()
+
+	// The stream is terminal; keep the job re-attachable for the
+	// retention window, then evict it so s.jobs and its event log (every
+	// progress line the job ever produced) don't grow without bound on a
+	// long-lived server. A late GET simply 404s, like an unknown ID.
+	time.AfterFunc(s.cfg.JobRetention, func() {
+		s.mu.Lock()
+		if _, live := s.jobs[j.id]; live {
+			delete(s.jobs, j.id)
+			s.metrics.JobsEvicted.Add(1)
+		}
+		s.mu.Unlock()
+	})
 }
 
 // retryAfterSeconds is the backpressure hint on 429/503 responses.

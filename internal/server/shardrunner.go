@@ -51,7 +51,10 @@ func (e *ShardError) Unwrap() []error { return []error{ErrShardPoisoned, e.Err} 
 // A shard still failing after the last attempt is quarantined: the
 // runner panics with a typed *ShardError, which parallel.ForEachCtx
 // re-raises on the job's goroutine and execute converts into the job's
-// terminal error.
+// terminal error. When the job's context dies the runner instead
+// returns without having run the shard — the give-up the ShardRunner
+// contract allows; MapResumeCtx observes that run never executed and
+// keeps the skipped shard out of the checkpoint frontier.
 func (s *Server) shardRunner(j *job) parallel.ShardRunner {
 	return func(i int, run func()) {
 		attempts := s.cfg.ShardAttempts
@@ -67,6 +70,11 @@ func (s *Server) shardRunner(j *job) parallel.ShardRunner {
 				return
 			}
 			if lastErr = s.attemptShard(j, i, a, run); lastErr == nil {
+				return
+			}
+			if j.ctx.Err() != nil {
+				// The job died during the attempt; that's cancellation,
+				// not poison — give up without quarantining the shard.
 				return
 			}
 		}
@@ -93,6 +101,12 @@ func (s *Server) attemptShard(j *job, shard, attempt int, run func()) (err error
 			return fmt.Errorf("shard %d attempt %d: stalled past the %v deadline", shard, attempt, deadline)
 		}
 		sleepOrCancel(j.ctx, fault.Stall)
+		if jerr := j.ctx.Err(); jerr != nil {
+			// The job died while the stall slept; running the shard body
+			// now would burn engine time on a result the sweep discards
+			// and delay Kill's worker shutdown.
+			return fmt.Errorf("shard %d attempt %d: job cancelled during injected stall: %w", shard, attempt, jerr)
+		}
 	}
 	defer func() {
 		if r := recover(); r != nil {
