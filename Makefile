@@ -11,7 +11,7 @@ GO ?= go
 # durably improves; never lower it to make a change pass.
 COVER_MIN ?= 86.0
 
-.PHONY: all build test vet check cover campaign bench-campaign bench-cpu bench-serve serve-smoke chaos-smoke fuzz clean
+.PHONY: all build test vet check cover campaign bench-campaign bench-cpu bench-serve bench-fleet serve-smoke chaos-smoke fleet-smoke fuzz clean
 
 all: build
 
@@ -33,6 +33,7 @@ check: vet build
 	$(GO) run ./cmd/uexc-bench -difftest -seeds 30 -parallel 4
 	$(MAKE) serve-smoke
 	$(MAKE) chaos-smoke
+	$(MAKE) fleet-smoke
 	$(MAKE) cover
 
 # Serving smoke: spins a race-enabled uexc-serve on an ephemeral port
@@ -51,6 +52,18 @@ serve-smoke:
 # (DESIGN.md §12, EXPERIMENTS.md).
 chaos-smoke:
 	$(GO) run -race ./cmd/uexc-serve -chaos -chaos-seeds 30 -chaos-kills 3
+
+# Distributed gauntlet: a race-enabled coordinator with a durable
+# journal fans a 30-seed campaign out to two in-process worker nodes;
+# the harness kills one worker mid-shard-range (the stranded range must
+# re-dispatch to the survivor), then kills the coordinator itself and
+# plants a torn compaction tmp in its store directory before a
+# replacement coordinator resumes from the merge frontier with a
+# replacement worker. The resumed stream must be byte-identical to an
+# undisturbed serial run and the survivor's metrics exact
+# (DESIGN.md §13).
+fleet-smoke:
+	$(GO) run -race ./cmd/uexc-serve -fleet-smoke
 
 # Coverage ratchet: reruns the suite with statement coverage over the
 # internal packages and enforces the COVER_MIN floor.
@@ -84,6 +97,14 @@ bench-cpu:
 # (see EXPERIMENTS.md).
 bench-serve:
 	$(GO) run -race ./cmd/uexc-serve -selftest -jobs 200 -concurrency 32 -bench-out BENCH_serve.json
+
+# Fleet benchmark: spawns two real uexc-serve worker processes, runs a
+# coordinator against them, and records coordinator overhead vs a
+# single node, a 100k+ seed-equivalent burst, and the tenant-quota
+# demo under the "fleet" key of BENCH_serve.json (DESIGN.md §13,
+# EXPERIMENTS.md). Built without -race: this measures throughput.
+bench-fleet:
+	$(GO) run ./cmd/uexc-serve -bench-fleet -bench-out BENCH_serve.json
 
 # Short coverage-guided fuzzing burst on the decoder and assembler.
 fuzz:

@@ -7,12 +7,17 @@
 //	uexc-serve                       serve until SIGTERM/Ctrl-C, then drain
 //	uexc-serve -store-dir d -resume  serve with a durable job journal, resuming
 //	                                 jobs that survived the last crash
+//	uexc-serve -coordinator u1,u2    serve as a fleet coordinator: campaign and
+//	                                 difftest jobs fan out to these worker nodes
 //	uexc-serve -selftest             end-to-end serving smoke (spins its own server)
 //	uexc-serve -loadgen -url ...     generate load against a running server
 //	uexc-serve -chaos                crash-tolerance gauntlet: repeated mid-campaign
 //	                                 kills must leave the final stream byte-identical
+//	uexc-serve -fleet-smoke          distributed gauntlet: coordinator + 2 workers,
+//	                                 worker kill, coordinator kill, torn journal tmp
+//	uexc-serve -bench-fleet          multi-process localhost fleet benchmark
 //
-// See README.md "Serving" and DESIGN.md §11–12.
+// See README.md "Serving" and DESIGN.md §11–13.
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -52,12 +58,24 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		storeDir   = fs.String("store-dir", "", "durable job journal directory (empty: in-memory only)")
 		resume     = fs.Bool("resume", false, "re-admit journaled jobs that never finished (needs -store-dir)")
 
+		coordinator    = fs.String("coordinator", "", "comma-separated worker base URLs; serve as a fleet coordinator (DESIGN.md §13)")
+		dispatchShards = fs.Int("dispatch-shards", 0, "shards per dispatched range in coordinator mode (0: 12)")
+
+		tenantInflight = fs.Int("tenant-inflight", 0, "per-tenant (X-Tenant) max in-flight jobs (0: unlimited)")
+		tenantQueued   = fs.Int("tenant-queued", 0, "per-tenant max queued jobs (0: unlimited)")
+		tenantRate     = fs.Float64("tenant-seeds-per-sec", 0, "per-tenant admission rate in seed units/s (0: unlimited)")
+		tenantBurst    = fs.Float64("tenant-burst", 0, "per-tenant token-bucket burst in seed units (0: 4s of refill)")
+
 		selftest    = fs.Bool("selftest", false, "run the end-to-end serving smoke against an ephemeral server, then exit")
 		loadgen     = fs.Bool("loadgen", false, "generate load against -url, then exit")
 		chaosMode   = fs.Bool("chaos", false, "run the crash-tolerance gauntlet on an ephemeral server, then exit")
 		chaosSeeds  = fs.Int("chaos-seeds", 0, "campaign size for -chaos (0: 30)")
 		chaosKills  = fs.Int("chaos-kills", 0, "kill/restart cycles for -chaos (0: 3)")
 		chaosSeed   = fs.Int64("chaos-seed", 0, "fault-plan seed for -chaos (reproduces a failing run)")
+		fleetSmoke  = fs.Bool("fleet-smoke", false, "run the distributed-coordinator gauntlet on an ephemeral fleet, then exit")
+		fleetSeeds  = fs.Int("fleet-seeds", 0, "campaign size for -fleet-smoke (0: 30)")
+		benchFleet  = fs.Bool("bench-fleet", false, "run the multi-process localhost fleet benchmark, then exit")
+		fleetEquiv  = fs.Int("fleet-equivalents", 0, "seed-equivalent target for the -bench-fleet burst (0: 100000)")
 		url         = fs.String("url", "http://127.0.0.1:8612", "server base URL (loadgen mode)")
 		jobs        = fs.Int("jobs", 200, "total jobs (loadgen/selftest)")
 		concurrency = fs.Int("concurrency", 32, "client goroutines (loadgen/selftest)")
@@ -66,11 +84,22 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if modes := btoi(*selftest) + btoi(*loadgen) + btoi(*chaosMode); modes > 1 {
-		return fmt.Errorf("-selftest, -loadgen and -chaos are mutually exclusive")
+	if modes := btoi(*selftest) + btoi(*loadgen) + btoi(*chaosMode) + btoi(*fleetSmoke) + btoi(*benchFleet); modes > 1 {
+		return fmt.Errorf("-selftest, -loadgen, -chaos, -fleet-smoke and -bench-fleet are mutually exclusive")
 	}
 	if *resume && *storeDir == "" {
 		return fmt.Errorf("-resume requires -store-dir")
+	}
+
+	tenants := server.TenantLimits{
+		MaxInFlight: *tenantInflight, MaxQueued: *tenantQueued,
+		SeedsPerSec: *tenantRate, SeedBurst: *tenantBurst,
+	}
+	var nodes []string
+	for _, u := range strings.Split(*coordinator, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			nodes = append(nodes, u)
+		}
 	}
 
 	switch {
@@ -79,6 +108,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			Seeds: *chaosSeeds, Kills: *chaosKills, Seed: *chaosSeed,
 			Workers: *workers, Out: stderr,
 		})
+
+	case *fleetSmoke:
+		return chaos.FleetRun(ctx, chaos.FleetConfig{
+			Seeds: *fleetSeeds, Seed: *chaosSeed, Out: stderr,
+		})
+
+	case *benchFleet:
+		return runBenchFleet(ctx, benchFleetConfig{
+			equivalents: *fleetEquiv, benchOut: *benchOut,
+		}, stdout, stderr)
 
 	case *selftest:
 		rep, err := server.Smoke(ctx, stderr, server.SmokeConfig{
@@ -112,6 +151,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			Addr: *addr, Workers: *workers, QueueDepth: *queue,
 			MaxJobTimeout: *jobTimeout, MaxSeeds: *maxSeeds,
 			StoreDir: *storeDir, Resume: *resume,
+			Tenants: tenants, WorkerNodes: nodes, DispatchShards: *dispatchShards,
 		}, stderr, nil)
 	}
 }

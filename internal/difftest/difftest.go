@@ -276,15 +276,26 @@ type Shard struct {
 	Entries     uint64   `json:"entries"`
 }
 
-// shardLine renders seed i's progress line from its digest — the one
-// formatting point shared by live shards and checkpoint replays, so a
-// resumed stream is byte-identical by construction.
-func shardLine(i int, t Shard) string {
+// ShardLine renders seed i's progress line from its digest — the one
+// formatting point shared by live shards, checkpoint replays, and the
+// fleet coordinator's remote-shard merge (DESIGN.md §13), so all three
+// streams are byte-identical by construction.
+func ShardLine(i int, t Shard) string {
 	verdict := "ok"
 	if len(t.Divergences) > 0 {
 		verdict = fmt.Sprintf("DIVERGED (%d)", len(t.Divergences))
 	}
 	return fmt.Sprintf("seed %-6d %s\n", i, verdict)
+}
+
+// RunShard runs seed i's three-mode comparison on a pooled machine and
+// returns its digest — the single shard-execution point shared by the
+// local sweep and the serving layer's shard-range jobs, so remote and
+// local digests are byte-identical.
+func RunShard(pool *core.MachinePool, i int) Shard {
+	var t Shard
+	t.Divergences, t.Entries = CheckSeed(pool, int64(i))
+	return t
 }
 
 // Campaign runs the oracle over seeds [0, n) sharded across workers via
@@ -333,14 +344,13 @@ func CampaignResumeCtx(ctx context.Context, pool *core.MachinePool, n, workers i
 	}
 	if w != nil {
 		for i, t := range done {
-			io.WriteString(w, shardLine(i, t))
+			io.WriteString(w, ShardLine(i, t))
 		}
 	}
 	progress := parallel.NewOrderedWriterAt(w, len(done))
 	tasks, err := parallel.MapResumeCtx(ctx, workers, n, done, every, save, func(i int) Shard {
-		var t Shard
-		t.Divergences, t.Entries = CheckSeed(pool, int64(i))
-		progress.Emit(i, shardLine(i, t))
+		t := RunShard(pool, i)
+		progress.Emit(i, ShardLine(i, t))
 		return t
 	})
 	if err != nil {

@@ -175,11 +175,12 @@ func CampaignShards(seeds int) int {
 	return seeds*len(campaignModes) + len(campaignModes)
 }
 
-// campaignShardLine renders shard i's progress line from its digest —
-// the single formatting point for both live shards and checkpointed
-// shards replayed on resume, so the two are byte-identical by
-// construction.
-func campaignShardLine(i, seeds int, t CampaignShard) string {
+// ShardLine renders shard i's progress line from its digest — the
+// single formatting point for live shards, checkpointed shards
+// replayed on resume, and shards merged from remote workers by the
+// fleet coordinator (DESIGN.md §13), so all three are byte-identical
+// by construction.
+func ShardLine(i, seeds int, t CampaignShard) string {
 	if i < seeds*len(campaignModes) {
 		seed, mode := i/len(campaignModes), campaignModes[i%len(campaignModes)]
 		return fmt.Sprintf("%-28s %s\n",
@@ -188,6 +189,26 @@ func campaignShardLine(i, seeds int, t CampaignShard) string {
 	mode := campaignModes[i-seeds*len(campaignModes)]
 	return fmt.Sprintf("%-28s %s\n",
 		fmt.Sprintf("livelock probe %s:", mode), t.ProbeOutcome)
+}
+
+// RunShard executes shard i of a `seeds`-sized campaign on a pooled
+// machine and returns its digest. It is the single shard-execution
+// point: the local sweep below and the serving layer's shard-range
+// jobs (the fleet coordinator's dispatch unit) both call it, so a
+// digest computed on a remote worker is byte-identical to one computed
+// locally — the property that lets a distributed campaign merge into
+// the serial stream.
+func RunShard(pool *core.MachinePool, seeds, i int) CampaignShard {
+	var t CampaignShard
+	if i < seeds*len(campaignModes) {
+		seed, mode := i/len(campaignModes), campaignModes[i%len(campaignModes)]
+		t.First = campaignRun(pool, int64(seed), mode)
+		t.Again = campaignRun(pool, int64(seed), mode)
+	} else {
+		mode := campaignModes[i-seeds*len(campaignModes)]
+		t.ProbeOutcome, t.ProbeFail = livelockProbe(pool, mode)
+	}
+	return t
 }
 
 // FaultCampaignResumeCtx is FaultCampaignCtx with checkpoint/resume:
@@ -229,22 +250,14 @@ func FaultCampaignResumeCtx(ctx context.Context, pool *core.MachinePool, seeds, 
 	// the ordered writer continue from the first live shard.
 	if w != nil {
 		for i, t := range done {
-			io.WriteString(w, campaignShardLine(i, seeds, t))
+			io.WriteString(w, ShardLine(i, seeds, t))
 		}
 	}
 	progress := parallel.NewOrderedWriterAt(w, len(done))
 
 	tasks, err := parallel.MapResumeCtx(ctx, workers, nTasks, done, every, save, func(i int) CampaignShard {
-		var t CampaignShard
-		if i < seeds*len(modes) {
-			seed, mode := i/len(modes), modes[i%len(modes)]
-			t.First = campaignRun(pool, int64(seed), mode)
-			t.Again = campaignRun(pool, int64(seed), mode)
-		} else {
-			mode := modes[i-seeds*len(modes)]
-			t.ProbeOutcome, t.ProbeFail = livelockProbe(pool, mode)
-		}
-		progress.Emit(i, campaignShardLine(i, seeds, t))
+		t := RunShard(pool, seeds, i)
+		progress.Emit(i, ShardLine(i, seeds, t))
 		return t
 	})
 	if err != nil {

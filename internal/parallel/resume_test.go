@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // TestMapResumeCtxSkipsDonePrefix: shards below the done prefix never
@@ -216,6 +217,86 @@ func TestShardRunnerAppliesToForEachCtx(t *testing.T) {
 	}
 	if wrapped.Load() != 5 || ran.Load() != 5 {
 		t.Fatalf("wrapped %d ran %d, want 5/5", wrapped.Load(), ran.Load())
+	}
+}
+
+// TestOrderedWriterCancelBufferedAheadOfStall is the §8 cancellation
+// torture case: later shards complete and buffer in the OrderedWriter
+// while an earlier shard stalls; the sweep is then cancelled and the
+// stalled shard's runner gives up without emitting. The merge must not
+// deadlock (Emit never blocks, the sweep returns), must write only the
+// contiguous prefix below the stall — never a buffered later line —
+// and no checkpoint may cover the shard that never ran.
+func TestOrderedWriterCancelBufferedAheadOfStall(t *testing.T) {
+	const n = 8
+	var buf bytes.Buffer
+	o := NewOrderedWriter(&buf)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stall := make(chan struct{})
+	var laterBuffered, zeroEmitted atomic.Int32
+	rctx := WithShardRunner(ctx, func(i int, run func()) {
+		if i == 1 {
+			<-stall // held until after cancellation, like a hung worker
+			if ctx.Err() != nil {
+				return // give up without emitting, as a dead-job runner does
+			}
+		}
+		run()
+	})
+	var mu sync.Mutex
+	var savedPast int
+	done := make(chan error, 1)
+	go func() {
+		_, err := MapResumeCtx(rctx, 2, n, nil, 1, func(prefix []int) error {
+			mu.Lock()
+			defer mu.Unlock()
+			for j, v := range prefix {
+				if v != j+1 {
+					savedPast++ // a never-ran shard's zero value got checkpointed
+				}
+			}
+			return nil
+		}, func(i int) int {
+			o.Emit(i, fmt.Sprintf("shard %d\n", i))
+			if i > 1 {
+				laterBuffered.Add(1)
+			} else if i == 0 {
+				zeroEmitted.Add(1)
+			}
+			return i + 1
+		})
+		done <- err
+	}()
+
+	// Wait until shard 0 has streamed and >= 2 later shards sit buffered
+	// behind stalled shard 1, then cancel and release the stall.
+	deadline := time.After(10 * time.Second)
+	for laterBuffered.Load() < 2 || zeroEmitted.Load() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("sweep never reached the buffered-ahead-of-stall state")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	cancel()
+	close(stall)
+
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("cancelled sweep with a given-up shard reported success")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("ordered merge deadlocked on cancellation with buffered later shards")
+	}
+	if got := buf.String(); got != "shard 0\n" {
+		t.Fatalf("stream after cancel = %q, want exactly the prefix below the stall", got)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if savedPast != 0 {
+		t.Fatalf("%d checkpoint entries covered the shard that never ran", savedPast)
 	}
 }
 

@@ -188,11 +188,16 @@ func start(cfg server.Config) (*incarnation, error) {
 	return inc, nil
 }
 
-// kill crashes this incarnation: server first (journal abandoned, no
-// drain), then the listener.
+// kill crashes this incarnation. A real SIGKILL severs the process's
+// sockets and its execution at the same instant; in-process, the
+// listener goes first so remotely-driven ephemeral jobs (a worker's
+// dispatched shard ranges) lose their client and die — otherwise
+// Kill's worker shutdown could be pinned behind a stalled range whose
+// context only the connection cancels. The journal is abandoned inside
+// Kill before job contexts die, preserving the no-zero-digest window.
 func (inc *incarnation) kill() {
-	inc.srv.Kill()
 	_ = inc.hs.Close()
+	inc.srv.Kill()
 	<-inc.done
 }
 

@@ -68,3 +68,26 @@ func TestPlanDeterminism(t *testing.T) {
 		t.Fatalf("plans 42 and 43 agree on all %d shards; seed is not mixed in", same+diff)
 	}
 }
+
+// TestFleetSmallScale runs the §13 distributed gauntlet — worker kill,
+// coordinator kill with a torn compaction tmp, resume, byte-identity,
+// exact accounting — at test-suite size.
+func TestFleetSmallScale(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	var out bytes.Buffer
+	if err := FleetRun(ctx, FleetConfig{Seeds: 5, Seed: 3, Out: &out}); err != nil {
+		t.Fatalf("fleet run: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{
+		"fleet: worker 0 killed mid-range",
+		"re-dispatched to the survivor",
+		"torn compaction tmp planted",
+		"byte-identical to the serial run",
+		"fleet: ok",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("transcript missing %q:\n%s", want, out.String())
+		}
+	}
+}

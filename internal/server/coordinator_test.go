@@ -1,0 +1,337 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	dt "uexc/internal/difftest"
+	"uexc/internal/harness"
+)
+
+// startWorkers brings up n plain worker servers and returns their base
+// URLs. Each worker is an ordinary Server — coordinator mode needs
+// nothing special on the worker side.
+func startWorkers(t *testing.T, n int, cfg Config) []string {
+	t.Helper()
+	urls := make([]string, n)
+	for i := range urls {
+		_, urls[i] = startTest(t, cfg)
+	}
+	return urls
+}
+
+// campaignGolden is the undisturbed serial CLI stream + summary.
+func campaignGolden(t *testing.T, seeds int) string {
+	t.Helper()
+	var b bytes.Buffer
+	res, err := harness.FaultCampaignCtx(context.Background(), nil, seeds, 1, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.WriteString(res.Summary())
+	return b.String()
+}
+
+func difftestGolden(t *testing.T, seeds int) string {
+	t.Helper()
+	var b bytes.Buffer
+	res, err := dt.CampaignCtx(context.Background(), nil, seeds, 1, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.WriteString(res.Summary())
+	return b.String()
+}
+
+// TestDistributedByteIdentity: a coordinator fanning a sweep out to two
+// workers streams output byte-identical to the serial single-node run,
+// for both distributable job types — the §13 acceptance bar.
+func TestDistributedByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs campaigns across a fleet")
+	}
+	const seeds = 6
+	workers := startWorkers(t, 2, Config{Workers: 2, QueueDepth: 8})
+	coord, base := startTest(t, Config{
+		Workers: 2, QueueDepth: 4,
+		WorkerNodes: workers, DispatchShards: 4,
+	})
+
+	t.Run("campaign", func(t *testing.T) {
+		out, ok, errText, _, _ := postStream(t, base,
+			Request{Type: TypeCampaign, Seeds: seeds, Parallel: 4, Verbose: true})
+		if !ok {
+			t.Fatalf("distributed campaign failed: %s", errText)
+		}
+		if golden := campaignGolden(t, seeds); out != golden {
+			t.Errorf("distributed stream differs from the serial run\n--- distributed ---\n%s--- golden ---\n%s",
+				out, golden)
+		}
+	})
+	t.Run("difftest", func(t *testing.T) {
+		out, ok, errText, _, _ := postStream(t, base,
+			Request{Type: TypeDifftest, Seeds: seeds, Parallel: 4, Verbose: true})
+		if !ok {
+			t.Fatalf("distributed difftest failed: %s", errText)
+		}
+		if golden := difftestGolden(t, seeds); out != golden {
+			t.Errorf("distributed stream differs from the serial run\n--- distributed ---\n%s--- golden ---\n%s",
+				out, golden)
+		}
+	})
+
+	if got := coord.metrics.FleetDispatches.Load(); got < 2 {
+		t.Errorf("FleetDispatches = %d, want >= 2", got)
+	}
+	if d, a := coord.metrics.FleetDispatches.Load(), coord.metrics.FleetAcks.Load(); d != a {
+		t.Errorf("FleetDispatches = %d but FleetAcks = %d; healthy dispatches must all ack", d, a)
+	}
+	// Point jobs stay local: no dispatch for a program-run.
+	before := coord.metrics.FleetDispatches.Load()
+	if _, ok, errText, _, _ := postStream(t, base, Request{Type: TypeProgramRun, Seed: 3}); !ok {
+		t.Fatalf("program-run on coordinator failed: %s", errText)
+	}
+	if got := coord.metrics.FleetDispatches.Load(); got != before {
+		t.Errorf("program-run was dispatched to the fleet (dispatches %d -> %d)", before, got)
+	}
+}
+
+// dyingWorker wraps one worker's handler so its first range dispatch
+// dies mid-stream — a few events escape, then the connection is cut —
+// and every later request is refused outright. From the coordinator's
+// side this is a worker killed mid-shard-range that never comes back.
+type dyingWorker struct {
+	inner http.Handler
+	dead  atomic.Bool
+}
+
+func (d *dyingWorker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost && r.URL.Path == "/jobs" {
+		if d.dead.Swap(true) {
+			http.Error(w, "worker killed", http.StatusServiceUnavailable)
+			return
+		}
+		d.inner.ServeHTTP(&abortAfter{ResponseWriter: w, budget: 600}, r)
+		return
+	}
+	d.inner.ServeHTTP(w, r)
+}
+
+// abortAfter lets a bounded number of response bytes through, then
+// aborts the handler — the in-process stand-in for SIGKILL cutting a
+// worker's TCP stream mid-event.
+type abortAfter struct {
+	http.ResponseWriter
+	budget int
+}
+
+func (a *abortAfter) Write(p []byte) (int, error) {
+	a.budget -= len(p)
+	if a.budget < 0 {
+		panic(http.ErrAbortHandler)
+	}
+	return a.ResponseWriter.Write(p)
+}
+
+func (a *abortAfter) Flush() {
+	if f, ok := a.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// TestDistributedWorkerKillMidRange: one of two workers dies partway
+// through streaming its first range and stays dead. The coordinator
+// requeues the unacked range to the survivor, the duplicate shards it
+// already merged are ignored below the frontier, and the final stream
+// is still byte-identical to the serial run.
+func TestDistributedWorkerKillMidRange(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs campaigns across a worker kill")
+	}
+	const seeds = 6
+	healthy := startWorkers(t, 1, Config{Workers: 2, QueueDepth: 8})
+
+	victim := newT(t, Config{Workers: 2, QueueDepth: 8})
+	dw := &dyingWorker{inner: victim.Handler()}
+	vs := httptest.NewServer(dw)
+	t.Cleanup(func() {
+		vs.Close()
+		victim.Close()
+	})
+
+	coord, base := startTest(t, Config{
+		Workers: 1, QueueDepth: 4,
+		WorkerNodes: []string{healthy[0], vs.URL},
+		// Two ranges minimum, so both dispatchers pull one immediately
+		// and the victim's death is guaranteed to strand a range.
+		DispatchShards:   (harness.CampaignShards(seeds) + 1) / 2,
+		WorkerQuarantine: 50 * time.Millisecond,
+		ShardBackoff:     time.Millisecond,
+	})
+
+	out, ok, errText, _, _ := postStream(t, base,
+		Request{Type: TypeCampaign, Seeds: seeds, Parallel: 2, Verbose: true})
+	if !ok {
+		t.Fatalf("campaign failed despite a surviving worker: %s", errText)
+	}
+	if golden := campaignGolden(t, seeds); out != golden {
+		t.Errorf("stream across a worker kill differs from the serial run\n--- distributed ---\n%s--- golden ---\n%s",
+			out, golden)
+	}
+	if got := coord.metrics.FleetRedispatches.Load(); got < 1 {
+		t.Errorf("FleetRedispatches = %d, want >= 1 (the victim's range had to move)", got)
+	}
+	if !dw.dead.Load() {
+		t.Error("the victim worker never received a dispatch; the kill was not exercised")
+	}
+}
+
+// TestDistributedAllWorkersPoisoned: when every worker deterministically
+// fails the same shard, re-dispatch cannot save the range; after the
+// attempt budget the job fails with the §12 typed poison error, and the
+// healthy ranges' work still merged cleanly first.
+func TestDistributedAllWorkersPoisoned(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs campaigns across a poisoned fleet")
+	}
+	const seeds = 4
+	poison := Config{
+		Workers: 2, QueueDepth: 8,
+		ShardAttempts: 1,
+		ShardFault: func(job uint64, shard, attempt int) ShardFault {
+			return ShardFault{Panic: shard == 5}
+		},
+	}
+	workers := startWorkers(t, 2, poison)
+	coord, base := startTest(t, Config{
+		Workers: 1, QueueDepth: 4,
+		WorkerNodes: workers, DispatchShards: 4,
+		ShardAttempts:    2, // maxAttempts = max(2, nodes+1) = 3
+		WorkerQuarantine: 20 * time.Millisecond,
+		ShardBackoff:     time.Millisecond,
+	})
+
+	_, ok, errText, _, _ := postStream(t, base,
+		Request{Type: TypeCampaign, Seeds: seeds, Parallel: 2})
+	if ok {
+		t.Fatal("campaign succeeded although every worker poisons shard 5")
+	}
+	for _, want := range []string{"poison shard quarantined", "shard 5"} {
+		if !strings.Contains(errText, want) {
+			t.Errorf("terminal error %q missing %q", errText, want)
+		}
+	}
+	if got := coord.metrics.JobsFailed.Load(); got != 1 {
+		t.Errorf("coordinator JobsFailed = %d, want 1", got)
+	}
+	if got := coord.metrics.FleetRedispatches.Load(); got < 2 {
+		t.Errorf("FleetRedispatches = %d, want >= 2 (the poisoned range must burn its budget)", got)
+	}
+}
+
+// TestDistributedCoordinatorKillResume: a durable coordinator is killed
+// mid-fan-out after checkpointing merged digests; its next incarnation
+// re-admits the job, replays the durable prefix, dispatches only the
+// remainder, and the re-attached stream equals the undisturbed serial
+// run byte for byte.
+func TestDistributedCoordinatorKillResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs campaigns across a coordinator kill")
+	}
+	const seeds = 6
+	golden := campaignGolden(t, seeds)
+	space := harness.CampaignShards(seeds)
+
+	// Workers stall every shard a little so the kill lands mid-sweep.
+	var stall atomic.Bool
+	stall.Store(true)
+	workers := startWorkers(t, 2, Config{
+		Workers: 2, QueueDepth: 8,
+		ShardDeadline: time.Minute,
+		ShardFault: func(job uint64, shard, attempt int) ShardFault {
+			if stall.Load() {
+				return ShardFault{Stall: 40 * time.Millisecond}
+			}
+			return ShardFault{}
+		},
+	})
+
+	dir := t.TempDir()
+	s1 := newT(t, Config{
+		Workers: 1, QueueDepth: 4,
+		StoreDir: dir, CheckpointEvery: 1, StoreSyncEvery: 1,
+		WorkerNodes: workers, DispatchShards: 3,
+	})
+	hs1 := httptest.NewServer(s1.Handler())
+
+	body, _ := json.Marshal(Request{Type: TypeCampaign, Seeds: seeds, Parallel: 2, Verbose: true})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := http.Post(hs1.URL+"/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return
+		}
+		defer resp.Body.Close()
+		StreamResult(resp.Body)
+	}()
+
+	waitMetric(t, "durable fleet progress before kill", func() bool {
+		return s1.metrics.Checkpoints.Load() >= 2 && s1.metrics.FleetAcks.Load() >= 1
+	})
+	s1.Kill()
+	wg.Wait()
+	hs1.Close()
+	stall.Store(false)
+
+	s2 := newT(t, Config{
+		Workers: 1, QueueDepth: 4,
+		StoreDir: dir, Resume: true, CheckpointEvery: 1,
+		WorkerNodes: workers, DispatchShards: 3,
+	})
+	hs2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(func() {
+		hs2.Close()
+		s2.Close()
+	})
+
+	if got := s2.metrics.ReplayedJobs.Load(); got != 1 {
+		t.Fatalf("ReplayedJobs = %d, want 1", got)
+	}
+	resumed := s2.metrics.ResumedShards.Load()
+	if resumed == 0 {
+		t.Error("ResumedShards = 0; the coordinator lost its merge frontier")
+	}
+	if resumed >= uint64(space) {
+		t.Errorf("ResumedShards = %d of %d; nothing was left to dispatch", resumed, space)
+	}
+
+	resp, err := http.Get(hs2.URL + "/jobs/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, ok, complete, errText := StreamResult(resp.Body)
+	if !complete || !ok {
+		t.Fatalf("resumed distributed job did not complete cleanly: ok=%v complete=%v err=%s", ok, complete, errText)
+	}
+	if out != golden {
+		t.Errorf("resumed distributed stream differs from the serial run\n--- resumed ---\n%s--- golden ---\n%s",
+			out, golden)
+	}
+	// The second incarnation dispatched only past the frontier.
+	maxRanges := (space-int(resumed))/3 + 1
+	if got := s2.metrics.FleetDispatches.Load(); got > uint64(maxRanges) {
+		t.Errorf("incarnation B FleetDispatches = %d, want <= %d (must not re-run the durable prefix)",
+			got, maxRanges)
+	}
+}

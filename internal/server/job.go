@@ -56,6 +56,26 @@ type Request struct {
 	// TimeoutMS optionally tightens the per-job deadline below the
 	// server's maximum.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+
+	// ShardFrom/ShardTo select the half-open sub-range [ShardFrom,
+	// ShardTo) of a campaign/difftest job's shard space — the worker
+	// side of the coordinator protocol (DESIGN.md §13). Such a job
+	// streams one "shard" event per index, in ascending order, instead
+	// of progress lines. Both zero means the whole job, locally merged.
+	ShardFrom int `json:"shard_from,omitempty"`
+	ShardTo   int `json:"shard_to,omitempty"`
+}
+
+// ShardSpace returns the size of the engine shard space a range may
+// address: campaignable types only, zero for everything else.
+func (r *Request) ShardSpace() int {
+	switch r.Type {
+	case TypeCampaign:
+		return harness.CampaignShards(r.Seeds)
+	case TypeDifftest:
+		return r.Seeds
+	}
+	return 0
 }
 
 // Validate rejects malformed job specifications with a client-facing
@@ -83,6 +103,16 @@ func (r *Request) Validate(maxSeeds int) error {
 	}
 	if r.Parallel < 0 {
 		return fmt.Errorf("parallel must be >= 0 (0 selects all CPUs), got %d", r.Parallel)
+	}
+	if r.ShardFrom != 0 || r.ShardTo != 0 {
+		space := r.ShardSpace()
+		if space == 0 {
+			return fmt.Errorf("%s: shard ranges apply only to campaign and difftest jobs", r.Type)
+		}
+		if r.ShardFrom < 0 || r.ShardTo <= r.ShardFrom || r.ShardTo > space {
+			return fmt.Errorf("%s: shard range [%d,%d) outside the %d-shard space",
+				r.Type, r.ShardFrom, r.ShardTo, space)
+		}
 	}
 	if r.TimeoutMS < 0 {
 		return fmt.Errorf("timeout_ms must be >= 0, got %d", r.TimeoutMS)
@@ -128,6 +158,14 @@ type Event struct {
 	// trailer line itself is not part of its own fingerprint.
 	Records int    `json:"records,omitempty"`
 	FNV     string `json:"fnv64,omitempty"`
+
+	// Shard-range fields: one "shard" event per merged index of a
+	// ShardFrom/ShardTo job, carrying the true shard index (a pointer so
+	// index 0 survives omitempty) and the engine digest — the same bytes
+	// a local run would checkpoint, which is what makes the
+	// coordinator's merge byte-identical to local execution.
+	Shard *int            `json:"shard,omitempty"`
+	Data  json.RawMessage `json:"data,omitempty"`
 }
 
 // eventLog is a job's replayable event history: every event ever
@@ -195,6 +233,7 @@ type job struct {
 	id      uint64
 	req     Request
 	rawReq  json.RawMessage // the spec as journaled (canonical re-marshal)
+	tenant  string          // normalized X-Tenant ("default" if absent)
 	ctx     context.Context
 	cancel  context.CancelFunc
 	log     *eventLog
@@ -271,6 +310,14 @@ func saveShards[T any](s *Server, j *job) func(prefix []T) error {
 // configured, checkpoint every CheckpointEvery merged shards and skip
 // the durable prefix recovered from the journal on resume.
 func (s *Server) runJob(j *job) (ok bool, summary string, err error) {
+	if j.req.ShardTo > 0 {
+		return s.runShardRange(j)
+	}
+	if s.fleet != nil && j.req.ShardSpace() > 0 {
+		// Coordinator mode: shardable sweeps fan out to the worker
+		// fleet; point jobs still run locally.
+		return s.runDistributed(j)
+	}
 	// A nil io.Writer keeps the engines' "no progress stream" contract;
 	// a typed-nil wrapper would defeat their w == nil check.
 	var w io.Writer
@@ -331,6 +378,90 @@ func (s *Server) runJob(j *job) (ok bool, summary string, err error) {
 		return s.runProgram(j)
 	}
 	return false, "", fmt.Errorf("unknown job type %q", j.req.Type)
+}
+
+// shardEmitter streams merged shard digests as "shard" events in
+// ascending index order — the Event-stream counterpart of the §8
+// OrderedWriter: emits may arrive in any order, each index is emitted
+// exactly once, and nothing is held back once the frontier reaches it.
+// Like OrderedWriter.Emit it never blocks.
+type shardEmitter struct {
+	mu      sync.Mutex
+	j       *job
+	next    int
+	pending map[int]json.RawMessage
+}
+
+func (e *shardEmitter) emit(i int, blob json.RawMessage) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.pending[i] = blob
+	for {
+		b, ok := e.pending[e.next]
+		if !ok {
+			return
+		}
+		delete(e.pending, e.next)
+		idx := e.next
+		e.j.emit(Event{Type: "shard", ID: e.j.id, Shard: &idx, Data: b})
+		e.next++
+	}
+}
+
+// runShardRange executes the sub-range [ShardFrom, ShardTo) of a
+// campaign/difftest shard space — the worker half of the coordinator
+// protocol. Each shard runs through the server's shard runner at its
+// TRUE index (retry accounting, poison quarantine, and chaos plans all
+// key on the global shard index, so a re-dispatched range misbehaves
+// identically on any worker), and its digest streams back as one
+// "shard" event, strictly in ascending order. The digests are the
+// exact bytes a local run would checkpoint; the fold stays with the
+// coordinator.
+func (s *Server) runShardRange(j *job) (bool, string, error) {
+	from, to, space := j.req.ShardFrom, j.req.ShardTo, j.req.ShardSpace()
+
+	var runShard func(i int) (json.RawMessage, error)
+	switch j.req.Type {
+	case TypeCampaign:
+		runShard = func(i int) (json.RawMessage, error) {
+			return json.Marshal(harness.RunShard(s.pool, j.req.Seeds, i))
+		}
+	case TypeDifftest:
+		runShard = func(i int) (json.RawMessage, error) {
+			return json.Marshal(dt.RunShard(s.pool, i))
+		}
+	default:
+		return false, "", fmt.Errorf("%s: not a shard-range job type", j.req.Type)
+	}
+
+	runner := s.shardRunner(j)
+	em := &shardEmitter{j: j, next: from, pending: map[int]json.RawMessage{}}
+	var firstErr error
+	var errMu sync.Mutex
+	err := parallel.ForEachCtx(j.ctx, j.req.Parallel, to-from, func(rel int) {
+		idx := from + rel
+		runner(idx, func() {
+			blob, merr := runShard(idx)
+			if merr != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = merr
+				}
+				errMu.Unlock()
+				return
+			}
+			em.emit(idx, blob)
+		})
+	})
+	errMu.Lock()
+	defer errMu.Unlock()
+	if firstErr != nil {
+		return false, "", firstErr
+	}
+	if err != nil {
+		return false, "", fmt.Errorf("shard range [%d,%d) aborted: %w", from, to, err)
+	}
+	return true, fmt.Sprintf("shards [%d,%d) of %d complete\n", from, to, space), nil
 }
 
 // runProgram executes one generated program under one mode on a pooled

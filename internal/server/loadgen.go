@@ -158,19 +158,35 @@ func StreamResult(r io.Reader) (output string, ok, complete bool, errText string
 	return b.String(), false, false, "stream ended without a result event"
 }
 
+// Bounds on the backpressure pause: a zero or missing Retry-After hint
+// must never produce a zero-sleep hot retry loop (the client would spin
+// re-POSTing a full queue as fast as the network allows), and the
+// doubled wait must not grow past a ceiling a human would call "retry
+// soon" — Retry-After is a hint, not a lease.
+const (
+	minRetryWait = 25 * time.Millisecond
+	maxRetryWait = 8 * time.Second
+)
+
 // retryWait turns the server's Retry-After hint into the actual pause
 // before the rejection-th re-post (1-based): the hinted duration is
-// honored in full, doubled on consecutive rejections (capped at 8x) so
-// a persistently full server sheds load, plus a deterministic jitter of
-// up to half the wait keyed on (job, rejection) — 32 clients bounced by
-// the same burst spread out instead of thundering back in lockstep.
+// honored, doubled on consecutive rejections (capped at 8x) so a
+// persistently full server sheds load, clamped to
+// [minRetryWait, maxRetryWait], plus a deterministic jitter of up to
+// half the wait keyed on (job, rejection) — 32 clients bounced by the
+// same burst spread out instead of thundering back in lockstep. The
+// floor is applied after the doubling: a zero hint (a server rounding
+// sub-second waits down, or omitting the header) still pauses.
 func retryWait(hinted time.Duration, jobIdx, rejection int) time.Duration {
 	d := hinted
 	for i := 1; i < rejection && i < 4; i++ {
 		d *= 2
 	}
-	if d <= 0 {
-		return 0
+	if d < minRetryWait {
+		d = minRetryWait
+	}
+	if d > maxRetryWait {
+		d = maxRetryWait
 	}
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%d/%d", jobIdx, rejection)
@@ -212,12 +228,13 @@ func postJob(ctx context.Context, client *http.Client, base string, jobIdx int, 
 				idx = 1
 			}
 			out.retries[idx]++
+			// A missing, malformed, or negative Retry-After is treated as
+			// a zero hint: retryWait's floor turns it into the minimum
+			// polite pause rather than a hot loop (or a dropped job —
+			// backpressure without a usable hint is still backpressure).
 			secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
 			if err != nil || secs < 0 {
-				resp.Body.Close()
-				out.errText = fmt.Sprintf("status %d with unusable Retry-After %q",
-					resp.StatusCode, resp.Header.Get("Retry-After"))
-				return out
+				secs = 0
 			}
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()

@@ -2,9 +2,14 @@ package server
 
 import (
 	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -43,8 +48,85 @@ func TestRetryWaitHonorsHint(t *testing.T) {
 	if len(distinct) < 2 {
 		t.Fatalf("all 50 jobs picked the same wait; jitter is not keyed on the job")
 	}
-	if w := retryWait(0, 3, 1); w != 0 {
-		t.Fatalf("zero hint slept %v", w)
+}
+
+// TestRetryWaitClamped pins the hot-loop fix: a zero or missing hint
+// (retryWait sees 0) must still pause at least minRetryWait — a client
+// bounced off a full queue may never spin re-POSTing at network speed —
+// and an absurd hint is capped at maxRetryWait before jitter.
+func TestRetryWaitClamped(t *testing.T) {
+	for rejection := 1; rejection <= 6; rejection++ {
+		for job := 0; job < 50; job++ {
+			w := retryWait(0, job, rejection)
+			if w < minRetryWait {
+				t.Fatalf("job %d rejection %d: zero hint slept only %v (< %v): hot retry loop",
+					job, rejection, w, minRetryWait)
+			}
+			if w > minRetryWait+minRetryWait/2 {
+				t.Fatalf("job %d rejection %d: zero hint slept %v (> floor + 50%% jitter)",
+					job, rejection, w)
+			}
+		}
+	}
+	for rejection := 1; rejection <= 6; rejection++ {
+		w := retryWait(time.Hour, 0, rejection)
+		if w > maxRetryWait+maxRetryWait/2 {
+			t.Fatalf("rejection %d: 1h hint slept %v, want <= cap + 50%% jitter", rejection, w)
+		}
+		if w < maxRetryWait {
+			t.Fatalf("rejection %d: 1h hint slept %v, want >= %v cap", rejection, w, maxRetryWait)
+		}
+	}
+	// The doubling itself must not escape the cap: a large-but-sane hint
+	// doubled 3x lands on the ceiling, not 8x the hint.
+	if w := retryWait(5*time.Second, 0, 4); w > maxRetryWait+maxRetryWait/2 {
+		t.Fatalf("doubled wait %v escaped the %v cap", w, maxRetryWait)
+	}
+}
+
+// TestPostJobMissingRetryAfterRetries is the regression test for the
+// zero-sleep bug's sibling: a 429 with NO Retry-After header used to
+// hard-fail the job. Backpressure without a hint is still backpressure;
+// the client must pause politely and retry to completion.
+func TestPostJobMissingRetryAfterRetries(t *testing.T) {
+	var rejects atomic.Int32
+	mux := http.NewServeMux()
+	mux.HandleFunc("/jobs", func(w http.ResponseWriter, r *http.Request) {
+		if rejects.Add(1) <= 2 {
+			// Deliberately no Retry-After header.
+			http.Error(w, "queue full", http.StatusTooManyRequests)
+			return
+		}
+		h := fnv.New64a()
+		records := 0
+		emit := func(ev Event) {
+			line, _ := json.Marshal(ev)
+			w.Write(append(line, '\n'))
+			h.Write(append(line, '\n'))
+			records++
+		}
+		ok := true
+		emit(Event{Type: "accepted", ID: 1, Job: "program-run"})
+		emit(Event{Type: "result", ID: 1, OK: &ok, Summary: "done\n"})
+		line, _ := json.Marshal(Event{Type: "trailer", ID: 1, Records: records, FNV: fmt.Sprintf("%016x", h.Sum64())})
+		w.Write(append(line, '\n'))
+	})
+	hs := httptest.NewServer(mux)
+	defer hs.Close()
+
+	start := time.Now()
+	out := postJob(context.Background(), hs.Client(), hs.URL, 0,
+		Request{Type: TypeProgramRun, Seed: 1}, 0)
+	if !out.complete || !out.ok {
+		t.Fatalf("job against a hint-less 429 server: complete=%v ok=%v err=%q",
+			out.complete, out.ok, out.errText)
+	}
+	if out.retries[0] != 2 {
+		t.Errorf("retries = %d, want 2", out.retries[0])
+	}
+	// Two headerless rejections must still have slept >= 2 floors.
+	if el := time.Since(start); el < 2*minRetryWait {
+		t.Errorf("completed in %v: headerless 429s were retried without the minimum pause", el)
 	}
 }
 

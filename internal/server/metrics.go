@@ -19,6 +19,7 @@ type Metrics struct {
 	Admitted         atomic.Uint64 // jobs accepted into the queue
 	RejectedFull     atomic.Uint64 // 429: queue at capacity
 	RejectedDraining atomic.Uint64 // 503: drain in progress
+	RejectedTenant   atomic.Uint64 // 429: a tenant quota said no
 	BadRequests      atomic.Uint64 // 4xx: malformed or invalid job specs
 
 	JobsOK        atomic.Uint64 // completed with ok=true
@@ -37,6 +38,12 @@ type Metrics struct {
 	ShardsPoisoned atomic.Uint64 // shards quarantined after the last retry
 	ShardStalls    atomic.Uint64 // injected shard stalls observed
 	ShardTimeouts  atomic.Uint64 // shard attempts at or past the deadline
+
+	// Fleet counters (coordinator mode, DESIGN.md §13).
+	FleetDispatches    atomic.Uint64 // shard ranges sent to workers
+	FleetRedispatches  atomic.Uint64 // ranges re-sent after a worker failure
+	FleetAcks          atomic.Uint64 // ranges fully merged into the frontier
+	WorkersQuarantined atomic.Uint64 // worker quarantine episodes
 
 	byType map[Type]*atomic.Uint64 // admitted jobs by type
 
@@ -92,6 +99,7 @@ type Snapshot struct {
 	Admitted         uint64 `json:"jobs_admitted_total"`
 	RejectedFull     uint64 `json:"jobs_rejected_full_total"`
 	RejectedDraining uint64 `json:"jobs_rejected_draining_total"`
+	RejectedTenant   uint64 `json:"jobs_rejected_tenant_total"`
 	BadRequests      uint64 `json:"bad_requests_total"`
 
 	JobsOK        uint64 `json:"jobs_ok_total"`
@@ -100,6 +108,17 @@ type Snapshot struct {
 	JobsEvicted   uint64 `json:"jobs_evicted_total"`
 
 	JobsByType map[string]uint64 `json:"jobs_by_type"`
+
+	// Tenants is per-tenant admission state; present once a tenant has
+	// been seen.
+	Tenants map[string]TenantSnapshot `json:"tenants,omitempty"`
+
+	FleetEnabled       bool   `json:"fleet_enabled"`
+	FleetWorkers       int    `json:"fleet_workers"`
+	FleetDispatches    uint64 `json:"fleet_dispatches_total"`
+	FleetRedispatches  uint64 `json:"fleet_redispatches_total"`
+	FleetAcks          uint64 `json:"fleet_acks_total"`
+	WorkersQuarantined uint64 `json:"fleet_workers_quarantined_total"`
 
 	StoreEnabled   bool   `json:"store_enabled"`
 	Restarts       uint64 `json:"restarts_total"`
@@ -140,7 +159,17 @@ func (s *Server) snapshot() Snapshot {
 		Admitted:         m.Admitted.Load(),
 		RejectedFull:     m.RejectedFull.Load(),
 		RejectedDraining: m.RejectedDraining.Load(),
+		RejectedTenant:   m.RejectedTenant.Load(),
 		BadRequests:      m.BadRequests.Load(),
+
+		Tenants: s.tenants.snapshot(),
+
+		FleetEnabled:       s.fleet != nil,
+		FleetWorkers:       len(s.cfg.WorkerNodes),
+		FleetDispatches:    m.FleetDispatches.Load(),
+		FleetRedispatches:  m.FleetRedispatches.Load(),
+		FleetAcks:          m.FleetAcks.Load(),
+		WorkersQuarantined: m.WorkersQuarantined.Load(),
 
 		JobsOK:        m.JobsOK.Load(),
 		JobsFailed:    m.JobsFailed.Load(),
@@ -189,46 +218,59 @@ func (s *Server) snapshot() Snapshot {
 // format (Prometheus-style, one counter per line, keys sorted).
 func (snap Snapshot) renderText(w io.Writer) {
 	lines := map[string]string{
-		"uexc_queue_depth":                  fmt.Sprint(snap.QueueDepth),
-		"uexc_queue_capacity":               fmt.Sprint(snap.QueueCapacity),
-		"uexc_inflight_jobs":                fmt.Sprint(snap.InFlight),
-		"uexc_draining":                     fmt.Sprint(boolToInt(snap.Draining)),
-		"uexc_jobs_admitted_total":          fmt.Sprint(snap.Admitted),
-		"uexc_jobs_rejected_full_total":     fmt.Sprint(snap.RejectedFull),
-		"uexc_jobs_rejected_draining_total": fmt.Sprint(snap.RejectedDraining),
-		"uexc_bad_requests_total":           fmt.Sprint(snap.BadRequests),
-		"uexc_jobs_ok_total":                fmt.Sprint(snap.JobsOK),
-		"uexc_jobs_failed_total":            fmt.Sprint(snap.JobsFailed),
-		"uexc_jobs_cancelled_total":         fmt.Sprint(snap.JobsCancelled),
-		"uexc_jobs_evicted_total":           fmt.Sprint(snap.JobsEvicted),
-		"uexc_store_enabled":                fmt.Sprint(boolToInt(snap.StoreEnabled)),
-		"uexc_restarts_total":               fmt.Sprint(snap.Restarts),
-		"uexc_jobs_replayed_total":          fmt.Sprint(snap.ReplayedJobs),
-		"uexc_shards_resumed_total":         fmt.Sprint(snap.ResumedShards),
-		"uexc_checkpoints_total":            fmt.Sprint(snap.Checkpoints),
-		"uexc_shard_retries_total":          fmt.Sprint(snap.ShardRetries),
-		"uexc_shards_poisoned_total":        fmt.Sprint(snap.ShardsPoisoned),
-		"uexc_shard_stalls_total":           fmt.Sprint(snap.ShardStalls),
-		"uexc_shard_timeouts_total":         fmt.Sprint(snap.ShardTimeouts),
-		"uexc_journal_appends_total":        fmt.Sprint(snap.JournalAppends),
-		"uexc_journal_syncs_total":          fmt.Sprint(snap.JournalSyncs),
-		"uexc_journal_lost_total":           fmt.Sprint(snap.JournalLost),
-		"uexc_pool_gets_total":              fmt.Sprint(snap.Pool.Gets),
-		"uexc_pool_reuses_total":            fmt.Sprint(snap.Pool.Reuses),
-		"uexc_pool_boots_total":             fmt.Sprint(snap.Pool.Boots),
-		"uexc_pool_puts_total":              fmt.Sprint(snap.Pool.Puts),
-		"uexc_pool_hit_rate":                fmt.Sprintf("%.4f", snap.PoolHitRate),
-		"uexc_sim_fast_deliveries_total":    fmt.Sprint(snap.SimFastDeliveries),
-		"uexc_sim_unix_deliveries_total":    fmt.Sprint(snap.SimUnixDeliveries),
-		"uexc_sim_exceptions_total":         fmt.Sprint(snap.SimExceptions),
-		"uexc_sim_tlb_hits_total":           fmt.Sprint(snap.SimTLBHits),
-		"uexc_sim_tlb_misses_total":         fmt.Sprint(snap.SimTLBMisses),
-		"uexc_sim_fastpath_hits_total":      fmt.Sprint(snap.SimFastPathHits),
-		"uexc_sim_insts_total":              fmt.Sprint(snap.SimInsts),
-		"uexc_sim_cycles_total":             fmt.Sprint(snap.SimCycles),
+		"uexc_queue_depth":                     fmt.Sprint(snap.QueueDepth),
+		"uexc_queue_capacity":                  fmt.Sprint(snap.QueueCapacity),
+		"uexc_inflight_jobs":                   fmt.Sprint(snap.InFlight),
+		"uexc_draining":                        fmt.Sprint(boolToInt(snap.Draining)),
+		"uexc_jobs_admitted_total":             fmt.Sprint(snap.Admitted),
+		"uexc_jobs_rejected_full_total":        fmt.Sprint(snap.RejectedFull),
+		"uexc_jobs_rejected_draining_total":    fmt.Sprint(snap.RejectedDraining),
+		"uexc_jobs_rejected_tenant_total":      fmt.Sprint(snap.RejectedTenant),
+		"uexc_fleet_enabled":                   fmt.Sprint(boolToInt(snap.FleetEnabled)),
+		"uexc_fleet_workers":                   fmt.Sprint(snap.FleetWorkers),
+		"uexc_fleet_dispatches_total":          fmt.Sprint(snap.FleetDispatches),
+		"uexc_fleet_redispatches_total":        fmt.Sprint(snap.FleetRedispatches),
+		"uexc_fleet_acks_total":                fmt.Sprint(snap.FleetAcks),
+		"uexc_fleet_workers_quarantined_total": fmt.Sprint(snap.WorkersQuarantined),
+		"uexc_bad_requests_total":              fmt.Sprint(snap.BadRequests),
+		"uexc_jobs_ok_total":                   fmt.Sprint(snap.JobsOK),
+		"uexc_jobs_failed_total":               fmt.Sprint(snap.JobsFailed),
+		"uexc_jobs_cancelled_total":            fmt.Sprint(snap.JobsCancelled),
+		"uexc_jobs_evicted_total":              fmt.Sprint(snap.JobsEvicted),
+		"uexc_store_enabled":                   fmt.Sprint(boolToInt(snap.StoreEnabled)),
+		"uexc_restarts_total":                  fmt.Sprint(snap.Restarts),
+		"uexc_jobs_replayed_total":             fmt.Sprint(snap.ReplayedJobs),
+		"uexc_shards_resumed_total":            fmt.Sprint(snap.ResumedShards),
+		"uexc_checkpoints_total":               fmt.Sprint(snap.Checkpoints),
+		"uexc_shard_retries_total":             fmt.Sprint(snap.ShardRetries),
+		"uexc_shards_poisoned_total":           fmt.Sprint(snap.ShardsPoisoned),
+		"uexc_shard_stalls_total":              fmt.Sprint(snap.ShardStalls),
+		"uexc_shard_timeouts_total":            fmt.Sprint(snap.ShardTimeouts),
+		"uexc_journal_appends_total":           fmt.Sprint(snap.JournalAppends),
+		"uexc_journal_syncs_total":             fmt.Sprint(snap.JournalSyncs),
+		"uexc_journal_lost_total":              fmt.Sprint(snap.JournalLost),
+		"uexc_pool_gets_total":                 fmt.Sprint(snap.Pool.Gets),
+		"uexc_pool_reuses_total":               fmt.Sprint(snap.Pool.Reuses),
+		"uexc_pool_boots_total":                fmt.Sprint(snap.Pool.Boots),
+		"uexc_pool_puts_total":                 fmt.Sprint(snap.Pool.Puts),
+		"uexc_pool_hit_rate":                   fmt.Sprintf("%.4f", snap.PoolHitRate),
+		"uexc_sim_fast_deliveries_total":       fmt.Sprint(snap.SimFastDeliveries),
+		"uexc_sim_unix_deliveries_total":       fmt.Sprint(snap.SimUnixDeliveries),
+		"uexc_sim_exceptions_total":            fmt.Sprint(snap.SimExceptions),
+		"uexc_sim_tlb_hits_total":              fmt.Sprint(snap.SimTLBHits),
+		"uexc_sim_tlb_misses_total":            fmt.Sprint(snap.SimTLBMisses),
+		"uexc_sim_fastpath_hits_total":         fmt.Sprint(snap.SimFastPathHits),
+		"uexc_sim_insts_total":                 fmt.Sprint(snap.SimInsts),
+		"uexc_sim_cycles_total":                fmt.Sprint(snap.SimCycles),
 	}
 	for t, n := range snap.JobsByType {
 		lines[fmt.Sprintf("uexc_jobs_admitted_by_type_total{type=%q}", t)] = fmt.Sprint(n)
+	}
+	for name, t := range snap.Tenants {
+		lines[fmt.Sprintf("uexc_tenant_queued{tenant=%q}", name)] = fmt.Sprint(t.Queued)
+		lines[fmt.Sprintf("uexc_tenant_running{tenant=%q}", name)] = fmt.Sprint(t.Running)
+		lines[fmt.Sprintf("uexc_tenant_admitted_total{tenant=%q}", name)] = fmt.Sprint(t.Admitted)
+		lines[fmt.Sprintf("uexc_tenant_rejected_total{tenant=%q}", name)] = fmt.Sprint(t.Rejected)
 	}
 	keys := make([]string, 0, len(lines))
 	for k := range lines {

@@ -120,6 +120,25 @@ type Config struct {
 	// ShardFault, when non-nil, is consulted before every shard
 	// attempt — the chaos harness's fault-injection point.
 	ShardFault func(job uint64, shard, attempt int) ShardFault
+
+	// Tenants caps each X-Tenant key's admission (in-flight jobs,
+	// queued jobs, seeds/s token bucket). Zero value: unlimited.
+	Tenants TenantLimits
+
+	// WorkerNodes, when non-empty, runs this server as a fleet
+	// coordinator: campaign/difftest jobs are split into shard ranges
+	// and dispatched to these worker base URLs (DESIGN.md §13).
+	WorkerNodes []string
+	// DispatchShards is the target shards per dispatched range (<=0:
+	// 12) — small enough to rebalance around a dead worker, large
+	// enough to amortize the HTTP round trip.
+	DispatchShards int
+	// WorkerQuarantine is the cooldown before a worker that kept
+	// failing is retried (<=0: 2s).
+	WorkerQuarantine time.Duration
+	// DispatchTimeout bounds one range dispatch end to end, so a hung
+	// worker cannot wedge the merge (<=0: MaxJobTimeout).
+	DispatchTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -150,6 +169,15 @@ func (c Config) withDefaults() Config {
 	if c.ShardDeadline <= 0 {
 		c.ShardDeadline = 60 * time.Second
 	}
+	if c.DispatchShards <= 0 {
+		c.DispatchShards = 12
+	}
+	if c.WorkerQuarantine <= 0 {
+		c.WorkerQuarantine = 2 * time.Second
+	}
+	if c.DispatchTimeout <= 0 {
+		c.DispatchTimeout = c.MaxJobTimeout
+	}
 	return c
 }
 
@@ -161,6 +189,8 @@ type Server struct {
 	pool    *core.MachinePool
 	metrics *Metrics
 	store   *store.Store // nil without StoreDir
+	tenants *tenantRegistry
+	fleet   *fleet // nil unless WorkerNodes is set
 	queue   chan *job
 	stop    chan struct{}
 	nextID  atomic.Uint64
@@ -193,11 +223,15 @@ func New(cfg Config) (*Server, error) {
 		cfg:     cfg,
 		pool:    &core.MachinePool{},
 		metrics: newMetrics(),
+		tenants: newTenantRegistry(cfg.Tenants),
 		stop:    make(chan struct{}),
 		jobs:    make(map[uint64]*job),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.pool.Harvest = s.metrics.harvest
+	if len(cfg.WorkerNodes) > 0 {
+		s.fleet = newFleet(s, cfg.WorkerNodes)
+	}
 
 	var pending []store.PendingJob
 	if cfg.StoreDir != "" {
@@ -229,6 +263,7 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.jobs[j.id] = j
 		s.jobWG.Add(1)
+		s.tenants.adopt(j.tenant)
 		s.queue <- j
 		s.metrics.ReplayedJobs.Add(1)
 		s.metrics.ResumedShards.Add(uint64(len(p.Shards)))
@@ -266,6 +301,7 @@ func (s *Server) resumeJob(p store.PendingJob) (*job, error) {
 	}
 	j := &job{
 		id: p.ID, req: req, rawReq: p.Req,
+		tenant:  tenantName(p.Tenant),
 		log:     newEventLog(),
 		resumed: len(p.Shards),
 		done:    p.Shards,
@@ -364,6 +400,7 @@ func (s *Server) Kill() {
 		case j := <-s.queue:
 			j.cancel()
 			j.log.close()
+			s.tenants.drop(j.tenant)
 			s.jobWG.Done()
 		default:
 			return
@@ -372,26 +409,36 @@ func (s *Server) Kill() {
 }
 
 // admit places a job in the queue and journals the admission. The
-// lock makes the draining check, the capacity check, and the
-// WaitGroup add atomic with respect to Drain and other admits: after
-// Drain returns no job can be admitted, and a checked-free slot
-// cannot be stolen (only admit sends, and only under this lock).
-func (s *Server) admit(j *job) (status int, msg string) {
+// lock makes the draining check, the capacity check, the tenant quota
+// charge, and the WaitGroup add atomic with respect to Drain and other
+// admits: after Drain returns no job can be admitted, and a
+// checked-free slot cannot be stolen (only admit sends, and only under
+// this lock). retryAfter is the backpressure hint in seconds,
+// meaningful only on 429/503.
+func (s *Server) admit(j *job) (status, retryAfter int, msg string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
 		s.metrics.RejectedDraining.Add(1)
-		return http.StatusServiceUnavailable, "server draining, not admitting jobs"
+		return http.StatusServiceUnavailable, retryAfterSeconds, "server draining, not admitting jobs"
 	}
 	if len(s.queue) == cap(s.queue) {
 		s.metrics.RejectedFull.Add(1)
-		return http.StatusTooManyRequests, "queue full, retry later"
+		return http.StatusTooManyRequests, retryAfterSeconds, "queue full, retry later"
+	}
+	// Tenant quotas come after the shared-capacity checks (a full queue
+	// is everyone's problem first) and before the journal: a rejected
+	// tenant must leave no durable trace.
+	if wait, err := s.tenants.admit(j.tenant, admissionCost(&j.req)); err != nil {
+		s.metrics.RejectedTenant.Add(1)
+		return http.StatusTooManyRequests, wait, err.Error()
 	}
 	if s.store != nil {
 		// Journal before acknowledging: an accepted event is a promise
 		// that survives a kill.
-		if err := s.store.AcceptJob(j.id, j.rawReq); err != nil {
-			return http.StatusInternalServerError, "journal admission: " + err.Error()
+		if err := s.store.AcceptJob(j.id, j.rawReq, j.tenant); err != nil {
+			s.tenants.release(j.tenant)
+			return http.StatusInternalServerError, 0, "journal admission: " + err.Error()
 		}
 	}
 	// Register and emit the accepted event BEFORE handing the job to a
@@ -405,7 +452,16 @@ func (s *Server) admit(j *job) (status int, msg string) {
 	s.metrics.byType[j.req.Type].Add(1)
 	j.emit(Event{Type: "accepted", ID: j.id, Job: string(j.req.Type)})
 	s.queue <- j
-	return http.StatusOK, ""
+	return http.StatusOK, 0, ""
+}
+
+// tenantName normalizes the X-Tenant header: every job belongs to a
+// tenant, the anonymous ones to "default".
+func tenantName(h string) string {
+	if h == "" {
+		return "default"
+	}
+	return h
 }
 
 // worker executes queued jobs until the server closes.
@@ -430,6 +486,8 @@ func (s *Server) execute(j *job) {
 	defer j.cancel()
 	s.metrics.InFlight.Add(1)
 	defer s.metrics.InFlight.Add(-1)
+	s.tenants.start(j.tenant)
+	defer s.tenants.done(j.tenant)
 
 	start := time.Now()
 	var (
@@ -535,13 +593,17 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	if s.store != nil {
 		parent = s.baseCtx
 	}
-	j := &job{id: s.nextID.Add(1), req: req, rawReq: raw, log: newEventLog()}
+	j := &job{
+		id: s.nextID.Add(1), req: req, rawReq: raw,
+		tenant: tenantName(r.Header.Get("X-Tenant")),
+		log:    newEventLog(),
+	}
 	j.ctx, j.cancel = s.jobContext(parent, req)
 
-	if status, msg := s.admit(j); status != http.StatusOK {
+	if status, retryAfter, msg := s.admit(j); status != http.StatusOK {
 		j.cancel()
 		if status != http.StatusInternalServerError {
-			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
 		}
 		http.Error(w, msg, status)
 		return

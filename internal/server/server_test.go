@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -375,7 +376,10 @@ func TestFigureSweepJob(t *testing.T) {
 
 // TestJobDeadline: a deadline far below the job's runtime aborts it
 // promptly; the result reports the abort and the job counts as
-// cancelled, not failed.
+// cancelled, not failed. postStream verifies the integrity trailer, so
+// this also pins that a deadline abort — later shards buffered in the
+// OrderedWriter behind cancelled earlier ones — still delivers the
+// result event and a valid trailer rather than dropping the stream.
 func TestJobDeadline(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs a campaign")
@@ -397,6 +401,102 @@ func TestJobDeadline(t *testing.T) {
 	}
 	if got := s.metrics.JobsFailed.Load(); got != 0 {
 		t.Errorf("JobsFailed = %d, want 0 (deadline is a cancellation)", got)
+	}
+}
+
+// postEvents posts a job and returns every raw event in the stream —
+// for tests that inspect event kinds postStream's reconstruction hides
+// (shard-range digests).
+func postEvents(t *testing.T, base string, req Request) []Event {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /jobs: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST /jobs: status %d: %s", resp.StatusCode, msg)
+	}
+	var evs []Event
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("malformed event %q: %v", sc.Bytes(), err)
+		}
+		evs = append(evs, ev)
+	}
+	return evs
+}
+
+// TestShardRangeJob pins the worker half of the coordinator protocol:
+// a campaign range job streams exactly one shard event per index of
+// [from, to), in ascending order (index 0 included — the pointer field
+// survives omitempty), each digest byte-identical to the local engine's
+// shard, at any parallel width.
+func TestShardRangeJob(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs campaign shards")
+	}
+	const seeds = 4
+	space := harness.CampaignShards(seeds) // 15
+	s, base := startTest(t, Config{Workers: 2, QueueDepth: 4})
+
+	for _, rg := range []struct{ from, to, par int }{
+		{0, space/2 + 1, 3},
+		{space/2 + 1, space, 1},
+	} {
+		evs := postEvents(t, base, Request{
+			Type: TypeCampaign, Seeds: seeds,
+			ShardFrom: rg.from, ShardTo: rg.to, Parallel: rg.par,
+		})
+		want := rg.from
+		var sawResult, sawTrailer bool
+		for _, ev := range evs {
+			switch ev.Type {
+			case "shard":
+				if ev.Shard == nil {
+					t.Fatalf("shard event without an index: %+v", ev)
+				}
+				if *ev.Shard != want {
+					t.Fatalf("shard events out of order: got %d, want %d", *ev.Shard, want)
+				}
+				local, _ := json.Marshal(harness.RunShard(s.pool, seeds, *ev.Shard))
+				if string(ev.Data) != string(local) {
+					t.Errorf("shard %d digest %s != local %s", *ev.Shard, ev.Data, local)
+				}
+				want++
+			case "result":
+				sawResult = true
+				if ev.OK == nil || !*ev.OK {
+					t.Fatalf("range job failed: %+v", ev)
+				}
+			case "trailer":
+				sawTrailer = true
+			}
+		}
+		if want != rg.to {
+			t.Fatalf("range [%d,%d): shard events stop at %d", rg.from, rg.to, want)
+		}
+		if !sawResult || !sawTrailer {
+			t.Fatalf("range [%d,%d): result=%v trailer=%v", rg.from, rg.to, sawResult, sawTrailer)
+		}
+	}
+
+	// Malformed ranges are client errors, not jobs.
+	for _, req := range []Request{
+		{Type: TypeProgramRun, Seed: 1, ShardFrom: 0, ShardTo: 1},       // not rangeable
+		{Type: TypeCampaign, Seeds: seeds, ShardFrom: 3, ShardTo: 3},    // empty
+		{Type: TypeCampaign, Seeds: seeds, ShardFrom: -1, ShardTo: 2},   // negative
+		{Type: TypeCampaign, Seeds: seeds, ShardFrom: 0, ShardTo: 9999}, // past the space
+		{Type: TypeDifftest, Seeds: seeds, ShardFrom: 2, ShardTo: 1},    // inverted
+	} {
+		if _, _, status, err := tryPost(base, req); err != nil || status != http.StatusBadRequest {
+			t.Errorf("range %+v: status %d (err %v), want 400", req, status, err)
+		}
 	}
 }
 

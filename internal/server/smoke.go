@@ -37,8 +37,13 @@ type SmokeConfig struct {
 //     dropped jobs;
 //  4. drain — after Drain begins, new jobs get 503 while the in-flight
 //     job runs to completion and still streams its full result;
-//  5. accounting — /metrics totals agree exactly with the client-side
-//     counts.
+//  5. tenancy — per-tenant admission quotas reject an over-cap tenant
+//     with 429 + Retry-After without touching its neighbours, and every
+//     gauge (in-flight, queue depth, per-tenant queued/running) returns
+//     to exactly zero once the work drains — the exactly-once
+//     transition check;
+//  6. accounting — /metrics totals agree exactly with the client-side
+//     counts, and no gauge is ever observed negative.
 //
 // It returns the burst's LoadReport for benchmark recording.
 func Smoke(ctx context.Context, out io.Writer, cfg SmokeConfig) (*LoadReport, error) {
@@ -106,8 +111,8 @@ func Smoke(ctx context.Context, out io.Writer, cfg SmokeConfig) (*LoadReport, er
 		if s.JobsFailed != 0 || s.JobsCancelled != 0 {
 			return fmt.Errorf("failed=%d cancelled=%d, want 0", s.JobsFailed, s.JobsCancelled)
 		}
-		if s.QueueDepth != 0 {
-			return fmt.Errorf("queue depth %d after burst, want 0", s.QueueDepth)
+		if err := checkGauges(s, true); err != nil {
+			return err
 		}
 		if s.Pool.Gets == 0 || s.Pool.Reuses == 0 {
 			return fmt.Errorf("pool never recycled a machine: %+v", s.Pool)
@@ -130,12 +135,162 @@ func Smoke(ctx context.Context, out io.Writer, cfg SmokeConfig) (*LoadReport, er
 	if err := checkDrain(client); err != nil {
 		return rep, fmt.Errorf("smoke: drain: %w", err)
 	}
+
+	// Phase 5: tenant quotas and gauge integrity on a dedicated
+	// limited instance.
+	fmt.Fprintln(out, "smoke: phase 5: tenant quotas + gauge integrity")
+	if err := checkTenantQuotas(client); err != nil {
+		return rep, fmt.Errorf("smoke: tenancy: %w", err)
+	}
+
 	cancel() // the SIGTERM path: Run drains, then shuts down
 	if err := <-runErr; err != nil {
 		return rep, fmt.Errorf("smoke: server shutdown: %v", err)
 	}
-	fmt.Fprintln(out, "smoke: ok — byte-identity, backpressure, load, drain all verified")
+	fmt.Fprintln(out, "smoke: ok — byte-identity, backpressure, load, drain, tenancy all verified")
 	return rep, nil
+}
+
+// checkGauges asserts the gauge invariants every phase relies on: no
+// gauge — global or per-tenant — may ever read negative, and once the
+// instance is quiet they must all have returned to exactly zero. A
+// nonzero residue here means a transition was double-counted or
+// skipped somewhere in the admit/dequeue/finish path.
+func checkGauges(s Snapshot, drained bool) error {
+	if s.InFlight < 0 || s.QueueDepth < 0 {
+		return fmt.Errorf("negative gauge: inflight=%d queue=%d", s.InFlight, s.QueueDepth)
+	}
+	for name, ts := range s.Tenants {
+		if ts.Queued < 0 || ts.Running < 0 {
+			return fmt.Errorf("tenant %q gauge negative: queued=%d running=%d", name, ts.Queued, ts.Running)
+		}
+		if drained && (ts.Queued != 0 || ts.Running != 0) {
+			return fmt.Errorf("tenant %q gauges queued=%d running=%d after drain, want 0/0",
+				name, ts.Queued, ts.Running)
+		}
+	}
+	if drained && (s.InFlight != 0 || s.QueueDepth != 0) {
+		return fmt.Errorf("gauges inflight=%d queue=%d after drain, want 0/0", s.InFlight, s.QueueDepth)
+	}
+	return nil
+}
+
+// checkTenantQuotas proves multi-tenant admission end to end: a tenant
+// at its in-flight cap is refused with 429 + Retry-After, a different
+// tenant is admitted untouched, and after the held jobs drain every
+// gauge — global and per-tenant — reads exactly zero.
+func checkTenantQuotas(client *http.Client) error {
+	s, err := New(Config{
+		Workers: 2, QueueDepth: 4,
+		Tenants: TenantLimits{MaxInFlight: 1},
+	})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	release := make(chan struct{})
+	var once sync.Once
+	rel := func() { once.Do(func() { close(release) }) }
+	defer rel()
+	s.execHook = func(j *job) (bool, string, error) {
+		select {
+		case <-release:
+			return true, "held job done\n", nil
+		case <-j.ctx.Done():
+			return false, "", j.ctx.Err()
+		}
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	serveDone := make(chan struct{})
+	go func() { defer close(serveDone); _ = hs.Serve(ln) }()
+	defer func() { _ = hs.Close(); <-serveDone }()
+	base := "http://" + ln.Addr().String()
+
+	post := func(tenant string) (*http.Response, error) {
+		body, _ := json.Marshal(Request{Type: TypeProgramRun, Seed: 1})
+		req, _ := http.NewRequest(http.MethodPost, base+"/jobs", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Tenant", tenant)
+		return client.Do(req)
+	}
+	type streamed struct {
+		ok, complete bool
+		err          error
+	}
+	results := make(chan streamed, 2)
+	holdJob := func(tenant string) error {
+		resp, err := post(tenant)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			return fmt.Errorf("tenant %q: status %d, want 200", tenant, resp.StatusCode)
+		}
+		go func() {
+			defer resp.Body.Close()
+			var st streamed
+			_, st.ok, st.complete, _ = StreamResult(resp.Body)
+			results <- st
+		}()
+		return nil
+	}
+
+	if err := holdJob("alpha"); err != nil {
+		return err
+	}
+	if err := waitSnapshot(base, 10*time.Second, func(s Snapshot) bool {
+		return s.Tenants["alpha"].Running == 1
+	}); err != nil {
+		return fmt.Errorf("alpha job never started: %w", err)
+	}
+
+	// alpha is at its cap: the second job must bounce with a hint.
+	rej, err := post("alpha")
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, rej.Body)
+	rej.Body.Close()
+	if rej.StatusCode != http.StatusTooManyRequests || rej.Header.Get("Retry-After") == "" {
+		return fmt.Errorf("over-quota tenant: status %d (Retry-After %q), want 429 with Retry-After",
+			rej.StatusCode, rej.Header.Get("Retry-After"))
+	}
+
+	// beta's quota is its own: admitted despite alpha's rejection.
+	if err := holdJob("beta"); err != nil {
+		return fmt.Errorf("quota leaked across tenants: %w", err)
+	}
+
+	if err := VerifyMetrics(base, func(s Snapshot) error {
+		if s.RejectedTenant != 1 {
+			return fmt.Errorf("jobs_rejected_tenant_total = %d, want 1", s.RejectedTenant)
+		}
+		if s.Tenants["alpha"].Rejected != 1 || s.Tenants["beta"].Admitted != 1 {
+			return fmt.Errorf("tenant counters off: %+v", s.Tenants)
+		}
+		return checkGauges(s, false)
+	}); err != nil {
+		return err
+	}
+
+	rel()
+	for i := 0; i < 2; i++ {
+		st := <-results
+		if st.err != nil || !st.complete || !st.ok {
+			return fmt.Errorf("held tenant job %d did not finish cleanly: %+v", i, st)
+		}
+	}
+	if err := waitSnapshot(base, 10*time.Second, func(s Snapshot) bool {
+		return s.JobsOK == 2 && s.InFlight == 0
+	}); err != nil {
+		return fmt.Errorf("held jobs never drained: %w", err)
+	}
+	return VerifyMetrics(base, func(s Snapshot) error { return checkGauges(s, true) })
 }
 
 // checkDrain proves the drain contract on a dedicated instance: once

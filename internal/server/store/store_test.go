@@ -29,10 +29,10 @@ func TestRoundTrip(t *testing.T) {
 
 	req1 := json.RawMessage(`{"type":"campaign","seeds":30}`)
 	req2 := json.RawMessage(`{"type":"difftest","seeds":10}`)
-	if err := s.AcceptJob(1, req1); err != nil {
+	if err := s.AcceptJob(1, req1, ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.AcceptJob(2, req2); err != nil {
+	if err := s.AcceptJob(2, req2, ""); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 5; i++ {
@@ -91,7 +91,7 @@ func TestRestartCounting(t *testing.T) {
 func TestTornTailDropped(t *testing.T) {
 	dir := t.TempDir()
 	s, _ := openT(t, dir, Options{})
-	if err := s.AcceptJob(7, json.RawMessage(`{"type":"campaign","seeds":3}`)); err != nil {
+	if err := s.AcceptJob(7, json.RawMessage(`{"type":"campaign","seeds":3}`), ""); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.AppendShard(7, 0, json.RawMessage(`{"x":1}`)); err != nil {
@@ -129,7 +129,7 @@ func TestTornTailDropped(t *testing.T) {
 func TestAbandonLosesUnsyncedBatch(t *testing.T) {
 	dir := t.TempDir()
 	s, _ := openT(t, dir, Options{SyncEvery: 4})
-	if err := s.AcceptJob(1, json.RawMessage(`{}`)); err != nil { // synced
+	if err := s.AcceptJob(1, json.RawMessage(`{}`), ""); err != nil { // synced
 		t.Fatal(err)
 	}
 	for i := 0; i < 6; i++ { // batch of 4 syncs at i=3 (4 records); 2 left buffered
@@ -158,7 +158,7 @@ func TestSlowSyncHookRuns(t *testing.T) {
 	dir := t.TempDir()
 	calls := 0
 	s, _ := openT(t, dir, Options{SyncDelay: func() { calls++ }})
-	if err := s.AcceptJob(1, json.RawMessage(`{}`)); err != nil {
+	if err := s.AcceptJob(1, json.RawMessage(`{}`), ""); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Close(); err != nil {
@@ -183,11 +183,122 @@ func TestCorruptRecordRejected(t *testing.T) {
 	}
 }
 
+// TestMaxIDSurvivesCompaction: compaction drops finished jobs' records,
+// but the ID allocation floor must not regress with them — otherwise a
+// reopened server would reuse a finished job's ID.
+func TestMaxIDSurvivesCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir, Options{})
+	if err := s.AcceptJob(9, json.RawMessage(`{}`), ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FinishJob(9, true, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// First reopen compacts job 9 away; MaxID must still be 9.
+	s2, st := openT(t, dir, Options{})
+	if st.MaxID != 9 {
+		t.Fatalf("MaxID after compacting finished job = %d, want 9", st.MaxID)
+	}
+	s2.Close()
+
+	// And it must keep surviving further compaction cycles.
+	for i := 0; i < 3; i++ {
+		s3, st3 := openT(t, dir, Options{})
+		if st3.MaxID != 9 {
+			t.Fatalf("cycle %d: MaxID = %d, want 9", i, st3.MaxID)
+		}
+		s3.Close()
+	}
+}
+
+// TestStaleTmpIgnored: a kill during compaction leaves journal.ndjson.tmp
+// behind (possibly garbage, possibly partial). The original journal is
+// untouched until the rename, so Open must replay it fully and clobber
+// the stale tmp.
+func TestStaleTmpIgnored(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir, Options{})
+	if err := s.AcceptJob(3, json.RawMessage(`{"type":"campaign","seeds":5}`), "acme"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendShard(3, 0, json.RawMessage(`{"x":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	for _, tmp := range []string{"garbage \x00 not json", `{"t":"acc`} {
+		if err := os.WriteFile(filepath.Join(dir, journalName+".tmp"), []byte(tmp), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s2, st := openT(t, dir, Options{})
+		if len(st.Pending) != 1 || st.Pending[0].ID != 3 || len(st.Pending[0].Shards) != 1 {
+			t.Fatalf("tmp %q: state %+v, want job 3 with 1 shard", tmp, st)
+		}
+		if st.Pending[0].Tenant != "acme" {
+			t.Errorf("tmp %q: tenant = %q, want acme", tmp, st.Pending[0].Tenant)
+		}
+		s2.Close()
+	}
+}
+
+// TestDispatchAckReplay: dispatch records without a matching ack are
+// the ranges a resuming coordinator owes the fleet; acked ranges and
+// dispatches on finished jobs drop out.
+func TestDispatchAckReplay(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir, Options{})
+	if err := s.AcceptJob(1, json.RawMessage(`{"type":"campaign","seeds":8}`), ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendDispatch(1, 0, 4, "http://w1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendDispatch(1, 4, 8, "http://w2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendAck(1, 0, 4, "http://w1"); err != nil {
+		t.Fatal(err)
+	}
+	// Re-dispatch of the failed range to a survivor, still unacked.
+	if err := s.AppendDispatch(1, 4, 8, "http://w1"); err != nil {
+		t.Fatal(err)
+	}
+	// A second, finished job: its dispatches must not resurface.
+	if err := s.AcceptJob(2, json.RawMessage(`{}`), ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendDispatch(2, 0, 2, "http://w2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FinishJob(2, true, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	_, st := openT(t, dir, Options{})
+	if len(st.Pending) != 1 {
+		t.Fatalf("Pending = %+v, want just job 1", st.Pending)
+	}
+	got := st.Pending[0].Unacked
+	want := []ShardRange{{From: 4, To: 8}, {From: 4, To: 8}}
+	if len(got) != len(want) {
+		t.Fatalf("Unacked = %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Unacked[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
 // TestStats: appends, syncs, and post-close losses are counted.
 func TestStats(t *testing.T) {
 	dir := t.TempDir()
 	s, _ := openT(t, dir, Options{SyncEvery: 100})
-	_ = s.AcceptJob(1, json.RawMessage(`{}`))
+	_ = s.AcceptJob(1, json.RawMessage(`{}`), "")
 	_ = s.AppendShard(1, 0, json.RawMessage(`{}`))
 	st := s.Stats()
 	if st.Appends != 2 || st.Syncs == 0 {

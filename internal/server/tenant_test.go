@@ -1,0 +1,240 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// postAs posts a job under an X-Tenant header without consuming the
+// stream further than the backpressure verdict needs.
+func postAs(t *testing.T, base, tenant string, req Request) (status int, retryAfter string, body io.ReadCloser) {
+	t.Helper()
+	blob, _ := json.Marshal(req)
+	hreq, _ := http.NewRequest(http.MethodPost, base+"/jobs", bytes.NewReader(blob))
+	hreq.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		hreq.Header.Set("X-Tenant", tenant)
+	}
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatalf("POST /jobs as %q: %v", tenant, err)
+	}
+	return resp.StatusCode, resp.Header.Get("Retry-After"), resp.Body
+}
+
+// TestTenantInFlightQuota: one tenant saturating its in-flight cap gets
+// 429 with a Retry-After hint while another tenant sails through —
+// isolation is per X-Tenant key, not global.
+func TestTenantInFlightQuota(t *testing.T) {
+	s := newT(t, Config{
+		Workers: 4, QueueDepth: 8,
+		Tenants: TenantLimits{MaxInFlight: 1},
+	})
+	release := make(chan struct{})
+	s.execHook = func(j *job) (bool, string, error) {
+		select {
+		case <-release:
+			return true, "done\n", nil
+		case <-j.ctx.Done():
+			return false, "", j.ctx.Err()
+		}
+	}
+	base := newTestHTTP(t, s)
+
+	st, _, body := postAs(t, base, "acme", Request{Type: TypeProgramRun, Seed: 1})
+	if st != http.StatusOK {
+		t.Fatalf("first acme job: status %d", st)
+	}
+	defer body.Close()
+	waitMetric(t, "acme job running", func() bool { return s.metrics.InFlight.Load() == 1 })
+
+	st2, ra, body2 := postAs(t, base, "acme", Request{Type: TypeProgramRun, Seed: 2})
+	msg, _ := io.ReadAll(body2)
+	body2.Close()
+	if st2 != http.StatusTooManyRequests {
+		t.Fatalf("second acme job: status %d, want 429 (%s)", st2, msg)
+	}
+	if ra == "" {
+		t.Error("tenant rejection carried no Retry-After header")
+	}
+	if !strings.Contains(string(msg), `tenant "acme"`) {
+		t.Errorf("rejection body %q does not name the tenant", msg)
+	}
+
+	st3, _, body3 := postAs(t, base, "globex", Request{Type: TypeProgramRun, Seed: 3})
+	if st3 != http.StatusOK {
+		t.Fatalf("globex job: status %d, want 200 — quotas must not leak across tenants", st3)
+	}
+	defer body3.Close()
+
+	if got := s.metrics.RejectedTenant.Load(); got != 1 {
+		t.Errorf("RejectedTenant = %d, want 1", got)
+	}
+	close(release)
+	waitMetric(t, "jobs drained", func() bool { return s.metrics.JobsOK.Load() == 2 })
+
+	// Gauges moved exactly once per transition: everything back to zero,
+	// counters remember the history.
+	snap := s.tenants.snapshot()
+	for _, name := range []string{"acme", "globex"} {
+		ts := snap[name]
+		if ts.Queued != 0 || ts.Running != 0 {
+			t.Errorf("tenant %q gauges queued=%d running=%d after drain, want 0/0", name, ts.Queued, ts.Running)
+		}
+		if ts.Admitted != 1 {
+			t.Errorf("tenant %q admitted = %d, want 1", name, ts.Admitted)
+		}
+	}
+	if snap["acme"].Rejected != 1 {
+		t.Errorf("acme rejected = %d, want 1", snap["acme"].Rejected)
+	}
+
+	// The rendered /metrics page exposes the per-tenant series.
+	resp, err := http.Get(base + "/metrics?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	page, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{
+		`uexc_tenant_admitted_total{tenant="acme"} 1`,
+		`uexc_tenant_rejected_total{tenant="acme"} 1`,
+		`uexc_tenant_admitted_total{tenant="globex"} 1`,
+		"uexc_jobs_rejected_tenant_total 1",
+	} {
+		if !strings.Contains(string(page), want) {
+			t.Errorf("/metrics text missing %q", want)
+		}
+	}
+}
+
+// TestTenantTokenBucket drives the registry's clock directly: a sweep
+// spends its seed cost, an immediate repeat is refused with an honest
+// retry-after, and the bucket refills at SeedsPerSec.
+func TestTenantTokenBucket(t *testing.T) {
+	now := time.Unix(1000, 0)
+	r := newTenantRegistry(TenantLimits{SeedsPerSec: 5, SeedBurst: 10})
+	r.now = func() time.Time { return now }
+
+	if wait, err := r.admit("acme", 10); err != nil {
+		t.Fatalf("burst-sized admission refused: %v (wait %d)", err, wait)
+	}
+	wait, err := r.admit("acme", 10)
+	if err == nil {
+		t.Fatal("empty bucket admitted a second sweep")
+	}
+	if wait != 2 { // 10 seeds / 5 per sec
+		t.Errorf("retry-after = %ds, want 2", wait)
+	}
+	now = now.Add(2 * time.Second)
+	if _, err := r.admit("acme", 10); err != nil {
+		t.Fatalf("refilled bucket still refusing: %v", err)
+	}
+	// Refill caps at the burst.
+	now = now.Add(time.Hour)
+	if wait, err := r.admit("acme", 11); err == nil || wait != 1 {
+		t.Errorf("over-burst admission: err=%v wait=%d, want refusal with wait 1", err, wait)
+	}
+
+	// Two admissions succeeded above. Walk both out — plus stray extra
+	// done/drop calls, which the guarded transitions must absorb
+	// without pushing a gauge negative.
+	r.start("acme")
+	r.done("acme")
+	r.drop("acme")
+	r.done("acme")
+	r.drop("acme")
+	snap := r.snapshot()["acme"]
+	if snap.Queued != 0 || snap.Running != 0 {
+		t.Errorf("gauges queued=%d running=%d after drain, want 0/0", snap.Queued, snap.Running)
+	}
+	if snap.Queued < 0 || snap.Running < 0 {
+		t.Errorf("gauges went negative: %+v", snap)
+	}
+	if snap.Admitted != 2 || snap.Rejected != 2 {
+		t.Errorf("admitted=%d rejected=%d, want 2/2", snap.Admitted, snap.Rejected)
+	}
+}
+
+// TestTenantResumeDoesNotRecharge: a journal-resumed job is adopted
+// into its tenant's gauges without a second token charge — the seeds
+// were billed in its first life, and a crash that forced re-admission
+// through the bucket would wedge every big resumed sweep.
+func TestTenantResumeDoesNotRecharge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a campaign across a kill")
+	}
+	dir := t.TempDir()
+	limits := TenantLimits{SeedsPerSec: 0.001, SeedBurst: 3}
+
+	s1 := newT(t, Config{Workers: 1, QueueDepth: 2, StoreDir: dir, Tenants: limits})
+	stall := make(chan struct{})
+	s1.execHook = func(j *job) (bool, string, error) {
+		select {
+		case <-stall:
+		case <-j.ctx.Done():
+		}
+		return false, "", j.ctx.Err()
+	}
+	base1 := newTestHTTP(t, s1)
+	st, _, body := postAs(t, base1, "acme", Request{Type: TypeCampaign, Seeds: 3, Verbose: true})
+	if st != http.StatusOK {
+		t.Fatalf("initial admission: status %d", st)
+	}
+	waitMetric(t, "job running", func() bool { return s1.metrics.InFlight.Load() == 1 })
+	s1.Kill()
+	close(stall)
+	io.Copy(io.Discard, body)
+	body.Close()
+
+	// Incarnation B has the same stingy bucket; a fresh 3-seed campaign
+	// could never pass (0.001 seeds/s, empty after any spend), but the
+	// resumed job must run regardless.
+	s2 := newT(t, Config{Workers: 1, QueueDepth: 2, StoreDir: dir, Resume: true, Tenants: limits})
+	base2 := newTestHTTP(t, s2)
+	waitMetric(t, "resumed job finished", func() bool { return s2.metrics.JobsOK.Load() == 1 })
+
+	snap := s2.tenants.snapshot()["acme"]
+	if snap.Admitted != 1 || snap.Rejected != 0 {
+		t.Errorf("resumed tenant admitted=%d rejected=%d, want 1/0", snap.Admitted, snap.Rejected)
+	}
+	if snap.Queued != 0 || snap.Running != 0 {
+		t.Errorf("resumed tenant gauges queued=%d running=%d after finish, want 0/0", snap.Queued, snap.Running)
+	}
+	// Adoption left the bucket untouched: the new incarnation's full
+	// burst is still there (a charged resume would have drained it to
+	// zero, with an 0.001/s refill to claw back).
+	if snap.Tokens < 2.99 {
+		t.Errorf("resumed tenant tokens = %g, want the full burst of 3 — resume was re-charged", snap.Tokens)
+	}
+	// A fresh sweep spends that burst normally; the next is refused.
+	st2, _, body2 := postAs(t, base2, "acme", Request{Type: TypeCampaign, Seeds: 3})
+	if st2 != http.StatusOK {
+		t.Fatalf("fresh admission after resume: status %d, want 200 (burst available)", st2)
+	}
+	defer body2.Close()
+	st3, ra, body3 := postAs(t, base2, "acme", Request{Type: TypeCampaign, Seeds: 3})
+	io.Copy(io.Discard, body3)
+	body3.Close()
+	if st3 != http.StatusTooManyRequests || ra == "" {
+		t.Errorf("over-budget admission after resume: status %d retry-after %q, want 429 with a hint", st3, ra)
+	}
+}
+
+// newTestHTTP serves an already-built Server (e.g. one whose execHook
+// is set) over real HTTP and tears both down with the test.
+func newTestHTTP(t *testing.T, s *Server) string {
+	t.Helper()
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		s.Close()
+	})
+	return hs.URL
+}
