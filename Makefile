@@ -11,7 +11,7 @@ GO ?= go
 # durably improves; never lower it to make a change pass.
 COVER_MIN ?= 86.0
 
-.PHONY: all build test vet check cover campaign bench-campaign bench-cpu bench-serve bench-fleet serve-smoke chaos-smoke fleet-smoke fuzz clean
+.PHONY: all build test vet check cover campaign soak soak-smoke bench-campaign bench-cpu bench-serve bench-fleet serve-smoke chaos-smoke fleet-smoke fuzz clean
 
 all: build
 
@@ -31,6 +31,7 @@ check: vet build
 	$(GO) test -race ./...
 	$(GO) run ./cmd/uexc-bench -faultcampaign -seeds 30 -parallel 4
 	$(GO) run ./cmd/uexc-bench -difftest -seeds 30 -parallel 4
+	$(MAKE) soak-smoke
 	$(MAKE) serve-smoke
 	$(MAKE) chaos-smoke
 	$(MAKE) fleet-smoke
@@ -78,6 +79,19 @@ cover:
 # sharded over all CPUs.
 campaign:
 	$(GO) run ./cmd/uexc-bench -faultcampaign -seeds 100 -parallel 0
+
+# Seed-space triage sweep (DESIGN.md §14): both campaign engines over
+# seeds 0..10,000 with typed verdicts, checkpointed through the §12
+# durable job store under .soak/ — kill it at any point and rerun; it
+# resumes from the journal byte-identically. Fails on any unclassified
+# (engine-bug) verdict.
+soak:
+	$(GO) run ./cmd/uexc-bench -soak -seeds 10000 -parallel 0 -soakdir .soak
+
+# Race-enabled soak smoke over seeds 0..2,500 — covers the three
+# historically bad seeds (820, 2223, 2227) — part of the tier-1 gate.
+soak-smoke:
+	$(GO) run -race ./cmd/uexc-bench -soak -seeds 2500 -parallel 0
 
 # Serial-vs-parallel campaign wall time, recorded in the bench
 # trajectory (see EXPERIMENTS.md).

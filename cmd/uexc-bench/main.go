@@ -21,6 +21,11 @@
 //	                           # to a random exception-rich program run
 //	                           # under all three delivery modes, asserting
 //	                           # architectural equivalence
+//	uexc-bench -soak -seeds 10000 -soakdir /tmp/soak
+//	                           # seed-space triage sweep: both campaigns
+//	                           # with typed verdicts, checkpointed to the
+//	                           # durable job store so a killed sweep
+//	                           # resumes byte-identically
 //	uexc-bench -parallel 4     # shard independent runs over 4 workers
 //	                           # (0 = all CPUs; output is byte-identical
 //	                           # to -parallel 1 at any width)
@@ -41,6 +46,7 @@ import (
 	dt "uexc/internal/difftest"
 	"uexc/internal/harness"
 	"uexc/internal/report"
+	soakpkg "uexc/internal/soak"
 )
 
 func main() {
@@ -85,6 +91,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		csvDir    = fs.String("csv", "", "also write figure series as CSV files into this directory")
 		campaign  = fs.Bool("faultcampaign", false, "run the deterministic fault-injection campaign")
 		difftest  = fs.Bool("difftest", false, "run the cross-mode differential-testing campaign")
+		soak      = fs.Bool("soak", false, "run the seed-space triage sweep: both campaigns with typed verdicts, failing on any unclassified run")
+		soakDir   = fs.String("soakdir", "", "durable checkpoint directory for -soak (empty: run without resume)")
 		seeds     = fs.Int("seeds", 30, "number of campaign seeds")
 		workers   = fs.Int("parallel", runtime.NumCPU(), "worker goroutines for sharded runs (0 = all CPUs)")
 		verbose   = fs.Bool("v", false, "per-run fault-campaign progress")
@@ -120,7 +128,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		}()
 	}
 
-	if !*all && *table == 0 && *figure == 0 && !*trace && !*ablations && !*campaign && !*difftest {
+	if !*all && *table == 0 && *figure == 0 && !*trace && !*ablations && !*campaign && !*difftest && !*soak {
 		*all = true
 	}
 	if *workers < 0 {
@@ -129,8 +137,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	// Both campaign kinds sweep seeds [0, n): a non-positive count can
 	// only mean a typo, so reject it up front instead of silently
 	// running an empty (or default-sized) campaign.
-	if (*campaign || *difftest) && *seeds <= 0 {
+	if (*campaign || *difftest || *soak) && *seeds <= 0 {
 		return fmt.Errorf("-seeds must be positive, got %d", *seeds)
+	}
+	if *soakDir != "" && !*soak {
+		return fmt.Errorf("-soakdir only applies to -soak")
 	}
 	// -csv writes figure series; tables, traces, and campaigns have no
 	// series, so a -csv that could never produce a file is an error,
@@ -139,8 +150,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("-csv writes figure series and needs -all or -figure; " +
 			"-table, -trace, and -faultcampaign produce no CSV")
 	}
-	if *campaign && *difftest {
-		return fmt.Errorf("-faultcampaign and -difftest are separate campaigns; pick one")
+	if (*campaign && *difftest) || (*soak && (*campaign || *difftest)) {
+		return fmt.Errorf("-faultcampaign, -difftest, and -soak are separate sweeps; pick one")
 	}
 
 	printT := func(t *report.Table, err error) error {
@@ -184,6 +195,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 				len(res.Failures), res.MissingCoverage())
 		}
 		return nil
+	}
+
+	if *soak {
+		var progress io.Writer
+		if *verbose {
+			progress = stderr
+		}
+		res, err := soakpkg.Run(ctx, soakpkg.Options{
+			Seeds: *seeds, Workers: *workers, Dir: *soakDir,
+		}, progress, stdout)
+		if err != nil {
+			return err
+		}
+		return res.Gate()
 	}
 
 	if *difftest {

@@ -37,11 +37,50 @@ import (
 	"uexc/internal/core"
 	"uexc/internal/parallel"
 	"uexc/internal/progen"
+	"uexc/internal/verdict"
 )
 
-// Budget bounds one mode run; generated programs converge orders of
-// magnitude below it, so exhausting it is itself a failure.
+// Budget is the legacy flat run bound, kept as the floor of the scaled
+// per-program budget (BudgetFor): small generated programs converge
+// orders of magnitude below it, so exhausting it is itself a failure.
 const Budget = 3_000_000
+
+// budgetBase is the fixed per-run allowance of a scaled budget — the
+// launch stub, runtime prologue, and kernel overheads that do not grow
+// with program size.
+const budgetBase = 250_000
+
+// budgetPerInst is the per-mode multiplier of the scaled budget: the
+// worst-case cost of one emitted instruction, assuming every one of
+// them faults and takes a full delivery round trip. The Unix path runs
+// the most kernel instructions per fault (trap decode, sendsig copyout,
+// trampoline, sigreturn copyin), the kernel fast path far fewer, and
+// Tera-style hardware delivery fewer still — so the multipliers are
+// ordered Ultrix > FastExc > Hardware (asserted by test).
+func budgetPerInst(mode core.Mode) uint64 {
+	switch mode {
+	case core.ModeFast:
+		return 500
+	case core.ModeHardware:
+		return 300
+	default: // ModeUltrix
+		return 1200
+	}
+}
+
+// BudgetFor computes a program's instruction budget for one mode:
+// instructions emitted × the mode's worst-case delivery multiplier,
+// plus the fixed base, floored at the legacy flat Budget so the bound
+// never shrinks for the seed corpus that already converges under it. A
+// budget above the floor marks the run's verdict BudgetScaled — growth
+// is visible, never silent (DESIGN.md §14).
+func BudgetFor(p *progen.Program, mode core.Mode) uint64 {
+	scaled := budgetBase + uint64(p.EmittedInsts(mode))*budgetPerInst(mode)
+	if scaled < Budget {
+		return Budget
+	}
+	return scaled
+}
 
 // Modes is the comparison set, Ultrix first: the Unix path is the
 // semantic baseline the fast paths must reproduce.
@@ -104,7 +143,7 @@ func runMode(pool *core.MachinePool, p *progen.Program, mode core.Mode, mutate b
 	if mode == core.ModeHardware {
 		m.EnableHardwareDelivery(progen.HWVector)
 	}
-	if err := m.Run(Budget); err != nil {
+	if err := m.Run(BudgetFor(p, mode)); err != nil {
 		r.Err = err.Error()
 	}
 
@@ -229,6 +268,8 @@ type Result struct {
 	// Divergences lists every equivalence violation, prefixed with its
 	// seed; empty means all modes agreed on every seed.
 	Divergences []string
+	// Verdicts tallies the per-seed typed verdicts (DESIGN.md §14).
+	Verdicts verdict.Counts
 	// SelfTest records the mutation self-test verdict (always run).
 	SelfTestOK   bool
 	SelfTestSeed int64
@@ -251,6 +292,10 @@ func (r *Result) Summary() string {
 		fmt.Fprintf(&b, "  %-16s %d\n", k, r.Episodes[k])
 	}
 	fmt.Fprintf(&b, "handler-policy invocations (baseline): %d\n", r.Entries)
+	b.WriteString("verdicts:\n")
+	for k := verdict.Kind(0); k < verdict.NumKinds; k++ {
+		fmt.Fprintf(&b, "  %-16s %d\n", k, r.Verdicts[k])
+	}
 	if r.SelfTestOK {
 		fmt.Fprintf(&b, "oracle self-test: mutation in one mode detected (seed %d)\n", r.SelfTestSeed)
 	} else {
@@ -272,20 +317,54 @@ func (r *Result) Summary() string {
 // shards at checkpoint boundaries and replays them on resume
 // (DESIGN.md §12); a shard is a deterministic function of its seed.
 type Shard struct {
-	Divergences []string `json:"divergences,omitempty"`
-	Entries     uint64   `json:"entries"`
+	Divergences []string     `json:"divergences,omitempty"`
+	Entries     uint64       `json:"entries"`
+	Verdict     verdict.Kind `json:"verdict,omitempty"`
 }
 
 // ShardLine renders seed i's progress line from its digest — the one
 // formatting point shared by live shards, checkpoint replays, and the
 // fleet coordinator's remote-shard merge (DESIGN.md §13), so all three
-// streams are byte-identical by construction.
+// streams are byte-identical by construction. Non-clean verdicts are
+// tagged; the common (clean) line is unchanged from the pre-verdict
+// format.
 func ShardLine(i int, t Shard) string {
-	verdict := "ok"
+	out := "ok"
 	if len(t.Divergences) > 0 {
-		verdict = fmt.Sprintf("DIVERGED (%d)", len(t.Divergences))
+		out = fmt.Sprintf("DIVERGED (%d)", len(t.Divergences))
 	}
-	return fmt.Sprintf("seed %-6d %s\n", i, verdict)
+	if t.Verdict != verdict.Clean {
+		out += fmt.Sprintf(" [%s]", t.Verdict)
+	}
+	return fmt.Sprintf("seed %-6d %s\n", i, out)
+}
+
+// classify assigns the shard's typed verdict (DESIGN.md §14). The
+// oracle has no fault injector, so any divergence — including a mode
+// run error, which diff folds into the divergence list — is an
+// EngineBug by definition: the three modes must agree on every
+// generated program. A clean shard whose scaled budget exceeded the
+// legacy floor in any mode is BudgetScaled.
+func classify(p *progen.Program, t *Shard) {
+	switch {
+	case len(t.Divergences) > 0:
+		t.Verdict = verdict.EngineBug
+	case budgetScaled(p):
+		t.Verdict = verdict.BudgetScaled
+	default:
+		t.Verdict = verdict.Clean
+	}
+}
+
+// budgetScaled reports whether any mode's scaled budget for p exceeds
+// the legacy flat floor.
+func budgetScaled(p *progen.Program) bool {
+	for _, mode := range Modes {
+		if BudgetFor(p, mode) > Budget {
+			return true
+		}
+	}
+	return false
 }
 
 // RunShard runs seed i's three-mode comparison on a pooled machine and
@@ -294,7 +373,9 @@ func ShardLine(i int, t Shard) string {
 // local digests are byte-identical.
 func RunShard(pool *core.MachinePool, i int) Shard {
 	var t Shard
-	t.Divergences, t.Entries = CheckSeed(pool, int64(i))
+	p := progen.Generate(int64(i))
+	t.Divergences, t.Entries = CheckProgram(pool, p)
+	classify(p, &t)
 	return t
 }
 
@@ -362,6 +443,7 @@ func CampaignResumeCtx(ctx context.Context, pool *core.MachinePool, n, workers i
 			res.Episodes[k.String()]++
 		}
 		res.Entries += tasks[i].Entries
+		res.Verdicts.Add(tasks[i].Verdict)
 		for _, d := range tasks[i].Divergences {
 			res.Divergences = append(res.Divergences, fmt.Sprintf("seed %d %s", i, d))
 		}

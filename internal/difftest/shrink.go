@@ -1,0 +1,56 @@
+package difftest
+
+import "uexc/internal/progen"
+
+// ShrinkEpisodes reduces p to a 1-minimal episode subset that still
+// satisfies pred — the reproducer shrinker (DESIGN.md §14). It runs
+// delta debugging over the program's episode list: chunks of episodes
+// are removed greedily from largest to single, re-testing pred after
+// every trial, so the result is minimal in the strong sense that
+// removing any one remaining episode breaks the predicate.
+//
+// pred is typically "this program still diverges across modes"; it
+// must be deterministic (it is re-evaluated on subsets, never on the
+// original twice). Returns nil if pred does not hold for p itself —
+// there is nothing to shrink toward.
+//
+// Cost: O(n log n) pred evaluations for an n-episode program in the
+// best case, O(n²) worst case — each evaluation is a handful of
+// machine runs, so shrinking a 12-episode program takes well under a
+// second.
+func ShrinkEpisodes(p *progen.Program, pred func(*progen.Program) bool) *progen.Program {
+	if !pred(p) {
+		return nil
+	}
+	keep := make([]int, len(p.Episodes))
+	for i := range keep {
+		keep[i] = i
+	}
+
+	for chunk := (len(keep) + 1) / 2; chunk >= 1; {
+		removedAny := false
+		for start := 0; start < len(keep); {
+			end := start + chunk
+			if end > len(keep) {
+				end = len(keep)
+			}
+			trial := make([]int, 0, len(keep)-(end-start))
+			trial = append(trial, keep[:start]...)
+			trial = append(trial, keep[end:]...)
+			if pred(p.WithEpisodes(trial)) {
+				keep = trial // removal preserved the predicate; retry same start
+				removedAny = true
+			} else {
+				start = end
+			}
+		}
+		if chunk == 1 {
+			if !removedAny {
+				break // a full single-episode pass removed nothing: 1-minimal
+			}
+			continue
+		}
+		chunk = (chunk + 1) / 2
+	}
+	return p.WithEpisodes(keep)
+}

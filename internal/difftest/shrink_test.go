@@ -1,0 +1,107 @@
+package difftest
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"uexc/internal/core"
+	"uexc/internal/progen"
+)
+
+var update = flag.Bool("update", false, "rewrite the committed shrunk reproducer")
+
+// divergesMutated is the shrinker predicate for the oracle's known
+// divergence: the cause-offset mutation in the Fast mode handler
+// against a clean Ultrix baseline.
+func divergesMutated(pool *core.MachinePool) func(*progen.Program) bool {
+	return func(q *progen.Program) bool {
+		base := runMode(pool, q, core.ModeUltrix, false)
+		mut := runMode(pool, q, core.ModeFast, true)
+		return len(diff(&base, &mut)) > 0
+	}
+}
+
+// TestShrinkMutationDivergence: the shrinker must reduce the
+// mutation-divergence seed to a strictly smaller, still-divergent,
+// 1-minimal episode subset.
+func TestShrinkMutationDivergence(t *testing.T) {
+	pool := &core.MachinePool{}
+	pred := divergesMutated(pool)
+	p := progen.Generate(mutationSeed())
+	min := ShrinkEpisodes(p, pred)
+	if min == nil {
+		t.Fatal("seed does not diverge — predicate broken")
+	}
+	if len(min.Episodes) == 0 || len(min.Episodes) >= len(p.Episodes) {
+		t.Fatalf("shrunk to %d episodes from %d", len(min.Episodes), len(p.Episodes))
+	}
+	if !pred(min) {
+		t.Fatal("shrunk program no longer diverges")
+	}
+	// 1-minimality: dropping any single surviving episode must lose the
+	// divergence.
+	for i := range min.Episodes {
+		var sub []int
+		for j := range min.Episodes {
+			if j != i {
+				sub = append(sub, j)
+			}
+		}
+		if pred(min.WithEpisodes(sub)) {
+			t.Errorf("not 1-minimal: still diverges without episode %d", i)
+		}
+	}
+}
+
+// TestShrinkRejectsNonFailing: a predicate that never holds yields nil,
+// not an empty program.
+func TestShrinkRejectsNonFailing(t *testing.T) {
+	p := progen.Generate(0)
+	if got := ShrinkEpisodes(p, func(*progen.Program) bool { return false }); got != nil {
+		t.Errorf("ShrinkEpisodes = %v, want nil", got)
+	}
+}
+
+// TestShrunkReproducerGolden pins the shrinker's end product: the
+// minimal divergent program's mutated Fast-mode source is committed at
+// testdata/shrunk_mutation_fast.s, the regression re-runs the shrinker
+// and requires byte-identical output (the shrinker and the generator
+// are both deterministic), and the committed source must still load
+// and run to a clean exit — divergence here is wrong *logged causes*,
+// not a crash.
+func TestShrunkReproducerGolden(t *testing.T) {
+	pool := &core.MachinePool{}
+	min := ShrinkEpisodes(progen.Generate(mutationSeed()), divergesMutated(pool))
+	if min == nil {
+		t.Fatal("mutation seed does not diverge")
+	}
+	got := min.Source(core.ModeFast, true)
+
+	path := filepath.Join("testdata", "shrunk_mutation_fast.s")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing committed reproducer (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("shrunk reproducer drifted from committed file (refresh with -update)\n--- got ---\n%s", got)
+	}
+
+	m, err := core.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadProgram(string(want)); err != nil {
+		t.Fatalf("committed reproducer does not load: %v", err)
+	}
+	if err := m.Run(Budget); err != nil {
+		t.Fatalf("committed reproducer does not run cleanly: %v", err)
+	}
+}

@@ -1,0 +1,299 @@
+
+	.equ DT_DATA,   0xc00000
+	.equ DT_ARENA,  0xc10000
+	.equ DT_RECPAGE,0xc13000
+	.equ DT_LOGCAP, 96
+	.equ DT_MAXENT, 200
+
+main:
+	addiu sp, sp, -16
+	sw    ra, 0(sp)
+	li    a0, 5                # SIGTRAP (breakpoints)
+	la    a1, dt_sighandler
+	la    a2, __sig_trampoline
+	li    v0, SYS_sigaction
+	syscall
+	nop
+	li    a0, 8                # SIGFPE (overflow)
+	la    a1, dt_sighandler
+	la    a2, __sig_trampoline
+	li    v0, SYS_sigaction
+	syscall
+	nop
+	li    a0, 10               # SIGBUS (unaligned)
+	la    a1, dt_sighandler
+	la    a2, __sig_trampoline
+	li    v0, SYS_sigaction
+	syscall
+	nop
+	li    a0, 11               # SIGSEGV (protection)
+	la    a1, dt_sighandler
+	la    a2, __sig_trampoline
+	li    v0, SYS_sigaction
+	syscall
+	nop
+
+	la    t0, dt_chandler
+	la    t1, __fexc_chandler
+	sw    t0, 0(t1)
+	la    a0, __fexc_low
+	li    a1, 0x123e
+	jal   __uexc_enable
+	nop
+
+	li    a0, 1
+	li    v0, SYS_uexc_eager
+	syscall
+	nop
+
+	move  at, zero
+	move  v0, zero
+	move  v1, zero
+	move  a0, zero
+	move  a1, zero
+	move  a2, zero
+	move  a3, zero
+	move  t0, zero
+	move  t1, zero
+	move  t2, zero
+	move  t3, zero
+	move  t4, zero
+	move  t5, zero
+	move  t6, zero
+	move  t7, zero
+	move  t8, zero
+	move  t9, zero
+	move  s0, zero
+	move  s1, zero
+	move  s2, zero
+	move  s3, zero
+	move  s4, zero
+	move  s5, zero
+	move  s6, zero
+	move  s7, zero
+	move  gp, zero
+	move  fp, zero
+	mthi  zero
+	mtlo  zero
+
+# episode 3: delay-slot
+dt_ep3:
+	li    a0, DT_ARENA + 8192
+	li    a1, 4096
+	li    a2, 1
+	li    v0, SYS_mprotect
+	syscall
+	nop
+	li    t1, 1690228450
+	li    t2, DT_ARENA + 10464
+	li    t3, 0
+	bnez  t3, dt_ep3_taken
+	sw    t1, 0(t2)            # Mod in the delay slot: retry re-runs the branch
+	addiu s1, s1, 7
+	b     dt_ep3_join
+	nop
+dt_ep3_taken:
+	addiu s1, s1, 13
+dt_ep3_join:
+	lw    t4, 0(t2)
+	addu  s1, s1, t4
+
+	la    t0, DT_DATA + 0x740
+	sw    s0, 0(t0)
+	sw    s1, 4(t0)
+	sw    s2, 8(t0)
+	sw    s3, 12(t0)
+	sw    s4, 16(t0)
+	sw    s5, 20(t0)
+	sw    s6, 24(t0)
+	sw    s7, 28(t0)
+	mfhi  t1
+	sw    t1, 32(t0)
+	mflo  t1
+	sw    t1, 36(t0)
+	la    t0, DT_DATA + 0x708
+	sw    s1, 0(t0)
+	li    a0, 1
+	la    a1, dt_msg
+	li    a2, 3
+	li    v0, SYS_write
+	syscall
+	nop
+	# Scrub scratch registers: dt_msg's address (and anything else in
+	# the caller-saved set) shifts with the mode stanza's code size, so
+	# leaving it in a register would read as a spurious divergence.
+	move  at, zero
+	move  v1, zero
+	move  a0, zero
+	move  a1, zero
+	move  a2, zero
+	move  a3, zero
+	move  t0, zero
+	move  t1, zero
+	move  t2, zero
+	move  t3, zero
+	move  t4, zero
+	move  t5, zero
+	move  t6, zero
+	move  t7, zero
+	move  t8, zero
+	move  t9, zero
+	lw    ra, 0(sp)
+	addiu sp, sp, 16
+	li    v0, 0
+	jr    ra
+	nop
+
+# --- C-level handler for the Fast and Hardware paths ------------------
+dt_chandler:
+	addiu sp, sp, -16
+	sw    ra, 0(sp)
+	sw    a0, 4(sp)            # frame VA
+	lw    t0, 0x04(a0)         # FrCause
+	srl   t0, t0, 2
+	andi  t0, t0, 31
+	lw    a1, 0x08(a0)         # FrBadVAddr
+	move  a0, t0
+	jal   dt_policy
+	nop
+	beqz  v0, dt_ch_done
+	nop
+	lw    t0, 4(sp)
+	lw    t1, 0(t0)            # FrEPC
+	addiu t1, t1, 4
+	sw    t1, 0(t0)            # skip the faulting instruction
+dt_ch_done:
+	lw    ra, 0(sp)
+	addiu sp, sp, 16
+	jr    ra
+	nop
+
+# --- Unix signal handler (Ultrix path and demotion fallback) ----------
+dt_sighandler:
+	addiu sp, sp, -16
+	sw    ra, 0(sp)
+	sw    a2, 4(sp)            # sigcontext
+	move  a0, a1               # exception code (raw)
+	lw    a1, 132(a2)          # TfBadVA
+	jal   dt_policy
+	nop
+	beqz  v0, dt_sig_done
+	nop
+	lw    t0, 4(sp)
+	lw    t1, 124(t0)          # TfEPC
+	addiu t1, t1, 4
+	sw    t1, 124(t0)
+dt_sig_done:
+	lw    ra, 0(sp)
+	addiu sp, sp, 16
+	jr    ra
+	nop
+
+# --- Shared policy: a0 = code, a1 = badva; returns v0 = 1 to skip the
+# --- faulting instruction, 0 to retry it after recovery ---------------
+dt_policy:
+	addiu sp, sp, -16
+	sw    ra, 0(sp)
+	# BadVAddr is architectural only for address/protection faults;
+	# zero it otherwise so stale values never enter the log.
+	li    t0, 9                # Bp
+	beq   a0, t0, dt_pol_zbv
+	nop
+	li    t0, 12               # Ov
+	bne   a0, t0, dt_pol_bvok
+	nop
+dt_pol_zbv:
+	move  a1, zero
+dt_pol_bvok:
+	sw    a0, 4(sp)
+	sw    a1, 8(sp)
+	# Bound total handler entries: a runaway delivery loop exits 77
+	# deterministically instead of burning the budget.
+	la    t0, DT_DATA + 0x700
+	lw    t1, 0(t0)
+	addiu t1, t1, 1
+	sw    t1, 0(t0)
+	sltiu t2, t1, DT_MAXENT
+	bnez  t2, dt_pol_log
+	nop
+	li    a0, 77
+	li    v0, SYS_exit
+	syscall
+	nop
+dt_pol_log:
+	# Append (code, badva) to the handler-entry log.
+	la    t0, DT_DATA + 0x000
+	lw    t1, 0(t0)
+	sltiu t2, t1, DT_LOGCAP
+	beqz  t2, dt_pol_nolog
+	nop
+	sll   t3, t1, 3
+	la    t4, DT_DATA + 0x008
+	addu  t4, t4, t3
+dt_log_store_cause:
+	addiu t5, a0, 32
+	sw    t5, 0(t4)
+	sw    a1, 4(t4)
+	addiu t1, t1, 1
+	sw    t1, 0(t0)
+dt_pol_nolog:
+	# Protection faults (Mod) are recovered by un-protecting and
+	# retrying; everything else is recovered by skipping.
+	li    t0, 1                # Mod
+	lw    t1, 4(sp)
+	bne   t1, t0, dt_pol_skip
+	nop
+	# Recursion probe: the first Mod on the reserved page takes a
+	# nested breakpoint while this handler is still in progress.
+	lw    t2, 8(sp)
+	srl   t3, t2, 12
+	li    t4, DT_RECPAGE >> 12
+	bne   t3, t4, dt_pol_unprot
+	nop
+	la    t0, DT_DATA + 0x704
+	lw    t1, 0(t0)
+	bnez  t1, dt_pol_unprot
+	nop
+	li    t1, 1
+	sw    t1, 0(t0)
+	break                      # nested fault inside the handler
+dt_pol_unprot:
+	# Canonical idempotent recovery: release any subpage protection on
+	# the faulting page, then return the page to read-write.
+	lw    a0, 8(sp)
+	srl   a0, a0, 12
+	sll   a0, a0, 12
+	li    a1, 4096
+	li    a2, 3
+	li    v0, SYS_subpage
+	syscall
+	nop
+	lw    a0, 8(sp)
+	srl   a0, a0, 12
+	sll   a0, a0, 12
+	li    a1, 4096
+	li    a2, 3
+	li    v0, SYS_mprotect
+	syscall
+	nop
+	move  v0, zero             # retry the faulting instruction
+	b     dt_pol_ret
+	nop
+dt_pol_skip:
+	li    v0, 1
+dt_pol_ret:
+	lw    ra, 0(sp)
+	addiu sp, sp, 16
+	jr    ra
+	nop
+
+dt_msg:
+	.ascii "ok\n"
+	.align 4
+
+	.org  0xc00000
+dt_data:
+	.space 4096
+	.org  0xc10000
+dt_arena:
+	.space 16384

@@ -14,12 +14,37 @@ import (
 	"uexc/internal/faultinject"
 	"uexc/internal/kernel"
 	"uexc/internal/parallel"
+	"uexc/internal/progen"
+	"uexc/internal/verdict"
 )
 
-// campaignBudget bounds one injected run; the bounded in-program
-// handlers and the watchdog make every fault path converge far below
-// it, so reaching the budget is itself a campaign failure.
-const campaignBudget = 3_000_000
+// campaignBudgetFloor is the legacy flat run bound: the bounded
+// in-program handlers and the watchdog make every uncorrupted fault
+// path converge far below it, so reaching the budget means either an
+// engine bug or an injected corruption that defeated the program's own
+// runaway bound — the verdict layer tells the two apart.
+const campaignBudgetFloor = 3_000_000
+
+// campaignBudgetFor scales the run bound with the campaign program's
+// size, mirroring difftest.BudgetFor: instructions emitted × a
+// per-mode worst-case delivery multiplier plus a fixed base, floored
+// at the legacy flat bound so no existing seed's bound shrinks. The
+// fixed campaign program is small, so the floor dominates today; the
+// formula keeps the bound honest if the program grows.
+func campaignBudgetFor(mode core.Mode) uint64 {
+	mult := uint64(1200) // ModeUltrix: full signal round trip per fault
+	switch mode {
+	case core.ModeFast:
+		mult = 500
+	case core.ModeHardware:
+		mult = 300
+	}
+	scaled := 250_000 + uint64(progen.CountInsts(campaignProg(mode)))*mult
+	if scaled < campaignBudgetFloor {
+		return campaignBudgetFloor
+	}
+	return scaled
+}
 
 // RequiredCoverage lists the event/behaviour categories a campaign
 // must exercise at least once to be considered a meaningful sweep.
@@ -43,8 +68,17 @@ type CampaignResult struct {
 	// Outcomes tallies runs by outcome class.
 	Outcomes map[string]int
 	// Failures lists determinism breaks, invariant violations, panics,
-	// and budget exhaustions; empty means the campaign passed.
+	// and unattributable budget exhaustions; empty means the campaign
+	// passed.
 	Failures []string
+
+	// Verdicts tallies the typed per-run classifications (first run of
+	// each replay pair; DESIGN.md §14).
+	Verdicts verdict.Counts
+	// Classified lists the runs that carry a non-failing non-clean
+	// verdict (KnownDivergent, BudgetScaled) with their witness detail,
+	// in campaign order — visible, but not failures.
+	Classified []string
 
 	// Fingerprints records each seed×mode run's determinism fingerprint
 	// in campaign order (seed-major, mode-minor), so two campaigns —
@@ -93,6 +127,16 @@ func (r *CampaignResult) Summary() string {
 	for _, k := range outs {
 		fmt.Fprintf(&b, "  %-24s %d\n", k, r.Outcomes[k])
 	}
+	b.WriteString("verdicts:\n")
+	for k := verdict.Kind(0); k < verdict.NumKinds; k++ {
+		fmt.Fprintf(&b, "  %-24s %d\n", k, r.Verdicts[k])
+	}
+	if len(r.Classified) > 0 {
+		b.WriteString("classified (non-failing):\n")
+		for _, c := range r.Classified {
+			fmt.Fprintf(&b, "  %s\n", c)
+		}
+	}
 	if missing := r.MissingCoverage(); len(missing) > 0 {
 		fmt.Fprintf(&b, "MISSING COVERAGE: %s\n", strings.Join(missing, ", "))
 	}
@@ -117,6 +161,14 @@ type RunDigest struct {
 	Exercised   [faultinject.NumKinds]uint64 `json:"exercised"`
 	Stats       kernel.Stats                 `json:"stats"`
 	Failures    []string                     `json:"failures,omitempty"`
+
+	// Verdict is the run's typed classification (DESIGN.md §14); the
+	// zero value (Clean) is omitted so digests journaled before the
+	// verdict layer replay unchanged. VerdictDetail carries the witness
+	// for non-clean verdicts — e.g. the injected-corruption events that
+	// attribute a budget exhaustion to KnownDivergent.
+	Verdict       verdict.Kind `json:"verdict,omitempty"`
+	VerdictDetail string       `json:"verdict_detail,omitempty"`
 }
 
 // FaultCampaign replays `seeds` fault plans under all three delivery
@@ -183,8 +235,12 @@ func CampaignShards(seeds int) int {
 func ShardLine(i, seeds int, t CampaignShard) string {
 	if i < seeds*len(campaignModes) {
 		seed, mode := i/len(campaignModes), campaignModes[i%len(campaignModes)]
+		outcome := t.First.Outcome
+		if t.First.Verdict != verdict.Clean {
+			outcome += " [" + t.First.Verdict.String() + "]"
+		}
 		return fmt.Sprintf("%-28s %s\n",
-			fmt.Sprintf("seed %d mode %s:", seed, mode), t.First.Outcome)
+			fmt.Sprintf("seed %d mode %s:", seed, mode), outcome)
 	}
 	mode := campaignModes[i-seeds*len(campaignModes)]
 	return fmt.Sprintf("%-28s %s\n",
@@ -295,6 +351,14 @@ func FaultCampaignResumeCtx(ctx context.Context, pool *core.MachinePool, seeds, 
 		res.Exercised["recursion-kill"] += first.Stats.RecursionKills
 		res.Exercised["tlb-scrub"] += first.Stats.TLBScrubs
 		res.Outcomes[first.Outcome]++
+
+		// Verdicts count the first run of each replay pair; the replay is
+		// a determinism witness, not a second classification.
+		res.Verdicts.Add(first.Verdict)
+		switch first.Verdict {
+		case verdict.KnownDivergent, verdict.BudgetScaled:
+			res.Classified = append(res.Classified, tag+": "+first.VerdictDetail)
+		}
 	}
 	for j := 0; j < len(modes); j++ {
 		t := tasks[seeds*len(modes)+j]
@@ -309,6 +373,12 @@ func FaultCampaignResumeCtx(ctx context.Context, pool *core.MachinePool, seeds, 
 	}
 	return res, nil
 }
+
+// testHookPostLoad, when non-nil, runs after each campaign run's
+// program loads — the test seam for the recover-and-classify contract:
+// a hook that panics must surface as a recovered EngineBug verdict,
+// never take the process down.
+var testHookPostLoad func(m *core.Machine)
 
 // campaignRun executes one seeded, injected scenario and digests it.
 // Go panics are converted into failures: the machine must degrade
@@ -327,7 +397,17 @@ func campaignRun(pool *core.MachinePool, seed int64, mode core.Mode) (rep RunDig
 			rep.Failures = append(rep.Failures, fmt.Sprintf("panic: %v", r))
 			rep.Outcome = "panic"
 			rep.Fingerprint = "panic"
-			return
+			healthy = false // drop the machine: its state is untrustworthy
+		}
+		// Any failure — recovered panic, invariant violation, boot/load
+		// error, unattributable budget exhaustion — is an engine bug,
+		// overriding a provisional KnownDivergent: a corrupted run may
+		// diverge, but it must never break an invariant.
+		if len(rep.Failures) > 0 {
+			rep.Verdict = verdict.EngineBug
+			if rep.VerdictDetail == "" {
+				rep.VerdictDetail = rep.Failures[0]
+			}
 		}
 		if healthy {
 			pool.Put(m)
@@ -345,13 +425,16 @@ func campaignRun(pool *core.MachinePool, seed int64, mode core.Mode) (rep RunDig
 		rep.Failures = append(rep.Failures, "load: "+err.Error())
 		return rep
 	}
+	if testHookPostLoad != nil {
+		testHookPostLoad(m)
+	}
 	if mode == core.ModeHardware {
 		// Claim Mod only: TLB refills must keep reaching the kernel's
 		// UTLB vector (the user handler cannot build translations).
 		m.EnableHardwareDelivery(1 << arch.ExcMod)
 	}
 
-	runErr := m.Run(campaignBudget)
+	runErr := m.Run(campaignBudgetFor(mode))
 
 	// Final invariant sweep after the run settles.
 	if err := inj.Checker.Check(); err != nil {
@@ -368,9 +451,21 @@ func campaignRun(pool *core.MachinePool, seed int64, mode core.Mode) (rep RunDig
 		rep.Outcome = "livelock detected"
 	case errors.Is(runErr, kernel.ErrRecursion):
 		rep.Outcome = "recursion kill"
+	case errors.Is(runErr, kernel.ErrKernelPanic):
+		rep.Outcome = "kernel panic"
+		rep.Failures = append(rep.Failures, "kernel panic: "+runErr.Error())
 	case errors.Is(runErr, cpu.ErrBudget):
 		rep.Outcome = "budget exhausted"
-		rep.Failures = append(rep.Failures, "budget exhausted: "+runErr.Error())
+		if w := corruptionWitness(inj.Exercised); w != "" {
+			// Injected state corruption (seed 2227's class) can defeat the
+			// program's own runaway bound, making the fault loop genuinely
+			// infinite; with the witness in the digest this is a classified
+			// divergence, not an engine bug.
+			rep.Verdict = verdict.KnownDivergent
+			rep.VerdictDetail = "budget exhausted under injected corruption (" + w + ")"
+		} else {
+			rep.Failures = append(rep.Failures, "budget exhausted: "+runErr.Error())
+		}
 	case strings.Contains(runErr.Error(), "process exited with status"):
 		rep.Outcome = "signal termination"
 	default:
@@ -394,6 +489,24 @@ func campaignRun(pool *core.MachinePool, seed int64, mode core.Mode) (rep RunDig
 	return rep
 }
 
+// corruptionWitness renders the injected state-corruption events that
+// can defeat a program's own runaway bound. Only MemCorrupt, TLBFlip,
+// and TLBStaleASID qualify — they rewrite memory or translations
+// behind the program's back — whereas Spurious, Storm, and
+// HandlerFault merely deliver extra exceptions through architected
+// paths, so a failure under those alone is still an engine bug.
+func corruptionWitness(ex [faultinject.NumKinds]uint64) string {
+	var parts []string
+	for _, k := range []faultinject.Kind{
+		faultinject.MemCorrupt, faultinject.TLBFlip, faultinject.TLBStaleASID,
+	} {
+		if ex[k] > 0 {
+			parts = append(parts, fmt.Sprintf("%s x%d", k, ex[k]))
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
 // livelockProbe runs the deliberate-livelock program with no injector
 // and expects the CPU watchdog to stop it with a typed LivelockError.
 func livelockProbe(pool *core.MachinePool, mode core.Mode) (outcome, failure string) {
@@ -408,7 +521,7 @@ func livelockProbe(pool *core.MachinePool, mode core.Mode) (outcome, failure str
 	if mode == core.ModeHardware {
 		m.EnableHardwareDelivery(1 << arch.ExcMod)
 	}
-	runErr := m.Run(campaignBudget)
+	runErr := m.Run(campaignBudgetFor(mode))
 	var ll *cpu.LivelockError
 	if errors.As(runErr, &ll) {
 		return "livelock detected", ""

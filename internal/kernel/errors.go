@@ -23,6 +23,12 @@ var (
 	// ErrInvariant marks a violated DESIGN.md §6 invariant found by
 	// SelfCheck or the fault-injection campaign's runtime checker.
 	ErrInvariant = errors.New("kernel: invariant violated")
+	// ErrKernelPanic marks the first-level handler's HC_PANIC escape —
+	// an exception the assembly vectors could not classify (kernel-mode
+	// fault, coprocessor-unusable leg). Campaigns map it to an EngineBug
+	// verdict: after sigreturn sanitization it should be unreachable, so
+	// hitting it means the engine itself is wrong.
+	ErrKernelPanic = errors.New("kernel: first-level handler panic")
 )
 
 // MachineError records a fatal machine condition with enough context to

@@ -301,8 +301,17 @@ func (k *Kernel) dispatchHCall(c *cpu.CPU, code uint32) error {
 	case HCTLBProt:
 		return k.tlbProt()
 	case HCPanic:
-		return fmt.Errorf("kernel panic: unhandled condition at epc %#x cause %#x badva %#x",
-			c.CP0[arch.C0EPC], c.CP0[arch.C0Cause], c.CP0[arch.C0BadVAddr])
+		var asid uint8
+		if k.Proc != nil {
+			asid = k.Proc.asid
+		}
+		return &MachineError{
+			Op:       fmt.Sprintf("unhandled condition at epc %#x cause %#x", c.CP0[arch.C0EPC], c.CP0[arch.C0Cause]),
+			PC:       c.CP0[arch.C0EPC],
+			BadVAddr: c.CP0[arch.C0BadVAddr],
+			ASID:     asid,
+			Err:      ErrKernelPanic,
+		}
 	}
 	return fmt.Errorf("kernel: unknown hcall %d", code)
 }

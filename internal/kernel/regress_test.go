@@ -1,0 +1,128 @@
+// Regression pins for the seed-space triage fixes (ROADMAP item 3):
+// each committed testdata reproducer is the shrunk form of a fleet-
+// bench campaign failure, and each test asserts the kernel's fixed
+// behaviour plus a golden event trace. The tests live in the external
+// package so they can drive a full core.Machine (core imports kernel).
+package kernel_test
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"uexc/internal/core"
+	"uexc/internal/kernel"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// runReproducer boots a machine, runs the named testdata program under
+// ModeUltrix delivery, and returns the run error plus the kernel event
+// log (cycle counts stripped — they are not what these tests pin).
+func runReproducer(t *testing.T, name string) (error, []string) {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.K.TraceEvents = true
+	if err := m.LoadProgram(string(src)); err != nil {
+		t.Fatal(err)
+	}
+	runErr := m.Run(1_000_000)
+	var events []string
+	for _, e := range m.K.Events {
+		events = append(events, e.What)
+	}
+	return runErr, events
+}
+
+// checkGolden compares the joined event log against testdata/<name>,
+// rewriting it under -update.
+func checkGolden(t *testing.T, name string, events []string) {
+	t.Helper()
+	got := strings.Join(events, "\n") + "\n"
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run with -update): %v", path, err)
+	}
+	if got != string(want) {
+		t.Errorf("event log diverged from %s:\n got:\n%s\nwant:\n%s", path, got, want)
+	}
+}
+
+// TestSendsigBogusSPKillsProcess pins the seed-820 fix: a signal
+// delivery whose sigcontext cannot be written (garbage SP) must kill
+// the process with SIGSEGV, never surface as a fatal machine error.
+func TestSendsigBogusSPKillsProcess(t *testing.T) {
+	runErr, events := runReproducer(t, "sendsig_bogus_sp.s")
+	if runErr == nil {
+		t.Fatal("reproducer exited clean; it must be killed with SIGSEGV")
+	}
+	if !strings.Contains(runErr.Error(), "process exited with status 139") {
+		t.Errorf("run error = %v, want kill with 128+SIGSEGV (139)", runErr)
+	}
+	if strings.Contains(runErr.Error(), "sendsig copyout failed") {
+		t.Errorf("copyout failure leaked as a machine error: %v", runErr)
+	}
+	found := false
+	for _, e := range events {
+		if strings.Contains(e, "sendsig copyout failed") && strings.Contains(e, "killing") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("event log does not record the sendsig kill")
+	}
+	checkGolden(t, "sendsig_bogus_sp.golden", events)
+}
+
+// TestSigreturnSanitizesStatus pins the seed-2223 fix: a fabricated
+// sigcontext with CU1 set in its Status word must not steer the next
+// exception into the first-level handler's HC_PANIC leg. The break
+// after sigreturn is an ordinary SIGTRAP death (133), and the run
+// error must never carry ErrKernelPanic.
+func TestSigreturnSanitizesStatus(t *testing.T) {
+	runErr, events := runReproducer(t, "sigreturn_status_cu1.s")
+	if runErr == nil {
+		t.Fatal("reproducer exited clean; the unhandled SIGTRAP must kill it")
+	}
+	if errors.Is(runErr, kernel.ErrKernelPanic) {
+		t.Errorf("poisoned sigcontext Status reached the kernel panic leg: %v", runErr)
+	}
+	if !strings.Contains(runErr.Error(), "process exited with status 133") {
+		t.Errorf("run error = %v, want SIGTRAP death (128+5 = 133)", runErr)
+	}
+	checkGolden(t, "sigreturn_status_cu1.golden", events)
+}
+
+// TestKernelPanicErrorIsTyped pins the HC_PANIC escape's error shape:
+// whatever still reaches it must unwrap to ErrKernelPanic through a
+// *kernel.MachineError so campaigns can classify it as an EngineBug
+// verdict instead of pattern-matching message text.
+func TestKernelPanicErrorIsTyped(t *testing.T) {
+	me := &kernel.MachineError{Op: "unhandled condition", Err: kernel.ErrKernelPanic}
+	wrapped := fmt.Errorf("run: %w", me)
+	if !errors.Is(wrapped, kernel.ErrKernelPanic) {
+		t.Error("ErrKernelPanic not reachable through the MachineError chain")
+	}
+	var out *kernel.MachineError
+	if !errors.As(wrapped, &out) || out.Op != "unhandled condition" {
+		t.Error("MachineError context lost in the chain")
+	}
+}

@@ -1,0 +1,29 @@
+# Shrunk reproducer for the seed-820 Hardware-mode campaign failure
+# (fleet bench, ROADMAP item 3): an injected mem-corrupt flipped bit 30
+# of a saved stack-pointer word, so the next signal delivery computed
+# its sigcontext address from a garbage SP. sendsig's copyout then
+# failed outside every legitimate mapping and surfaced as a fatal
+# "kernel: sendsig copyout failed" machine error, taking the whole
+# campaign run down.
+#
+# The minimal program needs only the two load-bearing ingredients: a
+# registered handler (sendsig runs only when one exists) and a garbage
+# SP at fault time. The fixed kernel must kill the process with SIGSEGV
+# (exit status 128+11 = 139), exactly as Unix does for an unwritable
+# signal stack — never return a machine error.
+main:
+	li    a0, 5                # SIGTRAP
+	la    a1, handler
+	la    a2, __sig_trampoline
+	li    v0, SYS_sigaction
+	syscall
+	nop
+	li    sp, 0x47feff48       # corrupted SP: unmappable sigcontext
+	break                      # delivery must kill, not panic
+	li    a0, 0
+	li    v0, SYS_exit
+	syscall
+	nop
+handler:
+	jr    ra
+	nop

@@ -1,0 +1,35 @@
+# Shrunk reproducer for the seed-2223 FastExc-mode campaign panic
+# (fleet bench, ROADMAP item 3): an injected mem-corrupt rewrote a
+# stack-pointer adjust into a different destination register, execution
+# went wild, and a stray sigreturn restored a garbage sigcontext whose
+# Status word had CU1 (coprocessor-1-usable) set. The very next
+# exception then walked into the first-level handler's ph_fpcheck leg,
+# which executes `hcall HC_PANIC` — an unhandled-condition kernel panic
+# from purely user-reachable state.
+#
+# The minimal program fabricates the poisoned sigcontext directly: all
+# zeros except a valid SP, a resume EPC, and Status = CU1|KUp. The
+# fixed kernel sanitizes the restored Status (only the KU/IE stack and
+# UEX are user-restorable), so the following breakpoint is delivered as
+# an ordinary SIGTRAP; with no handler registered the process dies with
+# exit status 128+5 = 133 — never a kernel panic.
+main:
+	la    t0, sc_frame
+	sw    sp, 104(t0)          # TfSP: keep a valid stack
+	la    t1, after
+	sw    t1, 124(t0)          # TfEPC: resume below
+	li    t1, 0x20000008       # Status = CU1 | KUp, the poison
+	sw    t1, 136(t0)          # TfStatus
+	move  a0, t0
+	li    v0, SYS_sigreturn
+	syscall
+	nop
+after:
+	break                      # must be SIGTRAP, not HC_PANIC
+	li    a0, 0
+	li    v0, SYS_exit
+	syscall
+	nop
+	.align 4
+sc_frame:
+	.space 140                 # TfWords (35) zeroed words

@@ -1,8 +1,6 @@
 package kernel
 
 import (
-	"fmt"
-
 	"uexc/internal/arch"
 	"uexc/internal/tlb"
 )
@@ -343,13 +341,17 @@ func (k *Kernel) sendsig(handler, sig, code, badva uint32) error {
 			memoVPN, memoBase = va>>arch.PageShift, pa&^(arch.PageSize-1)
 			continue
 		}
-		// The stack page may itself be unmapped: map and retry once.
+		// The stack page may itself be unmapped: map and retry once. If
+		// even that fails the process's stack pointer is garbage (its
+		// own doing or an injected corruption) — like Unix, a signal
+		// frame that cannot be written kills the process with SIGSEGV;
+		// it must never surface as a fatal machine error.
 		if err := p.MapPage(va, true, true); err != nil {
-			return fmt.Errorf("kernel: sendsig copyout failed at %#x", va)
+			return k.sendsigKill(va)
 		}
 		k.Charge(k.Costs.DemandPage)
 		if !k.storeUserWord(va, v) {
-			return fmt.Errorf("kernel: sendsig copyout failed at %#x", va)
+			return k.sendsigKill(va)
 		}
 		memoVPN = ^uint32(0)
 	}
@@ -366,6 +368,15 @@ func (k *Kernel) sendsig(handler, sig, code, badva uint32) error {
 
 	k.Stats.UnixDeliveries++
 	k.event("kernel: sendsig copies sigcontext, redirects to trampoline")
+	return nil
+}
+
+// sendsigKill terminates the current process after a sigcontext
+// copyout failure — the Unix verdict for an unwritable signal stack.
+func (k *Kernel) sendsigKill(va uint32) error {
+	k.eventf("kernel: sendsig copyout failed at %#x, killing", va)
+	k.Stats.Terminations++
+	k.terminateCurrent(128 + SIGSEGV)
 	return nil
 }
 
@@ -418,7 +429,15 @@ func (k *Kernel) sigreturn(scp uint32) error {
 	tf.setWord(TfV0, sc[TfV0/4])
 	tf.setWord(TfSP, sc[TfSP/4])
 	tf.setWord(TfEPC, sc[TfEPC/4])
-	tf.setWord(TfStatus, sc[TfStatus/4]|arch.SrKUp)
+	// Restore only the user-legitimate Status bits from the sigcontext
+	// — the KU/IE stack and the UEX flag. Everything else (coprocessor-
+	// usable, BEV, interrupt masks) is kernel-owned and kept from the
+	// live trapframe: a corrupted sigcontext must not be able to set
+	// CU1 and steer the next exception into the first-level handler's
+	// panic leg, or clear KUp and re-enter the kernel privileged.
+	const sigUserStatus = 0x3f | arch.SrUEX
+	tf.setWord(TfStatus,
+		tf.word(TfStatus)&^uint32(sigUserStatus)|sc[TfStatus/4]&sigUserStatus|arch.SrKUp)
 	k.Charge(k.Costs.Sigreturn + uint64(TfWords)*k.Costs.CopyWord)
 	k.event("kernel: sigreturn restores sigcontext")
 	return nil

@@ -148,8 +148,18 @@ type Program struct {
 	// a generated program.
 	Extra string
 
-	workload string // the mode-independent episode text
+	// stanzas holds one mode-independent assembly stanza per episode,
+	// parallel to Episodes; their concatenation is the workload text.
+	// Keeping episodes discrete is what makes programs shrinkable: any
+	// subset of stanzas is itself a valid program (stanzas are
+	// self-contained — every label an episode references carries its
+	// original episode index, so dropping neighbours cannot collide).
+	stanzas []string
 }
+
+// workload is the concatenated episode text, byte-identical to the
+// single-builder emission the stanza split replaced.
+func (p *Program) workload() string { return strings.Join(p.stanzas, "") }
 
 // Generate expands a seed into a program. The same seed always yields
 // the same program (math/rand with a fixed Source; no global state).
@@ -159,7 +169,6 @@ func Generate(seed int64) *Program {
 
 	n := 4 + r.Intn(9) // 4..12 episodes
 	recursions := 0
-	var b strings.Builder
 	for i := 0; i < n; i++ {
 		k := Kind(r.Intn(int(NumKinds)))
 		if k == KindRecursion {
@@ -173,10 +182,25 @@ func Generate(seed int64) *Program {
 			}
 		}
 		p.Episodes = append(p.Episodes, k)
+		var b strings.Builder
 		emitEpisode(&b, r, i, k)
+		p.stanzas = append(p.stanzas, b.String())
 	}
-	p.workload = b.String()
 	return p
+}
+
+// WithEpisodes returns a new program containing only the episodes at
+// the given (ascending) indices of p, sharing their stanza text
+// verbatim. The subset is a valid program: stanza labels carry their
+// original episode index, so the text never collides, and every
+// episode's recovery is self-contained. The shrinker bisects over this.
+func (p *Program) WithEpisodes(keep []int) *Program {
+	q := &Program{Seed: p.Seed, Eager: p.Eager, Extra: p.Extra}
+	for _, i := range keep {
+		q.Episodes = append(q.Episodes, p.Episodes[i])
+		q.stanzas = append(q.stanzas, p.stanzas[i])
+	}
+	return q
 }
 
 // Source renders the program for one delivery mode. mutate, when true,
@@ -189,7 +213,7 @@ func (p *Program) Source(mode core.Mode, mutate bool) string {
 	b.WriteString(prologue)
 	b.WriteString(setupStanza(mode))
 	b.WriteString(zeroRegs)
-	b.WriteString(p.workload)
+	b.WriteString(p.workload())
 	b.WriteString(p.Extra)
 	b.WriteString(epilogue)
 	if mutate {
@@ -203,6 +227,35 @@ func (p *Program) Source(mode core.Mode, mutate bool) string {
 	}
 	b.WriteString(dataStanza)
 	return b.String()
+}
+
+// CountInsts counts the instruction lines of an assembly text: lines
+// that are not blank, not comments, not labels, and not directives.
+// Pseudo-instructions (li, la) count as one even when the assembler
+// expands them to two — the count is a deterministic program-size
+// proxy for budget scaling (difftest.BudgetFor), not an exact word
+// count, and it must be cheap enough to run per shard.
+func CountInsts(src string) int {
+	n := 0
+	for _, line := range strings.Split(src, "\n") {
+		s := strings.TrimSpace(line)
+		if i := strings.IndexByte(s, '#'); i >= 0 {
+			s = strings.TrimSpace(s[:i])
+		}
+		if s == "" || s[0] == '.' || strings.HasSuffix(s, ":") {
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+// EmittedInsts is the instruction-line count of the program's full
+// source for one mode — the size the scaled run budget is computed
+// from. Mode matters: the setup stanza and the Hardware variant's
+// Tera wrapper differ per mode.
+func (p *Program) EmittedInsts(mode core.Mode) int {
+	return CountInsts(p.Source(mode, false))
 }
 
 // sourceHeader defines the layout constants the stanzas below use.

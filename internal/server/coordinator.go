@@ -334,6 +334,7 @@ func (s *Server) runDistributed(j *job) (bool, string, error) {
 		if err != nil {
 			return false, "", err
 		}
+		s.metrics.addVerdicts(res.Verdicts)
 		if !res.Ok() {
 			return false, res.Summary(), fmt.Errorf("fault campaign failed (%d failures, missing coverage: %v)",
 				len(res.Failures), res.MissingCoverage())
@@ -348,6 +349,7 @@ func (s *Server) runDistributed(j *job) (bool, string, error) {
 		if err != nil {
 			return false, "", err
 		}
+		s.metrics.addVerdicts(res.Verdicts)
 		if !res.Ok() {
 			return false, res.Summary(), fmt.Errorf("differential campaign failed (%d divergences, self-test ok: %v)",
 				len(res.Divergences), res.SelfTestOK)

@@ -337,6 +337,7 @@ func (s *Server) runJob(j *job) (ok bool, summary string, err error) {
 		if rerr != nil {
 			return false, "", rerr
 		}
+		s.metrics.addVerdicts(res.Verdicts)
 		if !res.Ok() {
 			return false, res.Summary(), fmt.Errorf("fault campaign failed (%d failures, missing coverage: %v)",
 				len(res.Failures), res.MissingCoverage())
@@ -354,6 +355,7 @@ func (s *Server) runJob(j *job) (ok bool, summary string, err error) {
 		if rerr != nil {
 			return false, "", rerr
 		}
+		s.metrics.addVerdicts(res.Verdicts)
 		if !res.Ok() {
 			return false, res.Summary(), fmt.Errorf("differential campaign failed (%d divergences, self-test ok: %v)",
 				len(res.Divergences), res.SelfTestOK)

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"uexc/internal/core"
+	"uexc/internal/verdict"
 )
 
 // Metrics is the server's observability surface: admission and
@@ -45,6 +46,11 @@ type Metrics struct {
 	FleetAcks          atomic.Uint64 // ranges fully merged into the frontier
 	WorkersQuarantined atomic.Uint64 // worker quarantine episodes
 
+	// Verdicts counts campaign runs by typed classification
+	// (DESIGN.md §14), folded from every completed campaign/difftest
+	// job's result.
+	Verdicts [verdict.NumKinds]atomic.Uint64
+
 	byType map[Type]*atomic.Uint64 // admitted jobs by type
 
 	// Simulator counters, harvested at machine Put time.
@@ -66,6 +72,16 @@ func newMetrics() *Metrics {
 		m.byType[t] = &atomic.Uint64{}
 	}
 	return m
+}
+
+// addVerdicts folds one completed sweep's verdict tally into the
+// counters.
+func (m *Metrics) addVerdicts(c verdict.Counts) {
+	for k := verdict.Kind(0); k < verdict.NumKinds; k++ {
+		if c[k] > 0 {
+			m.Verdicts[k].Add(uint64(c[k]))
+		}
+	}
 }
 
 // harvest accumulates one finished run's simulator counters. Installed
@@ -108,6 +124,10 @@ type Snapshot struct {
 	JobsEvicted   uint64 `json:"jobs_evicted_total"`
 
 	JobsByType map[string]uint64 `json:"jobs_by_type"`
+
+	// Verdicts is the cumulative run-classification tally across every
+	// completed campaign and difftest job (DESIGN.md §14).
+	Verdicts map[string]uint64 `json:"run_verdicts"`
 
 	// Tenants is per-tenant admission state; present once a tenant has
 	// been seen.
@@ -177,6 +197,7 @@ func (s *Server) snapshot() Snapshot {
 		JobsEvicted:   m.JobsEvicted.Load(),
 
 		JobsByType: make(map[string]uint64, len(m.byType)),
+		Verdicts:   make(map[string]uint64, verdict.NumKinds),
 
 		StoreEnabled:   s.store != nil,
 		Restarts:       m.Restarts.Load(),
@@ -207,6 +228,9 @@ func (s *Server) snapshot() Snapshot {
 	}
 	for t, c := range m.byType {
 		snap.JobsByType[string(t)] = c.Load()
+	}
+	for k := verdict.Kind(0); k < verdict.NumKinds; k++ {
+		snap.Verdicts[k.String()] = m.Verdicts[k].Load()
 	}
 	if snap.Pool.Gets > 0 {
 		snap.PoolHitRate = float64(snap.Pool.Reuses) / float64(snap.Pool.Gets)
@@ -265,6 +289,9 @@ func (snap Snapshot) renderText(w io.Writer) {
 	}
 	for t, n := range snap.JobsByType {
 		lines[fmt.Sprintf("uexc_jobs_admitted_by_type_total{type=%q}", t)] = fmt.Sprint(n)
+	}
+	for v, n := range snap.Verdicts {
+		lines[fmt.Sprintf("uexc_run_verdicts_total{verdict=%q}", v)] = fmt.Sprint(n)
 	}
 	for name, t := range snap.Tenants {
 		lines[fmt.Sprintf("uexc_tenant_queued{tenant=%q}", name)] = fmt.Sprint(t.Queued)

@@ -289,7 +289,7 @@ func TestStreamByteIdenticalToCLI(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs campaigns")
 	}
-	_, base := startTest(t, Config{Workers: 2, QueueDepth: 8})
+	s, base := startTest(t, Config{Workers: 2, QueueDepth: 8})
 	const seeds = 3
 
 	var wantCampaign bytes.Buffer
@@ -323,6 +323,18 @@ func TestStreamByteIdenticalToCLI(t *testing.T) {
 			t.Errorf("%s parallel %d: stream differs from CLI\n--- server ---\n%s--- cli ---\n%s",
 				tc.req.Type, tc.req.Parallel, out, tc.want)
 		}
+	}
+
+	// Verdict accounting: every run classified clean — the campaign
+	// jobs tally one verdict per seed×mode, the difftest jobs one per
+	// seed — and nothing unclassified.
+	snap := s.snapshot()
+	want := uint64(2*seeds*3 + 2*seeds)
+	if snap.Verdicts["clean"] != want {
+		t.Errorf("clean verdicts = %d, want %d", snap.Verdicts["clean"], want)
+	}
+	if snap.Verdicts["engine-bug"] != 0 {
+		t.Errorf("engine-bug verdicts = %d, want 0", snap.Verdicts["engine-bug"])
 	}
 }
 
@@ -546,6 +558,8 @@ func TestMetricsSurfaces(t *testing.T) {
 	for _, want := range []string{
 		"uexc_jobs_admitted_total", "uexc_queue_capacity 1", "uexc_pool_hit_rate",
 		"uexc_sim_tlb_hits_total", "uexc_sim_fastpath_hits_total",
+		`uexc_run_verdicts_total{verdict="clean"}`,
+		`uexc_run_verdicts_total{verdict="engine-bug"}`,
 	} {
 		if !strings.Contains(string(text), want) {
 			t.Errorf("/metrics text missing %q:\n%s", want, text)

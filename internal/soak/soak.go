@@ -1,0 +1,226 @@
+// Package soak is the seed-space triage sweep (DESIGN.md §14): it
+// drives both campaign engines — the fault-injection campaign and the
+// cross-mode differential oracle — over seeds [0, N), with every run
+// classified by the typed verdict layer, and fails on any unclassified
+// (EngineBug) verdict.
+//
+// The sweep rides the §12 durable job store: each phase is journaled
+// as one job whose merged shard prefix is appended at the engines'
+// checkpoint cadence, so a killed soak resumes from its last synced
+// prefix and — because shards are deterministic and the merge is
+// index-ordered — produces a progress stream, summary, and result
+// byte-identical to an undisturbed run at any -parallel width and any
+// kill point.
+package soak
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"uexc/internal/core"
+	"uexc/internal/difftest"
+	"uexc/internal/harness"
+	"uexc/internal/server/store"
+	"uexc/internal/verdict"
+)
+
+// Options configures a sweep.
+type Options struct {
+	// Seeds is the per-phase seed count (<=0: 10_000 — the full triage
+	// target).
+	Seeds int
+	// Workers shards each phase's runs (0: GOMAXPROCS).
+	Workers int
+	// Dir, when non-empty, holds the §12 journal; empty runs without
+	// durability (no resume).
+	Dir string
+	// Every is the checkpoint cadence in merged shards (<=0: 64).
+	Every int
+}
+
+// Result aggregates both phases.
+type Result struct {
+	Campaign *harness.CampaignResult
+	Diff     *difftest.Result
+}
+
+// Verdicts merges both phases' verdict tallies.
+func (r *Result) Verdicts() verdict.Counts {
+	var c verdict.Counts
+	for k := verdict.Kind(0); k < verdict.NumKinds; k++ {
+		c[k] = r.Campaign.Verdicts[k] + r.Diff.Verdicts[k]
+	}
+	return c
+}
+
+// Gate is the soak pass/fail contract: every run classified (zero
+// EngineBug verdicts) and both engines' own invariants intact.
+func (r *Result) Gate() error {
+	if n := r.Verdicts().Unclassified(); n > 0 {
+		return fmt.Errorf("soak: %d unclassified (engine-bug) verdicts", n)
+	}
+	if !r.Campaign.Ok() {
+		return fmt.Errorf("soak: fault campaign failed (%d failures, missing coverage: %v)",
+			len(r.Campaign.Failures), r.Campaign.MissingCoverage())
+	}
+	if !r.Diff.Ok() {
+		return fmt.Errorf("soak: differential campaign failed (%d divergences, self-test ok: %v)",
+			len(r.Diff.Divergences), r.Diff.SelfTestOK)
+	}
+	return nil
+}
+
+// soakReq is a phase job's request spec, journaled verbatim on accept
+// and matched byte-for-byte on resume.
+type soakReq struct {
+	Soak  string `json:"soak"` // "faultcampaign" | "difftest"
+	Seeds int    `json:"seeds"`
+}
+
+// phase wires one engine sweep to the store: it recovers the journaled
+// shard prefix of a matching pending job (or admits a new one), hands
+// the engines a save callback that appends only newly merged shards
+// and syncs — the §12 checkpoint cadence — and journals the terminal
+// verdict. A nil store degrades to a plain in-memory run.
+type phase[T any] struct {
+	st       *store.Store
+	id       uint64
+	done     []T
+	appended int
+}
+
+func openPhase[T any](st *store.Store, state *store.State, kind string, seeds int) (*phase[T], error) {
+	p := &phase[T]{st: st}
+	if st == nil {
+		return p, nil
+	}
+	req, err := json.Marshal(soakReq{Soak: kind, Seeds: seeds})
+	if err != nil {
+		return nil, err
+	}
+	for _, pend := range state.Pending {
+		if !bytes.Equal(pend.Req, req) {
+			continue
+		}
+		p.id = pend.ID
+		for i, blob := range pend.Shards {
+			var t T
+			if err := json.Unmarshal(blob, &t); err != nil {
+				return nil, fmt.Errorf("soak: journaled shard %d of job %d: %w", i, pend.ID, err)
+			}
+			p.done = append(p.done, t)
+		}
+		p.appended = len(p.done)
+		return p, nil
+	}
+	state.MaxID++
+	p.id = state.MaxID
+	if err := st.AcceptJob(p.id, req, "soak"); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// save is the engines' checkpoint callback: append the prefix growth,
+// then sync — the journal's durable frontier is always a contiguous
+// shard prefix.
+func (p *phase[T]) save(prefix []T) error {
+	if p.st == nil {
+		return nil
+	}
+	for i := p.appended; i < len(prefix); i++ {
+		blob, err := json.Marshal(prefix[i])
+		if err != nil {
+			return err
+		}
+		if err := p.st.AppendShard(p.id, i, blob); err != nil {
+			return err
+		}
+	}
+	p.appended = len(prefix)
+	return p.st.Sync()
+}
+
+func (p *phase[T]) finish(ok bool, summary string) error {
+	if p.st == nil {
+		return nil
+	}
+	errText := ""
+	if !ok {
+		errText = "soak phase failed"
+	}
+	return p.st.FinishJob(p.id, ok, summary, errText)
+}
+
+// Run executes the sweep: the fault campaign phase, then the difftest
+// phase, streaming per-shard progress to progress (nil: silent) and
+// both summaries plus the merged verdict tally to out. The returned
+// Result is complete even when Gate() fails; the error is non-nil only
+// when an engine aborted (context cancelled, store I/O failure) — the
+// caller applies Gate separately so a failing sweep still reports.
+func Run(ctx context.Context, opts Options, progress, out io.Writer) (*Result, error) {
+	if opts.Seeds <= 0 {
+		opts.Seeds = 10_000
+	}
+	if opts.Every <= 0 {
+		opts.Every = 64
+	}
+
+	var (
+		st    *store.Store
+		state = &store.State{}
+	)
+	if opts.Dir != "" {
+		var err error
+		st, state, err = store.Open(opts.Dir, store.Options{})
+		if err != nil {
+			return nil, err
+		}
+		defer st.Close()
+	}
+
+	pool := &core.MachinePool{}
+	res := &Result{}
+
+	cp, err := openPhase[harness.CampaignShard](st, state, "faultcampaign", opts.Seeds)
+	if err != nil {
+		return nil, err
+	}
+	res.Campaign, err = harness.FaultCampaignResumeCtx(ctx, pool, opts.Seeds, opts.Workers,
+		progress, cp.done, opts.Every, cp.save)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprint(out, res.Campaign.Summary())
+
+	dp, err := openPhase[difftest.Shard](st, state, "difftest", opts.Seeds)
+	if err != nil {
+		return nil, err
+	}
+	res.Diff, err = difftest.CampaignResumeCtx(ctx, pool, opts.Seeds, opts.Workers,
+		progress, dp.done, opts.Every, dp.save)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprint(out, res.Diff.Summary())
+
+	// Finish both jobs only now: a kill during phase 2 keeps phase 1
+	// pending with its complete shard prefix, so resume replays it from
+	// the journal instead of re-running the whole campaign.
+	if err := cp.finish(res.Campaign.Ok(), res.Campaign.Summary()); err != nil {
+		return nil, err
+	}
+	if err := dp.finish(res.Diff.Ok(), res.Diff.Summary()); err != nil {
+		return nil, err
+	}
+
+	v := res.Verdicts()
+	fmt.Fprintf(out, "soak: %d seeds x 2 engines, verdicts:\n", opts.Seeds)
+	for k := verdict.Kind(0); k < verdict.NumKinds; k++ {
+		fmt.Fprintf(out, "  %-16s %d\n", k, v[k])
+	}
+	return res, nil
+}

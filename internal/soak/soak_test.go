@@ -1,0 +1,146 @@
+package soak
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+
+	"uexc/internal/difftest"
+	"uexc/internal/harness"
+	"uexc/internal/verdict"
+)
+
+// cancelAfter cancels ctx after n writes to the progress stream —
+// a deterministic stand-in for a kill mid-sweep.
+type cancelAfter struct {
+	mu     sync.Mutex
+	left   int
+	cancel context.CancelFunc
+}
+
+func (c *cancelAfter) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.left--
+	if c.left <= 0 {
+		c.cancel()
+	}
+	return len(p), nil
+}
+
+// TestSoakResumeByteIdentical: a soak killed at an arbitrary point and
+// resumed from its §12 journal must reproduce the undisturbed sweep's
+// progress stream, summaries, and verdict tally byte for byte — at a
+// different worker width than the original run, since shards are
+// deterministic functions of their index.
+func TestSoakResumeByteIdentical(t *testing.T) {
+	const seeds = 6
+	ctx := context.Background()
+
+	var wantProgress, wantOut bytes.Buffer
+	want, err := Run(ctx, Options{Seeds: seeds, Workers: 1, Every: 2}, &wantProgress, &wantOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := want.Gate(); err != nil {
+		t.Fatalf("undisturbed sweep gated: %v", err)
+	}
+
+	// Kill points: mid fault campaign (21 shards) and mid difftest.
+	for _, killAt := range []int{5, 23} {
+		t.Run(fmt.Sprintf("killAt=%d", killAt), func(t *testing.T) {
+			dir := t.TempDir()
+			cctx, cancel := context.WithCancel(ctx)
+			defer cancel()
+			w := &cancelAfter{left: killAt, cancel: cancel}
+			_, err := Run(cctx, Options{Seeds: seeds, Workers: 2, Dir: dir, Every: 2}, w, io.Discard)
+			if err == nil {
+				t.Fatal("interrupted sweep did not abort")
+			}
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("abort error = %v, want context.Canceled", err)
+			}
+
+			var gotProgress, gotOut bytes.Buffer
+			got, err := Run(ctx, Options{Seeds: seeds, Workers: 3, Dir: dir, Every: 2}, &gotProgress, &gotOut)
+			if err != nil {
+				t.Fatalf("resume: %v", err)
+			}
+			if gotProgress.String() != wantProgress.String() {
+				t.Errorf("resumed progress stream differs:\n--- got ---\n%s--- want ---\n%s",
+					gotProgress.String(), wantProgress.String())
+			}
+			if gotOut.String() != wantOut.String() {
+				t.Errorf("resumed output differs:\n--- got ---\n%s--- want ---\n%s",
+					gotOut.String(), wantOut.String())
+			}
+			if got.Verdicts() != want.Verdicts() {
+				t.Errorf("verdicts = %v, want %v", got.Verdicts(), want.Verdicts())
+			}
+			if err := got.Gate(); err != nil {
+				t.Errorf("resumed sweep gated: %v", err)
+			}
+		})
+	}
+}
+
+// TestSoakDurableRunMatchesEphemeral: journaling must not perturb the
+// sweep — a store-backed run and a store-less run are byte-identical.
+func TestSoakDurableRunMatchesEphemeral(t *testing.T) {
+	const seeds = 4
+	ctx := context.Background()
+	var p1, o1, p2, o2 bytes.Buffer
+	if _, err := Run(ctx, Options{Seeds: seeds, Workers: 2, Every: 3}, &p1, &o1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(ctx, Options{Seeds: seeds, Workers: 2, Dir: t.TempDir(), Every: 3}, &p2, &o2); err != nil {
+		t.Fatal(err)
+	}
+	if p1.String() != p2.String() || o1.String() != o2.String() {
+		t.Error("durable run differs from ephemeral run")
+	}
+}
+
+// TestSoakGate: the gate passes only when every run is classified and
+// both engines' invariants hold.
+func TestSoakGate(t *testing.T) {
+	clean := &Result{Campaign: &harness.CampaignResult{}, Diff: &difftest.Result{SelfTestOK: true}}
+	clean.Campaign.Exercised = map[string]uint64{}
+	for _, k := range harness.RequiredCoverage {
+		clean.Campaign.Exercised[k] = 1
+	}
+	if err := clean.Gate(); err != nil {
+		t.Errorf("clean result gated: %v", err)
+	}
+
+	bug := &Result{Campaign: &harness.CampaignResult{}, Diff: &difftest.Result{SelfTestOK: true}}
+	bug.Campaign.Exercised = clean.Campaign.Exercised
+	bug.Campaign.Verdicts.Add(verdict.EngineBug)
+	err := bug.Gate()
+	if err == nil || !strings.Contains(err.Error(), "unclassified") {
+		t.Errorf("engine-bug result not gated: %v", err)
+	}
+
+	div := &Result{Campaign: clean.Campaign, Diff: &difftest.Result{SelfTestOK: false}}
+	if div.Gate() == nil {
+		t.Error("failed self-test not gated")
+	}
+}
+
+// TestSoakVerdictsMerge: the merged tally is the sum of both phases.
+func TestSoakVerdictsMerge(t *testing.T) {
+	r := &Result{Campaign: &harness.CampaignResult{}, Diff: &difftest.Result{}}
+	r.Campaign.Verdicts.Add(verdict.Clean)
+	r.Campaign.Verdicts.Add(verdict.KnownDivergent)
+	r.Diff.Verdicts.Add(verdict.Clean)
+	r.Diff.Verdicts.Add(verdict.BudgetScaled)
+	v := r.Verdicts()
+	if v[verdict.Clean] != 2 || v[verdict.KnownDivergent] != 1 || v[verdict.BudgetScaled] != 1 {
+		t.Errorf("merged verdicts = %v", v)
+	}
+}

@@ -1,0 +1,112 @@
+// Package verdict is the typed outcome taxonomy of the seed-space
+// triage engine (DESIGN.md §14). Campaigns classify every run instead
+// of crashing or reporting free-text failures: a verdict is a
+// deterministic function of the run's digest, rides the journal with
+// the digest (so classification survives checkpoint/resume), and is
+// what the soak gate aggregates.
+//
+// The taxonomy, from benign to fatal:
+//
+//   - Clean: the run converged through a recognized path — clean exit,
+//     deterministic signal termination, watchdog livelock detection, or
+//     recursion kill — with no failures.
+//   - BudgetScaled: the run is clean AND needed the scaled instruction
+//     budget (difftest.BudgetFor) above the legacy 3M floor. It exists
+//     so budget growth is visible, never silent.
+//   - KnownDivergent: the run failed in a way fully attributable to
+//     injected state corruption (mem-corrupt, tlb-flip, tlb-stale-asid
+//     events before the failure). The canonical case is seed 2227: a
+//     corrupted handler counter defeats the program's own runaway
+//     bound, so the signal loop is genuinely infinite and budget
+//     exhaustion is the correct, deterministic stop. Classified, not
+//     failing — but only with the corruption witness in the digest.
+//   - EngineBug: everything else — a recovered Go panic, a kernel
+//     first-level handler panic (kernel.ErrKernelPanic), an invariant
+//     violation, a determinism break, or any unattributable failure.
+//     Always failing; the campaign reports it, the process never dies.
+//
+// Verdicts marshal as strings so NDJSON digests and /metrics stay
+// human-readable; the zero value (Clean) is omitted under `omitempty`,
+// which keeps journals written before the verdict layer replayable.
+package verdict
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Kind is a run's typed classification.
+type Kind int
+
+const (
+	Clean Kind = iota
+	BudgetScaled
+	KnownDivergent
+	EngineBug
+	NumKinds
+)
+
+var names = [NumKinds]string{"clean", "budget-scaled", "known-divergent", "engine-bug"}
+
+func (k Kind) String() string {
+	if k < 0 || k >= NumKinds {
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+	return names[k]
+}
+
+// Failing reports whether the verdict fails a campaign. Only EngineBug
+// does: Clean and BudgetScaled are successes, and KnownDivergent is a
+// classified, witnessed consequence of injected corruption.
+func (k Kind) Failing() bool { return k == EngineBug }
+
+// MarshalJSON renders the verdict as its string name.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	if k < 0 || k >= NumKinds {
+		return nil, fmt.Errorf("verdict: cannot marshal %s", k)
+	}
+	return json.Marshal(names[k])
+}
+
+// UnmarshalJSON accepts a verdict name; "" maps to Clean so digests
+// journaled before the verdict layer replay unchanged.
+func (k *Kind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	if s == "" {
+		*k = Clean
+		return nil
+	}
+	for i, n := range names {
+		if n == s {
+			*k = Kind(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("verdict: unknown kind %q", s)
+}
+
+// Counts tallies verdicts by kind, e.g. across a campaign.
+type Counts [NumKinds]int
+
+// Add folds one verdict in.
+func (c *Counts) Add(k Kind) {
+	if k >= 0 && k < NumKinds {
+		c[k]++
+	}
+}
+
+// Total is the number of verdicts folded in.
+func (c Counts) Total() int {
+	n := 0
+	for _, v := range c {
+		n += v
+	}
+	return n
+}
+
+// Unclassified reports the count of failing (EngineBug) verdicts — the
+// quantity the soak gate requires to be zero.
+func (c Counts) Unclassified() int { return c[EngineBug] }

@@ -1,0 +1,85 @@
+package verdict
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestStringNames(t *testing.T) {
+	want := map[Kind]string{
+		Clean: "clean", BudgetScaled: "budget-scaled",
+		KnownDivergent: "known-divergent", EngineBug: "engine-bug",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Errorf("out-of-range String() = %q", Kind(99).String())
+	}
+}
+
+func TestOnlyEngineBugFails(t *testing.T) {
+	for k := Kind(0); k < NumKinds; k++ {
+		if got, want := k.Failing(), k == EngineBug; got != want {
+			t.Errorf("%s.Failing() = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	for k := Kind(0); k < NumKinds; k++ {
+		b, err := json.Marshal(k)
+		if err != nil {
+			t.Fatalf("marshal %s: %v", k, err)
+		}
+		var got Kind
+		if err := json.Unmarshal(b, &got); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if got != k {
+			t.Errorf("round trip %s -> %s", k, got)
+		}
+	}
+	if _, err := json.Marshal(Kind(99)); err == nil {
+		t.Error("marshal of out-of-range kind succeeded")
+	}
+	var k Kind
+	if err := json.Unmarshal([]byte(`"nonsense"`), &k); err == nil {
+		t.Error("unmarshal of unknown name succeeded")
+	}
+}
+
+// TestPreVerdictJournalCompat pins the journal-compat contract: a
+// digest written before the verdict layer has no verdict field (or an
+// empty one), and must replay as Clean.
+func TestPreVerdictJournalCompat(t *testing.T) {
+	var s struct {
+		V Kind `json:"verdict,omitempty"`
+	}
+	if err := json.Unmarshal([]byte(`{}`), &s); err != nil || s.V != Clean {
+		t.Errorf("missing field: %v, %v", s.V, err)
+	}
+	if err := json.Unmarshal([]byte(`{"verdict":""}`), &s); err != nil || s.V != Clean {
+		t.Errorf("empty field: %v, %v", s.V, err)
+	}
+}
+
+func TestCounts(t *testing.T) {
+	var c Counts
+	c.Add(Clean)
+	c.Add(Clean)
+	c.Add(KnownDivergent)
+	c.Add(EngineBug)
+	c.Add(Kind(99)) // ignored
+	if c.Total() != 4 {
+		t.Errorf("Total = %d", c.Total())
+	}
+	if c.Unclassified() != 1 {
+		t.Errorf("Unclassified = %d", c.Unclassified())
+	}
+	if c[Clean] != 2 || c[KnownDivergent] != 1 {
+		t.Errorf("counts = %v", c)
+	}
+}
