@@ -11,7 +11,7 @@ GO ?= go
 # durably improves; never lower it to make a change pass.
 COVER_MIN ?= 86.0
 
-.PHONY: all build test vet check cover campaign soak soak-smoke bench-campaign bench-cpu bench-serve bench-fleet serve-smoke chaos-smoke fleet-smoke fuzz clean
+.PHONY: all build test vet check cover campaign soak soak-smoke bench-campaign bench-cpu bench-jit bench-serve bench-fleet serve-smoke chaos-smoke difftest-crosscheck fleet-smoke fuzz clean
 
 all: build
 
@@ -31,6 +31,7 @@ check: vet build
 	$(GO) test -race ./...
 	$(GO) run ./cmd/uexc-bench -faultcampaign -seeds 30 -parallel 4
 	$(GO) run ./cmd/uexc-bench -difftest -seeds 30 -parallel 4
+	$(MAKE) difftest-crosscheck
 	$(MAKE) soak-smoke
 	$(MAKE) serve-smoke
 	$(MAKE) chaos-smoke
@@ -65,6 +66,15 @@ chaos-smoke:
 # (DESIGN.md §13).
 fleet-smoke:
 	$(GO) run -race ./cmd/uexc-serve -fleet-smoke
+
+# Translation-tier cross-check: the 30-seed difftest with the JIT
+# forced on and forced off must produce byte-identical summaries —
+# the executable observational-identity contract of cpu/translate.go.
+difftest-crosscheck:
+	$(GO) run ./cmd/uexc-bench -difftest -seeds 30 -parallel 4 -engine jit > .crosscheck-jit.out
+	$(GO) run ./cmd/uexc-bench -difftest -seeds 30 -parallel 4 -engine interp > .crosscheck-interp.out
+	cmp .crosscheck-jit.out .crosscheck-interp.out
+	rm -f .crosscheck-jit.out .crosscheck-interp.out
 
 # Coverage ratchet: reruns the suite with statement coverage over the
 # internal packages and enforces the COVER_MIN floor.
@@ -104,6 +114,17 @@ bench-campaign:
 # fast-path change are recorded in BENCH_cpu.json.
 bench-cpu:
 	$(GO) test -run '^$$' -bench 'Benchmark(StepLoop|MemcpyProgram|CampaignSerial)' -benchtime 2s .
+
+# Paired translation-tier benchmark: the same three benchmarks with
+# the engine pinned to the fast path and then to the JIT, back to back
+# on the same host — the before/after methodology the "jit" entry in
+# BENCH_cpu.json records. UEXC_ENGINE is read by the bench helpers in
+# bench_test.go.
+bench-jit:
+	@echo "== engine=fast (before) =="
+	UEXC_ENGINE=fast $(GO) test -run '^$$' -bench 'Benchmark(StepLoop|MemcpyProgram|CampaignSerial)' -benchtime 2s .
+	@echo "== engine=jit (after) =="
+	UEXC_ENGINE=jit $(GO) test -run '^$$' -bench 'Benchmark(StepLoop|MemcpyProgram|CampaignSerial)' -benchtime 2s .
 
 # Serving benchmark: the full self-test at acceptance scale — 200
 # mixed jobs at client concurrency 32 against a race-enabled server —

@@ -11,6 +11,7 @@ package uexc
 // binary prints the same tables without the benchmarking framework.
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"sync"
@@ -19,6 +20,7 @@ import (
 	"uexc/internal/apps/gcsim"
 	"uexc/internal/apps/swizzle"
 	"uexc/internal/core"
+	"uexc/internal/cpu"
 	"uexc/internal/harness"
 	"uexc/internal/report"
 	"uexc/internal/simos"
@@ -248,8 +250,33 @@ func BenchmarkAblationSubpage(b *testing.B) {
 // smoke campaign.
 const benchCampaignSeeds = 30
 
+// benchEngine maps UEXC_ENGINE to the execution tier under
+// measurement: "jit" (default), "fast" (the pre-JIT fast-path
+// interpreter), or "interp" (uncached reference). `make bench-jit`
+// runs the paired fast/jit comparison recorded in BENCH_cpu.json.
+func benchEngine(b *testing.B) cpu.Engine {
+	b.Helper()
+	switch env := os.Getenv("UEXC_ENGINE"); env {
+	case "", "jit":
+		return cpu.EngineJIT
+	case "fast":
+		return cpu.EngineFast
+	case "interp":
+		return cpu.EngineInterp
+	default:
+		b.Fatalf("UEXC_ENGINE=%q: want jit, fast, or interp", env)
+		return 0
+	}
+}
+
 func benchCampaign(b *testing.B, workers int) {
 	b.Helper()
+	// The campaign boots its machines through the pool, so the engine
+	// under measurement is selected via the process-wide default (each
+	// `make bench-jit` leg is its own process).
+	prev := cpu.DefaultEngine
+	cpu.DefaultEngine = benchEngine(b)
+	defer func() { cpu.DefaultEngine = prev }()
 	var fp string
 	for i := 0; i < b.N; i++ {
 		res, err := harness.FaultCampaignParallel(benchCampaignSeeds, workers, nil)
@@ -282,10 +309,19 @@ func BenchmarkCampaignParallel4(b *testing.B) { benchCampaign(b, 4) }
 // BenchmarkCampaignParallel uses every core (the uexc-bench default).
 func BenchmarkCampaignParallel(b *testing.B) { benchCampaign(b, 0) }
 
-// benchInterp steps the CPU b.N times through the given user program
-// and reports simulated MIPS (millions of simulated instructions per
-// host second) as a custom metric. The program must run far longer
-// than any plausible b.N.
+// benchInterp retires b.N instructions of the given user program
+// through CPU.Run and reports simulated MIPS (millions of simulated
+// instructions per host second) as a custom metric. The program must
+// run far longer than any plausible b.N.
+//
+// UEXC_ENGINE selects the execution tier under measurement: "jit"
+// (default), "fast" (the pre-JIT fast-path interpreter), or "interp"
+// (uncached reference) — `make bench-jit` runs the paired fast/jit
+// comparison recorded in BENCH_cpu.json. The livelock watchdog is a
+// Run-loop service rather than part of any engine, so it is detached
+// here: raw engine throughput is what the benchmark measures (the
+// pre-JIT numbers in BENCH_cpu.json were Step()-based and likewise
+// excluded it).
 func benchInterp(b *testing.B, src string) {
 	b.Helper()
 	m, err := core.NewMachine()
@@ -296,17 +332,18 @@ func benchInterp(b *testing.B, src string) {
 		b.Fatal(err)
 	}
 	c := m.CPU()
+	c.Engine = benchEngine(b)
+	c.Watchdog = nil
 	start := c.Insts
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if c.Halted {
-			b.Fatal("benchmark program exited early")
-		}
-		if err := c.Step(); err != nil {
-			b.Fatal(err)
-		}
-	}
+	n, err := c.Run(uint64(b.N))
 	b.StopTimer()
+	if !errors.Is(err, cpu.ErrBudget) {
+		b.Fatalf("Run: got %v (retired %d), want budget exhaustion", err, n)
+	}
+	if c.Halted {
+		b.Fatal("benchmark program exited early")
+	}
 	if s := b.Elapsed().Seconds(); s > 0 {
 		b.ReportMetric(float64(c.Insts-start)/1e6/s, "sim_MIPS")
 	}

@@ -41,8 +41,11 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"sync/atomic"
 	"syscall"
 
+	"uexc/internal/core"
+	"uexc/internal/cpu"
 	dt "uexc/internal/difftest"
 	"uexc/internal/harness"
 	"uexc/internal/report"
@@ -75,6 +78,37 @@ func writeSeriesCSV(dir, name string, s *report.Series) (string, error) {
 	return path, nil
 }
 
+// jitDiag accumulates translation-tier counters from every machine a
+// campaign returns to its pool, the same way the serving layer's
+// /metrics harvest does. -v prints them as a trailing stderr
+// diagnostics line; stdout summaries never include them, so campaign
+// output stays byte-identical across engines and parallel widths.
+// The counters themselves are diagnostics, not fingerprint material:
+// invalidation counts depend on how runs interleave onto pooled
+// machines, so they vary with -parallel width.
+type jitDiag struct {
+	blocks, execs, guardMisses, invalidations atomic.Uint64
+}
+
+// pool returns a machine pool whose Harvest hook folds each run's
+// counters into d. Harvest runs on the campaign worker goroutines,
+// hence the atomics.
+func (d *jitDiag) pool() *core.MachinePool {
+	return &core.MachinePool{Harvest: func(m *core.Machine) {
+		c := m.CPU()
+		d.blocks.Add(c.JITBlocks)
+		d.execs.Add(c.JITExecs)
+		d.guardMisses.Add(c.JITGuardMisses)
+		d.invalidations.Add(c.JITInvalidations)
+	}}
+}
+
+// report writes the one-line translation-tier summary.
+func (d *jitDiag) report(w io.Writer) {
+	fmt.Fprintf(w, "jit: %d blocks compiled, %d block execs, %d guard misses, %d invalidations\n",
+		d.blocks.Load(), d.execs.Load(), d.guardMisses.Load(), d.invalidations.Load())
+}
+
 // run is the testable body of main: parses args, regenerates the
 // requested exhibits to stdout, and reports progress/diagnostics on
 // stderr. Cancelling ctx aborts the campaign paths between runs.
@@ -96,6 +130,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		seeds     = fs.Int("seeds", 30, "number of campaign seeds")
 		workers   = fs.Int("parallel", runtime.NumCPU(), "worker goroutines for sharded runs (0 = all CPUs)")
 		verbose   = fs.Bool("v", false, "per-run fault-campaign progress")
+		engine    = fs.String("engine", "jit", "execution tier: jit, fast, or interp")
 		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
@@ -153,6 +188,21 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if (*campaign && *difftest) || (*soak && (*campaign || *difftest)) {
 		return fmt.Errorf("-faultcampaign, -difftest, and -soak are separate sweeps; pick one")
 	}
+	// -engine selects the execution tier every machine in this process
+	// boots with. All three tiers are observationally identical (the
+	// difftest cross-check in `make check` holds them to that), so this
+	// only changes wall-clock — and is exactly the knob the cross-check
+	// and the paired BENCH_cpu.json runs turn.
+	switch *engine {
+	case "jit":
+		cpu.DefaultEngine = cpu.EngineJIT
+	case "fast":
+		cpu.DefaultEngine = cpu.EngineFast
+	case "interp":
+		cpu.DefaultEngine = cpu.EngineInterp
+	default:
+		return fmt.Errorf("-engine must be jit, fast, or interp, got %q", *engine)
+	}
 
 	printT := func(t *report.Table, err error) error {
 		if err != nil {
@@ -185,11 +235,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		if *verbose {
 			progress = stderr
 		}
-		res, err := harness.FaultCampaignCtx(ctx, nil, *seeds, *workers, progress)
+		var diag jitDiag
+		res, err := harness.FaultCampaignCtx(ctx, diag.pool(), *seeds, *workers, progress)
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(stdout, res.Summary())
+		if *verbose {
+			diag.report(stderr)
+		}
 		if !res.Ok() {
 			return fmt.Errorf("fault campaign failed (%d failures, missing coverage: %v)",
 				len(res.Failures), res.MissingCoverage())
@@ -216,11 +270,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		if *verbose {
 			progress = stderr
 		}
-		res, err := dt.CampaignCtx(ctx, nil, *seeds, *workers, progress)
+		var diag jitDiag
+		res, err := dt.CampaignCtx(ctx, diag.pool(), *seeds, *workers, progress)
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(stdout, res.Summary())
+		if *verbose {
+			diag.report(stderr)
+		}
 		if !res.Ok() {
 			return fmt.Errorf("differential campaign failed (%d divergences, self-test ok: %v)",
 				len(res.Divergences), res.SelfTestOK)

@@ -66,9 +66,15 @@ func NewMachine() (*Machine, error) {
 
 // Reset reboots the machine in place — kernel, CPU, TLB, and memory
 // scrubbed but their allocations reused — restoring the exact state
-// NewMachine produces (watchdog armed, no program loaded). The
-// campaign's replay discipline doubles as the verification: a reset
-// machine must produce byte-identical fingerprints to a fresh one.
+// NewMachine produces (watchdog armed, no program loaded). The CPU
+// keeps its predecode cache and translated basic blocks across the
+// reset as allocations only: both are keyed by physical page and
+// guarded by mem.Page store generations, and the memory scrub
+// advances every page's generation, so a recycled machine re-decodes
+// and re-translates everything it executes while reusing the arrays.
+// The campaign's replay discipline doubles as the verification: a
+// reset machine must produce byte-identical fingerprints to a fresh
+// one, pooled or not.
 func (m *Machine) Reset() error {
 	if err := m.K.Reset(); err != nil {
 		return err

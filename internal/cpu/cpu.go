@@ -128,8 +128,22 @@ type CPU struct {
 	// direct-page fast paths (fastpath.go), forcing every access down
 	// the uncached interpreter path. The fast path is observationally
 	// transparent, so this only changes speed; tests flip it to verify
-	// exactly that.
+	// exactly that. Equivalent to Engine=EngineInterp, kept as the
+	// historical master kill switch (it also suppresses the JIT).
 	NoFastPath bool
+
+	// Engine is the three-way execution-tier switch (translate.go):
+	// translated basic blocks (EngineJIT, the default), the fast-path
+	// interpreter (EngineFast), or the uncached reference interpreter
+	// (EngineInterp). All three are observationally identical.
+	Engine Engine
+
+	// InjectUserOnly declares that the installed Inject hook is a pure
+	// no-op in kernel mode (returns nil, no side effects), which lets
+	// the JIT translate kernel-mode code while a fault-injection
+	// campaign is armed. internal/faultinject sets it; any injector
+	// that observes kernel-mode steps must leave it false.
+	InjectUserOnly bool
 
 	// Micro-TLBs and the predecoded instruction cache (fastpath.go).
 	itlb      [microEntries]utlbEntry
@@ -150,6 +164,15 @@ type CPU struct {
 	// never part of a determinism fingerprint — it feeds the serving
 	// layer's metrics surface.
 	FastHits uint64
+
+	// Translation-tier statistics (translate.go), harvested into the
+	// serving layer's metrics. Like FastHits these are purely
+	// diagnostic — never part of a determinism fingerprint (block
+	// shapes depend on pool reuse and engine selection).
+	JITBlocks        uint64 // blocks compiled (including recompiles)
+	JITExecs         uint64 // block executions that retired >= 1 inst
+	JITGuardMisses   uint64 // entry guard mismatches (vpn/mode/counted)
+	JITInvalidations uint64 // page-generation invalidations observed
 
 	// MemWrites counts successful data stores; the watchdog uses it as a
 	// cheap progress signal (a machine that stores is not livelocked by
@@ -214,7 +237,7 @@ type CPU struct {
 // New creates a CPU attached to the given memory and TLB, with PC at the
 // reset vector and kernel mode active.
 func New(m *mem.Memory, t *tlb.TLB) *CPU {
-	c := &CPU{Mem: m, TLB: t, Cost: DefaultCost(), HWUTLBMod: true}
+	c := &CPU{Mem: m, TLB: t, Cost: DefaultCost(), HWUTLBMod: true, Engine: DefaultEngine}
 	c.Reset()
 	return c
 }
@@ -257,13 +280,19 @@ func (c *CPU) ResetAll() {
 	c.redirect = false
 	c.pendingHookErr = nil
 	c.NoFastPath = false
+	c.Engine = DefaultEngine
+	c.InjectUserOnly = false
+	c.JITBlocks, c.JITExecs, c.JITGuardMisses, c.JITInvalidations = 0, 0, 0, 0
 	c.itlbClock, c.dtlbClock = 0, 0
 	c.microGen = 0
 	// ipages is deliberately kept: predecoded instructions are keyed by
 	// physical page and validated against the page's store generation,
 	// which Memory.Reset advances, so entries from a previous run can
 	// never leak stale decodes — and pooled machines skip re-decoding
-	// the shared kernel text on every recycle.
+	// the shared kernel text on every recycle. Translated blocks ride
+	// along (pageInsts.blocks) under the same generation guard: a
+	// recycled machine re-enters a kept block only after revalidating
+	// it against the page generation Memory.Reset advanced.
 }
 
 // Charge adds cycles outside normal instruction accounting; used by the
@@ -626,7 +655,7 @@ func (c *CPU) Step() error {
 			c.raise(sig, instPC, inDelay)
 			return nil
 		}
-		if pg := c.Mem.PageRef(pa); pg != nil && !c.NoFastPath {
+		if pg := c.Mem.PageRef(pa); pg != nil && !c.fastOff() {
 			// Decode through the predecode cache even when the micro-TLBs
 			// are bypassed (InjectMiss installed): decoding is pure and
 			// the cache is generation-checked, so the result is identical.
@@ -699,9 +728,24 @@ func (c *CPU) hookErr() error {
 // retired. It returns the number of instructions executed. Budget
 // exhaustion is reported as a *BudgetError; if a Watchdog is attached
 // and detects a state cycle, Run stops early with a *LivelockError.
+//
+// Under EngineJIT, Run dispatches translated basic blocks where
+// jitStep can prove exactness and falls back to single interpreter
+// steps everywhere else. The watchdog observes at block granularity
+// on the JIT path: the detector is exact (it fires only on true state
+// cycles), so coarser observation can only shift *when* a livelock is
+// caught, never *whether*.
 func (c *CPU) Run(maxInsts uint64) (uint64, error) {
 	start := c.Insts
 	for !c.Halted && c.Insts-start < maxInsts {
+		if c.Engine == EngineJIT && c.jitStep(maxInsts-(c.Insts-start)) {
+			if c.Watchdog != nil {
+				if err := c.Watchdog.Observe(c); err != nil {
+					return c.Insts - start, err
+				}
+			}
+			continue
+		}
 		if err := c.Step(); err != nil {
 			return c.Insts - start, err
 		}

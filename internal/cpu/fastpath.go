@@ -24,7 +24,12 @@ package cpu
 //     campaigns), the micro-TLBs are bypassed entirely so the hook and
 //     the statistics see every single lookup; the predecode cache stays
 //     active because decoding is pure and generation-checked. NoFastPath
-//     additionally disables everything for differential verification.
+//     (equivalently Engine=EngineInterp, see translate.go) disables
+//     everything for differential verification.
+//
+// The JIT tier (translate.go/block.go) builds on all three layers:
+// blocks are discovered through the predecode cache, entered through
+// micro-ITLB hits, and invalidated by the same page store generations.
 
 import (
 	"uexc/internal/arch"
@@ -60,11 +65,16 @@ type fillInfo struct {
 }
 
 // pageInsts is the predecoded instruction cache of one physical page,
-// validated against the page's store generation.
+// validated against the page's store generation. It also owns the
+// page's translated basic blocks (block.go), indexed by starting word
+// offset; each block carries its own generation/identity guard, so a
+// stale entry is revalidated (and recompiled) on entry rather than
+// eagerly flushed here.
 type pageInsts struct {
 	gen    uint64 // mem.Page.Gen at decode time
 	filled [arch.PageSize / 4 / 64]uint64
 	insts  [arch.PageSize / 4]arch.Inst
+	blocks [arch.PageSize / 4]*jitBlock
 }
 
 // fetch returns the decoded instruction at the word offset of pa,
@@ -121,7 +131,7 @@ func (c *CPU) flushMicroTLB() {
 // itlbLookup returns the micro-ITLB entry for a fetch from va, or nil
 // to take the slow path.
 func (c *CPU) itlbLookup(va uint32) *utlbEntry {
-	if c.NoFastPath {
+	if c.fastOff() {
 		return nil
 	}
 	c.syncMicroTLB()
@@ -143,7 +153,7 @@ func (c *CPU) itlbLookup(va uint32) *utlbEntry {
 // be writable; a cached read-only page falls back to the slow path,
 // which raises Mod with identical statistics.
 func (c *CPU) dtlbLookup(va uint32, store bool) *utlbEntry {
-	if c.NoFastPath {
+	if c.fastOff() {
 		return nil
 	}
 	c.syncMicroTLB()
@@ -187,7 +197,7 @@ func (c *CPU) instsFor(pa uint32, pg *mem.Page) *pageInsts {
 
 // fillITLB caches a successful fetch translation.
 func (c *CPU) fillITLB(va uint32, fi fillInfo, pg *mem.Page, pi *pageInsts) {
-	if c.NoFastPath || (fi.counted && c.TLB.InjectMiss != nil) {
+	if c.fastOff() || (fi.counted && c.TLB.InjectMiss != nil) {
 		return
 	}
 	c.syncMicroTLB()
@@ -202,7 +212,7 @@ func (c *CPU) fillITLB(va uint32, fi fillInfo, pg *mem.Page, pi *pageInsts) {
 // not cached (the slow path's reads-as-zero semantics need the Memory
 // bookkeeping); the first store allocates, after which filling works.
 func (c *CPU) fillDTLB(va, pa uint32, fi fillInfo) {
-	if c.NoFastPath || (fi.counted && c.TLB.InjectMiss != nil) {
+	if c.fastOff() || (fi.counted && c.TLB.InjectMiss != nil) {
 		return
 	}
 	pg := c.Mem.PageRef(pa)

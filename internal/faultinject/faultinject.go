@@ -146,6 +146,11 @@ func Attach(k *kernel.Kernel, seed int64, cfg Config) *Injector {
 	}
 	inj.nextAt = cfg.Warmup + uint64(inj.rng.Intn(cfg.Gap))
 	k.CPU.Inject = inj.step
+	// step's first action is an unconditional kernel-mode early-out with
+	// no side effects (no RNG draw, no counter), so the CPU may skip the
+	// hook entirely while in kernel mode. This keeps the block-translation
+	// tier (cpu/translate.go) live for kernel code under campaigns.
+	k.CPU.InjectUserOnly = true
 	k.TLB.InjectMiss = inj.tlbMiss
 	return inj
 }
@@ -153,6 +158,7 @@ func Attach(k *kernel.Kernel, seed int64, cfg Config) *Injector {
 // Detach removes the injector's hooks.
 func (inj *Injector) Detach() {
 	inj.k.CPU.Inject = nil
+	inj.k.CPU.InjectUserOnly = false
 	inj.k.TLB.InjectMiss = nil
 }
 

@@ -44,7 +44,12 @@ type Page struct {
 }
 
 // Gen returns the page's store generation: it advances on every write
-// into the page, including Memory.Reset's scrub.
+// into the page, including Memory.Reset's scrub. It is the single
+// invalidation signal for all derived code state — the CPU's predecode
+// cache revalidates against it on every fetch and the translation
+// tier's basic blocks re-prove it on every block entry — so any new
+// mutation path through this package must advance it or those caches
+// will serve stale instructions.
 func (p *Page) Gen() uint64 { return p.gen }
 
 // Byte reads the byte at the given offset within the page.

@@ -62,6 +62,13 @@ type Metrics struct {
 	SimFastPathHits   atomic.Uint64 // interpreter micro-TLB fast-path hits
 	SimInsts          atomic.Uint64
 	SimCycles         atomic.Uint64
+
+	// Translation-tier counters (cpu/translate.go). Like the fast-path
+	// hits they are purely diagnostic — never part of a run fingerprint.
+	SimJITBlocks        atomic.Uint64 // basic blocks compiled
+	SimJITExecs         atomic.Uint64 // block entries that retired at least one instruction
+	SimJITGuardMisses   atomic.Uint64 // block entries rejected by a non-generation guard
+	SimJITInvalidations atomic.Uint64 // block entries rejected by a moved page generation
 }
 
 // newMetrics builds a Metrics with one per-type admission counter for
@@ -102,6 +109,10 @@ func (m *Metrics) harvest(mach *core.Machine) {
 	m.SimFastPathHits.Add(c.FastHits)
 	m.SimInsts.Add(c.Insts)
 	m.SimCycles.Add(c.Cycles)
+	m.SimJITBlocks.Add(c.JITBlocks)
+	m.SimJITExecs.Add(c.JITExecs)
+	m.SimJITGuardMisses.Add(c.JITGuardMisses)
+	m.SimJITInvalidations.Add(c.JITInvalidations)
 }
 
 // Snapshot is a consistent-enough (each field individually atomic)
@@ -164,6 +175,11 @@ type Snapshot struct {
 	SimFastPathHits   uint64 `json:"sim_fastpath_hits_total"`
 	SimInsts          uint64 `json:"sim_insts_total"`
 	SimCycles         uint64 `json:"sim_cycles_total"`
+
+	SimJITBlocks        uint64 `json:"sim_jit_blocks_compiled_total"`
+	SimJITExecs         uint64 `json:"sim_jit_block_execs_total"`
+	SimJITGuardMisses   uint64 `json:"sim_jit_guard_misses_total"`
+	SimJITInvalidations uint64 `json:"sim_jit_invalidations_total"`
 }
 
 // snapshot gathers the current counter values plus queue/pool state
@@ -219,6 +235,11 @@ func (s *Server) snapshot() Snapshot {
 		SimFastPathHits:   m.SimFastPathHits.Load(),
 		SimInsts:          m.SimInsts.Load(),
 		SimCycles:         m.SimCycles.Load(),
+
+		SimJITBlocks:        m.SimJITBlocks.Load(),
+		SimJITExecs:         m.SimJITExecs.Load(),
+		SimJITGuardMisses:   m.SimJITGuardMisses.Load(),
+		SimJITInvalidations: m.SimJITInvalidations.Load(),
 	}
 	if s.store != nil {
 		jst := s.store.Stats()
@@ -286,6 +307,10 @@ func (snap Snapshot) renderText(w io.Writer) {
 		"uexc_sim_fastpath_hits_total":         fmt.Sprint(snap.SimFastPathHits),
 		"uexc_sim_insts_total":                 fmt.Sprint(snap.SimInsts),
 		"uexc_sim_cycles_total":                fmt.Sprint(snap.SimCycles),
+		"uexc_sim_jit_blocks_compiled_total":   fmt.Sprint(snap.SimJITBlocks),
+		"uexc_sim_jit_block_execs_total":       fmt.Sprint(snap.SimJITExecs),
+		"uexc_sim_jit_guard_misses_total":      fmt.Sprint(snap.SimJITGuardMisses),
+		"uexc_sim_jit_invalidations_total":     fmt.Sprint(snap.SimJITInvalidations),
 	}
 	for t, n := range snap.JobsByType {
 		lines[fmt.Sprintf("uexc_jobs_admitted_by_type_total{type=%q}", t)] = fmt.Sprint(n)

@@ -120,6 +120,14 @@ func Smoke(ctx context.Context, out io.Writer, cfg SmokeConfig) (*LoadReport, er
 		if s.SimInsts == 0 || s.SimExceptions == 0 || s.SimTLBMisses == 0 || s.SimFastPathHits == 0 {
 			return fmt.Errorf("simulator counters not harvested: %+v", s)
 		}
+		// Translation-tier gauge integrity: campaign kernels run through
+		// the JIT (the default engine), so harvested runs must show
+		// blocks both compiled and executed — a zero here means the
+		// harvest hook and the tier's counters have come unglued.
+		if s.SimJITBlocks == 0 || s.SimJITExecs == 0 {
+			return fmt.Errorf("translation-tier counters not harvested: blocks=%d execs=%d",
+				s.SimJITBlocks, s.SimJITExecs)
+		}
 		return nil
 	}); err != nil {
 		return rep, fmt.Errorf("smoke: metrics accounting: %w", err)

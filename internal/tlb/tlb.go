@@ -136,7 +136,10 @@ type TLB struct {
 // Gen returns the mutation generation. Any change to TLB contents —
 // WriteIndexed, WriteRandom, FlipBits, UpdateProtection,
 // InvalidateASID, InvalidatePage, Reset — advances it; caches keyed on
-// a past generation must be discarded when it moves.
+// a past generation must be discarded when it moves. The CPU's
+// micro-TLBs flush on it, and since translated basic blocks are only
+// reachable through a micro-ITLB hit, it transitively unmaps every
+// block a dropped translation could have entered.
 func (t *TLB) Gen() uint64 { return t.gen }
 
 // Reset invalidates every entry and zeroes statistics, keeping any
