@@ -11,7 +11,7 @@ GO ?= go
 # durably improves; never lower it to make a change pass.
 COVER_MIN ?= 86.0
 
-.PHONY: all build test vet check cover campaign soak soak-smoke bench-campaign bench-cpu bench-jit bench-serve bench-fleet serve-smoke chaos-smoke difftest-crosscheck fleet-smoke fuzz clean
+.PHONY: all build test vet check cover campaign soak soak-smoke bench-campaign bench-cpu bench-jit bench-serve bench-fleet bench-snapshot serve-smoke chaos-smoke snapshot-smoke difftest-crosscheck fleet-smoke fuzz clean
 
 all: build
 
@@ -33,6 +33,7 @@ check: vet build
 	$(GO) run ./cmd/uexc-bench -difftest -seeds 30 -parallel 4
 	$(MAKE) difftest-crosscheck
 	$(MAKE) soak-smoke
+	$(MAKE) snapshot-smoke
 	$(MAKE) serve-smoke
 	$(MAKE) chaos-smoke
 	$(MAKE) fleet-smoke
@@ -44,6 +45,17 @@ check: vet build
 # exact /metrics accounting, and a graceful SIGTERM-style drain.
 serve-smoke:
 	$(GO) run -race ./cmd/uexc-serve -selftest -jobs 24 -concurrency 8
+
+# Snapshot/fork/debug-session gauntlet (DESIGN.md §16), race-enabled
+# and cache-busted: CoW snapshot round-trips at every layer (mem, TLB,
+# CPU, kernel, machine), the engine-toggle torture with restore points
+# and post-restore SMC, warm-vs-cold pool byte-identity under all three
+# engines, record-replay exactness, and the virtual-breakpoint debug
+# sessions end to end (including the kernel trapframe-page watch).
+snapshot-smoke:
+	$(GO) test -race -count=1 ./internal/snapshot ./internal/debug
+	$(GO) test -race -count=1 -run 'Snapshot|Fork|Restore|PoolWarm|WarmPool|SMCAfterFork|TimeTravel|Debug|Session' \
+		./internal/mem ./internal/tlb ./internal/cpu ./internal/core ./internal/difftest ./internal/server
 
 # Crash-tolerance gauntlet: a 30-seed campaign through a journal-backed
 # race-enabled server that is killed and restarted 3 times mid-run
@@ -140,6 +152,13 @@ bench-serve:
 # EXPERIMENTS.md). Built without -race: this measures throughput.
 bench-fleet:
 	$(GO) run ./cmd/uexc-serve -bench-fleet -bench-out BENCH_serve.json
+
+# Machine checkout latency (cold boot vs fork-from-snapshot vs warm
+# in-place restore) and warm-pool campaign throughput; paired numbers
+# recorded under the "snapshot" keys of BENCH_cpu.json and
+# BENCH_serve.json (the fork-vs-boot >=5x acceptance bar lives there).
+bench-snapshot:
+	$(GO) test -run '^$$' -bench 'Benchmark(ColdBoot|ForkFromSnapshot|PoolCycle|DifftestCampaign)' -benchtime 2s .
 
 # Short coverage-guided fuzzing burst on the decoder and assembler.
 fuzz:

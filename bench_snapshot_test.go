@@ -1,0 +1,105 @@
+package uexc
+
+// Snapshot/fork benchmarks (DESIGN.md §16): machine checkout latency —
+// cold boot vs fork-from-snapshot vs warm in-place restore — and the
+// warm pool's effect on oracle campaign throughput. `make
+// bench-snapshot` runs these; the paired numbers are recorded under
+// the "snapshot" keys of BENCH_cpu.json and BENCH_serve.json.
+
+import (
+	"context"
+	"io"
+	"testing"
+
+	"uexc/internal/core"
+	"uexc/internal/difftest"
+	"uexc/internal/progen"
+)
+
+// BenchmarkColdBoot is the baseline checkout path a warm pool
+// replaces: boot a whole machine (kernel image load, page tables,
+// launch stub) from nothing.
+func BenchmarkColdBoot(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.NewMachine(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkForkFromSnapshot builds machines from a shared post-boot
+// snapshot instead of booting — the empty-pool checkout path with warm
+// boot on. The acceptance bar is >=5x over BenchmarkColdBoot.
+func BenchmarkForkFromSnapshot(b *testing.B) {
+	src, err := core.NewMachine()
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap := src.Snapshot()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Fork(snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchPoolCycle measures the full serving cycle — checkout, load a
+// generated program, run it, return — on a steady-state pool of one
+// machine. warm selects restore-in-place checkouts vs Reset scrubs;
+// the run between checkouts is identical, so the delta is the
+// scrub-vs-CoW-restore cost the serving layer pays per job.
+func benchPoolCycle(b *testing.B, warm bool) {
+	b.Helper()
+	var pool core.MachinePool
+	if warm {
+		if err := pool.EnableWarmBoot(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	src := progen.Generate(1).Source(core.ModeFast, false)
+	m, err := pool.Get()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool.Put(m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := pool.Get()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.LoadProgram(src); err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Run(3_000_000); err != nil {
+			b.Fatal(err)
+		}
+		pool.Put(m)
+	}
+}
+
+func BenchmarkPoolCycleReset(b *testing.B)       { benchPoolCycle(b, false) }
+func BenchmarkPoolCycleWarmRestore(b *testing.B) { benchPoolCycle(b, true) }
+
+// benchDifftestCampaign runs the three-mode oracle over 10 seeds on
+// one worker, with and without the warm pool — the campaign-throughput
+// number BENCH_serve.json's snapshot entry records.
+func benchDifftestCampaign(b *testing.B, warm bool) {
+	b.Helper()
+	var pool core.MachinePool
+	if warm {
+		if err := pool.EnableWarmBoot(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := difftest.CampaignCtx(context.Background(), &pool, 10, 1, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDifftestCampaignColdPool(b *testing.B) { benchDifftestCampaign(b, false) }
+func BenchmarkDifftestCampaignWarmPool(b *testing.B) { benchDifftestCampaign(b, true) }

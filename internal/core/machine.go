@@ -162,6 +162,14 @@ func (m *Machine) EnableHardwareDelivery(mask uint32) {
 // carries the recorded *kernel.MachineError cause chain, reachable via
 // errors.Is/errors.As.
 func (m *Machine) Run(maxInsts uint64) error {
+	// Forked and restored machines defer watchdog construction to the
+	// first Run — checkout latency is what warm pools exist to shave —
+	// so arm one here if the machine doesn't carry one yet. Armed or
+	// not, execution is identical (Observe only reads machine state);
+	// only livelock classification needs the detector.
+	if m.K.CPU.Watchdog == nil {
+		m.K.CPU.Watchdog = cpu.NewWatchdog(0)
+	}
 	if err := m.K.Run(maxInsts); err != nil {
 		return err
 	}

@@ -1,6 +1,11 @@
 package core
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+
+	"uexc/internal/kernel"
+)
 
 // MachinePool recycles booted Machines across simulator runs. Booting
 // is cheap thanks to the cached kernel image, but every boot still
@@ -28,16 +33,19 @@ type MachinePool struct {
 
 	mu    sync.Mutex
 	free  []*Machine
+	warm  *Snapshot
 	stats PoolStats
 }
 
 // PoolStats counts pool traffic; the reuse ratio Reuses/Gets is the
 // pool hit rate the serving layer exports.
 type PoolStats struct {
-	Gets   uint64 // checkouts (Reuses + Boots)
-	Reuses uint64 // checkouts served by recycling a pooled machine
-	Boots  uint64 // checkouts that had to boot fresh hardware
-	Puts   uint64 // machines returned for reuse
+	Gets     uint64 // checkouts (Reuses + Boots + Forks)
+	Reuses   uint64 // checkouts served by recycling a pooled machine (reset path)
+	Boots    uint64 // checkouts that had to boot fresh hardware
+	Puts     uint64 // machines returned for reuse
+	Forks    uint64 // checkouts served by forking the warm snapshot onto fresh hardware
+	Restores uint64 // pooled checkouts served by restoring the warm snapshot in place
 }
 
 // Stats returns a snapshot of the pool counters.
@@ -47,22 +55,72 @@ func (p *MachinePool) Stats() PoolStats {
 	return p.stats
 }
 
-// Get returns a machine in the NewMachine state: a pooled one reset in
-// place, or a freshly booted one when the pool is empty.
+// EnableWarmBoot captures a warm post-boot snapshot that subsequent
+// Gets serve from: pooled machines restore it in place (O(dirty pages)
+// instead of a full scrub-and-reload Reset) and empty-pool checkouts
+// fork it onto fresh hardware instead of booting. The snapshot is
+// taken from a machine this call boots itself, and is verified to
+// carry zero simulator counters — a warm image with baked-in counts
+// would be re-harvested into /metrics totals on every fork-run-put
+// cycle (see TestPoolWarmHarvestTotals).
+func (p *MachinePool) EnableWarmBoot() error {
+	m, err := NewMachine()
+	if err != nil {
+		return err
+	}
+	c := m.K.CPU
+	if c.Insts != 0 || c.Cycles != 0 || c.TLB.Hits != 0 || c.TLB.Misses != 0 ||
+		c.FastHits != 0 || (m.K.Stats != kernel.Stats{}) {
+		return fmt.Errorf("core: post-boot machine has nonzero counters; refusing warm snapshot")
+	}
+	snap := m.Snapshot()
+	p.mu.Lock()
+	p.warm = snap
+	p.free = append(p.free, m) // the boot machine itself is reusable
+	p.mu.Unlock()
+	return nil
+}
+
+// WarmBoot reports whether a warm snapshot is installed.
+func (p *MachinePool) WarmBoot() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.warm != nil
+}
+
+// Get returns a machine in the NewMachine state: a pooled one restored
+// from the warm snapshot (or reset in place when warm boot is off), or
+// a forked/freshly booted one when the pool is empty.
 func (p *MachinePool) Get() (*Machine, error) {
 	p.mu.Lock()
 	var m *Machine
+	warm := p.warm
 	p.stats.Gets++
 	if n := len(p.free); n > 0 {
 		m = p.free[n-1]
 		p.free = p.free[:n-1]
-		p.stats.Reuses++
+		if warm != nil {
+			p.stats.Restores++
+		} else {
+			p.stats.Reuses++
+		}
+	} else if warm != nil {
+		p.stats.Forks++
 	} else {
 		p.stats.Boots++
 	}
 	p.mu.Unlock()
 	if m == nil {
+		if warm != nil {
+			return Fork(warm)
+		}
 		return NewMachine()
+	}
+	if warm != nil {
+		if _, err := m.Restore(warm); err != nil {
+			return nil, err
+		}
+		return m, nil
 	}
 	if err := m.Reset(); err != nil {
 		return nil, err

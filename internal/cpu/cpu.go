@@ -62,6 +62,15 @@ func CyclesToMicros(cycles uint64) float64 { return float64(cycles) / ClockMHz }
 // panic).
 type HCallFn func(c *CPU, code uint32) error
 
+// OSHooks bundles the kernel-owned CPU hooks behind one interface
+// value (see CPU.OS): the HCALL upcall plus the two Tera-mode UEX
+// notifications. The simulated kernel implements it directly.
+type OSHooks interface {
+	HCall(c *CPU, code uint32) error
+	OnUEXRecursion(e Exception)
+	OnUEXClear()
+}
+
 // Exception describes a raised exception for tracing and statistics.
 type Exception struct {
 	Code     uint32 // arch.Exc*
@@ -182,6 +191,15 @@ type CPU struct {
 	// HCall is invoked by the kernel-mode HCALL instruction.
 	HCall HCallFn
 
+	// OS, when non-nil, supersedes the HCall / OnUEXRecursion /
+	// OnUEXClear func hooks with a single interface value. Attaching an
+	// OS this way is allocation-free — an interface holding an existing
+	// pointer is two words, where taking the three method values costs
+	// three closure allocations per attach, which the fork-from-snapshot
+	// checkout path pays per machine. The func hooks remain for tests
+	// and ad-hoc instrumentation.
+	OS OSHooks
+
 	// Inject, when non-nil, is consulted at the top of every Step; a
 	// non-nil result raises that exception instead of executing the
 	// instruction at PC. Hook point for internal/faultinject.
@@ -220,6 +238,13 @@ type CPU struct {
 	ExcCounts [32]uint64
 	Trace     func(Exception)
 
+	// Debug, when non-nil, attaches a virtual-breakpoint guard table
+	// (debug.go): Step pauses the CPU (Halted, Debug.Hit) before any
+	// instruction that fetches from or touches a guarded page, with
+	// zero architectural effect and zero accounting. While attached the
+	// JIT tier stands down so every instruction is checked.
+	Debug *DebugGuard
+
 	prevWasBranch bool // previous executed instruction was a branch/jump
 
 	// redirect marks that execute() replaced PC/NPC itself (XRET, RFE
@@ -236,8 +261,18 @@ type CPU struct {
 
 // New creates a CPU attached to the given memory and TLB, with PC at the
 // reset vector and kernel mode active.
-func New(m *mem.Memory, t *tlb.TLB) *CPU {
-	c := &CPU{Mem: m, TLB: t, Cost: DefaultCost(), HWUTLBMod: true, Engine: DefaultEngine}
+func New(m *mem.Memory, t *tlb.TLB) *CPU { return Init(new(CPU), m, t) }
+
+// Init initializes a CPU in place, for callers that embed one in a
+// larger allocation (the fork shell builds a whole machine from a
+// single allocation; see kernel.NewForRestore). c must be zero-valued
+// — a fresh allocation — so only the non-zero fields need writing;
+// rewriting a used CPU is ResetAll's job, not Init's.
+func Init(c *CPU, m *mem.Memory, t *tlb.TLB) *CPU {
+	c.Mem, c.TLB = m, t
+	c.Cost = DefaultCost()
+	c.HWUTLBMod = true
+	c.Engine = DefaultEngine
 	c.Reset()
 	return c
 }
@@ -271,12 +306,14 @@ func (c *CPU) ResetAll() {
 	c.Cycles, c.Insts, c.MemWrites = 0, 0, 0
 	c.FastHits = 0
 	c.HCall = nil
+	c.OS = nil
 	c.Inject = nil
 	c.OnUEXRecursion, c.OnUEXClear = nil, nil
 	c.Watchdog = nil
 	c.CountPCs, c.PCCounts = false, nil
 	c.ExcCounts = [32]uint64{}
 	c.Trace = nil
+	c.Debug = nil
 	c.redirect = false
 	c.pendingHookErr = nil
 	c.NoFastPath = false
@@ -549,11 +586,16 @@ func (c *CPU) raise(sig *excSignal, instPC uint32, inDelay bool) {
 
 	sr := c.CP0[arch.C0Status]
 	if c.TeraMode && user && sr&arch.SrUEX != 0 && c.UserVector&(1<<sig.code) != 0 &&
-		c.OnUEXRecursion != nil {
+		(c.OS != nil || c.OnUEXRecursion != nil) {
 		// A claimed exception arrived while a user-level handler was
 		// already in progress: the UEX bit forces the kernel path, and
 		// the hook gives the OS its chance to police the recursion.
-		c.OnUEXRecursion(Exception{Code: sig.code, PC: instPC, BadVAddr: sig.badva, InDelay: inDelay, User: user})
+		e := Exception{Code: sig.code, PC: instPC, BadVAddr: sig.badva, InDelay: inDelay, User: user}
+		if c.OS != nil {
+			c.OS.OnUEXRecursion(e)
+		} else {
+			c.OnUEXRecursion(e)
+		}
 	}
 	if c.TeraMode && user && sr&arch.SrUEX == 0 && c.UserVector&(1<<sig.code) != 0 {
 		// Direct user-level delivery (Tera-style): load condition
@@ -624,6 +666,13 @@ func (c *CPU) Step() error {
 	instPC := c.PC
 	inDelay := c.prevWasBranch
 
+	if c.Debug != nil && c.Debug.pages[instPC>>arch.PageShift]&DebugFetch != 0 {
+		// Pause before the instruction exists architecturally: no fetch,
+		// no fault, no injection, no accounting.
+		c.debugPause(instPC, instPC, DebugFetch)
+		return nil
+	}
+
 	if c.Inject != nil {
 		if f := c.Inject(c); f != nil {
 			c.raise(&excSignal{code: f.Code, badva: f.BadVAddr, hasBV: f.HasBV}, instPC, inDelay)
@@ -674,6 +723,17 @@ func (c *CPU) Step() error {
 				return nil
 			}
 			inst = arch.Decode(w)
+		}
+	}
+	if c.Debug != nil {
+		if va, acc, ok := debugDataEA(&inst, &c.GPR); ok {
+			if hit := c.Debug.pages[va>>arch.PageShift] & acc; hit != 0 {
+				// Pause before the access (and before the instruction
+				// retires): zero architectural effect, zero accounting,
+				// even if the access would have faulted.
+				c.debugPause(instPC, va, hit)
+				return nil
+			}
 		}
 	}
 	c.Insts++

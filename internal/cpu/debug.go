@@ -1,0 +1,122 @@
+package cpu
+
+import "uexc/internal/arch"
+
+// Virtual breakpoints and watchpoints (DESIGN.md §16): a page-granular
+// guard table consulted by Step before an instruction has any
+// architectural effect. This is the simulator-level analogue of the
+// page-protection breakpoint scheme in "Virtual Breakpoints for x86/64"
+// (arXiv 1801.09250) — guarding whole pages instead of patching
+// instructions — except the guard lives beside the MMU rather than in
+// the PTEs, so the guest-visible protection state (and therefore every
+// campaign digest) is untouched by an attached debugger.
+//
+// A guarded access pauses the CPU: Halted is set, Hit records what was
+// about to happen, and the instruction is NOT executed, counted, or
+// charged — resuming after clearing the guard (or stepping over with
+// the guard lifted) retires it exactly as if the debugger had never
+// been attached. The driver loop in internal/debug narrows page-granular
+// hits to the exact watched words and silently steps over innocent
+// neighbours.
+
+// DebugAccess is a bitmask of access kinds a guard traps or a hit
+// performed.
+type DebugAccess uint8
+
+const (
+	DebugFetch DebugAccess = 1 << iota
+	DebugLoad
+	DebugStore
+)
+
+// String names the access set ("fetch", "load", "store", "load|store"...).
+func (a DebugAccess) String() string {
+	s := ""
+	for _, p := range [...]struct {
+		bit  DebugAccess
+		name string
+	}{{DebugFetch, "fetch"}, {DebugLoad, "load"}, {DebugStore, "store"}} {
+		if a&p.bit != 0 {
+			if s != "" {
+				s += "|"
+			}
+			s += p.name
+		}
+	}
+	if s == "" {
+		return "none"
+	}
+	return s
+}
+
+// DebugHit describes the access that paused the CPU: the PC of the
+// not-yet-executed instruction, the virtual address it was about to
+// touch (the PC itself for fetch hits; partial-word accesses report the
+// aligned word), and which guarded access kinds it performs.
+type DebugHit struct {
+	PC     uint32
+	VA     uint32
+	Access DebugAccess
+}
+
+// DebugGuard is the guard table. Attach it via CPU.Debug; while
+// attached, the JIT tier stands down (jitStep refuses) so every
+// instruction is visible to the Step-level checks — the fast-path
+// interpreter stays on, and all engines remain observationally
+// identical under a guard that never fires.
+type DebugGuard struct {
+	pages map[uint32]DebugAccess // vpn -> trapped access kinds
+
+	// Hit is set when a guarded access pauses the CPU (Halted=true).
+	// The driver clears it (and Halted) before resuming.
+	Hit *DebugHit
+}
+
+// NewDebugGuard returns an empty guard table.
+func NewDebugGuard() *DebugGuard {
+	return &DebugGuard{pages: make(map[uint32]DebugAccess)}
+}
+
+// GuardPage adds the given access kinds to the guard set of the page
+// containing va.
+func (g *DebugGuard) GuardPage(va uint32, acc DebugAccess) {
+	g.pages[va>>arch.PageShift] |= acc
+}
+
+// UnguardPage removes the given access kinds from the page containing
+// va.
+func (g *DebugGuard) UnguardPage(va uint32, acc DebugAccess) {
+	vpn := va >> arch.PageShift
+	if rest := g.pages[vpn] &^ acc; rest == 0 {
+		delete(g.pages, vpn)
+	} else {
+		g.pages[vpn] = rest
+	}
+}
+
+// GuardedPages returns the number of guarded pages.
+func (g *DebugGuard) GuardedPages() int { return len(g.pages) }
+
+// pause records a hit and halts the CPU.
+func (c *CPU) debugPause(pc, va uint32, acc DebugAccess) {
+	c.Debug.Hit = &DebugHit{PC: pc, VA: va, Access: acc}
+	c.Halted = true
+}
+
+// debugDataEA computes the effective address and access kinds of a
+// memory instruction before execution, mirroring execute()'s address
+// arithmetic exactly (partial-word ops access the aligned word; SWL/SWR
+// read-modify-write it). ok is false for non-memory instructions.
+func debugDataEA(i *arch.Inst, g *[32]uint32) (va uint32, acc DebugAccess, ok bool) {
+	switch i.Mn {
+	case arch.MnLB, arch.MnLBU, arch.MnLH, arch.MnLHU, arch.MnLW:
+		return g[i.Rs] + uint32(i.SImm()), DebugLoad, true
+	case arch.MnLWL, arch.MnLWR:
+		return (g[i.Rs] + uint32(i.SImm())) &^ 3, DebugLoad, true
+	case arch.MnSB, arch.MnSH, arch.MnSW:
+		return g[i.Rs] + uint32(i.SImm()), DebugStore, true
+	case arch.MnSWL, arch.MnSWR:
+		return (g[i.Rs] + uint32(i.SImm())) &^ 3, DebugLoad | DebugStore, true
+	}
+	return 0, 0, false
+}

@@ -71,10 +71,11 @@ func (c *CPU) fastOff() bool { return c.NoFastPath || c.Engine == EngineInterp }
 func (c *CPU) jitStep(limit uint64) bool {
 	// A delay slot's PC/NPC pair is not the fall-through shape blocks
 	// are compiled for; CountPCs needs per-instruction PC visibility;
+	// an attached debug guard must check every fetch and data address;
 	// an armed injector must see every step unless it declared itself
 	// a no-op in kernel mode (faultinject's contract) and we are in
 	// kernel mode now.
-	if c.prevWasBranch || c.NoFastPath || c.CountPCs {
+	if c.prevWasBranch || c.NoFastPath || c.CountPCs || c.Debug != nil {
 		return false
 	}
 	if c.Inject != nil && !(c.InjectUserOnly && c.KernelMode()) {

@@ -1,0 +1,323 @@
+// Package debug implements virtual-breakpoint debug sessions over a
+// simulated machine (DESIGN.md §16): unlimited non-intrusive
+// breakpoints and watchpoints in the style of "Virtual Breakpoints for
+// x86/64" (arXiv 1801.09250), built on the CPU's page-granular
+// DebugGuard instead of instruction patching or PTE edits — the guest
+// never observes that a debugger is attached, so a session resumed to
+// completion produces the byte-identical result of an undebugged run.
+//
+// The guard pauses the CPU on ANY access to a guarded page; this
+// package narrows page hits to the session's word-exact breakpoints
+// and watchpoints, silently stepping over innocent neighbours with the
+// triggering guard bits lifted for exactly one instruction. Commands
+// are executed batch-style and each produces one deterministic text
+// line, which is what makes a session re-runnable: the §12 store can
+// replay a pending session after a crash and stream the same bytes.
+package debug
+
+import (
+	"fmt"
+	"strings"
+
+	"uexc/internal/arch"
+	"uexc/internal/core"
+	"uexc/internal/cpu"
+)
+
+// Command is one debug-session operation.
+type Command struct {
+	// Op is one of: "break" (exact-PC breakpoint), "watch" (store
+	// watchpoint on the aligned word at Addr), "rwatch" (load or store),
+	// "watch-page" (any data access to Addr's page — how a whole kernel
+	// data page is watched), "clear" (remove the break/watch at Addr),
+	// "continue" (run up to N instructions, default the session's
+	// remaining budget), "step" (execute exactly N instructions,
+	// default 1, guards lifted), "inspect" (read N words at Addr,
+	// default 1), "regs" (register digest).
+	Op   string `json:"op"`
+	Addr uint32 `json:"addr,omitempty"`
+	N    uint64 `json:"n,omitempty"`
+}
+
+// Ops lists the valid command verbs (for request validation).
+var Ops = []string{"break", "watch", "rwatch", "watch-page", "clear", "continue", "step", "inspect", "regs"}
+
+// ValidOp reports whether op is a known command verb.
+func ValidOp(op string) bool {
+	for _, o := range Ops {
+		if o == op {
+			return true
+		}
+	}
+	return false
+}
+
+// Session drives one machine under a DebugGuard. The machine must have
+// its program loaded and launched; Exec then interprets commands.
+type Session struct {
+	m     *core.Machine
+	guard *cpu.DebugGuard
+
+	bps    map[uint32]bool            // exact breakpoint PCs
+	watchW map[uint32]cpu.DebugAccess // aligned word -> watched kinds
+	watchP map[uint32]cpu.DebugAccess // vpn -> page-watched kinds
+
+	budget uint64 // remaining continue/step allowance
+}
+
+// New attaches a session to the machine with the given total
+// instruction budget for continue/step commands.
+func New(m *core.Machine, budget uint64) *Session {
+	s := &Session{
+		m:      m,
+		guard:  cpu.NewDebugGuard(),
+		bps:    make(map[uint32]bool),
+		watchW: make(map[uint32]cpu.DebugAccess),
+		watchP: make(map[uint32]cpu.DebugAccess),
+		budget: budget,
+	}
+	m.K.CPU.Debug = s.guard
+	return s
+}
+
+// Exec runs one command and returns its deterministic output line.
+// Errors are command-level (unknown op, bad address) — the session
+// stays usable.
+func (s *Session) Exec(cmd Command) (string, error) {
+	c := s.m.K.CPU
+	switch cmd.Op {
+	case "break":
+		s.bps[cmd.Addr] = true
+		s.guard.GuardPage(cmd.Addr, cpu.DebugFetch)
+		return fmt.Sprintf("break set pc=%#x", cmd.Addr), nil
+	case "watch":
+		s.watchW[cmd.Addr&^3] |= cpu.DebugStore
+		s.guard.GuardPage(cmd.Addr, cpu.DebugStore)
+		return fmt.Sprintf("watch set addr=%#x kind=store", cmd.Addr&^3), nil
+	case "rwatch":
+		s.watchW[cmd.Addr&^3] |= cpu.DebugLoad | cpu.DebugStore
+		s.guard.GuardPage(cmd.Addr, cpu.DebugLoad|cpu.DebugStore)
+		return fmt.Sprintf("watch set addr=%#x kind=load|store", cmd.Addr&^3), nil
+	case "watch-page":
+		s.watchP[cmd.Addr>>arch.PageShift] |= cpu.DebugLoad | cpu.DebugStore
+		s.guard.GuardPage(cmd.Addr, cpu.DebugLoad|cpu.DebugStore)
+		return fmt.Sprintf("watch set page=%#x kind=load|store", cmd.Addr&^(arch.PageSize-1)), nil
+	case "clear":
+		return s.clear(cmd.Addr), nil
+	case "continue":
+		n := cmd.N
+		if n == 0 || n > s.budget {
+			n = s.budget
+		}
+		return s.cont(n), nil
+	case "step":
+		n := cmd.N
+		if n == 0 {
+			n = 1
+		}
+		if n > s.budget {
+			n = s.budget
+		}
+		return s.step(n), nil
+	case "inspect":
+		return s.inspect(cmd.Addr, max(cmd.N, 1)), nil
+	case "regs":
+		return fmt.Sprintf("regs pc=%#x npc=%#x sp=%#x ra=%#x v0=%#x a0=%#x insts=%d cycles=%d",
+			c.PC, c.NPC, c.GPR[arch.RegSP], c.GPR[arch.RegRA],
+			c.GPR[arch.RegV0], c.GPR[arch.RegA0], c.Insts, c.Cycles), nil
+	}
+	return "", fmt.Errorf("debug: unknown op %q", cmd.Op)
+}
+
+// clear removes whatever break/watch is registered at addr and drops
+// the corresponding guard bits (only the bits no remaining registration
+// on that page needs).
+func (s *Session) clear(addr uint32) string {
+	removed := []string{}
+	if s.bps[addr] {
+		delete(s.bps, addr)
+		removed = append(removed, "break")
+	}
+	if s.watchW[addr&^3] != 0 {
+		delete(s.watchW, addr&^3)
+		removed = append(removed, "watch")
+	}
+	if s.watchP[addr>>arch.PageShift] != 0 {
+		delete(s.watchP, addr>>arch.PageShift)
+		removed = append(removed, "watch-page")
+	}
+	s.reguard(addr >> arch.PageShift)
+	if len(removed) == 0 {
+		return fmt.Sprintf("clear addr=%#x: nothing set", addr)
+	}
+	return fmt.Sprintf("clear addr=%#x: %s", addr, strings.Join(removed, ","))
+}
+
+// reguard recomputes the guard bits of one page from the remaining
+// registrations.
+func (s *Session) reguard(vpn uint32) {
+	va := vpn << arch.PageShift
+	s.guard.UnguardPage(va, cpu.DebugFetch|cpu.DebugLoad|cpu.DebugStore)
+	var acc cpu.DebugAccess
+	for pc := range s.bps {
+		if pc>>arch.PageShift == vpn {
+			acc |= cpu.DebugFetch
+		}
+	}
+	for w, k := range s.watchW {
+		if w>>arch.PageShift == vpn {
+			acc |= k
+		}
+	}
+	acc |= s.watchP[vpn]
+	if acc != 0 {
+		s.guard.GuardPage(va, acc)
+	}
+}
+
+// real reports whether a guard hit matches an actual registration (as
+// opposed to an innocent access to a guarded page).
+func (s *Session) real(h *cpu.DebugHit) bool {
+	if h.Access&cpu.DebugFetch != 0 && s.bps[h.PC] {
+		return true
+	}
+	if data := h.Access &^ cpu.DebugFetch; data != 0 {
+		if s.watchW[h.VA&^3]&data != 0 {
+			return true
+		}
+		if s.watchP[h.VA>>arch.PageShift]&data != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// stepOver retires exactly the next instruction with every guard
+// lifted, then re-attaches. Used for explicit "step" commands, for
+// resuming past a reported stop, and for passing innocent neighbours.
+func (s *Session) stepOver() error {
+	c := s.m.K.CPU
+	s.guard.Hit = nil
+	c.Halted = false
+	c.Debug = nil
+	err := c.Step()
+	c.Debug = s.guard
+	s.budget--
+	return err
+}
+
+// cont resumes execution for at most n instructions, pausing at the
+// first real breakpoint/watchpoint hit. Innocent same-page accesses
+// are stepped over invisibly.
+func (s *Session) cont(n uint64) string {
+	c := s.m.K.CPU
+	if s.budget == 0 {
+		return "continue: budget exhausted"
+	}
+	if c.Halted && s.guard.Hit == nil {
+		return s.exitLine()
+	}
+	if s.guard.Hit != nil {
+		// Resuming past the previously reported stop.
+		if err := s.stepOver(); err != nil {
+			return fmt.Sprintf("continue: error %q insts=%d", err.Error(), c.Insts)
+		}
+		if n > 0 {
+			n--
+		}
+	}
+	start := c.Insts
+	for {
+		if c.Halted {
+			return s.exitLine()
+		}
+		executed := c.Insts - start
+		if executed >= n || s.budget == 0 {
+			return fmt.Sprintf("continue: budget pc=%#x insts=%d", c.PC, c.Insts)
+		}
+		chunk := min(n-executed, s.budget)
+		ran, err := c.Run(chunk)
+		if ran > s.budget {
+			s.budget = 0
+		} else {
+			s.budget -= ran
+		}
+		if h := s.guard.Hit; h != nil {
+			if s.real(h) {
+				kind := "watch"
+				if h.Access&cpu.DebugFetch != 0 && s.bps[h.PC] {
+					kind = "break"
+				}
+				return fmt.Sprintf("continue: hit %s pc=%#x va=%#x access=%s insts=%d",
+					kind, h.PC, h.VA, h.Access, c.Insts)
+			}
+			if err := s.stepOver(); err != nil {
+				return fmt.Sprintf("continue: error %q insts=%d", err.Error(), c.Insts)
+			}
+			continue
+		}
+		if err != nil {
+			if _, ok := err.(*cpu.BudgetError); ok {
+				continue // loop re-checks executed vs n
+			}
+			return fmt.Sprintf("continue: error %q insts=%d", err.Error(), c.Insts)
+		}
+	}
+}
+
+// step executes exactly n instructions (guards lifted), or fewer if
+// the machine halts first.
+func (s *Session) step(n uint64) string {
+	c := s.m.K.CPU
+	for i := uint64(0); i < n; i++ {
+		if c.Halted && s.guard.Hit == nil {
+			return s.exitLine()
+		}
+		if err := s.stepOver(); err != nil {
+			return fmt.Sprintf("step: error %q insts=%d", err.Error(), c.Insts)
+		}
+	}
+	return fmt.Sprintf("step: pc=%#x insts=%d", c.PC, c.Insts)
+}
+
+// inspect reads n words starting at the aligned addr: user addresses
+// go through the page table (kernel privilege, no faults), kseg0/kseg1
+// addresses read physical memory directly — so watched kernel data
+// pages are inspectable too.
+func (s *Session) inspect(addr uint32, n uint64) string {
+	addr &^= 3
+	var b strings.Builder
+	fmt.Fprintf(&b, "inspect %#x:", addr)
+	for i := uint64(0); i < n && i < 64; i++ {
+		va := addr + uint32(i*4)
+		v, ok := s.readWord(va)
+		if !ok {
+			fmt.Fprintf(&b, " <unmapped>")
+			continue
+		}
+		fmt.Fprintf(&b, " %08x", v)
+	}
+	return b.String()
+}
+
+func (s *Session) readWord(va uint32) (uint32, bool) {
+	if arch.InKSeg0(va) || arch.InKSeg1(va) {
+		v, err := s.m.K.Mem.LoadWord(arch.KSegPhys(va))
+		return v, err == nil
+	}
+	return s.m.K.ReadUserWord(va)
+}
+
+// exitLine renders the machine's final state (deterministic across
+// engines and across re-runs — the byte-identity property sessions
+// are journaled under).
+func (s *Session) exitLine() string {
+	_, status := s.m.K.Exited()
+	return fmt.Sprintf("exit: status=%d console=%q insts=%d cycles=%d",
+		status, s.m.K.Console(), s.m.K.CPU.Insts, s.m.K.CPU.Cycles)
+}
+
+// Detach removes the guard from the machine (the machine is NOT
+// returned to any pool here; a paused or finished machine may carry
+// arbitrary state).
+func (s *Session) Detach() { s.m.K.CPU.Debug = nil }

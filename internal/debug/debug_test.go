@@ -1,0 +1,219 @@
+package debug
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"uexc/internal/core"
+	"uexc/internal/kernel"
+	"uexc/internal/progen"
+)
+
+const sessionBudget = 3_000_000
+
+// ultrixMachine boots a machine with a deterministic progen program
+// under conventional Ultrix delivery — the mode whose slow path saves
+// the trapframe with ordinary CPU stores, which is what kernel-page
+// watchpoints observe.
+func ultrixMachine(t *testing.T, seed int64) *core.Machine {
+	t.Helper()
+	m, err := core.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := progen.Generate(seed)
+	if err := m.LoadProgram(p.Source(core.ModeUltrix, false)); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// transcript runs a command script and returns one line per command.
+func transcript(t *testing.T, m *core.Machine, cmds []Command) []string {
+	t.Helper()
+	s := New(m, sessionBudget)
+	defer s.Detach()
+	var lines []string
+	for i, cmd := range cmds {
+		out, err := s.Exec(cmd)
+		if err != nil {
+			t.Fatalf("command %d (%s): %v", i, cmd.Op, err)
+		}
+		lines = append(lines, out)
+	}
+	return lines
+}
+
+// TestBreakpointAtEntry: a breakpoint on the current PC pauses before
+// the first instruction runs, and a second continue resumes past it.
+func TestBreakpointAtEntry(t *testing.T) {
+	m := ultrixMachine(t, 1)
+	entry := m.K.CPU.PC
+	lines := transcript(t, m, []Command{
+		{Op: "break", Addr: entry},
+		{Op: "continue"},
+		{Op: "regs"},
+		{Op: "clear", Addr: entry},
+		{Op: "continue"},
+	})
+	if want := fmt.Sprintf("continue: hit break pc=%#x va=%#x access=fetch insts=0", entry, entry); lines[1] != want {
+		t.Errorf("continue = %q, want %q", lines[1], want)
+	}
+	if !strings.Contains(lines[2], fmt.Sprintf("pc=%#x", entry)) || !strings.Contains(lines[2], "insts=0") {
+		t.Errorf("regs at pause = %q, want pc at entry with zero retirement", lines[2])
+	}
+	if lines[3] != fmt.Sprintf("clear addr=%#x: break", entry) {
+		t.Errorf("clear = %q", lines[3])
+	}
+	if !strings.HasPrefix(lines[4], "exit: status=") {
+		t.Errorf("final continue = %q, want an exit line", lines[4])
+	}
+}
+
+// TestWordWatchNarrowing: a word-exact watch on one trapframe slot
+// pauses on exactly that word; the kernel's stores to every OTHER word
+// of the same (guarded) page are stepped over invisibly.
+func TestWordWatchNarrowing(t *testing.T) {
+	m := ultrixMachine(t, 1)
+	tf := uint32(kernel.KStackTop - kernel.TrapframeSize)
+	watched := tf + 8
+	s := New(m, sessionBudget)
+	defer s.Detach()
+
+	if _, err := s.Exec(Command{Op: "watch", Addr: watched}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Exec(Command{Op: "continue"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "hit watch") || !strings.Contains(out, fmt.Sprintf("va=%#x", watched)) {
+		t.Fatalf("continue = %q, want a store hit on exactly va=%#x", out, watched)
+	}
+	if !strings.Contains(out, "access=store") {
+		t.Errorf("continue = %q, want access=store (watch is store-only)", out)
+	}
+	// The paused store has not happened yet.
+	if got, ok := s.readWord(watched); !ok || got != 0 {
+		t.Errorf("watched word already %#x before resume", got)
+	}
+}
+
+// TestKernelPageWatch: the acceptance scenario — watch the whole
+// kernel trapframe page, hit it on the first exception's register
+// save, inspect the trapframe, resume to completion, and end with a
+// result byte-identical to a run that never had a debugger attached.
+func TestKernelPageWatch(t *testing.T) {
+	const seed = 3
+	tf := uint32(kernel.KStackTop - kernel.TrapframeSize)
+
+	m := ultrixMachine(t, seed)
+	lines := transcript(t, m, []Command{
+		{Op: "watch-page", Addr: tf},
+		{Op: "continue"},
+		{Op: "inspect", Addr: tf, N: 4},
+		{Op: "step", N: 8},
+		{Op: "inspect", Addr: tf, N: 4},
+		{Op: "clear", Addr: tf},
+		{Op: "continue"},
+	})
+	if !strings.Contains(lines[1], "hit watch") {
+		t.Fatalf("continue = %q, want a watch hit on the trapframe page", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], fmt.Sprintf("inspect %#x:", tf)) {
+		t.Fatalf("inspect = %q", lines[2])
+	}
+	if lines[2] == lines[4] {
+		t.Errorf("trapframe unchanged across the stepped-over register save:\n%s", lines[2])
+	}
+	if !strings.HasPrefix(lines[6], "exit: status=") {
+		t.Fatalf("final continue = %q, want an exit line", lines[6])
+	}
+
+	// Guest invisibility: the undebugged run ends in the same state.
+	ref := ultrixMachine(t, seed)
+	if err := ref.Run(sessionBudget); err != nil {
+		t.Fatal(err)
+	}
+	_, status := ref.K.Exited()
+	want := fmt.Sprintf("exit: status=%d console=%q insts=%d cycles=%d",
+		status, ref.K.Console(), ref.K.CPU.Insts, ref.K.CPU.Cycles)
+	if lines[6] != want {
+		t.Errorf("debugged exit diverged from undebugged run\n got: %s\nwant: %s", lines[6], want)
+	}
+
+	// Determinism: the same script on a fresh machine streams the same
+	// bytes (the property journaled sessions replay under).
+	again := transcript(t, ultrixMachine(t, seed), []Command{
+		{Op: "watch-page", Addr: tf},
+		{Op: "continue"},
+		{Op: "inspect", Addr: tf, N: 4},
+		{Op: "step", N: 8},
+		{Op: "inspect", Addr: tf, N: 4},
+		{Op: "clear", Addr: tf},
+		{Op: "continue"},
+	})
+	for i := range lines {
+		if lines[i] != again[i] {
+			t.Errorf("line %d not deterministic:\nfirst:  %s\nsecond: %s", i, lines[i], again[i])
+		}
+	}
+}
+
+// TestBudgetExhaustion: continue/step never exceed the session budget,
+// and an exhausted session says so instead of running.
+func TestBudgetExhaustion(t *testing.T) {
+	m := ultrixMachine(t, 1)
+	s := New(m, 10)
+	defer s.Detach()
+
+	out, err := s.Exec(Command{Op: "continue", N: 1 << 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "continue: budget pc=") {
+		t.Fatalf("continue = %q, want a budget stop", out)
+	}
+	if got := m.K.CPU.Insts; got > 10 {
+		t.Errorf("session retired %d insts on a budget of 10", got)
+	}
+	if out, _ := s.Exec(Command{Op: "continue"}); out != "continue: budget exhausted" {
+		t.Errorf("exhausted continue = %q", out)
+	}
+}
+
+// TestInspectAndErrors: inspect reads kseg0 physical words and marks
+// unmapped user addresses; clear on nothing reports it; unknown ops
+// error without killing the session.
+func TestInspectAndErrors(t *testing.T) {
+	m := ultrixMachine(t, 1)
+	s := New(m, sessionBudget)
+	defer s.Detach()
+
+	// A kseg0 read of the trapframe page resolves physically.
+	if _, err := s.Exec(Command{Op: "inspect", Addr: kernel.KStackTop - kernel.TrapframeSize, N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Exec(Command{Op: "inspect", Addr: 0x7fff0000, N: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "<unmapped>") {
+		t.Errorf("inspect of unmapped user page = %q", out)
+	}
+	out, err = s.Exec(Command{Op: "clear", Addr: 0x1234})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "nothing set") {
+		t.Errorf("clear = %q", out)
+	}
+	if _, err := s.Exec(Command{Op: "poke"}); err == nil {
+		t.Error("unknown op must error")
+	}
+	// The session survives the bad command.
+	if _, err := s.Exec(Command{Op: "regs"}); err != nil {
+		t.Errorf("session unusable after bad command: %v", err)
+	}
+}

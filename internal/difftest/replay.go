@@ -1,0 +1,64 @@
+package difftest
+
+import (
+	"fmt"
+
+	"uexc/internal/core"
+	"uexc/internal/progen"
+	"uexc/internal/snapshot"
+)
+
+// DefaultReplayEvery is the default recording interval for time-travel
+// replay: fine enough that reaching any instruction from the nearest
+// snapshot re-executes at most this many instructions, coarse enough
+// that a full-budget run tapes a few dozen snapshots.
+const DefaultReplayEvery = 100_000
+
+// TimeTravel records a fresh run of program p under mode, then replays
+// it to exactly `target` retired instructions and returns the machine
+// paused there for inspection — registers, memory, TLB, and statistics
+// all in the state the original run passed through. The tape is
+// returned too so callers triaging a divergence (ShrinkEpisodes
+// predicates, soak triage) can jump to other positions without
+// re-recording: bisecting to the first divergent architectural state
+// costs O(log budget) ReplayTo calls, each O(every) instructions.
+//
+// every is the snapshot interval (0 = DefaultReplayEvery). The
+// recording run is budgeted exactly like a difftest run (BudgetFor),
+// so a taped run ends where the oracle's run would.
+func TimeTravel(p *progen.Program, mode core.Mode, target, every uint64) (*core.Machine, *snapshot.Tape, error) {
+	tape, err := RecordProgram(p, mode, every)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := tape.ReplayTo(target)
+	if err != nil {
+		return nil, tape, err
+	}
+	return m, tape, nil
+}
+
+// TimeTravelSeed is TimeTravel for a generated seed program.
+func TimeTravelSeed(seed int64, mode core.Mode, target, every uint64) (*core.Machine, *snapshot.Tape, error) {
+	return TimeTravel(progen.Generate(seed), mode, target, every)
+}
+
+// RecordProgram runs p under mode on a fresh machine with periodic
+// snapshots, mirroring runMode's setup exactly (same program source,
+// same hardware-delivery enabling, same budget), and returns the tape.
+func RecordProgram(p *progen.Program, mode core.Mode, every uint64) (*snapshot.Tape, error) {
+	if every == 0 {
+		every = DefaultReplayEvery
+	}
+	m, err := core.NewMachine()
+	if err != nil {
+		return nil, err
+	}
+	if err := m.LoadProgram(p.Source(mode, false)); err != nil {
+		return nil, fmt.Errorf("difftest: loading program for replay: %w", err)
+	}
+	if mode == core.ModeHardware {
+		m.EnableHardwareDelivery(progen.HWVector)
+	}
+	return snapshot.Record(m, BudgetFor(p, mode), every)
+}

@@ -1,0 +1,189 @@
+package difftest
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+
+	"uexc/internal/core"
+	"uexc/internal/cpu"
+	"uexc/internal/progen"
+)
+
+// machineDigest fingerprints a finished run the way the oracle does:
+// outcome, console, kernel stats, and retirement counters.
+func machineDigest(m *core.Machine, runErr error) string {
+	errText := ""
+	if runErr != nil {
+		errText = runErr.Error()
+	}
+	c := m.K.CPU
+	return fmt.Sprintf("err=%q console=%q stats=%+v cycles=%d insts=%d writes=%d",
+		errText, m.K.Console(), m.K.Stats, c.Cycles, c.Insts, c.MemWrites)
+}
+
+// TestTimeTravelExact: TimeTravel lands on exactly the state the
+// original run passed through — identical to a fresh machine run
+// straight to the same instruction with runMode's setup.
+func TestTimeTravelExact(t *testing.T) {
+	const seed = 11
+	p := progen.Generate(seed)
+
+	for _, mode := range Modes {
+		tape, err := RecordProgram(p, mode, 0)
+		if err != nil {
+			t.Fatalf("%v: record: %v", mode, err)
+		}
+		target := tape.EndInsts / 2
+		m, _, err := TimeTravelSeed(seed, mode, target, 500)
+		if err != nil {
+			t.Fatalf("%v: time travel: %v", mode, err)
+		}
+		if got := m.K.CPU.Insts; got != target {
+			t.Fatalf("%v: paused at %d, want %d", mode, got, target)
+		}
+
+		// Ground truth: runMode's setup, run straight to target.
+		ref, err := core.NewMachine()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.LoadProgram(p.Source(mode, false)); err != nil {
+			t.Fatal(err)
+		}
+		if mode == core.ModeHardware {
+			ref.EnableHardwareDelivery(progen.HWVector)
+		}
+		if target > 0 {
+			if _, err := ref.K.CPU.Run(target); err != nil {
+				var be *cpu.BudgetError
+				if !errors.As(err, &be) {
+					t.Fatalf("%v: reference run: %v", mode, err)
+				}
+			}
+		}
+		got := fmt.Sprintf("pc=%#x gpr=%v insts=%d cycles=%d console=%q",
+			m.K.CPU.PC, m.K.CPU.GPR, m.K.CPU.Insts, m.K.CPU.Cycles, m.K.Console())
+		want := fmt.Sprintf("pc=%#x gpr=%v insts=%d cycles=%d console=%q",
+			ref.K.CPU.PC, ref.K.CPU.GPR, ref.K.CPU.Insts, ref.K.CPU.Cycles, ref.K.Console())
+		if got != want {
+			t.Fatalf("%v: time travel diverged\nreplayed: %s\nstraight: %s", mode, got, want)
+		}
+	}
+}
+
+// TestWarmPoolShardIdentity: shard digests computed on a warm pool
+// (fork/restore checkouts) are byte-identical to a cold pool
+// (boot/reset checkouts) under every engine — the acceptance bar for
+// the warm serving pool.
+func TestWarmPoolShardIdentity(t *testing.T) {
+	for _, e := range []cpu.Engine{cpu.EngineJIT, cpu.EngineFast, cpu.EngineInterp} {
+		prev := cpu.DefaultEngine
+		cpu.DefaultEngine = e
+		func() {
+			defer func() { cpu.DefaultEngine = prev }()
+
+			var warm, cold core.MachinePool
+			if err := warm.EnableWarmBoot(); err != nil {
+				t.Fatal(err)
+			}
+			for seed := 0; seed < 3; seed++ {
+				w, err := json.Marshal(RunShard(&warm, seed))
+				if err != nil {
+					t.Fatal(err)
+				}
+				c, err := json.Marshal(RunShard(&cold, seed))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(w, c) {
+					t.Errorf("engine %d seed %d: warm shard diverged\nwarm: %s\ncold: %s", e, seed, w, c)
+				}
+			}
+			if st := warm.Stats(); st.Forks+st.Restores == 0 {
+				t.Errorf("engine %d: warm pool never forked or restored (stats=%+v)", e, st)
+			}
+		}()
+	}
+}
+
+// TestSMCAfterForkIdentity: a program whose first act after checkout
+// includes self-modifying code runs byte-identically on a machine
+// forked from a post-boot snapshot and on a freshly booted one, under
+// every engine — stale predecode or JIT state surviving the restore
+// diverges here.
+func TestSMCAfterForkIdentity(t *testing.T) {
+	p := progen.Generate(11)
+	p.Extra = progen.SMCStanza
+
+	for _, e := range []cpu.Engine{cpu.EngineJIT, cpu.EngineFast, cpu.EngineInterp} {
+		prev := cpu.DefaultEngine
+		cpu.DefaultEngine = e
+		func() {
+			defer func() { cpu.DefaultEngine = prev }()
+
+			src, err := core.NewMachine()
+			if err != nil {
+				t.Fatal(err)
+			}
+			snap := src.Snapshot()
+
+			for _, mode := range Modes {
+				forked, err := core.Fork(snap)
+				if err != nil {
+					t.Fatal(err)
+				}
+				booted, err := core.NewMachine()
+				if err != nil {
+					t.Fatal(err)
+				}
+				digests := [2]string{}
+				for i, m := range []*core.Machine{forked, booted} {
+					if err := m.LoadProgram(p.Source(mode, false)); err != nil {
+						t.Fatal(err)
+					}
+					if mode == core.ModeHardware {
+						m.EnableHardwareDelivery(progen.HWVector)
+					}
+					digests[i] = machineDigest(m, m.Run(BudgetFor(p, mode)))
+				}
+				if digests[0] != digests[1] {
+					t.Errorf("engine %d %v: SMC run diverged after fork\nforked: %s\nbooted: %s",
+						e, mode, digests[0], digests[1])
+				}
+			}
+		}()
+	}
+}
+
+// TestCampaignWarmPoolIdentity: the full oracle sweep's output stream
+// is byte-identical with the warm pool on and off, at one worker and
+// at four — the serving layer's golden-stream guarantee.
+func TestCampaignWarmPoolIdentity(t *testing.T) {
+	const seeds = 6
+	var golden []byte
+	for _, workers := range []int{1, 4} {
+		for _, warmBoot := range []bool{false, true} {
+			var pool core.MachinePool
+			if warmBoot {
+				if err := pool.EnableWarmBoot(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var buf bytes.Buffer
+			if _, err := CampaignCtx(t.Context(), &pool, seeds, workers, &buf); err != nil {
+				t.Fatalf("workers=%d warm=%v: %v", workers, warmBoot, err)
+			}
+			if golden == nil {
+				golden = buf.Bytes()
+				continue
+			}
+			if !bytes.Equal(buf.Bytes(), golden) {
+				t.Errorf("workers=%d warm=%v: output diverged from golden\ngot:\n%s\nwant:\n%s",
+					workers, warmBoot, buf.Bytes(), golden)
+			}
+		}
+	}
+}

@@ -76,6 +76,23 @@ type Kernel struct {
 	mcheck error
 }
 
+// The kernel attaches itself to the CPU as one cpu.OSHooks interface
+// value (see wireCPUHooks): taking the three hook method values
+// instead would allocate three closures on every reboot, restore, and
+// fork. These exported wrappers are that interface's implementation.
+
+// HCall implements cpu.OSHooks (the HCALL upcall).
+func (k *Kernel) HCall(c *cpu.CPU, code uint32) error { return k.hcall(c, code) }
+
+// OnUEXRecursion implements cpu.OSHooks (§2 double-fault indication).
+func (k *Kernel) OnUEXRecursion(e cpu.Exception) { k.onUEXRecursion(e) }
+
+// OnUEXClear implements cpu.OSHooks (user handler completion).
+func (k *Kernel) OnUEXClear() { k.onUEXClear() }
+
+// wireCPUHooks (re-)attaches the kernel to its CPU, allocation-free.
+func (k *Kernel) wireCPUHooks() { k.CPU.OS = k }
+
 // bootImage assembles and verifies the kernel image exactly once per
 // process. The image is immutable after assembly (loaders copy its
 // chunk bytes into simulated memory; everything else is symbol reads),
@@ -134,9 +151,7 @@ func (k *Kernel) Reset() error {
 	k.TLB.Reset()
 	k.TLB.InjectMiss = nil // TLB.Reset preserves the hook; the reboot must not
 
-	c.HCall = k.hcall
-	c.OnUEXRecursion = k.onUEXRecursion
-	c.OnUEXClear = k.onUEXClear
+	k.wireCPUHooks()
 
 	k.Costs = DefaultCosts()
 	k.Stats = Stats{}

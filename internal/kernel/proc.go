@@ -55,9 +55,9 @@ type Proc struct {
 	// identical PTEs, and the frame-pool bound only grows, so a pass
 	// verdict stays valid until the page is written again. Allocated
 	// lazily by SelfCheck; nil after process setup.
-	ptScanGen []uint64
-	forceKill  bool   // next postSignal must terminate regardless of handlers
-	killReason error  // *MachineError cause chain when escalation killed us
+	ptScanGen  []uint64
+	forceKill  bool  // next postSignal must terminate regardless of handlers
+	killReason error // *MachineError cause chain when escalation killed us
 
 	// Subpage protection: per-vpn bitmap of protected 1 KB subpages.
 	subpages map[uint32]uint8 // bit i set = subpage i protected
@@ -204,6 +204,9 @@ func (p *Proc) SubpageProtect(va, n uint32, prot uint32) error {
 			pte |= tlb.LoD
 			pte &^= pteSubpage
 		} else {
+			if p.subpages == nil { // forked procs start with no map
+				p.subpages = make(map[uint32]uint8)
+			}
 			p.subpages[vpn] = bits
 			pte &^= tlb.LoD
 			pte |= pteSubpage

@@ -111,13 +111,35 @@ type Memory struct {
 	// Direct-mapped handle cache: tag holds pfn+1 (0 = empty slot).
 	cacheTag [handleCacheSize]uint32
 	cachePg  [handleCacheSize]*Page
+
+	// Snapshot binding (snapshot.go): the MemState this memory's
+	// contents were last captured into or restored from, and, per page,
+	// the store generation at which the page content last matched that
+	// snapshot. Host-side bookkeeping only — never observable by the
+	// guest.
+	boundTo   *MemState
+	boundGens map[uint32]uint64
+
+	// backing is the lazy fork source (snapshot.go): snapshot pages this
+	// Memory has never materialized are copied in on first access by the
+	// existing page-miss path, so Fork is O(1) in page contents and the
+	// first touch — not the fork — pays for the copy. Nil on machines
+	// that were booted rather than forked.
+	backing *MemState
 }
 
 // New creates a physical memory of the given size in bytes, rounded up
 // to a whole page. Backing pages are allocated on first touch.
-func New(size uint32) *Memory {
-	size = (size + pageBytes - 1) &^ (pageBytes - 1)
-	return &Memory{size: size, pages: make(map[uint32]*Page)}
+func New(size uint32) *Memory { return Init(new(Memory), size) }
+
+// Init initializes a Memory in place, for callers that embed one in a
+// larger allocation (the fork shell builds a whole machine from a
+// single allocation; see kernel.NewForRestore). m must be zero-valued.
+// The page map itself is allocated on first page touch, keeping a
+// forked machine's checkout allocation-free on the memory side.
+func Init(m *Memory, size uint32) *Memory {
+	m.size = (size + pageBytes - 1) &^ (pageBytes - 1)
+	return m
 }
 
 // Size returns the physical memory size in bytes.
@@ -134,6 +156,9 @@ func (m *Memory) Reset() {
 		clear(p.data)
 		p.gen++
 	}
+	// Snapshot pages never materialized would otherwise survive the
+	// scrub; a reset memory is all zero.
+	m.backing = nil
 }
 
 // lookup returns the page holding pfn via the handle cache, or nil if
@@ -156,11 +181,19 @@ func (m *Memory) page(pa uint32, alloc bool) (*Page, error) {
 	}
 	pfn := pa >> pageShift
 	p := m.lookup(pfn)
-	if p == nil && alloc {
-		p = &Page{data: make([]byte, pageBytes)}
-		m.pages[pfn] = p
-		m.cacheTag[pfn&(handleCacheSize-1)] = pfn + 1
-		m.cachePg[pfn&(handleCacheSize-1)] = p
+	if p == nil {
+		if m.backing != nil {
+			p = m.materialize(pfn)
+		}
+		if p == nil && alloc {
+			p = &Page{data: make([]byte, pageBytes)}
+			if m.pages == nil {
+				m.pages = make(map[uint32]*Page)
+			}
+			m.pages[pfn] = p
+			m.cacheTag[pfn&(handleCacheSize-1)] = pfn + 1
+			m.cachePg[pfn&(handleCacheSize-1)] = p
+		}
 	}
 	return p, nil
 }
@@ -173,7 +206,11 @@ func (m *Memory) PageRef(pa uint32) *Page {
 	if pa >= m.size {
 		return nil
 	}
-	return m.lookup(pa >> pageShift)
+	p := m.lookup(pa >> pageShift)
+	if p == nil && m.backing != nil {
+		p = m.materialize(pa >> pageShift)
+	}
+	return p
 }
 
 // LoadByte reads one byte of physical memory.
@@ -204,6 +241,11 @@ func (m *Memory) LoadHalf(pa uint32) (uint16, error) {
 	if pa < m.size-1 && pa&(pageBytes-1) <= pageBytes-2 {
 		p := m.lookup(pa >> pageShift)
 		if p == nil {
+			if m.backing != nil {
+				if p = m.materialize(pa >> pageShift); p != nil {
+					return p.Half(pa), nil
+				}
+			}
 			return 0, nil
 		}
 		return p.Half(pa), nil
@@ -242,6 +284,11 @@ func (m *Memory) LoadWord(pa uint32) (uint32, error) {
 	if pa < m.size-3 && pa&(pageBytes-1) <= pageBytes-4 {
 		p := m.lookup(pa >> pageShift)
 		if p == nil {
+			if m.backing != nil {
+				if p = m.materialize(pa >> pageShift); p != nil {
+					return p.Word(pa), nil
+				}
+			}
 			return 0, nil
 		}
 		return p.Word(pa), nil
@@ -306,14 +353,20 @@ func (m *Memory) Read(pa uint32, n int) ([]byte, error) {
 // used by tests and capacity reporting.
 func (m *Memory) TouchedPages() int { return len(m.pages) }
 
-// PageBacked reports whether the page containing pa has been allocated.
-// Untouched pages read as zero, so scanners (the invariant checker)
-// can skip them without forcing allocation.
+// PageBacked reports whether the page containing pa holds (or, for a
+// lazily backed fork, would hold) nonzero-capable content. Untouched
+// pages read as zero, so scanners (the invariant checker) can skip
+// them without forcing allocation; backed-but-unmaterialized snapshot
+// pages with content must NOT be skipped — they do not read as zero.
 func (m *Memory) PageBacked(pa uint32) bool {
 	if pa >= m.size {
 		return false
 	}
-	return m.pages[pa>>pageShift] != nil
+	pfn := pa >> pageShift
+	if m.pages[pfn] != nil {
+		return true
+	}
+	return m.backing != nil && m.backing.pages[pfn] != nil
 }
 
 // CorruptWord XORs mask into the word at pa, modeling a memory

@@ -1,0 +1,178 @@
+package mem
+
+import "fmt"
+
+// MemState is a point-in-time copy of a Memory's contents, built by
+// CaptureState. It records, for every page touched at capture time, the
+// page bytes (nil for an all-zero page) and the page's store generation.
+//
+// The generation map is what makes restore copy-on-write without a new
+// write barrier: every mutation path through this package already
+// advances Page.gen, so "has this page changed since the snapshot?" is
+// a single integer compare. A MemState is immutable after capture and
+// safe to share across machines and goroutines; the per-machine dirty
+// tracking lives in the Memory being restored (see bindings below).
+type MemState struct {
+	size  uint32
+	pages map[uint32][]byte // pfn -> content copy; nil = all zero
+	gens  map[uint32]uint64 // pfn -> Page.gen at capture (membership set)
+}
+
+// Pages returns the number of pages recorded in the snapshot.
+func (st *MemState) Pages() int { return len(st.gens) }
+
+// Bytes returns the number of content bytes retained (all-zero pages
+// are recorded by membership only and cost nothing).
+func (st *MemState) Bytes() int {
+	n := 0
+	for _, b := range st.pages {
+		n += len(b)
+	}
+	return n
+}
+
+// allZero reports whether b contains only zero bytes.
+func allZero(b []byte) bool {
+	for len(b) >= 8 {
+		if b[0]|b[1]|b[2]|b[3]|b[4]|b[5]|b[6]|b[7] != 0 {
+			return false
+		}
+		b = b[8:]
+	}
+	for _, v := range b {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// CaptureState snapshots the current memory contents. Cost is one pass
+// over the touched pages (content copies for non-zero pages). The
+// capture also binds this Memory to the snapshot: an immediate
+// RestoreState(st) on the same Memory is O(touched pages) generation
+// compares with zero copies.
+func (m *Memory) CaptureState() *MemState {
+	st := &MemState{
+		size:  m.size,
+		pages: make(map[uint32][]byte, len(m.pages)),
+		gens:  make(map[uint32]uint64, len(m.pages)),
+	}
+	bound := make(map[uint32]uint64, len(m.pages))
+	for pfn, p := range m.pages {
+		st.gens[pfn] = p.gen
+		if !allZero(p.data) {
+			st.pages[pfn] = append([]byte(nil), p.data...)
+		}
+		bound[pfn] = p.gen
+	}
+	// Backed pages this (forked) Memory never materialized still hold
+	// the backing snapshot's content; record them by reference — both
+	// MemStates are immutable, so sharing the content slices is safe.
+	if m.backing != nil {
+		for pfn := range m.backing.gens {
+			if _, ok := m.pages[pfn]; ok {
+				continue
+			}
+			st.gens[pfn] = 1
+			if b := m.backing.pages[pfn]; b != nil {
+				st.pages[pfn] = b
+			}
+		}
+	}
+	m.boundTo, m.boundGens = st, bound
+	return st
+}
+
+// materialize allocates the page for pfn from the lazy fork backing,
+// copying the snapshot content in — the copy-on-first-touch half of the
+// CoW fork rule. Returns nil when the backing has no such page (the
+// caller falls through to normal untouched-page handling). The fresh
+// page starts at generation 1 and, when the backing is also the bound
+// snapshot, is recorded as clean so a later restore skips it.
+func (m *Memory) materialize(pfn uint32) *Page {
+	st := m.backing
+	if _, ok := st.gens[pfn]; !ok {
+		return nil
+	}
+	p := &Page{data: make([]byte, pageBytes), gen: 1}
+	copy(p.data, st.pages[pfn]) // no-op for all-zero pages
+	if m.pages == nil {
+		m.pages = make(map[uint32]*Page)
+	}
+	m.pages[pfn] = p
+	i := pfn & (handleCacheSize - 1)
+	m.cacheTag[i], m.cachePg[i] = pfn+1, p
+	if m.boundTo == st {
+		if m.boundGens == nil {
+			m.boundGens = make(map[uint32]uint64, len(st.gens))
+		}
+		m.boundGens[pfn] = p.gen
+	}
+	return p
+}
+
+// RestoreState rewrites memory contents to exactly match the snapshot,
+// copying only pages that have changed since the snapshot was taken (or
+// since the last restore from it). It returns the number of pages
+// copied or cleared.
+//
+// The copy-on-write rule: the Memory remembers, per page, the store
+// generation at which its content last matched the snapshot (seeded by
+// CaptureState on the source machine, updated here on every restore).
+// A page whose generation still equals that value has not been written
+// since — every mutation advances Page.gen — so it is skipped. Dirty
+// pages are rewritten with their generation advanced, which is the same
+// invalidation signal a guest store emits: the predecode cache and JIT
+// blocks revalidate against Page.Gen on next use, so a restored machine
+// can never execute stale decodes. Restoring into a Memory bound to a
+// different snapshot (or never bound) treats every page as dirty.
+func (m *Memory) RestoreState(st *MemState) (int, error) {
+	if m.size != st.size {
+		return 0, fmt.Errorf("mem: restore size mismatch: memory %#x, snapshot %#x", m.size, st.size)
+	}
+	if m.boundTo != st {
+		m.boundTo = st
+		m.boundGens = nil // rebound: rebuilt below on first dirty page
+	}
+	dirty := 0
+	for pfn, p := range m.pages { // no-op on a fresh fork (nil map)
+		if bg, ok := m.boundGens[pfn]; ok && bg == p.gen {
+			continue // unchanged since it last matched the snapshot
+		}
+		if _, inSnap := st.gens[pfn]; inSnap {
+			clear(p.data)
+			copy(p.data, st.pages[pfn]) // no-op for all-zero pages
+		} else {
+			// Touched after the snapshot was taken: snapshot content is
+			// "never touched", i.e. zero.
+			clear(p.data)
+		}
+		p.gen++
+		if m.boundGens == nil {
+			m.boundGens = make(map[uint32]uint64, len(st.gens))
+		}
+		m.boundGens[pfn] = p.gen
+		dirty++
+	}
+	// Pages in the snapshot this Memory has never touched (a fork into
+	// fresh memory, or a pool machine whose last run never reached them)
+	// are not copied eagerly: the memory is bound to the snapshot as
+	// lazy backing, and the page-miss path materializes each one on
+	// first access. This is what makes Fork O(1) in page contents — the
+	// first touch, not the fork, pays for each copy.
+	m.backing = nil
+	if len(m.pages) < len(st.gens) {
+		// Fewer materialized pages than snapshot pages: at least one
+		// snapshot page is missing, no need to probe which.
+		m.backing = st
+	} else {
+		for pfn := range st.gens {
+			if _, ok := m.pages[pfn]; !ok {
+				m.backing = st
+				break
+			}
+		}
+	}
+	return dirty, nil
+}

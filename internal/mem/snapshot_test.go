@@ -1,0 +1,118 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestMemSnapshotRoundTrip(t *testing.T) {
+	m := New(1 << 16) // 16 pages
+	if err := m.StoreWord(0x1000, 0xdeadbeef); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.StoreWord(0x2ffc, 0x12345678); err != nil {
+		t.Fatal(err)
+	}
+	st := m.CaptureState()
+	if got := st.Pages(); got != 2 {
+		t.Fatalf("snapshot pages = %d, want 2 (all-zero pages must not be captured)", got)
+	}
+
+	// Dirty one snapshotted page, one fresh page, and leave one alone.
+	if err := m.StoreWord(0x1000, 0xffffffff); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.StoreWord(0x5000, 0x55aa55aa); err != nil {
+		t.Fatal(err)
+	}
+	genBefore := m.PageRef(0x1000).Gen()
+
+	dirty, err := m.RestoreState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pages 1 and 5 diverged; page 2 was untouched since capture.
+	if dirty != 2 {
+		t.Errorf("restore copied %d pages, want 2", dirty)
+	}
+	if w, _ := m.LoadWord(0x1000); w != 0xdeadbeef {
+		t.Errorf("restored word %#x, want 0xdeadbeef", w)
+	}
+	if w, _ := m.LoadWord(0x2ffc); w != 0x12345678 {
+		t.Errorf("clean page perturbed: %#x", w)
+	}
+	if w, _ := m.LoadWord(0x5000); w != 0 {
+		t.Errorf("page outside the snapshot not cleared: %#x", w)
+	}
+	// The CoW rule: a restored page's generation ADVANCES (never
+	// rewinds), so stale predecode/JIT state keyed to the old content
+	// cannot alias the restored bytes.
+	if genAfter := m.PageRef(0x1000).Gen(); genAfter <= genBefore {
+		t.Errorf("restored page generation went %d -> %d, must advance", genBefore, genAfter)
+	}
+
+	// A second restore with no intervening stores is a no-op.
+	dirty, err = m.RestoreState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dirty != 0 {
+		t.Errorf("idle restore copied %d pages, want 0", dirty)
+	}
+}
+
+func TestMemSnapshotRebinding(t *testing.T) {
+	m := New(1 << 16)
+	if err := m.StoreWord(0x3000, 1); err != nil {
+		t.Fatal(err)
+	}
+	a := m.CaptureState()
+	if err := m.StoreWord(0x3000, 2); err != nil {
+		t.Fatal(err)
+	}
+	b := m.CaptureState()
+
+	// Restoring an older snapshot after being bound to a newer one must
+	// rebuild from content, not trust the stale binding.
+	if _, err := m.RestoreState(a); err != nil {
+		t.Fatal(err)
+	}
+	if w, _ := m.LoadWord(0x3000); w != 1 {
+		t.Fatalf("restore to a: word %d, want 1", w)
+	}
+	if _, err := m.RestoreState(b); err != nil {
+		t.Fatal(err)
+	}
+	if w, _ := m.LoadWord(0x3000); w != 2 {
+		t.Fatalf("restore to b: word %d, want 2", w)
+	}
+
+	other := New(1 << 12)
+	if _, err := other.RestoreState(a); err == nil {
+		t.Fatal("restore across memory sizes must fail")
+	}
+}
+
+func TestMemSnapshotImmutable(t *testing.T) {
+	m := New(1 << 16)
+	if err := m.Write(0x1000, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	st := m.CaptureState()
+	if err := m.Write(0x1000, []byte{9, 9, 9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Read(0x1000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{1, 2, 3, 4}) {
+		t.Fatalf("snapshot content mutated: %v", got)
+	}
+	if st.Bytes() == 0 {
+		t.Error("snapshot reports zero captured bytes")
+	}
+}

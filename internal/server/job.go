@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"uexc/internal/core"
+	"uexc/internal/debug"
 	dt "uexc/internal/difftest"
 	"uexc/internal/harness"
 	"uexc/internal/parallel"
@@ -31,10 +32,15 @@ const (
 	// TypeProgramRun generates the progen program for Seed and executes
 	// it once under Mode on a pooled machine.
 	TypeProgramRun Type = "program-run"
+	// TypeDebugSession runs the progen program for Seed under a
+	// virtual-breakpoint debug session (internal/debug), executing the
+	// request's command script and streaming one transcript line per
+	// command.
+	TypeDebugSession Type = "debug-session"
 )
 
 // Types lists every job kind, in documentation order.
-var Types = []Type{TypeCampaign, TypeDifftest, TypeFigureSweep, TypeProgramRun}
+var Types = []Type{TypeCampaign, TypeDifftest, TypeFigureSweep, TypeProgramRun, TypeDebugSession}
 
 // Request is the client-posted job specification.
 type Request struct {
@@ -56,6 +62,10 @@ type Request struct {
 	// TimeoutMS optionally tightens the per-job deadline below the
 	// server's maximum.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+
+	// Commands is a debug-session job's command script, executed in
+	// order against the Seed/Mode program (see debug.Command).
+	Commands []debug.Command `json:"commands,omitempty"`
 
 	// ShardFrom/ShardTo select the half-open sub-range [ShardFrom,
 	// ShardTo) of a campaign/difftest job's shard space — the worker
@@ -93,6 +103,21 @@ func (r *Request) Validate(maxSeeds int) error {
 	case TypeProgramRun:
 		if _, err := ParseMode(r.Mode); err != nil {
 			return err
+		}
+	case TypeDebugSession:
+		if _, err := ParseMode(r.Mode); err != nil {
+			return err
+		}
+		if len(r.Commands) == 0 {
+			return fmt.Errorf("debug-session: at least one command required")
+		}
+		if len(r.Commands) > maxSessionCommands {
+			return fmt.Errorf("debug-session: %d commands exceeds the cap %d", len(r.Commands), maxSessionCommands)
+		}
+		for i, c := range r.Commands {
+			if !debug.ValidOp(c.Op) {
+				return fmt.Errorf("debug-session: command %d: unknown op %q (have %v)", i, c.Op, debug.Ops)
+			}
 		}
 	case TypeFigureSweep:
 		// Only Parallel applies.
@@ -378,6 +403,9 @@ func (s *Server) runJob(j *job) (ok bool, summary string, err error) {
 
 	case TypeProgramRun:
 		return s.runProgram(j)
+
+	case TypeDebugSession:
+		return s.runDebugSession(j)
 	}
 	return false, "", fmt.Errorf("unknown job type %q", j.req.Type)
 }

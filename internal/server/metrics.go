@@ -28,6 +28,12 @@ type Metrics struct {
 	JobsCancelled atomic.Uint64 // aborted by deadline or client disconnect
 	JobsEvicted   atomic.Uint64 // finished jobs dropped after the retention window
 
+	// Debug-session lifecycle (DESIGN.md §16): started sessions, and
+	// finished session records dropped after the retention window — the
+	// same eviction rule finished jobs follow.
+	SessionsStarted atomic.Uint64
+	SessionsEvicted atomic.Uint64
+
 	InFlight atomic.Int64 // jobs currently executing on a worker
 
 	// Durability counters (DESIGN.md §12).
@@ -134,6 +140,10 @@ type Snapshot struct {
 	JobsCancelled uint64 `json:"jobs_cancelled_total"`
 	JobsEvicted   uint64 `json:"jobs_evicted_total"`
 
+	SessionsStarted uint64 `json:"sessions_started_total"`
+	SessionsActive  int    `json:"sessions_active"`
+	SessionsEvicted uint64 `json:"sessions_evicted_total"`
+
 	JobsByType map[string]uint64 `json:"jobs_by_type"`
 
 	// Verdicts is the cumulative run-classification tally across every
@@ -166,6 +176,7 @@ type Snapshot struct {
 
 	Pool        core.PoolStats `json:"machine_pool"`
 	PoolHitRate float64        `json:"machine_pool_hit_rate"`
+	WarmBoot    bool           `json:"machine_pool_warm_boot"`
 
 	SimFastDeliveries uint64 `json:"sim_fast_deliveries_total"`
 	SimUnixDeliveries uint64 `json:"sim_unix_deliveries_total"`
@@ -212,6 +223,10 @@ func (s *Server) snapshot() Snapshot {
 		JobsCancelled: m.JobsCancelled.Load(),
 		JobsEvicted:   m.JobsEvicted.Load(),
 
+		SessionsStarted: m.SessionsStarted.Load(),
+		SessionsActive:  s.sessionCount(),
+		SessionsEvicted: m.SessionsEvicted.Load(),
+
 		JobsByType: make(map[string]uint64, len(m.byType)),
 		Verdicts:   make(map[string]uint64, verdict.NumKinds),
 
@@ -225,7 +240,8 @@ func (s *Server) snapshot() Snapshot {
 		ShardStalls:    m.ShardStalls.Load(),
 		ShardTimeouts:  m.ShardTimeouts.Load(),
 
-		Pool: s.pool.Stats(),
+		Pool:     s.pool.Stats(),
+		WarmBoot: s.pool.WarmBoot(),
 
 		SimFastDeliveries: m.SimFastDeliveries.Load(),
 		SimUnixDeliveries: m.SimUnixDeliveries.Load(),
@@ -254,7 +270,9 @@ func (s *Server) snapshot() Snapshot {
 		snap.Verdicts[k.String()] = m.Verdicts[k].Load()
 	}
 	if snap.Pool.Gets > 0 {
-		snap.PoolHitRate = float64(snap.Pool.Reuses) / float64(snap.Pool.Gets)
+		// A recycled machine is a pool hit whichever path scrubbed it:
+		// the in-place Reset (Reuses) or the warm-snapshot restore.
+		snap.PoolHitRate = float64(snap.Pool.Reuses+snap.Pool.Restores) / float64(snap.Pool.Gets)
 	}
 	return snap
 }
@@ -282,6 +300,9 @@ func (snap Snapshot) renderText(w io.Writer) {
 		"uexc_jobs_failed_total":               fmt.Sprint(snap.JobsFailed),
 		"uexc_jobs_cancelled_total":            fmt.Sprint(snap.JobsCancelled),
 		"uexc_jobs_evicted_total":              fmt.Sprint(snap.JobsEvicted),
+		"uexc_sessions_started_total":          fmt.Sprint(snap.SessionsStarted),
+		"uexc_sessions_active":                 fmt.Sprint(snap.SessionsActive),
+		"uexc_sessions_evicted_total":          fmt.Sprint(snap.SessionsEvicted),
 		"uexc_store_enabled":                   fmt.Sprint(boolToInt(snap.StoreEnabled)),
 		"uexc_restarts_total":                  fmt.Sprint(snap.Restarts),
 		"uexc_jobs_replayed_total":             fmt.Sprint(snap.ReplayedJobs),
@@ -298,6 +319,9 @@ func (snap Snapshot) renderText(w io.Writer) {
 		"uexc_pool_reuses_total":               fmt.Sprint(snap.Pool.Reuses),
 		"uexc_pool_boots_total":                fmt.Sprint(snap.Pool.Boots),
 		"uexc_pool_puts_total":                 fmt.Sprint(snap.Pool.Puts),
+		"uexc_pool_forks_total":                fmt.Sprint(snap.Pool.Forks),
+		"uexc_pool_restores_total":             fmt.Sprint(snap.Pool.Restores),
+		"uexc_pool_warm_boot":                  fmt.Sprint(boolToInt(snap.WarmBoot)),
 		"uexc_pool_hit_rate":                   fmt.Sprintf("%.4f", snap.PoolHitRate),
 		"uexc_sim_fast_deliveries_total":       fmt.Sprint(snap.SimFastDeliveries),
 		"uexc_sim_unix_deliveries_total":       fmt.Sprint(snap.SimUnixDeliveries),

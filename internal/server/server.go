@@ -82,8 +82,16 @@ type Config struct {
 	// JobRetention bounds how long a finished job (and its full event
 	// log) stays re-attachable via GET /jobs/{id} after its terminal
 	// event; past the window the job is evicted so a long-lived server
-	// does not retain every stream it ever produced (<=0: 5m).
+	// does not retain every stream it ever produced (<=0: 5m). Finished
+	// debug-session records are evicted under the same window.
 	JobRetention time.Duration
+
+	// WarmBoot installs a warm post-boot snapshot in the machine pool at
+	// startup (core.MachinePool.EnableWarmBoot): checkouts fork or
+	// restore the snapshot in O(dirty pages) instead of booting or
+	// scrub-resetting, with byte-identical job output either way
+	// (DESIGN.md §16). cmd/uexc-serve enables it by default.
+	WarmBoot bool
 
 	// StoreDir, when set, enables the durable job store: a write-ahead
 	// NDJSON journal under this directory records every admission,
@@ -201,11 +209,12 @@ type Server struct {
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
-	mu       sync.Mutex // guards draining, killed, jobs, and the admit/Drain race
+	mu       sync.Mutex // guards draining, killed, jobs, sessions, and the admit/Drain race
 	draining bool
 	killed   bool
-	jobs     map[uint64]*job // every admitted job, by ID, for re-attach
-	jobWG    sync.WaitGroup  // admitted jobs not yet finished
+	jobs     map[uint64]*job     // every admitted job, by ID, for re-attach
+	sessions map[uint64]*session // debug-session records, by job ID, until eviction
+	jobWG    sync.WaitGroup      // admitted jobs not yet finished
 
 	workerWG sync.WaitGroup
 
@@ -220,15 +229,25 @@ type Server struct {
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		pool:    &core.MachinePool{},
-		metrics: newMetrics(),
-		tenants: newTenantRegistry(cfg.Tenants),
-		stop:    make(chan struct{}),
-		jobs:    make(map[uint64]*job),
+		cfg:      cfg,
+		pool:     &core.MachinePool{},
+		metrics:  newMetrics(),
+		tenants:  newTenantRegistry(cfg.Tenants),
+		stop:     make(chan struct{}),
+		jobs:     make(map[uint64]*job),
+		sessions: make(map[uint64]*session),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.pool.Harvest = s.metrics.harvest
+	if cfg.WarmBoot {
+		// Install the warm snapshot before any job can check a machine
+		// out; EnableWarmBoot itself verifies the image carries zero
+		// simulator counters so forked machines cannot double-count
+		// /metrics totals.
+		if err := s.pool.EnableWarmBoot(); err != nil {
+			return nil, fmt.Errorf("warm boot: %w", err)
+		}
+	}
 	if len(cfg.WorkerNodes) > 0 {
 		s.fleet = newFleet(s, cfg.WorkerNodes)
 	}
@@ -272,6 +291,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/jobs", s.handleJobs)
 	s.mux.HandleFunc("/jobs/", s.handleJobGet)
+	s.mux.HandleFunc("/sessions/", s.handleSessionGet)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)

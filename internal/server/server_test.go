@@ -85,12 +85,12 @@ func tryPost(base string, req Request) (output string, ok bool, status int, err 
 func TestRequestValidate(t *testing.T) {
 	const maxSeeds = 100
 	bad := []Request{
-		{},                                     // missing type
-		{Type: "bogus"},                        // unknown type
-		{Type: TypeCampaign},                   // seeds missing
-		{Type: TypeCampaign, Seeds: -1},        // seeds negative
-		{Type: TypeDifftest, Seeds: 101},       // over the cap
-		{Type: TypeProgramRun, Mode: "vax"},    // unknown mode
+		{},                                  // missing type
+		{Type: "bogus"},                     // unknown type
+		{Type: TypeCampaign},                // seeds missing
+		{Type: TypeCampaign, Seeds: -1},     // seeds negative
+		{Type: TypeDifftest, Seeds: 101},    // over the cap
+		{Type: TypeProgramRun, Mode: "vax"}, // unknown mode
 		{Type: TypeCampaign, Seeds: 1, Parallel: -2},
 		{Type: TypeProgramRun, TimeoutMS: -5},
 	}

@@ -8,11 +8,14 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
+	"uexc/internal/debug"
 	dt "uexc/internal/difftest"
 	"uexc/internal/harness"
+	"uexc/internal/kernel"
 )
 
 // SmokeConfig sizes the end-to-end smoke run.
@@ -65,7 +68,7 @@ func Smoke(ctx context.Context, out io.Writer, cfg SmokeConfig) (*LoadReport, er
 	ready := make(chan string, 1)
 	runErr := make(chan error, 1)
 	go func() {
-		runErr <- Run(runCtx, Config{Workers: cfg.Workers, QueueDepth: cfg.QueueDepth}, out, ready)
+		runErr <- Run(runCtx, Config{Workers: cfg.Workers, QueueDepth: cfg.QueueDepth, WarmBoot: true}, out, ready)
 	}()
 	var base string
 	select {
@@ -82,6 +85,15 @@ func Smoke(ctx context.Context, out io.Writer, cfg SmokeConfig) (*LoadReport, er
 	fmt.Fprintln(out, "smoke: phase 1: stream byte-identity vs CLI engines")
 	if err := checkByteIdentity(ctx, client, base); err != nil {
 		return nil, fmt.Errorf("smoke: byte-identity: %w", err)
+	}
+
+	// Phase 1b: the debug-session gauntlet on the same warm-pool
+	// instance: a watchpoint on the kernel trapframe page must hit,
+	// state must be inspectable at the pause, and the resumed session
+	// must re-run byte-identically.
+	fmt.Fprintln(out, "smoke: phase 1b: debug-session watchpoint gauntlet")
+	if err := checkDebugSession(client, base); err != nil {
+		return nil, fmt.Errorf("smoke: debug-session: %w", err)
 	}
 
 	// Phase 2: deterministic backpressure on a deliberately tiny
@@ -101,9 +113,9 @@ func Smoke(ctx context.Context, out io.Writer, cfg SmokeConfig) (*LoadReport, er
 		return rep, fmt.Errorf("smoke: loadgen: %w", err)
 	}
 	rep.Render(out)
-	// 4 byte-identity jobs + the burst, all ok, nothing queued or
-	// running once the burst returns.
-	wantAdmitted := uint64(4 + cfg.Jobs)
+	// 4 byte-identity jobs + 2 debug sessions + the burst, all ok,
+	// nothing queued or running once the burst returns.
+	wantAdmitted := uint64(4 + 2 + cfg.Jobs)
 	if err := VerifyMetrics(base, func(s Snapshot) error {
 		if s.Admitted != wantAdmitted || s.JobsOK != wantAdmitted {
 			return fmt.Errorf("admitted/ok = %d/%d, want %d (client-side count)", s.Admitted, s.JobsOK, wantAdmitted)
@@ -114,8 +126,18 @@ func Smoke(ctx context.Context, out io.Writer, cfg SmokeConfig) (*LoadReport, er
 		if err := checkGauges(s, true); err != nil {
 			return err
 		}
-		if s.Pool.Gets == 0 || s.Pool.Reuses == 0 {
+		// With the warm pool on, recycled checkouts take the snapshot
+		// restore path instead of the scrub Reset; either way a machine
+		// must have been recycled, and the warm image must have served
+		// at least one fork or restore.
+		if s.Pool.Gets == 0 || s.Pool.Reuses+s.Pool.Restores == 0 {
 			return fmt.Errorf("pool never recycled a machine: %+v", s.Pool)
+		}
+		if !s.WarmBoot || s.Pool.Forks+s.Pool.Restores == 0 {
+			return fmt.Errorf("warm-boot pool never forked or restored: warm=%v %+v", s.WarmBoot, s.Pool)
+		}
+		if s.SessionsStarted != 2 {
+			return fmt.Errorf("sessions_started_total = %d, want 2", s.SessionsStarted)
 		}
 		if s.SimInsts == 0 || s.SimExceptions == 0 || s.SimTLBMisses == 0 || s.SimFastPathHits == 0 {
 			return fmt.Errorf("simulator counters not harvested: %+v", s)
@@ -155,7 +177,7 @@ func Smoke(ctx context.Context, out io.Writer, cfg SmokeConfig) (*LoadReport, er
 	if err := <-runErr; err != nil {
 		return rep, fmt.Errorf("smoke: server shutdown: %v", err)
 	}
-	fmt.Fprintln(out, "smoke: ok — byte-identity, backpressure, load, drain, tenancy all verified")
+	fmt.Fprintln(out, "smoke: ok — byte-identity, debug sessions, backpressure, load, drain, tenancy all verified")
 	return rep, nil
 }
 
@@ -570,6 +592,62 @@ func checkByteIdentity(ctx context.Context, client *http.Client, base string) er
 			return fmt.Errorf("%s parallel %d: stream output differs from CLI\n--- server ---\n%s\n--- cli ---\n%s",
 				tc.req.Type, tc.req.Parallel, got, tc.want)
 		}
+	}
+	return nil
+}
+
+// checkDebugSession proves the debug-session contract end to end: a
+// virtual watchpoint on the kernel trapframe page (a kernel DATA page
+// — the Ultrix slow path stores every trapped register there) must
+// pause the run at the first delivery, the paused state must be
+// inspectable, and resuming must finish the job — twice, with the two
+// transcripts byte-identical, since a journaled session is re-run
+// deterministically after a restart.
+func checkDebugSession(client *http.Client, base string) error {
+	tf := uint32(kernel.KStackTop - kernel.TrapframeSize)
+	req := Request{Type: TypeDebugSession, Seed: 1, Mode: "ultrix", Verbose: true,
+		Commands: []debug.Command{
+			{Op: "watch-page", Addr: tf},
+			{Op: "continue"},
+			{Op: "inspect", Addr: tf, N: 8},
+			{Op: "regs"},
+			{Op: "step", N: 4},
+			{Op: "inspect", Addr: tf, N: 8},
+			{Op: "clear", Addr: tf},
+			{Op: "continue"},
+		}}
+	run := func() (string, error) {
+		body, _ := json.Marshal(req)
+		resp, err := client.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return "", fmt.Errorf("status %d, want 200", resp.StatusCode)
+		}
+		out, ok, complete, errText := StreamResult(resp.Body)
+		if !complete || !ok {
+			return "", fmt.Errorf("stream incomplete (ok=%v, err=%s)", ok, errText)
+		}
+		return out, nil
+	}
+	first, err := run()
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(first, "hit watch") {
+		return fmt.Errorf("watchpoint on the trapframe page never hit:\n%s", first)
+	}
+	if !strings.Contains(first, "inspect") || !strings.Contains(first, "exit: status=") {
+		return fmt.Errorf("session did not inspect and resume to completion:\n%s", first)
+	}
+	second, err := run()
+	if err != nil {
+		return err
+	}
+	if first != second {
+		return fmt.Errorf("re-run session transcript differs\n--- first ---\n%s\n--- second ---\n%s", first, second)
 	}
 	return nil
 }

@@ -1,0 +1,189 @@
+package snapshot
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"uexc/internal/core"
+	"uexc/internal/cpu"
+	"uexc/internal/progen"
+)
+
+// digest fingerprints everything replay promises to reproduce:
+// architectural registers, position in the stream, statistics, and
+// kernel-visible output.
+func digest(m *core.Machine) string {
+	c := m.K.CPU
+	return fmt.Sprintf("pc=%#x npc=%#x gpr=%v hi=%#x lo=%#x insts=%d cycles=%d writes=%d console=%q stats=%+v",
+		c.PC, c.NPC, c.GPR, c.HI, c.LO, c.Insts, c.Cycles, c.MemWrites, m.K.Console(), m.K.Stats)
+}
+
+// prepared boots a machine and loads the same deterministic progen
+// program on it.
+func prepared(t *testing.T) *core.Machine {
+	t.Helper()
+	m, err := core.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := progen.Generate(7)
+	if err := m.LoadProgram(p.Source(core.ModeUltrix, false)); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// programEnd measures how many instructions the prepared program
+// retires before exiting; the tests scale their recording intervals to
+// it so they stay meaningful for any generated length.
+func programEnd(t *testing.T) uint64 {
+	t.Helper()
+	m := prepared(t)
+	if err := m.Run(3_000_000); err != nil {
+		t.Fatalf("probe run: %v", err)
+	}
+	end := m.K.CPU.Insts
+	if end < 600 {
+		t.Fatalf("probe program too short to tape (%d insts)", end)
+	}
+	return end
+}
+
+// runTo drives the CPU to exactly n retired instructions, tolerating
+// the budget stop.
+func runTo(t *testing.T, m *core.Machine, n uint64) {
+	t.Helper()
+	c := m.K.CPU
+	if c.Insts >= n {
+		return
+	}
+	_, err := c.Run(n - c.Insts)
+	var be *cpu.BudgetError
+	if err != nil && !errors.As(err, &be) {
+		t.Fatalf("run to %d: %v", n, err)
+	}
+}
+
+// TestRecordDoesNotPerturb: a recorded run ends in exactly the state
+// of the same run performed in one Run call — taking snapshots has no
+// architectural effect.
+func TestRecordDoesNotPerturb(t *testing.T) {
+	end := programEnd(t)
+
+	straight := prepared(t)
+	if err := straight.Run(3_000_000); err != nil {
+		t.Fatal(err)
+	}
+
+	recorded := prepared(t)
+	tape, err := Record(recorded, 3_000_000, end/5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := digest(recorded), digest(straight); got != want {
+		t.Fatalf("recording perturbed the run\nrecorded: %s\nstraight: %s", got, want)
+	}
+	if tape.Snapshots() < 2 {
+		t.Fatalf("tape has %d snapshots, want at least start + one periodic", tape.Snapshots())
+	}
+	if tape.EndInsts != recorded.K.CPU.Insts {
+		t.Errorf("tape EndInsts=%d, machine retired %d", tape.EndInsts, recorded.K.CPU.Insts)
+	}
+}
+
+// TestReplayToExact: replaying to instruction n lands on the exact
+// state the recorded run passed through at n — same registers, same
+// statistics — for targets on and off snapshot boundaries.
+func TestReplayToExact(t *testing.T) {
+	end := programEnd(t)
+	every := end / 6
+
+	m := prepared(t)
+	tape, err := Record(m, 3_000_000, every)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tape.EndInsts != end {
+		t.Fatalf("tape retired %d insts, probe retired %d", tape.EndInsts, end)
+	}
+
+	for _, n := range []uint64{0, every, every + 13, end / 2, end} {
+		replayed, err := tape.ReplayTo(n)
+		if err != nil {
+			t.Fatalf("ReplayTo(%d): %v", n, err)
+		}
+		if got := replayed.K.CPU.Insts; got != n {
+			t.Fatalf("ReplayTo(%d) stopped at %d", n, got)
+		}
+
+		// Ground truth: a fresh machine run straight to n.
+		ref := prepared(t)
+		runTo(t, ref, n)
+		if got, want := digest(replayed), digest(ref); got != want {
+			t.Fatalf("ReplayTo(%d) diverged\nreplayed: %s\nstraight: %s", n, got, want)
+		}
+	}
+}
+
+// TestNearestAndBounds: Nearest picks the latest snapshot at or before
+// the target; replaying before the tape's start (a mid-run recording)
+// and recording with a zero interval are errors.
+func TestNearestAndBounds(t *testing.T) {
+	end := programEnd(t)
+	start := end / 3
+	every := end / 6
+
+	m := prepared(t)
+	runTo(t, m, start) // the tape starts mid-run
+	tape, err := Record(m, 3_000_000, every)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tape.Nearest(0).Insts(); got != start {
+		t.Errorf("Nearest(0) = %d, want the tape start %d", got, start)
+	}
+	if tape.Snapshots() < 2 {
+		t.Fatalf("tape has %d snapshots, need periodic points for Nearest", tape.Snapshots())
+	}
+	if got := tape.Nearest(start + every + 3).Insts(); got != start+every {
+		t.Errorf("Nearest(%d) = %d, want %d", start+every+3, got, start+every)
+	}
+	if got := tape.Nearest(1 << 62).Insts(); got < start+every {
+		t.Errorf("Nearest(huge) = %d, want the last point", got)
+	}
+	if _, err := tape.ReplayTo(start - 1); err == nil {
+		t.Error("ReplayTo before the tape start must fail")
+	}
+	if _, err := Record(m, 1, 0); err == nil {
+		t.Error("Record with every=0 must fail")
+	}
+	if tape.Every() != every {
+		t.Errorf("Every() = %d, want %d", tape.Every(), every)
+	}
+}
+
+// TestRecordToCompletion: recording with a generous budget runs the
+// program to its exit and tapes the outcome; replaying to the very end
+// reproduces the final state.
+func TestRecordToCompletion(t *testing.T) {
+	end := programEnd(t)
+	m := prepared(t)
+	tape, err := Record(m, 3_000_000, end/4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tape.Halted {
+		t.Fatal("program did not complete within the recording budget")
+	}
+	if tape.Err != nil {
+		t.Fatalf("clean run surfaced error: %v", tape.Err)
+	}
+	replayed, err := tape.ReplayTo(tape.EndInsts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := digest(replayed), digest(m); got != want {
+		t.Fatalf("end-replay diverged\nreplayed: %s\nrecorded: %s", got, want)
+	}
+}
